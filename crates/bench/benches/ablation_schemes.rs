@@ -1,0 +1,33 @@
+//! Ablation over the compilation schemes (the design choice of Section 4):
+//! density-evaluation cost of the comprehensive vs mixed vs generative
+//! translation of the same model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepstan::DeepStan;
+use gprob::value::Value;
+use stan2gprob::Scheme;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_schemes");
+    group.sample_size(20);
+    for name in ["coin", "kidscore_mom_work"] {
+        let entry = model_zoo::find(name).unwrap();
+        let program = DeepStan::compile_named(name, entry.source).unwrap();
+        let data = entry.dataset(5);
+        let data_refs: Vec<(&str, Value<f64>)> =
+            data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        for scheme in [Scheme::Comprehensive, Scheme::Mixed, Scheme::Generative] {
+            let Ok(model) = program.bind_with(scheme, &data_refs) else {
+                continue;
+            };
+            let theta = vec![0.1; model.dim()];
+            group.bench_function(format!("{name}/{}", scheme.name()), |b| {
+                b.iter(|| model.log_density_and_grad(std::hint::black_box(&theta)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

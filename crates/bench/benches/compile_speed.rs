@@ -1,0 +1,56 @@
+//! Compilation-speed benchmark (Section 6.1: the paper reports ~0.3 s per
+//! model for the new backends vs ~10.5 s for Stan's C++ toolchain).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stan2gprob::{compile, Scheme};
+
+fn bench_compile(c: &mut Criterion) {
+    let corpus = model_zoo::corpus();
+    let mut group = c.benchmark_group("compile_speed");
+    group.sample_size(20);
+    group.bench_function("frontend_parse_corpus", |b| {
+        b.iter(|| {
+            for entry in &corpus {
+                let _ = stan_frontend::parse_program(std::hint::black_box(entry.source));
+            }
+        })
+    });
+    group.bench_function("compile_comprehensive_corpus", |b| {
+        b.iter(|| {
+            for entry in &corpus {
+                if let Ok(ast) = stan_frontend::parse_program(entry.source) {
+                    let _ = compile(&ast, Scheme::Comprehensive);
+                }
+            }
+        })
+    });
+    group.bench_function("compile_all_schemes_coin", |b| {
+        let coin = model_zoo::find("coin").unwrap();
+        let ast = stan_frontend::parse_program(coin.source).unwrap();
+        b.iter(|| {
+            for scheme in [Scheme::Generative, Scheme::Comprehensive, Scheme::Mixed] {
+                let _ = compile(std::hint::black_box(&ast), scheme);
+            }
+        })
+    });
+    group.bench_function("codegen_pyro_numpyro_corpus", |b| {
+        let compiled: Vec<_> = corpus
+            .iter()
+            .filter_map(|e| {
+                stan_frontend::parse_program(e.source)
+                    .ok()
+                    .and_then(|ast| compile(&ast, Scheme::Mixed).ok())
+            })
+            .collect();
+        b.iter(|| {
+            for p in &compiled {
+                let _ = stan2gprob::to_pyro(std::hint::black_box(p), "m");
+                let _ = stan2gprob::to_numpyro(std::hint::black_box(p), "m");
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Log-density (and gradient) evaluation throughput: baseline Stan-semantics
+//! interpreter vs the compiled GProb runtime — the per-evaluation cost that
+//! drives the end-to-end speed comparison of Table 3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepstan::DeepStan;
+use gprob::value::Value;
+
+fn bench_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density_eval");
+    group.sample_size(20);
+    for name in ["kidscore_momhs", "eight_schools_centered", "arK"] {
+        let entry = model_zoo::find(name).unwrap();
+        let program = DeepStan::compile_named(name, entry.source).unwrap();
+        let data = entry.dataset(5);
+        let data_refs: Vec<(&str, Value<f64>)> =
+            data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        let gmodel = program.bind(&data_refs).unwrap();
+        let smodel = program.bind_reference(&data_refs).unwrap();
+        let theta = vec![0.1; gmodel.dim()];
+
+        group.bench_function(format!("{name}/stan_ref_grad"), |b| {
+            b.iter(|| smodel.log_density_and_grad(std::hint::black_box(&theta)).unwrap())
+        });
+        group.bench_function(format!("{name}/gprob_grad"), |b| {
+            b.iter(|| gmodel.log_density_and_grad(std::hint::black_box(&theta)).unwrap())
+        });
+        group.bench_function(format!("{name}/gprob_value_only"), |b| {
+            b.iter(|| gmodel.log_density_f64(std::hint::black_box(&theta)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_density);
+criterion_main!(benches);

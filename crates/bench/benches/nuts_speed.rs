@@ -1,0 +1,34 @@
+//! Short end-to-end NUTS runs per backend — the sampling-throughput shape
+//! behind Table 3 and Table 5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepstan::{DeepStan, NutsSettings};
+use gprob::value::Value;
+
+fn bench_nuts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nuts_speed");
+    group.sample_size(10);
+    let settings = NutsSettings {
+        warmup: 50,
+        samples: 50,
+        seed: 1,
+        max_depth: 8,
+    };
+    for name in ["coin", "kidscore_momhs", "eight_schools_centered"] {
+        let entry = model_zoo::find(name).unwrap();
+        let program = DeepStan::compile_named(name, entry.source).unwrap();
+        let data = entry.dataset(5);
+        let data_refs: Vec<(&str, Value<f64>)> =
+            data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        group.bench_function(format!("{name}/stan_ref"), |b| {
+            b.iter(|| program.nuts_reference(&data_refs, &settings).unwrap())
+        });
+        group.bench_function(format!("{name}/gprob_mixed"), |b| {
+            b.iter(|| program.nuts(&data_refs, &settings).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nuts);
+criterion_main!(benches);

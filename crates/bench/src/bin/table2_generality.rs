@@ -1,0 +1,36 @@
+//! Table 2 — number of corpus models with a successful one-iteration
+//! inference run, per compilation scheme and backend flavour.
+//!
+//! The "Pyro" row is the tree-walking interpreted runtime; the "NumPyro" row
+//! is the gradient path (one NUTS transition), which additionally requires
+//! the model to be differentiable end to end — mirroring the JAX-induced
+//! restrictions of the paper's NumPyro backend.
+
+use deepstan_bench::one_iteration_runs;
+use stan2gprob::Scheme;
+
+fn main() {
+    let corpus = model_zoo::corpus();
+    let schemes = [Scheme::Comprehensive, Scheme::Mixed, Scheme::Generative];
+    println!(
+        "Table 2: successful inference runs over {} corpus models\n",
+        corpus.len()
+    );
+    println!("{:<10} {:>8} {:>8} {:>8}", "", "Compr.", "Mixed", "Gener.");
+    for (label, interpreted) in [("Pyro", true), ("NumPyro", false)] {
+        let mut counts = [0usize; 3];
+        for (i, scheme) in schemes.iter().enumerate() {
+            for entry in &corpus {
+                if one_iteration_runs(entry, *scheme, interpreted) {
+                    counts[i] += 1;
+                }
+            }
+        }
+        println!(
+            "{:<10} {:>8} {:>8} {:>8}",
+            label, counts[0], counts[1], counts[2]
+        );
+    }
+    println!("\nPaper (98 PosteriorDB pairs): Pyro 87/87/36, NumPyro 83/83/35.");
+    println!("Expected failures in this corpus: truncated_normal, ordered_mixture (compile), censored_lccdf (runtime).");
+}

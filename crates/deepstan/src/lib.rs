@@ -1,0 +1,51 @@
+//! `deepstan` — the user-facing API of the reproduction, and the DeepStan
+//! extensions of Section 5 of the paper.
+//!
+//! The [`DeepStan`] type ties the whole pipeline together: parse and check a
+//! Stan (or DeepStan) program, compile it with any of the three schemes, bind
+//! data, and run inference — NUTS through either runtime (compiled GProb, or
+//! the baseline Stan-semantics interpreter), stochastic variational inference
+//! with an explicit guide, or mean-field ADVI.
+//!
+//! The DeepStan extensions are implemented here:
+//!
+//! * [`nn`] — a small dense neural-network library (the PyTorch stand-in),
+//!   with named parameters following the `mlp.l1.weight` convention of
+//!   Section 5.3.
+//! * [`networks`] — the bridge that makes `networks { ... }` declarations
+//!   callable from model and guide code, for both *lifted* (Bayesian) and
+//!   *learnable* networks (the `pyro.random_module` analog).
+//! * [`svi`] — the model/guide ELBO used for explicit variational guides
+//!   (Section 5.1), the VAE (Section 5.2) and Bayesian neural networks
+//!   (Section 5.3).
+//!
+//! # Quick start
+//!
+//! ```
+//! use deepstan::DeepStan;
+//! use gprob::value::Value;
+//!
+//! let program = DeepStan::compile(r#"
+//!     data { int N; int<lower=0,upper=1> x[N]; }
+//!     parameters { real<lower=0,upper=1> z; }
+//!     model { z ~ beta(1, 1); for (i in 1:N) x[i] ~ bernoulli(z); }
+//! "#).unwrap();
+//! let data = vec![
+//!     ("N", Value::Int(10)),
+//!     ("x", Value::IntArray(vec![1, 1, 1, 0, 1, 0, 1, 1, 0, 1])),
+//! ];
+//! let settings = deepstan::NutsSettings { warmup: 150, samples: 300, seed: 1, ..Default::default() };
+//! let posterior = program.nuts(&data, &settings).unwrap();
+//! let z = posterior.summary("z").unwrap();
+//! assert!((z.mean - 8.0 / 12.0).abs() < 0.1); // Beta(8, 4) posterior mean
+//! ```
+
+pub mod api;
+pub mod nn;
+pub mod networks;
+pub mod svi;
+
+pub use api::{CompiledProgram, DeepStan, InferenceError, NutsSettings, Posterior};
+pub use nn::{Activation, LayerSpec, MlpSpec};
+pub use networks::NetworkRegistry;
+pub use svi::{SviSettings, VariationalFit};

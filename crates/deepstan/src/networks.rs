@@ -1,0 +1,171 @@
+//! Bridging DeepStan `networks { ... }` declarations to executable forward
+//! passes.
+//!
+//! A [`NetworkRegistry`] implements the runtime's [`ExternalFns`] hook: when
+//! model or guide code calls a declared network (`decoder(z)`, `mlp(x)`), the
+//! registry runs the corresponding [`MlpSpec`] forward pass. Parameters are
+//! resolved per call, in this order:
+//!
+//! 1. the current environment — this covers *lifted* (Bayesian) networks
+//!    whose parameters are declared in the `parameters` block and therefore
+//!    bound by the inference algorithm (the `pyro.random_module` behaviour of
+//!    Section 5.3);
+//! 2. the registry's own learnable parameter store — this covers ordinary
+//!    networks trained alongside the guide (the VAE encoder/decoder of
+//!    Section 5.2).
+
+use std::collections::HashMap;
+
+use gprob::eval::ExternalFns;
+use gprob::value::{Env, RuntimeError, Value};
+use minidiff::Real;
+
+use crate::nn::MlpSpec;
+
+/// A set of declared networks and the values of their learnable parameters.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkRegistry<T: Real> {
+    specs: HashMap<String, MlpSpec>,
+    learnable: HashMap<String, Vec<T>>,
+}
+
+impl<T: Real> NetworkRegistry<T> {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        NetworkRegistry {
+            specs: HashMap::new(),
+            learnable: HashMap::new(),
+        }
+    }
+
+    /// Registers a network architecture.
+    pub fn register(&mut self, spec: MlpSpec) {
+        self.specs.insert(spec.name.clone(), spec);
+    }
+
+    /// Returns the spec of a registered network.
+    pub fn spec(&self, name: &str) -> Option<&MlpSpec> {
+        self.specs.get(name)
+    }
+
+    /// All registered specs.
+    pub fn specs(&self) -> impl Iterator<Item = &MlpSpec> {
+        self.specs.values()
+    }
+
+    /// Sets the learnable (non-lifted) parameter values for one parameter
+    /// name (e.g. `"decoder.l1.weight"`).
+    pub fn set_learnable(&mut self, name: impl Into<String>, values: Vec<T>) {
+        self.learnable.insert(name.into(), values);
+    }
+
+    /// Names and shapes of the learnable parameters of a network (everything
+    /// not provided by the environment at call time).
+    pub fn learnable_shapes(&self, network: &str) -> Vec<(String, Vec<usize>)> {
+        self.specs
+            .get(network)
+            .map(|s| s.parameter_shapes())
+            .unwrap_or_default()
+    }
+
+    fn gather_params(
+        &self,
+        spec: &MlpSpec,
+        env: &Env<T>,
+    ) -> Result<HashMap<String, Vec<T>>, RuntimeError> {
+        let mut params = HashMap::new();
+        for (pname, shape) in spec.parameter_shapes() {
+            let expected: usize = shape.iter().product();
+            let values: Vec<T> = if let Some(v) = env.get(&pname) {
+                v.as_real_vec()?
+            } else if let Some(v) = self.learnable.get(&pname) {
+                v.clone()
+            } else {
+                return Err(RuntimeError::new(format!(
+                    "network parameter `{pname}` is neither lifted (in the parameters block) nor registered as learnable"
+                )));
+            };
+            if values.len() != expected {
+                return Err(RuntimeError::new(format!(
+                    "network parameter `{pname}` has {} values, expected {expected}",
+                    values.len()
+                )));
+            }
+            params.insert(pname, values);
+        }
+        Ok(params)
+    }
+}
+
+impl<T: Real> ExternalFns<T> for NetworkRegistry<T> {
+    fn call(
+        &self,
+        name: &str,
+        args: &[Value<T>],
+        env: &Env<T>,
+    ) -> Option<Result<Value<T>, RuntimeError>> {
+        let spec = self.specs.get(name)?;
+        Some((|| {
+            let input = args
+                .first()
+                .ok_or_else(|| RuntimeError::new(format!("network `{name}` needs an input")))?
+                .as_real_vec()?;
+            let params = self.gather_params(spec, env)?;
+            let out = spec
+                .forward(&params, &input)
+                .map_err(RuntimeError::new)?;
+            Ok(Value::Vector(out))
+        })())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::Activation;
+
+    #[test]
+    fn learnable_parameters_are_used_when_not_in_env() {
+        let mut reg: NetworkRegistry<f64> = NetworkRegistry::new();
+        reg.register(MlpSpec::new("net", &[1, 1], Activation::Identity));
+        reg.set_learnable("net.l1.weight", vec![3.0]);
+        reg.set_learnable("net.l1.bias", vec![1.0]);
+        let out = reg
+            .call("net", &[Value::Real(2.0)], &Env::new())
+            .unwrap()
+            .unwrap();
+        assert_eq!(out, Value::Vector(vec![7.0]));
+    }
+
+    #[test]
+    fn environment_parameters_take_precedence_for_lifted_networks() {
+        let mut reg: NetworkRegistry<f64> = NetworkRegistry::new();
+        reg.register(MlpSpec::new("net", &[1, 1], Activation::Identity));
+        reg.set_learnable("net.l1.weight", vec![3.0]);
+        reg.set_learnable("net.l1.bias", vec![0.0]);
+        let mut env = Env::new();
+        env.insert("net.l1.weight".to_string(), Value::Vector(vec![10.0]));
+        let out = reg
+            .call("net", &[Value::Real(1.0)], &env)
+            .unwrap()
+            .unwrap();
+        assert_eq!(out, Value::Vector(vec![10.0]));
+    }
+
+    #[test]
+    fn unknown_networks_are_not_handled() {
+        let reg: NetworkRegistry<f64> = NetworkRegistry::new();
+        assert!(reg.call("nosuch", &[], &Env::new()).is_none());
+    }
+
+    #[test]
+    fn missing_parameters_are_reported() {
+        let mut reg: NetworkRegistry<f64> = NetworkRegistry::new();
+        reg.register(MlpSpec::new("net", &[1, 1], Activation::Identity));
+        let err = reg
+            .call("net", &[Value::Real(1.0)], &Env::new())
+            .unwrap()
+            .unwrap_err();
+        assert!(err.message().contains("net.l1.weight"));
+    }
+}

@@ -1,0 +1,281 @@
+//! A small dense neural-network library — the PyTorch stand-in of Section 5.
+//!
+//! Networks are described by an [`MlpSpec`] (a stack of linear layers with
+//! element-wise activations). Parameters are *external* to the spec: the
+//! forward pass receives a map from parameter names (`"mlp.l1.weight"`,
+//! `"mlp.l1.bias"`, ...) to flat value vectors, which is exactly what both
+//! use cases need:
+//!
+//! * **Learnable networks** (VAE encoder/decoder): parameter vectors are the
+//!   optimization variables of SVI.
+//! * **Lifted / Bayesian networks** (Section 5.3): parameter vectors come
+//!   from the model trace, i.e. they are random variables sampled by the
+//!   inference algorithm — the `pyro.random_module` behaviour.
+
+use std::collections::HashMap;
+
+use minidiff::Real;
+
+/// Element-wise activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity (no activation).
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Softplus `ln(1 + e^x)`.
+    Softplus,
+}
+
+impl Activation {
+    fn apply<T: Real>(self, x: T) -> T {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max_real(T::from_f64(0.0)),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => x.sigmoid(),
+            Activation::Softplus => x.softplus(),
+        }
+    }
+}
+
+/// One dense layer: `output = activation(W · input + b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSpec {
+    /// Input width.
+    pub input: usize,
+    /// Output width.
+    pub output: usize,
+    /// Activation applied to the affine output.
+    pub activation: Activation,
+}
+
+/// A multi-layer perceptron with named parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpSpec {
+    /// Network name (the name declared in the DeepStan `networks` block).
+    pub name: String,
+    /// Layers, applied in order.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl MlpSpec {
+    /// Builds an MLP from layer widths, with the given hidden activation and
+    /// an identity output layer.
+    pub fn new(name: impl Into<String>, widths: &[usize], hidden: Activation) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| LayerSpec {
+                input: w[0],
+                output: w[1],
+                activation: if i + 2 == widths.len() {
+                    Activation::Identity
+                } else {
+                    hidden
+                },
+            })
+            .collect();
+        MlpSpec {
+            name: name.into(),
+            layers,
+        }
+    }
+
+    /// Sets the activation of the final layer (e.g. sigmoid for a Bernoulli
+    /// decoder).
+    pub fn with_output_activation(mut self, act: Activation) -> Self {
+        if let Some(last) = self.layers.last_mut() {
+            last.activation = act;
+        }
+        self
+    }
+
+    /// Parameter names and shapes in PyTorch convention:
+    /// `name.l<k>.weight` of shape `[output, input]` and `name.l<k>.bias` of
+    /// shape `[output]`.
+    pub fn parameter_shapes(&self) -> Vec<(String, Vec<usize>)> {
+        let mut out = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            out.push((
+                format!("{}.l{}.weight", self.name, i + 1),
+                vec![layer.output, layer.input],
+            ));
+            out.push((format!("{}.l{}.bias", self.name, i + 1), vec![layer.output]));
+        }
+        out
+    }
+
+    /// Total number of scalar parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.parameter_shapes()
+            .iter()
+            .map(|(_, s)| s.iter().product::<usize>())
+            .sum()
+    }
+
+    /// Forward pass. `params` maps parameter names to flat (row-major) value
+    /// vectors; `input` is the flat input vector.
+    ///
+    /// # Errors
+    /// Returns a message if a parameter is missing or has the wrong length.
+    pub fn forward<T: Real>(
+        &self,
+        params: &HashMap<String, Vec<T>>,
+        input: &[T],
+    ) -> Result<Vec<T>, String> {
+        let mut activation: Vec<T> = input.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            if activation.len() != layer.input {
+                return Err(format!(
+                    "{}: layer {} expects input width {}, got {}",
+                    self.name,
+                    i + 1,
+                    layer.input,
+                    activation.len()
+                ));
+            }
+            let wname = format!("{}.l{}.weight", self.name, i + 1);
+            let bname = format!("{}.l{}.bias", self.name, i + 1);
+            let w = params
+                .get(&wname)
+                .ok_or_else(|| format!("missing parameter {wname}"))?;
+            let b = params
+                .get(&bname)
+                .ok_or_else(|| format!("missing parameter {bname}"))?;
+            if w.len() != layer.input * layer.output || b.len() != layer.output {
+                return Err(format!("parameter shape mismatch for layer {}", i + 1));
+            }
+            let mut next = Vec::with_capacity(layer.output);
+            for o in 0..layer.output {
+                let mut acc = b[o];
+                let row = &w[o * layer.input..(o + 1) * layer.input];
+                for (x, wi) in activation.iter().zip(row) {
+                    acc = acc + *x * *wi;
+                }
+                next.push(layer.activation.apply(acc));
+            }
+            activation = next;
+        }
+        Ok(activation)
+    }
+
+    /// Glorot-style random initialization of all parameters as flat `f64`
+    /// vectors.
+    pub fn init_params(&self, rng: &mut impl rand::Rng) -> HashMap<String, Vec<f64>> {
+        let mut out = HashMap::new();
+        for (name, shape) in self.parameter_shapes() {
+            let fan = shape.iter().sum::<usize>().max(1) as f64;
+            let scale = (2.0 / fan).sqrt();
+            let n: usize = shape.iter().product();
+            let values = (0..n)
+                .map(|_| {
+                    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    let u2: f64 = rng.gen();
+                    scale * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+                })
+                .collect();
+            out.insert(name, values);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidiff::{grad, tape, Var};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn identity_params(spec: &MlpSpec) -> HashMap<String, Vec<f64>> {
+        // 2-2 identity weight matrix with zero bias.
+        let mut p = HashMap::new();
+        p.insert(
+            format!("{}.l1.weight", spec.name),
+            vec![1.0, 0.0, 0.0, 1.0],
+        );
+        p.insert(format!("{}.l1.bias", spec.name), vec![0.0, 0.0]);
+        p
+    }
+
+    #[test]
+    fn parameter_naming_follows_pytorch_convention() {
+        let spec = MlpSpec::new("mlp", &[784, 32, 10], Activation::Relu);
+        let shapes = spec.parameter_shapes();
+        assert_eq!(shapes[0].0, "mlp.l1.weight");
+        assert_eq!(shapes[0].1, vec![32, 784]);
+        assert_eq!(shapes[3].0, "mlp.l2.bias");
+        assert_eq!(spec.parameter_count(), 784 * 32 + 32 + 32 * 10 + 10);
+    }
+
+    #[test]
+    fn identity_network_reproduces_its_input() {
+        let spec = MlpSpec::new("id", &[2, 2], Activation::Relu);
+        let out = spec
+            .forward(&identity_params(&spec), &[0.3, -0.7])
+            .unwrap();
+        // Output layer is Identity, so the negative value survives.
+        assert_eq!(out, vec![0.3, -0.7]);
+    }
+
+    #[test]
+    fn activations_are_applied() {
+        let mut spec = MlpSpec::new("id", &[2, 2], Activation::Relu);
+        spec = spec.with_output_activation(Activation::Relu);
+        let out = spec
+            .forward(&identity_params(&spec), &[0.3, -0.7])
+            .unwrap();
+        assert_eq!(out, vec![0.3, 0.0]);
+        let sig = MlpSpec::new("id", &[2, 2], Activation::Relu)
+            .with_output_activation(Activation::Sigmoid);
+        let out = sig.forward(&identity_params(&sig), &[0.0, 0.0]).unwrap();
+        assert!((out[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_or_misshaped_parameters_error() {
+        let spec = MlpSpec::new("m", &[2, 3], Activation::Tanh);
+        let err = spec.forward(&HashMap::new(), &[0.0, 0.0]).unwrap_err();
+        assert!(err.contains("missing parameter"));
+        let err = spec
+            .forward(&spec.init_params(&mut StdRng::seed_from_u64(0)), &[0.0])
+            .unwrap_err();
+        assert!(err.contains("input width"));
+    }
+
+    #[test]
+    fn gradients_flow_through_the_forward_pass() {
+        tape::reset();
+        let spec = MlpSpec::new("m", &[1, 1], Activation::Identity);
+        let w = Var::new(2.0);
+        let b = Var::new(0.5);
+        let mut params = HashMap::new();
+        params.insert("m.l1.weight".to_string(), vec![w]);
+        params.insert("m.l1.bias".to_string(), vec![b]);
+        let out = spec.forward(&params, &[Var::constant(3.0)]).unwrap();
+        let g = grad(out[0], &[w, b]);
+        assert_eq!(out[0].value(), 6.5);
+        assert_eq!(g, vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn init_params_have_the_right_sizes() {
+        let spec = MlpSpec::new("net", &[4, 8, 2], Activation::Tanh);
+        let p = spec.init_params(&mut StdRng::seed_from_u64(1));
+        assert_eq!(p["net.l1.weight"].len(), 32);
+        assert_eq!(p["net.l2.bias"].len(), 2);
+        let out = spec
+            .forward(
+                &p,
+                &[0.1, 0.2, 0.3, 0.4],
+            )
+            .unwrap();
+        assert_eq!(out.len(), 2);
+    }
+}

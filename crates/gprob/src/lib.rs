@@ -1,0 +1,54 @@
+//! `gprob` — the generative probabilistic intermediate language and runtime.
+//!
+//! This crate implements GProb, the small generative probabilistic language
+//! of Section 3.2 of the paper, together with the runtime that the paper
+//! delegates to Pyro / NumPyro:
+//!
+//! * [`ir`] — the GProb expression IR: `let`, `sample`, `observe`, `factor`,
+//!   `return`, conditionals, and state-annotated loops.
+//! * [`value`] / [`eval`] — the runtime value model and the evaluator for
+//!   deterministic Stan expressions and statements (shared with the baseline
+//!   `stan_ref` interpreter); this is the role Pyro's host language (Python /
+//!   PyTorch) plays in the original system.
+//! * [`interp`] — the probabilistic interpreter: trace-based density
+//!   evaluation (score of a parameter assignment) and generative forward
+//!   sampling, the two effect-handler modes the backends need.
+//! * [`model`] — [`model::GModel`], a compiled GProb program packaged with
+//!   its parameter table, exposing the unconstrained log-density interface
+//!   consumed by the `inference` crate (NUTS, SVI, importance sampling).
+//!
+//! # Example
+//!
+//! Build the compiled coin model of Figure 2(b) by hand and score a trace:
+//!
+//! ```
+//! use gprob::ir::{DistCall, GExpr};
+//! use gprob::value::Value;
+//! use stan_frontend::ast::Expr;
+//!
+//! // let z = sample(beta(1,1)) in observe(bernoulli(z), 1) ; return z
+//! let body = GExpr::LetSample {
+//!     name: "z".into(),
+//!     dist: DistCall::new("beta", vec![Expr::RealLit(1.0), Expr::RealLit(1.0)]),
+//!     body: Box::new(GExpr::Observe {
+//!         dist: DistCall::new("bernoulli", vec![Expr::var("z")]),
+//!         value: Expr::IntLit(1),
+//!         body: Box::new(GExpr::Return(Expr::var("z"))),
+//!     }),
+//! };
+//! let mut trace = std::collections::HashMap::new();
+//! trace.insert("z".to_string(), Value::Real(0.25f64));
+//! let score = gprob::interp::score_trace(&body, &Default::default(), &trace).unwrap();
+//! // beta(1,1) contributes 0, bernoulli(0.25) at 1 contributes ln(0.25)
+//! assert!((score - 0.25f64.ln()).abs() < 1e-12);
+//! ```
+
+pub mod eval;
+pub mod interp;
+pub mod ir;
+pub mod model;
+pub mod value;
+
+pub use ir::{DistCall, GExpr, GProbProgram, ParamInfo};
+pub use model::GModel;
+pub use value::{Env, RuntimeError, Value};

@@ -1,0 +1,195 @@
+//! Posterior summaries and convergence diagnostics.
+//!
+//! Implements the quantities the paper's evaluation relies on: per-parameter
+//! posterior means and standard deviations, the PosteriorDB-style accuracy
+//! criterion `|mean(θ) − mean(θ_ref)| < 0.3 · stddev(θ_ref)` (Section 6.1,
+//! RQ2), split-R̂ and a simple autocorrelation-based effective sample size.
+
+/// Summary statistics for one scalar parameter component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Posterior mean.
+    pub mean: f64,
+    /// Posterior standard deviation (sample, `n-1` denominator).
+    pub stddev: f64,
+}
+
+/// Per-component posterior summaries of a set of draws (each draw is one
+/// vector of components).
+pub fn summarize(draws: &[Vec<f64>]) -> Vec<Summary> {
+    if draws.is_empty() {
+        return Vec::new();
+    }
+    let dim = draws[0].len();
+    let n = draws.len() as f64;
+    (0..dim)
+        .map(|i| {
+            let mean = draws.iter().map(|d| d[i]).sum::<f64>() / n;
+            let var = if draws.len() > 1 {
+                draws.iter().map(|d| (d[i] - mean).powi(2)).sum::<f64>() / (n - 1.0)
+            } else {
+                0.0
+            };
+            Summary {
+                mean,
+                stddev: var.sqrt(),
+            }
+        })
+        .collect()
+}
+
+/// The paper's accuracy criterion for one component: the error between the
+/// posterior mean and the reference mean must be below 30% of the reference
+/// standard deviation.
+pub fn accuracy_pass(mean: f64, ref_mean: f64, ref_stddev: f64) -> bool {
+    (mean - ref_mean).abs() < 0.3 * ref_stddev.max(1e-12)
+}
+
+/// Mean relative error `|mean − ref_mean| / ref_stddev` over components, the
+/// quantity reported in the appendix tables.
+pub fn mean_relative_error(means: &[f64], ref_means: &[f64], ref_stddevs: &[f64]) -> f64 {
+    assert_eq!(means.len(), ref_means.len());
+    let mut total = 0.0;
+    for i in 0..means.len() {
+        total += (means[i] - ref_means[i]).abs() / ref_stddevs[i].max(1e-12);
+    }
+    total / means.len().max(1) as f64
+}
+
+/// Split-R̂ for one component: the chain is split in half and the classic
+/// potential-scale-reduction statistic is computed over the two halves.
+pub fn split_rhat(chain: &[f64]) -> f64 {
+    let n = chain.len() / 2;
+    if n < 2 {
+        return f64::NAN;
+    }
+    let halves = [&chain[..n], &chain[n..2 * n]];
+    let means: Vec<f64> = halves
+        .iter()
+        .map(|h| h.iter().sum::<f64>() / n as f64)
+        .collect();
+    let vars: Vec<f64> = halves
+        .iter()
+        .zip(&means)
+        .map(|(h, m)| h.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n as f64 - 1.0))
+        .collect();
+    let mean_all = (means[0] + means[1]) / 2.0;
+    let b = n as f64 * ((means[0] - mean_all).powi(2) + (means[1] - mean_all).powi(2));
+    let w = (vars[0] + vars[1]) / 2.0;
+    if w <= 0.0 {
+        // Zero within-half variance: either the chain is constant (converged
+        // trivially) or the halves sit at different values (not converged).
+        return if b > 0.0 { f64::INFINITY } else { 1.0 };
+    }
+    let var_plus = (n as f64 - 1.0) / n as f64 * w + b / n as f64;
+    (var_plus / w).sqrt()
+}
+
+/// Effective sample size from the initial-monotone-sequence estimator over
+/// lag-autocorrelations (a simplified version of Stan's ESS).
+pub fn ess(chain: &[f64]) -> f64 {
+    let n = chain.len();
+    if n < 4 {
+        return n as f64;
+    }
+    let mean = chain.iter().sum::<f64>() / n as f64;
+    let var = chain.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    if var <= 0.0 {
+        return n as f64;
+    }
+    let mut rho_sum = 0.0;
+    let mut lag = 1;
+    while lag < n - 2 {
+        let rho = |l: usize| -> f64 {
+            let mut c = 0.0;
+            for t in 0..n - l {
+                c += (chain[t] - mean) * (chain[t + l] - mean);
+            }
+            c / (n as f64 * var)
+        };
+        let pair = rho(lag) + rho(lag + 1);
+        if pair < 0.0 {
+            break;
+        }
+        rho_sum += pair;
+        lag += 2;
+    }
+    (n as f64 / (1.0 + 2.0 * rho_sum)).clamp(1.0, n as f64)
+}
+
+/// Builds a histogram of a sample over `bins` equal-width bins spanning
+/// `[lo, hi]` — used to regenerate the Figure 10 posterior histograms.
+pub fn histogram(values: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &v in values {
+        if v < lo || v >= hi {
+            continue;
+        }
+        let b = ((v - lo) / width) as usize;
+        counts[b.min(bins - 1)] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summaries_match_hand_computation() {
+        let draws = vec![vec![1.0, 10.0], vec![2.0, 10.0], vec![3.0, 10.0]];
+        let s = summarize(&draws);
+        assert!((s[0].mean - 2.0).abs() < 1e-12);
+        assert!((s[0].stddev - 1.0).abs() < 1e-12);
+        assert_eq!(s[1].stddev, 0.0);
+        assert!(summarize(&[]).is_empty());
+    }
+
+    #[test]
+    fn accuracy_criterion_matches_the_paper() {
+        // |mean - ref| < 0.3 * sd_ref
+        assert!(accuracy_pass(1.02, 1.0, 0.1));
+        assert!(!accuracy_pass(1.05, 1.0, 0.1));
+        assert!(accuracy_pass(0.0, 0.0, 0.0) || !accuracy_pass(0.1, 0.0, 0.0));
+    }
+
+    #[test]
+    fn relative_error_averages_components() {
+        let err = mean_relative_error(&[1.1, 2.0], &[1.0, 2.0], &[1.0, 1.0]);
+        assert!((err - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rhat_is_near_one_for_iid_and_large_for_split_means() {
+        let iid: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
+        assert!((split_rhat(&iid) - 1.0).abs() < 0.1);
+        let drift: Vec<f64> = (0..1000).map(|i| if i < 500 { 0.0 } else { 5.0 }).collect();
+        assert!(split_rhat(&drift) > 2.0);
+    }
+
+    #[test]
+    fn ess_detects_autocorrelation() {
+        let iid: Vec<f64> = (0..2000).map(|i| (((i * 2654435761_u64) % 1000) as f64) / 1000.0).collect();
+        let ess_iid = ess(&iid);
+        assert!(ess_iid > 500.0, "{ess_iid}");
+        // A slowly-moving chain has far fewer effective samples.
+        let mut correlated = Vec::with_capacity(2000);
+        let mut x = 0.0;
+        for i in 0..2000 {
+            x = 0.99 * x + 0.01 * ((i % 7) as f64);
+            correlated.push(x);
+        }
+        assert!(ess(&correlated) < ess_iid / 2.0);
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_in_range_points() {
+        let values = vec![-1.0, 0.1, 0.2, 0.9, 3.0];
+        let h = histogram(&values, 0.0, 1.0, 10);
+        assert_eq!(h.iter().sum::<usize>(), 3);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[2], 1);
+        assert_eq!(h[9], 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! `inference` — posterior inference algorithms and diagnostics.
+//!
+//! This crate supplies the inference machinery that the paper gets from the
+//! Stan, Pyro and NumPyro runtimes:
+//!
+//! * [`nuts`] — the No-U-Turn Sampler (multinomial variant with dual-averaging
+//!   step-size adaptation and diagonal mass-matrix estimation), Stan's and
+//!   Pyro's preferred inference method and the one used for every accuracy /
+//!   speed comparison in the paper's evaluation.
+//! * [`hmc`] — plain fixed-length Hamiltonian Monte Carlo, kept as a simpler
+//!   baseline and for tests.
+//! * [`advi`] — automatic differentiation variational inference with a
+//!   mean-field Gaussian family (the `Stan ADVI` baseline of Figure 10).
+//! * [`svi`] — stochastic variational inference utilities (the Adam optimizer
+//!   and optimization loop) used with explicit DeepStan guides.
+//! * [`importance`] — likelihood-weighting importance sampling.
+//! * [`diagnostics`] — posterior summaries, split-R̂, effective sample size,
+//!   and the paper's accuracy criterion
+//!   `|mean(θ) − mean(θ_ref)| < 0.3 · stddev(θ_ref)`.
+//!
+//! All samplers are generic over the target: they only need a closure
+//! returning the log-density and its gradient, which both the GProb runtime
+//! (`gprob::GModel::log_density_and_grad`) and the baseline Stan interpreter
+//! provide.
+//!
+//! # Example
+//!
+//! ```
+//! use inference::nuts::{nuts_sample, NutsConfig};
+//! // Standard normal target.
+//! let target = |theta: &[f64]| (-0.5 * theta[0] * theta[0], vec![-theta[0]]);
+//! let cfg = NutsConfig { warmup: 200, samples: 400, seed: 7, ..Default::default() };
+//! let result = nuts_sample(&target, vec![0.5], &cfg);
+//! let mean: f64 = result.draws.iter().map(|d| d[0]).sum::<f64>() / result.draws.len() as f64;
+//! assert!(mean.abs() < 0.3);
+//! ```
+
+pub mod advi;
+pub mod diagnostics;
+pub mod hmc;
+pub mod importance;
+pub mod nuts;
+pub mod svi;
+
+pub use advi::{advi_fit, AdviConfig, AdviResult};
+pub use diagnostics::{accuracy_pass, ess, split_rhat, summarize, Summary};
+pub use nuts::{nuts_sample, NutsConfig, NutsResult};
+pub use svi::{Adam, AdamConfig};

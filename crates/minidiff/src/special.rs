@@ -1,0 +1,152 @@
+//! Special functions needed by probability densities and their gradients.
+//!
+//! These are plain `f64` implementations; the [`Var`](crate::Var) methods use
+//! them for both the primal value and (via [`digamma`]) the tape partials.
+
+/// Log-gamma via the Lanczos approximation (g = 7, n = 9 coefficients).
+///
+/// Accurate to ~1e-13 for positive arguments; uses the reflection formula for
+/// `x < 0.5`.
+pub fn lgamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1-x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        (pi / (pi * x).sin()).ln() - lgamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = COEFFS[0];
+        let t = x + 7.5;
+        for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// Digamma function ψ(x) = d/dx ln Γ(x), by upward recurrence plus the
+/// asymptotic series.
+pub fn digamma(x: f64) -> f64 {
+    let mut x = x;
+    let mut result = 0.0;
+    if x <= 0.0 && x == x.floor() {
+        return f64::NAN;
+    }
+    if x < 0.0 {
+        // Reflection formula ψ(1-x) - ψ(x) = π cot(πx)
+        let pi = std::f64::consts::PI;
+        return digamma(1.0 - x) - pi / (pi * x).tan();
+    }
+    while x < 6.0 {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    result + x.ln() - 0.5 * inv
+        - inv2
+            * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
+}
+
+/// Log of the Beta function `ln B(a, b)`.
+pub fn lbeta(a: f64, b: f64) -> f64 {
+    lgamma(a) + lgamma(b) - lgamma(a + b)
+}
+
+/// Numerically stable `ln(1 + e^x)`.
+pub fn softplus(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else if x < -30.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Stable `ln(sum_i exp(x_i))`.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if m.is_infinite() {
+        return m;
+    }
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+/// Error function, Abramowitz & Stegun 7.1.26 approximation (|err| < 1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution function.
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lgamma_matches_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(0.5) = sqrt(pi)
+        assert!(lgamma(1.0).abs() < 1e-10);
+        assert!(lgamma(2.0).abs() < 1e-10);
+        assert!((lgamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((lgamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn digamma_matches_finite_difference_of_lgamma() {
+        for &x in &[0.3, 1.0, 2.5, 7.0, 42.0] {
+            let h = 1e-6;
+            let fd = (lgamma(x + h) - lgamma(x - h)) / (2.0 * h);
+            assert!((digamma(x) - fd).abs() < 1e-6, "x={x}");
+        }
+    }
+
+    #[test]
+    fn lbeta_symmetry_and_value() {
+        assert!((lbeta(2.0, 3.0) - lbeta(3.0, 2.0)).abs() < 1e-12);
+        // B(2,3) = 1/12
+        assert!((lbeta(2.0, 3.0) - (1.0f64 / 12.0).ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn log_sum_exp_is_stable() {
+        let v = log_sum_exp(&[1000.0, 1000.0]);
+        assert!((v - (1000.0 + 2f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn erf_and_cdf_bounds() {
+        assert!((erf(0.0)).abs() < 1e-6);
+        assert!((std_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!(std_normal_cdf(5.0) > 0.999_999);
+        assert!(std_normal_cdf(-5.0) < 1e-6);
+    }
+}

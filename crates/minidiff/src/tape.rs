@@ -1,0 +1,191 @@
+//! The thread-local Wengert list (tape) recording computations on [`Var`].
+//!
+//! Each arithmetic operation on tracked variables pushes one [`Node`] holding
+//! the indices of its (at most two) parents and the local partial derivative
+//! with respect to each parent. [`grad`] then performs a single reverse sweep
+//! to obtain adjoints.
+//!
+//! The tape is thread-local so that `Var` can stay `Copy` and arithmetic can
+//! be written with ordinary operators. Independent Markov chains therefore
+//! either run on the same thread sequentially, or on separate threads each
+//! with their own tape.
+
+use std::cell::RefCell;
+
+use crate::var::Var;
+
+/// Sentinel parent index meaning "no parent / constant".
+pub(crate) const NO_PARENT: u32 = u32::MAX;
+
+/// One recorded operation: parent indices and ∂output/∂parent.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Node {
+    pub parents: [u32; 2],
+    pub partials: [f64; 2],
+}
+
+/// A growable record of all operations performed on tracked variables.
+///
+/// Users normally interact with the thread-local tape through [`tape::reset`],
+/// [`Var::new`], and [`grad`], but an explicit `Tape` is exposed for tests and
+/// for tooling that wants to inspect tape growth.
+#[derive(Debug, Default)]
+pub struct Tape {
+    pub(crate) nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape has no recorded nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub(crate) fn push_leaf(&mut self) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            parents: [NO_PARENT, NO_PARENT],
+            partials: [0.0, 0.0],
+        });
+        idx
+    }
+
+    pub(crate) fn push_unary(&mut self, p: u32, dp: f64) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            parents: [p, NO_PARENT],
+            partials: [dp, 0.0],
+        });
+        idx
+    }
+
+    pub(crate) fn push_binary(&mut self, p0: u32, d0: f64, p1: u32, d1: f64) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            parents: [p0, p1],
+            partials: [d0, d1],
+        });
+        idx
+    }
+
+    /// Reverse sweep from `output`, returning adjoints for every node.
+    pub(crate) fn adjoints(&self, output: Var) -> Vec<f64> {
+        let mut adj = vec![0.0; self.nodes.len()];
+        if output.index() == NO_PARENT {
+            return adj;
+        }
+        let out = output.index() as usize;
+        if out >= adj.len() {
+            return adj;
+        }
+        adj[out] = 1.0;
+        for i in (0..=out).rev() {
+            let a = adj[i];
+            if a == 0.0 {
+                continue;
+            }
+            let node = self.nodes[i];
+            for k in 0..2 {
+                let p = node.parents[k];
+                if p != NO_PARENT {
+                    adj[p as usize] += node.partials[k] * a;
+                }
+            }
+        }
+        adj
+    }
+}
+
+thread_local! {
+    static TAPE: RefCell<Tape> = RefCell::new(Tape::new());
+}
+
+/// Clears the thread-local tape. Call before starting a fresh gradient
+/// computation; all previously created [`Var`] handles become invalid.
+pub fn reset() {
+    TAPE.with(|t| t.borrow_mut().nodes.clear());
+}
+
+/// Number of nodes currently recorded on the thread-local tape.
+pub fn tape_len() -> usize {
+    TAPE.with(|t| t.borrow().nodes.len())
+}
+
+pub(crate) fn with_tape<R>(f: impl FnOnce(&mut Tape) -> R) -> R {
+    TAPE.with(|t| f(&mut t.borrow_mut()))
+}
+
+/// Computes the gradient of `output` with respect to each variable in `wrt`
+/// by a single reverse sweep over the thread-local tape.
+///
+/// Variables created after `output` (or on another thread) contribute zero.
+///
+/// # Example
+/// ```
+/// use minidiff::{tape, grad, Var};
+/// tape::reset();
+/// let a = Var::new(2.0);
+/// let b = Var::new(5.0);
+/// let y = a * b + b;
+/// let g = grad(y, &[a, b]);
+/// assert_eq!(g, vec![5.0, 3.0]);
+/// ```
+pub fn grad(output: Var, wrt: &[Var]) -> Vec<f64> {
+    TAPE.with(|t| {
+        let tape = t.borrow();
+        let adj = tape.adjoints(output);
+        wrt.iter()
+            .map(|v| {
+                let i = v.index();
+                if i == NO_PARENT || (i as usize) >= adj.len() {
+                    0.0
+                } else {
+                    adj[i as usize]
+                }
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_clears_nodes() {
+        reset();
+        let _ = Var::new(1.0) * Var::new(2.0);
+        assert!(tape_len() >= 3);
+        reset();
+        assert_eq!(tape_len(), 0);
+    }
+
+    #[test]
+    fn gradient_of_unused_variable_is_zero() {
+        reset();
+        let a = Var::new(2.0);
+        let b = Var::new(3.0);
+        let y = a * a;
+        let g = grad(y, &[a, b]);
+        assert_eq!(g[1], 0.0);
+        assert!((g[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        reset();
+        let x = Var::new(3.0);
+        let y = x * x + x * x; // dy/dx = 4x
+        let g = grad(y, &[x]);
+        assert!((g[0] - 12.0).abs() < 1e-12);
+    }
+}

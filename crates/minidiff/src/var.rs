@@ -1,0 +1,352 @@
+//! Tracked scalar variables recorded on the thread-local tape.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::special;
+use crate::tape::{with_tape, NO_PARENT};
+
+/// A scalar tracked by the reverse-mode tape.
+///
+/// `Var` is a `Copy` handle holding the value and the node index on the
+/// thread-local [`Tape`](crate::Tape). Use [`Var::new`] for differentiable
+/// inputs and [`Var::constant`] for values whose gradient is not needed
+/// (constants do not allocate tape nodes).
+#[derive(Clone, Copy)]
+pub struct Var {
+    idx: u32,
+    val: f64,
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({})", self.val)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.val)
+    }
+}
+
+impl Var {
+    /// Creates a new differentiable leaf variable on the thread-local tape.
+    pub fn new(val: f64) -> Self {
+        let idx = with_tape(|t| t.push_leaf());
+        Var { idx, val }
+    }
+
+    /// Creates an untracked constant. Its gradient is identically zero and it
+    /// occupies no tape storage.
+    pub fn constant(val: f64) -> Self {
+        Var {
+            idx: NO_PARENT,
+            val,
+        }
+    }
+
+    /// The current value.
+    pub fn value(self) -> f64 {
+        self.val
+    }
+
+    /// Tape node index (`u32::MAX` for constants).
+    pub(crate) fn index(self) -> u32 {
+        self.idx
+    }
+
+    fn unary(self, val: f64, dself: f64) -> Var {
+        if self.idx == NO_PARENT {
+            return Var::constant(val);
+        }
+        let idx = with_tape(|t| t.push_unary(self.idx, dself));
+        Var { idx, val }
+    }
+
+    fn binary(self, other: Var, val: f64, dself: f64, dother: f64) -> Var {
+        match (self.idx == NO_PARENT, other.idx == NO_PARENT) {
+            (true, true) => Var::constant(val),
+            (false, true) => self.unary(val, dself),
+            (true, false) => other.unary(val, dother),
+            (false, false) => {
+                let idx = with_tape(|t| t.push_binary(self.idx, dself, other.idx, dother));
+                Var { idx, val }
+            }
+        }
+    }
+
+    /// Natural logarithm.
+    pub fn ln(self) -> Var {
+        self.unary(self.val.ln(), 1.0 / self.val)
+    }
+
+    /// `ln(1 + x)`.
+    pub fn ln_1p(self) -> Var {
+        self.unary(self.val.ln_1p(), 1.0 / (1.0 + self.val))
+    }
+
+    /// Exponential.
+    pub fn exp(self) -> Var {
+        let e = self.val.exp();
+        self.unary(e, e)
+    }
+
+    /// Square root.
+    pub fn sqrt(self) -> Var {
+        let s = self.val.sqrt();
+        self.unary(s, 0.5 / s)
+    }
+
+    /// Integer power.
+    pub fn powi(self, n: i32) -> Var {
+        let v = self.val.powi(n);
+        self.unary(v, f64::from(n) * self.val.powi(n - 1))
+    }
+
+    /// Real power with a constant exponent.
+    pub fn powf(self, p: f64) -> Var {
+        let v = self.val.powf(p);
+        self.unary(v, p * self.val.powf(p - 1.0))
+    }
+
+    /// Absolute value (sub-gradient 0 at 0).
+    pub fn abs(self) -> Var {
+        let d = if self.val > 0.0 {
+            1.0
+        } else if self.val < 0.0 {
+            -1.0
+        } else {
+            0.0
+        };
+        self.unary(self.val.abs(), d)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(self) -> Var {
+        let t = self.val.tanh();
+        self.unary(t, 1.0 - t * t)
+    }
+
+    /// Sine.
+    pub fn sin(self) -> Var {
+        self.unary(self.val.sin(), self.val.cos())
+    }
+
+    /// Cosine.
+    pub fn cos(self) -> Var {
+        self.unary(self.val.cos(), -self.val.sin())
+    }
+
+    /// Logistic sigmoid `1 / (1 + e^{-x})`.
+    pub fn sigmoid(self) -> Var {
+        let s = 1.0 / (1.0 + (-self.val).exp());
+        self.unary(s, s * (1.0 - s))
+    }
+
+    /// `ln(1 + e^x)`, numerically stable.
+    pub fn softplus(self) -> Var {
+        let v = special::softplus(self.val);
+        let s = 1.0 / (1.0 + (-self.val).exp());
+        self.unary(v, s)
+    }
+
+    /// Log-gamma function.
+    pub fn lgamma(self) -> Var {
+        self.unary(special::lgamma(self.val), special::digamma(self.val))
+    }
+
+    /// Reciprocal.
+    pub fn recip(self) -> Var {
+        self.unary(1.0 / self.val, -1.0 / (self.val * self.val))
+    }
+
+    /// Element-wise maximum (sub-gradient follows the larger argument).
+    pub fn max_var(self, other: Var) -> Var {
+        if self.val >= other.val {
+            self.binary(other, self.val, 1.0, 0.0)
+        } else {
+            self.binary(other, other.val, 0.0, 1.0)
+        }
+    }
+
+    /// Element-wise minimum.
+    pub fn min_var(self, other: Var) -> Var {
+        if self.val <= other.val {
+            self.binary(other, self.val, 1.0, 0.0)
+        } else {
+            self.binary(other, other.val, 0.0, 1.0)
+        }
+    }
+}
+
+impl PartialEq for Var {
+    fn eq(&self, other: &Self) -> bool {
+        self.val == other.val
+    }
+}
+
+impl PartialOrd for Var {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.val.partial_cmp(&other.val)
+    }
+}
+
+impl Add for Var {
+    type Output = Var;
+    fn add(self, rhs: Var) -> Var {
+        self.binary(rhs, self.val + rhs.val, 1.0, 1.0)
+    }
+}
+
+impl Sub for Var {
+    type Output = Var;
+    fn sub(self, rhs: Var) -> Var {
+        self.binary(rhs, self.val - rhs.val, 1.0, -1.0)
+    }
+}
+
+impl Mul for Var {
+    type Output = Var;
+    fn mul(self, rhs: Var) -> Var {
+        self.binary(rhs, self.val * rhs.val, rhs.val, self.val)
+    }
+}
+
+impl Div for Var {
+    type Output = Var;
+    fn div(self, rhs: Var) -> Var {
+        self.binary(
+            rhs,
+            self.val / rhs.val,
+            1.0 / rhs.val,
+            -self.val / (rhs.val * rhs.val),
+        )
+    }
+}
+
+impl Neg for Var {
+    type Output = Var;
+    fn neg(self) -> Var {
+        self.unary(-self.val, -1.0)
+    }
+}
+
+impl Add<f64> for Var {
+    type Output = Var;
+    fn add(self, rhs: f64) -> Var {
+        self.unary(self.val + rhs, 1.0)
+    }
+}
+
+impl Sub<f64> for Var {
+    type Output = Var;
+    fn sub(self, rhs: f64) -> Var {
+        self.unary(self.val - rhs, 1.0)
+    }
+}
+
+impl Mul<f64> for Var {
+    type Output = Var;
+    fn mul(self, rhs: f64) -> Var {
+        self.unary(self.val * rhs, rhs)
+    }
+}
+
+impl Div<f64> for Var {
+    type Output = Var;
+    fn div(self, rhs: f64) -> Var {
+        self.unary(self.val / rhs, 1.0 / rhs)
+    }
+}
+
+impl Add<Var> for f64 {
+    type Output = Var;
+    fn add(self, rhs: Var) -> Var {
+        rhs + self
+    }
+}
+
+impl Sub<Var> for f64 {
+    type Output = Var;
+    fn sub(self, rhs: Var) -> Var {
+        -rhs + self
+    }
+}
+
+impl Mul<Var> for f64 {
+    type Output = Var;
+    fn mul(self, rhs: Var) -> Var {
+        rhs * self
+    }
+}
+
+impl Div<Var> for f64 {
+    type Output = Var;
+    fn div(self, rhs: Var) -> Var {
+        Var::constant(self) / rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::{self, grad};
+
+    #[test]
+    fn constants_do_not_grow_the_tape() {
+        tape::reset();
+        let c = Var::constant(3.0);
+        let d = c * Var::constant(4.0) + 2.0;
+        assert_eq!(d.value(), 14.0);
+        assert_eq!(tape::tape_len(), 0);
+    }
+
+    #[test]
+    fn mixed_scalar_ops() {
+        tape::reset();
+        let x = Var::new(2.0);
+        let y = 3.0 * x + 1.0 - x / 2.0;
+        let g = grad(y, &[x]);
+        assert!((g[0] - 2.5).abs() < 1e-12);
+        assert!((y.value() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_gradient() {
+        tape::reset();
+        let a = Var::new(1.0);
+        let b = Var::new(4.0);
+        let y = a / b;
+        let g = grad(y, &[a, b]);
+        assert!((g[0] - 0.25).abs() < 1e-12);
+        assert!((g[1] + 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigmoid_and_softplus_are_consistent() {
+        tape::reset();
+        let x = Var::new(0.3);
+        let s = x.sigmoid();
+        let sp = x.softplus();
+        let gs = grad(s, &[x]);
+        let gsp = grad(sp, &[x]);
+        // d softplus / dx = sigmoid(x)
+        assert!((gsp[0] - s.value()).abs() < 1e-12);
+        assert!((gs[0] - s.value() * (1.0 - s.value())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_min_follow_the_winning_branch() {
+        tape::reset();
+        let a = Var::new(2.0);
+        let b = Var::new(5.0);
+        let m = a.max_var(b);
+        let g = grad(m, &[a, b]);
+        assert_eq!(g, vec![0.0, 1.0]);
+        let n = a.min_var(b);
+        let g = grad(n, &[a, b]);
+        assert_eq!(g, vec![1.0, 0.0]);
+    }
+}

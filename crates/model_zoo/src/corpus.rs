@@ -1,0 +1,762 @@
+//! The bundled model corpus.
+//!
+//! Each [`ModelEntry`] carries the Stan source, a synthetic data generator,
+//! and metadata about how the paper's evaluation treats the model (expected
+//! compile-time or runtime failures mirror the ✗ rows of Tables 2–4).
+
+use gprob::value::Value;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::data::{bind, covariates, linear_response, logit_response, DataSet};
+
+/// Why a model is expected not to produce a posterior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpectedFailure {
+    /// The frontend or the compiler rejects the model (truncation,
+    /// unsupported constrained types, unknown functions).
+    Compile,
+    /// Compilation succeeds but the runtime lacks a needed feature
+    /// (e.g. `_lccdf` functions), as in the paper's missing-stdlib rows.
+    Runtime,
+}
+
+/// One corpus model.
+pub struct ModelEntry {
+    /// Model name (mirrors the PosteriorDB / example-models name it is
+    /// transcribed from).
+    pub name: &'static str,
+    /// Stan source text.
+    pub source: &'static str,
+    /// Synthetic data generator.
+    pub data: fn(u64) -> DataSet,
+    /// Expected failure mode, if any.
+    pub expected_failure: Option<ExpectedFailure>,
+    /// Rough relative cost (1 = cheap regression); the harness uses it to
+    /// scale iteration counts.
+    pub cost: u32,
+}
+
+impl ModelEntry {
+    /// Generates this model's data set with the given seed.
+    pub fn dataset(&self, seed: u64) -> DataSet {
+        (self.data)(seed)
+    }
+
+    /// Whether the model is expected to run end to end.
+    pub fn should_run(&self) -> bool {
+        self.expected_failure.is_none()
+    }
+}
+
+fn no_data(_seed: u64) -> DataSet {
+    Vec::new()
+}
+
+fn coin_data(seed: u64) -> DataSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x = logit_response(&mut rng, &[vec![0.0; 20]], 0.8, &[0.0]);
+    vec![bind("N", Value::Int(20)), bind("x", Value::IntArray(x))]
+}
+
+fn eight_schools_data(_seed: u64) -> DataSet {
+    vec![
+        bind("J", Value::Int(8)),
+        bind(
+            "y",
+            Value::Vector(vec![28.0, 8.0, -3.0, 7.0, -1.0, 1.0, 18.0, 12.0]),
+        ),
+        bind(
+            "sigma",
+            Value::Vector(vec![15.0, 10.0, 16.0, 11.0, 9.0, 11.0, 10.0, 18.0]),
+        ),
+    ]
+}
+
+fn regression_1cov(seed: u64) -> DataSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 60;
+    let x = covariates(&mut rng, n, 0.0, 1.0);
+    let y = linear_response(&mut rng, &[x.clone()], 1.5, &[2.0], 1.0);
+    vec![
+        bind("N", Value::Int(n as i64)),
+        bind("x", Value::Vector(x)),
+        bind("y", Value::Vector(y)),
+    ]
+}
+
+fn regression_2cov(seed: u64) -> DataSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 60;
+    let x1 = covariates(&mut rng, n, 0.0, 1.0);
+    let x2 = covariates(&mut rng, n, 0.0, 1.0);
+    let y = linear_response(&mut rng, &[x1.clone(), x2.clone()], 0.5, &[1.0, -0.7], 0.8);
+    vec![
+        bind("N", Value::Int(n as i64)),
+        bind("x1", Value::Vector(x1)),
+        bind("x2", Value::Vector(x2)),
+        bind("y", Value::Vector(y)),
+    ]
+}
+
+fn regression_kcov(seed: u64) -> DataSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (n, k) = (60usize, 3usize);
+    let xs: Vec<Vec<f64>> = (0..k).map(|_| covariates(&mut rng, n, 0.0, 1.0)).collect();
+    let y = linear_response(&mut rng, &xs, 0.3, &[1.0, -0.5, 0.25], 0.7);
+    let x_matrix = Value::Array(
+        (0..n)
+            .map(|i| Value::Vector(xs.iter().map(|col| col[i]).collect()))
+            .collect(),
+    );
+    vec![
+        bind("N", Value::Int(n as i64)),
+        bind("K", Value::Int(k as i64)),
+        bind("x", x_matrix),
+        bind("y", Value::Vector(y)),
+    ]
+}
+
+fn logistic_data(seed: u64) -> DataSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 80;
+    let x1 = covariates(&mut rng, n, 0.0, 1.0);
+    let x2 = covariates(&mut rng, n, 0.0, 1.0);
+    let y = logit_response(&mut rng, &[x1.clone(), x2.clone()], -0.3, &[1.2, -0.8]);
+    vec![
+        bind("N", Value::Int(n as i64)),
+        bind("x1", Value::Vector(x1)),
+        bind("x2", Value::Vector(x2)),
+        bind("y", Value::IntArray(y)),
+    ]
+}
+
+fn timeseries_data(seed: u64) -> DataSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 80usize;
+    let mut y = vec![0.0f64; n];
+    for t in 2..n {
+        y[t] = 0.3 + 0.5 * y[t - 1] - 0.2 * y[t - 2]
+            + probdist::sampling::normal(&mut rng, 0.0, 0.5);
+    }
+    vec![bind("N", Value::Int(n as i64)), bind("y", Value::Vector(y))]
+}
+
+fn grouped_data(seed: u64) -> DataSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (j, n) = (8usize, 10usize);
+    let mut y = Vec::with_capacity(j);
+    for g in 0..j {
+        let mu_g = probdist::sampling::normal(&mut rng, 1.0 + g as f64 * 0.2, 0.5);
+        y.push(Value::Vector(
+            (0..n)
+                .map(|_| probdist::sampling::normal(&mut rng, mu_g, 1.0))
+                .collect(),
+        ));
+    }
+    vec![
+        bind("J", Value::Int(j as i64)),
+        bind("N", Value::Int(n as i64)),
+        bind("y", Value::Array(y)),
+    ]
+}
+
+fn mixture_data(seed: u64) -> DataSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 60usize;
+    let y: Vec<f64> = (0..n)
+        .map(|i| {
+            let mu = if i % 3 == 0 { 3.0 } else { -1.0 };
+            probdist::sampling::normal(&mut rng, mu, 0.7)
+        })
+        .collect();
+    vec![bind("N", Value::Int(n as i64)), bind("y", Value::Vector(y))]
+}
+
+fn sum_to_zero_data(seed: u64) -> DataSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 12usize;
+    let phi_true: Vec<f64> = covariates(&mut rng, n, 0.0, 1.0);
+    let y: Vec<f64> = phi_true
+        .iter()
+        .map(|&p| probdist::sampling::normal(&mut rng, p, 0.5))
+        .collect();
+    vec![bind("N", Value::Int(n as i64)), bind("y", Value::Vector(y))]
+}
+
+/// The corpus: name, source, data generator, expectation.
+pub fn corpus() -> Vec<ModelEntry> {
+    vec![
+        ModelEntry {
+            name: "coin",
+            source: r#"
+                data { int N; int<lower=0,upper=1> x[N]; }
+                parameters { real<lower=0,upper=1> z; }
+                model { z ~ beta(1, 1); for (i in 1:N) x[i] ~ bernoulli(z); }
+            "#,
+            data: coin_data,
+            expected_failure: None,
+            cost: 1,
+        },
+        ModelEntry {
+            name: "eight_schools_centered",
+            source: r#"
+                data { int J; real y[J]; real<lower=0> sigma[J]; }
+                parameters { real mu; real<lower=0> tau; real theta[J]; }
+                model {
+                  mu ~ normal(0, 5);
+                  tau ~ cauchy(0, 5);
+                  theta ~ normal(mu, tau);
+                  y ~ normal(theta, sigma);
+                }
+            "#,
+            data: eight_schools_data,
+            expected_failure: None,
+            cost: 2,
+        },
+        ModelEntry {
+            name: "eight_schools_noncentered",
+            source: r#"
+                data { int J; real y[J]; real<lower=0> sigma[J]; }
+                parameters { real mu; real<lower=0> tau; real theta_trans[J]; }
+                transformed parameters {
+                  real theta[J];
+                  for (j in 1:J) theta[j] = theta_trans[j] * tau + mu;
+                }
+                model {
+                  mu ~ normal(0, 5);
+                  tau ~ cauchy(0, 5);
+                  theta_trans ~ normal(0, 1);
+                  y ~ normal(theta, sigma);
+                }
+            "#,
+            data: eight_schools_data,
+            expected_failure: None,
+            cost: 2,
+        },
+        ModelEntry {
+            name: "kidscore_momhs",
+            source: r#"
+                data { int N; real x[N]; real y[N]; }
+                parameters { real alpha; real beta; real<lower=0> sigma; }
+                model {
+                  alpha ~ normal(0, 10);
+                  beta ~ normal(0, 10);
+                  sigma ~ cauchy(0, 5);
+                  for (i in 1:N) y[i] ~ normal(alpha + beta * x[i], sigma);
+                }
+            "#,
+            data: regression_1cov,
+            expected_failure: None,
+            cost: 1,
+        },
+        ModelEntry {
+            name: "kidscore_momiq",
+            source: r#"
+                data { int N; real x[N]; real y[N]; }
+                parameters { real alpha; real beta; real<lower=0> sigma; }
+                model {
+                  y ~ normal(alpha + beta * to_vector(x), sigma);
+                }
+            "#,
+            data: regression_1cov,
+            expected_failure: None,
+            cost: 1,
+        },
+        ModelEntry {
+            name: "kidscore_momhsiq",
+            source: r#"
+                data { int N; real x1[N]; real x2[N]; real y[N]; }
+                parameters { real alpha; real b1; real b2; real<lower=0> sigma; }
+                model {
+                  y ~ normal(alpha + b1 * to_vector(x1) + b2 * to_vector(x2), sigma);
+                }
+            "#,
+            data: regression_2cov,
+            expected_failure: None,
+            cost: 1,
+        },
+        ModelEntry {
+            name: "kidscore_interaction",
+            source: r#"
+                data { int N; real x1[N]; real x2[N]; real y[N]; }
+                parameters { real alpha; real b1; real b2; real b3; real<lower=0> sigma; }
+                model {
+                  vector[N] inter;
+                  inter = to_vector(x1) .* to_vector(x2);
+                  y ~ normal(alpha + b1 * to_vector(x1) + b2 * to_vector(x2) + b3 * inter, sigma);
+                }
+            "#,
+            data: regression_2cov,
+            expected_failure: None,
+            cost: 1,
+        },
+        ModelEntry {
+            name: "kidscore_mom_work",
+            source: r#"
+                data { int N; real x1[N]; real x2[N]; real y[N]; }
+                parameters { real alpha; real b1; real b2; real<lower=0> sigma; }
+                model {
+                  alpha ~ normal(0, 5);
+                  b1 ~ normal(0, 5);
+                  b2 ~ normal(0, 5);
+                  sigma ~ lognormal(0, 1);
+                  y ~ normal(alpha + b1 * to_vector(x1) + b2 * to_vector(x2), sigma);
+                }
+            "#,
+            data: regression_2cov,
+            expected_failure: None,
+            cost: 1,
+        },
+        ModelEntry {
+            name: "earn_height",
+            source: r#"
+                data { int N; real x[N]; real y[N]; }
+                parameters { real alpha; real beta; real<lower=0> sigma; }
+                model { y ~ normal(alpha + beta * to_vector(x), sigma); }
+            "#,
+            data: regression_1cov,
+            expected_failure: None,
+            cost: 1,
+        },
+        ModelEntry {
+            name: "logearn_height",
+            source: r#"
+                data { int N; real x[N]; real y[N]; }
+                transformed data { real log_y[N]; for (i in 1:N) log_y[i] = log(fabs(y[i]) + 1); }
+                parameters { real alpha; real beta; real<lower=0> sigma; }
+                model { log_y ~ normal(alpha + beta * to_vector(x), sigma); }
+            "#,
+            data: regression_1cov,
+            expected_failure: None,
+            cost: 1,
+        },
+        ModelEntry {
+            name: "logearn_height_male",
+            source: r#"
+                data { int N; real x1[N]; real x2[N]; real y[N]; }
+                transformed data { real log_y[N]; for (i in 1:N) log_y[i] = log(fabs(y[i]) + 1); }
+                parameters { real alpha; real b1; real b2; real<lower=0> sigma; }
+                model { log_y ~ normal(alpha + b1 * to_vector(x1) + b2 * to_vector(x2), sigma); }
+            "#,
+            data: regression_2cov,
+            expected_failure: None,
+            cost: 1,
+        },
+        ModelEntry {
+            name: "logearn_logheight_male",
+            source: r#"
+                data { int N; real x1[N]; real x2[N]; real y[N]; }
+                transformed data {
+                  real log_y[N]; real log_x1[N];
+                  for (i in 1:N) log_y[i] = log(fabs(y[i]) + 1);
+                  for (i in 1:N) log_x1[i] = log(fabs(x1[i]) + 1);
+                }
+                parameters { real alpha; real b1; real b2; real<lower=0> sigma; }
+                model { log_y ~ normal(alpha + b1 * to_vector(log_x1) + b2 * to_vector(x2), sigma); }
+            "#,
+            data: regression_2cov,
+            expected_failure: None,
+            cost: 1,
+        },
+        ModelEntry {
+            name: "mesquite",
+            source: r#"
+                data { int N; int K; matrix[N, K] x; real y[N]; }
+                parameters { real alpha; vector[K] beta; real<lower=0> sigma; }
+                model { y ~ normal(alpha + x * beta, sigma); }
+            "#,
+            data: regression_kcov,
+            expected_failure: None,
+            cost: 1,
+        },
+        ModelEntry {
+            name: "logmesquite_logvas",
+            source: r#"
+                data { int N; int K; matrix[N, K] x; real y[N]; }
+                transformed data { real log_y[N]; for (i in 1:N) log_y[i] = log(fabs(y[i]) + 1); }
+                parameters { real alpha; vector[K] beta; real<lower=0> sigma; }
+                model {
+                  alpha ~ normal(0, 10);
+                  beta ~ normal(0, 10);
+                  sigma ~ lognormal(0, 1);
+                  log_y ~ normal(alpha + x * beta, sigma);
+                }
+            "#,
+            data: regression_kcov,
+            expected_failure: None,
+            cost: 1,
+        },
+        ModelEntry {
+            name: "nes_logit",
+            source: r#"
+                data { int N; real x1[N]; real x2[N]; int<lower=0,upper=1> y[N]; }
+                parameters { real alpha; real b1; real b2; }
+                model {
+                  for (i in 1:N)
+                    y[i] ~ bernoulli_logit(alpha + b1 * x1[i] + b2 * x2[i]);
+                }
+            "#,
+            data: logistic_data,
+            expected_failure: None,
+            cost: 2,
+        },
+        ModelEntry {
+            name: "kilpisjarvi",
+            source: r#"
+                data { int N; real x[N]; real y[N]; }
+                parameters { real alpha; real beta; real<lower=0> sigma; }
+                model {
+                  alpha ~ normal(0, 100);
+                  beta ~ normal(0, 10);
+                  sigma ~ lognormal(0, 2);
+                  y ~ normal(alpha + beta * to_vector(x), sigma);
+                }
+            "#,
+            data: regression_1cov,
+            expected_failure: None,
+            cost: 1,
+        },
+        ModelEntry {
+            name: "blr",
+            source: r#"
+                data { int N; int K; matrix[N, K] x; real y[N]; }
+                parameters { vector[K] beta; real<lower=0> sigma; }
+                model {
+                  beta ~ normal(0, 10);
+                  sigma ~ lognormal(0, 1);
+                  y ~ normal(x * beta, sigma);
+                }
+            "#,
+            data: regression_kcov,
+            expected_failure: None,
+            cost: 1,
+        },
+        ModelEntry {
+            name: "arK",
+            source: r#"
+                data { int N; real y[N]; }
+                parameters { real alpha; real b1; real b2; real<lower=0> sigma; }
+                model {
+                  alpha ~ normal(0, 10);
+                  b1 ~ normal(0, 2);
+                  b2 ~ normal(0, 2);
+                  sigma ~ cauchy(0, 2.5);
+                  for (t in 3:N)
+                    y[t] ~ normal(alpha + b1 * y[t - 1] + b2 * y[t - 2], sigma);
+                }
+            "#,
+            data: timeseries_data,
+            expected_failure: None,
+            cost: 2,
+        },
+        ModelEntry {
+            name: "arma11",
+            source: r#"
+                data { int N; real y[N]; }
+                parameters { real mu; real phi; real theta; real<lower=0> sigma; }
+                model {
+                  real err;
+                  mu ~ normal(0, 10);
+                  phi ~ normal(0, 2);
+                  theta ~ normal(0, 2);
+                  sigma ~ cauchy(0, 2.5);
+                  err = y[1] - mu + phi * mu;
+                  err ~ normal(0, sigma);
+                  for (t in 2:N) {
+                    err = y[t] - (mu + phi * y[t - 1] + theta * err);
+                    err ~ normal(0, sigma);
+                  }
+                }
+            "#,
+            data: timeseries_data,
+            expected_failure: None,
+            cost: 2,
+        },
+        ModelEntry {
+            name: "garch11",
+            source: r#"
+                data { int N; real y[N]; real<lower=0> sigma1; }
+                parameters {
+                  real mu;
+                  real<lower=0> alpha0;
+                  real<lower=0, upper=1> alpha1;
+                  real<lower=0, upper=1> beta1;
+                }
+                model {
+                  real sigma_t;
+                  sigma_t = sigma1;
+                  for (t in 2:N) {
+                    sigma_t = sqrt(alpha0 + alpha1 * square(y[t - 1] - mu) + beta1 * square(sigma_t));
+                    y[t] ~ normal(mu, sigma_t);
+                  }
+                }
+            "#,
+            data: |seed| {
+                let mut d = timeseries_data(seed);
+                d.push(bind("sigma1", Value::Real(0.5)));
+                d
+            },
+            expected_failure: None,
+            cost: 2,
+        },
+        ModelEntry {
+            name: "low_dim_gauss_mix",
+            source: r#"
+                data { int N; real y[N]; }
+                parameters {
+                  real mu1; real mu2;
+                  real<lower=0> sigma1; real<lower=0> sigma2;
+                  real<lower=0, upper=1> theta;
+                }
+                model {
+                  mu1 ~ normal(0, 2);
+                  mu2 ~ normal(3, 2);
+                  sigma1 ~ lognormal(0, 1);
+                  sigma2 ~ lognormal(0, 1);
+                  theta ~ beta(2, 2);
+                  for (i in 1:N)
+                    target += log_mix(theta,
+                                      normal_lpdf(y[i] | mu1, sigma1),
+                                      normal_lpdf(y[i] | mu2, sigma2));
+                }
+            "#,
+            data: mixture_data,
+            expected_failure: None,
+            cost: 3,
+        },
+        ModelEntry {
+            name: "radon_hierarchical",
+            source: r#"
+                data { int J; int N; real y[J, N]; }
+                parameters { real mu0; real<lower=0> tau; real mu[J]; real<lower=0> sigma; }
+                model {
+                  mu0 ~ normal(0, 5);
+                  tau ~ lognormal(0, 1);
+                  sigma ~ lognormal(0, 1);
+                  for (j in 1:J) {
+                    mu[j] ~ normal(mu0, tau);
+                    for (i in 1:N) y[j, i] ~ normal(mu[j], sigma);
+                  }
+                }
+            "#,
+            data: grouped_data,
+            expected_failure: None,
+            cost: 3,
+        },
+        // --- models exercising the non-generative features of Table 1 ---
+        ModelEntry {
+            name: "sum_to_zero_left_expr",
+            source: r#"
+                data { int N; real y[N]; }
+                parameters { real phi[N]; }
+                model {
+                  phi ~ normal(0, 1);
+                  sum(phi) ~ normal(0, 0.001 * N);
+                  y ~ normal(phi, 0.5);
+                }
+            "#,
+            data: sum_to_zero_data,
+            expected_failure: None,
+            cost: 2,
+        },
+        ModelEntry {
+            name: "multiple_updates",
+            source: r#"
+                data { int N; real y[N]; }
+                parameters { real phi; }
+                model {
+                  phi ~ normal(0, 1);
+                  phi ~ normal(0, 2);
+                  y ~ normal(phi, 1);
+                }
+            "#,
+            data: regression_1cov,
+            expected_failure: None,
+            cost: 1,
+        },
+        ModelEntry {
+            name: "implicit_prior",
+            source: r#"
+                data { int N; real y[N]; }
+                parameters { real alpha0; real<lower=0> sigma; }
+                model {
+                  sigma ~ lognormal(0, 1);
+                  y ~ normal(alpha0, sigma);
+                }
+            "#,
+            data: regression_1cov,
+            expected_failure: None,
+            cost: 1,
+        },
+        // --- models expected to fail, mirroring the paper's ✗ rows ---
+        ModelEntry {
+            name: "truncated_normal",
+            source: r#"
+                data { int N; real y[N]; }
+                parameters { real mu; real<lower=0> sigma; }
+                model {
+                  for (i in 1:N) y[i] ~ normal(mu, sigma) T[0, ];
+                }
+            "#,
+            data: regression_1cov,
+            expected_failure: Some(ExpectedFailure::Compile),
+            cost: 1,
+        },
+        ModelEntry {
+            name: "ordered_mixture",
+            source: r#"
+                data { int N; real y[N]; }
+                parameters { ordered[2] mu; real<lower=0> sigma; }
+                model { y ~ normal(mu[1], sigma); }
+            "#,
+            data: mixture_data,
+            expected_failure: Some(ExpectedFailure::Compile),
+            cost: 1,
+        },
+        ModelEntry {
+            name: "censored_lccdf",
+            source: r#"
+                data { int N; real y[N]; }
+                parameters { real mu; real<lower=0> sigma; }
+                model {
+                  y ~ normal(mu, sigma);
+                  target += normal_lccdf(2.5 | mu, sigma);
+                }
+            "#,
+            data: regression_1cov,
+            expected_failure: Some(ExpectedFailure::Runtime),
+            cost: 1,
+        },
+        // --- DeepStan extension models (Section 5) ---
+        ModelEntry {
+            name: "multimodal_guide",
+            source: r#"
+                parameters { real cluster; real theta; }
+                model {
+                  real mu;
+                  cluster ~ normal(0, 1);
+                  if (cluster > 0) mu = 20;
+                  else mu = 0;
+                  theta ~ normal(mu, 1);
+                }
+                guide parameters {
+                  real m1; real m2;
+                  real<lower=0> s1; real<lower=0> s2;
+                }
+                guide {
+                  cluster ~ normal(0, 1);
+                  if (cluster > 0) theta ~ normal(m1, s1);
+                  else theta ~ normal(m2, s2);
+                }
+            "#,
+            data: no_data,
+            expected_failure: None,
+            cost: 1,
+        },
+    ]
+}
+
+/// Looks a model up by name.
+pub fn find(name: &str) -> Option<ModelEntry> {
+    corpus().into_iter().find(|m| m.name == name)
+}
+
+/// The VAE program of Figure 8, flattened to a pixel vector (the synthetic
+/// digits stand-in for MNIST).
+pub const VAE_SOURCE: &str = r#"
+    networks {
+      vector decoder(real[] z);
+      vector encoder(int[] x);
+    }
+    data { int nz; int npix; int<lower=0, upper=1> x[npix]; }
+    parameters { real z[nz]; }
+    model {
+      vector[npix] mu;
+      z ~ normal(0, 1);
+      mu = inv_logit(decoder(z));
+      x ~ bernoulli(mu);
+    }
+    guide {
+      vector[2 * nz] encoded;
+      vector[nz] mu_z;
+      vector[nz] sigma_z;
+      encoded = encoder(x);
+      mu_z = encoded[1:nz];
+      sigma_z = exp(encoded[nz + 1:2 * nz]);
+      z ~ normal(mu_z, sigma_z);
+    }
+"#;
+
+/// The Bayesian multi-layer perceptron of Figure 9, classifying one image at
+/// a time (the batch loop lives in the harness).
+pub const BAYESIAN_MLP_SOURCE: &str = r#"
+    networks { vector mlp(real[] img); }
+    data {
+      int batch_size; int nx; int nh; int ny;
+      real<lower=0, upper=1> imgs[batch_size, nx];
+      int<lower=1, upper=10> labels[batch_size];
+    }
+    parameters {
+      real mlp.l1.weight[nh, nx]; real mlp.l1.bias[nh];
+      real mlp.l2.weight[ny, nh]; real mlp.l2.bias[ny];
+    }
+    model {
+      mlp.l1.weight ~ normal(0, 1);
+      mlp.l1.bias ~ normal(0, 1);
+      mlp.l2.weight ~ normal(0, 1);
+      mlp.l2.bias ~ normal(0, 1);
+      for (i in 1:batch_size)
+        labels[i] ~ categorical_logit(mlp(imgs[i]));
+    }
+    guide parameters {
+      real w1_mu[nh, nx]; real w1_sigma[nh, nx];
+      real b1_mu[nh]; real b1_sigma[nh];
+      real w2_mu[ny, nh]; real w2_sigma[ny, nh];
+      real b2_mu[ny]; real b2_sigma[ny];
+    }
+    guide {
+      mlp.l1.weight ~ normal(w1_mu, exp(w1_sigma));
+      mlp.l1.bias ~ normal(b1_mu, exp(b1_sigma));
+      mlp.l2.weight ~ normal(w2_mu, exp(w2_sigma));
+      mlp.l2.bias ~ normal(b2_mu, exp(b2_sigma));
+    }
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_reasonably_large_and_unique() {
+        let c = corpus();
+        assert!(c.len() >= 25, "corpus has {} models", c.len());
+        let mut names: Vec<_> = c.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), c.len(), "duplicate model names");
+    }
+
+    #[test]
+    fn datasets_are_generated_deterministically() {
+        let m = find("kidscore_momhs").unwrap();
+        let a = m.dataset(7);
+        let b = m.dataset(7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn expected_failures_are_marked() {
+        assert!(find("truncated_normal").unwrap().expected_failure.is_some());
+        assert!(find("coin").unwrap().should_run());
+        assert!(find("nosuch").is_none());
+    }
+
+    #[test]
+    fn eight_schools_uses_the_classic_data() {
+        let d = find("eight_schools_centered").unwrap().dataset(0);
+        let y = &d.iter().find(|(k, _)| k == "y").unwrap().1;
+        assert_eq!(y.len(), 8);
+    }
+}

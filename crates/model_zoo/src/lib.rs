@@ -1,0 +1,26 @@
+//! `model_zoo` — the bundled Stan model corpus and synthetic data sets.
+//!
+//! The paper evaluates on two public suites: the `stan-dev/example-models`
+//! repository (531 models, used for the Table 1 feature census and the
+//! Table 2 compile/run census) and PosteriorDB (models + data + reference
+//! posteriors, used for the accuracy and speed comparisons of Tables 3–5).
+//! Neither data set ships with this reproduction, so this crate provides the
+//! substitute: a corpus of Stan programs transcribed from the same public
+//! model families (eight schools, the kidscore and earnings regressions,
+//! mesquite, NES logistic regression, AR/ARMA/GARCH time series, HMMs,
+//! mixtures, ...) with synthetic data drawn from each model's own generative
+//! process, plus the DeepStan programs of Section 5 (multimodal guide, VAE,
+//! Bayesian MLP) and a synthetic image data set standing in for MNIST.
+//!
+//! Reference posteriors are not stored: following the paper's methodology,
+//! the benchmark harness computes them by running the baseline Stan-semantics
+//! interpreter (`stan_ref`) with NUTS, and compares every backend against
+//! that reference with the 0.3·stddev criterion.
+
+pub mod corpus;
+pub mod data;
+
+
+pub use corpus::{corpus, find, ModelEntry};
+pub use corpus::{ExpectedFailure, BAYESIAN_MLP_SOURCE, VAE_SOURCE};
+pub use data::synthetic_digits;

@@ -1,0 +1,204 @@
+//! Primitive samplers built on top of a uniform random number generator.
+//!
+//! `rand` 0.8 only ships uniform generation without the `rand_distr`
+//! companion crate, so the non-uniform samplers needed by the generative
+//! runtime (prior simulation, synthetic data generation, initialization) are
+//! implemented here from first principles.
+
+use rand::Rng;
+
+/// Standard normal draw via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal draw with location and scale.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    mu + sigma * standard_normal(rng)
+}
+
+/// Gamma draw (shape/rate parameterization) using Marsaglia–Tsang, with the
+/// usual boost for shape < 1.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, rate: f64) -> f64 {
+    assert!(shape > 0.0 && rate > 0.0, "gamma requires positive parameters");
+    if shape < 1.0 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return gamma(rng, shape + 1.0, rate) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v / rate;
+        }
+    }
+}
+
+/// Beta draw from two gamma draws.
+pub fn beta<R: Rng + ?Sized>(rng: &mut R, a: f64, b: f64) -> f64 {
+    let x = gamma(rng, a, 1.0);
+    let y = gamma(rng, b, 1.0);
+    x / (x + y)
+}
+
+/// Exponential draw with the given rate.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Cauchy draw with location and scale.
+pub fn cauchy<R: Rng + ?Sized>(rng: &mut R, loc: f64, scale: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>() - 0.5;
+    loc + scale * (std::f64::consts::PI * u).tan()
+}
+
+/// Student-t draw with `nu` degrees of freedom, location and scale.
+pub fn student_t<R: Rng + ?Sized>(rng: &mut R, nu: f64, loc: f64, scale: f64) -> f64 {
+    let z = standard_normal(rng);
+    let g = gamma(rng, nu / 2.0, 0.5); // chi^2(nu)
+    loc + scale * z / (g / nu).sqrt()
+}
+
+/// Poisson draw. Knuth's method for small rates, normal approximation with
+/// rejection of negatives for large rates.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> i64 {
+    if rate <= 0.0 {
+        return 0;
+    }
+    if rate > 30.0 {
+        let x = normal(rng, rate, rate.sqrt()).round();
+        return x.max(0.0) as i64;
+    }
+    let l = (-rate).exp();
+    let mut k = 0i64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Binomial draw as the sum of `n` Bernoulli draws (n is small in our models).
+pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: i64, p: f64) -> i64 {
+    (0..n).filter(|_| rng.gen::<f64>() < p).count() as i64
+}
+
+/// Categorical draw over (not necessarily normalized) non-negative weights;
+/// returns a 1-based index following the Stan convention.
+pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> i64 {
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return (i + 1) as i64;
+        }
+    }
+    weights.len() as i64
+}
+
+/// Dirichlet draw via normalized gamma draws.
+pub fn dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: &[f64]) -> Vec<f64> {
+    let draws: Vec<f64> = alpha.iter().map(|&a| gamma(rng, a, 1.0)).collect();
+    let s: f64 = draws.iter().sum();
+    draws.into_iter().map(|x| x / s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_and_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let m = xs.iter().sum::<f64>() / n;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1.0);
+        (m, v)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut rng, 2.0, 3.0)).collect();
+        let (m, v) = mean_and_var(&xs);
+        assert!((m - 2.0).abs() < 0.1, "mean {m}");
+        assert!((v - 9.0).abs() < 0.5, "var {v}");
+    }
+
+    #[test]
+    fn gamma_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (shape, rate) = (3.0, 2.0);
+        let xs: Vec<f64> = (0..20_000).map(|_| gamma(&mut rng, shape, rate)).collect();
+        let (m, v) = mean_and_var(&xs);
+        assert!((m - shape / rate).abs() < 0.05, "mean {m}");
+        assert!((v - shape / (rate * rate)).abs() < 0.1, "var {v}");
+    }
+
+    #[test]
+    fn gamma_small_shape_is_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(gamma(&mut rng, 0.3, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn beta_mean() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs: Vec<f64> = (0..20_000).map(|_| beta(&mut rng, 2.0, 6.0)).collect();
+        let (m, _) = mean_and_var(&xs);
+        assert!((m - 0.25).abs() < 0.01, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<f64> = (0..20_000).map(|_| poisson(&mut rng, 4.5) as f64).collect();
+        let (m, _) = mean_and_var(&xs);
+        assert!((m - 4.5).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            let k = categorical(&mut rng, &[0.2, 0.3, 0.5]);
+            counts[(k - 1) as usize] += 1;
+        }
+        assert!((counts[2] as f64 / 30_000.0 - 0.5).abs() < 0.02);
+        assert!((counts[0] as f64 / 30_000.0 - 0.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = dirichlet(&mut rng, &[1.0, 2.0, 3.0]);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(d.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn student_t_is_heavy_tailed_but_centered() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| student_t(&mut rng, 5.0, 1.0, 2.0))
+            .collect();
+        let (m, _) = mean_and_var(&xs);
+        assert!((m - 1.0).abs() < 0.1, "mean {m}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Stan-style constraint transforms between constrained and unconstrained
+//! parameter spaces.
+//!
+//! Stan (and our reproduction) runs Hamiltonian Monte Carlo on an
+//! unconstrained space ℝⁿ. Each declared parameter constraint
+//! (`<lower=...>`, `<upper=...>`, `<lower=...,upper=...>`) induces a smooth
+//! bijection from ℝ to the constrained domain; the log-density picks up the
+//! log of the absolute Jacobian determinant of that bijection.
+
+use minidiff::Real;
+
+/// A declared domain constraint for a scalar parameter.
+///
+/// Bounds are `f64` because in every supported model they are data-dependent
+/// but parameter-independent (the `garch11`-style case where a bound depends
+/// on another *parameter* is unsupported, mirroring the mismatch reported in
+/// the paper's evaluation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Constraint {
+    /// No constraint: the identity transform.
+    None,
+    /// `<lower=l>`: `x = l + exp(u)`.
+    Lower(f64),
+    /// `<upper=u>`: `x = u - exp(u)`.
+    Upper(f64),
+    /// `<lower=l, upper=h>`: `x = l + (h - l) * sigmoid(u)`.
+    Bounded(f64, f64),
+}
+
+impl Constraint {
+    /// Builds a constraint from optional lower/upper bounds.
+    pub fn from_bounds(lower: Option<f64>, upper: Option<f64>) -> Self {
+        match (lower, upper) {
+            (None, None) => Constraint::None,
+            (Some(l), None) => Constraint::Lower(l),
+            (None, Some(u)) => Constraint::Upper(u),
+            (Some(l), Some(u)) => Constraint::Bounded(l, u),
+        }
+    }
+
+    /// Maps an unconstrained value to the constrained domain.
+    pub fn to_constrained<T: Real>(&self, u: T) -> T {
+        match *self {
+            Constraint::None => u,
+            Constraint::Lower(l) => u.exp() + T::from_f64(l),
+            Constraint::Upper(h) => T::from_f64(h) - u.exp(),
+            Constraint::Bounded(l, h) => {
+                T::from_f64(l) + T::from_f64(h - l) * u.sigmoid()
+            }
+        }
+    }
+
+    /// Log absolute Jacobian of [`Constraint::to_constrained`] at `u`.
+    pub fn log_jacobian<T: Real>(&self, u: T) -> T {
+        match *self {
+            Constraint::None => T::from_f64(0.0),
+            Constraint::Lower(_) | Constraint::Upper(_) => u,
+            Constraint::Bounded(l, h) => {
+                // log((h-l) * sigmoid(u) * (1 - sigmoid(u)))
+                let s = u.sigmoid();
+                T::from_f64((h - l).ln()) + s.ln() + (T::from_f64(1.0) - s).ln()
+            }
+        }
+    }
+
+    /// Maps a constrained value back to the unconstrained space (used to
+    /// initialize chains from constrained starting points).
+    pub fn to_unconstrained(&self, x: f64) -> f64 {
+        match *self {
+            Constraint::None => x,
+            Constraint::Lower(l) => (x - l).max(1e-12).ln(),
+            Constraint::Upper(h) => (h - x).max(1e-12).ln(),
+            Constraint::Bounded(l, h) => {
+                let p = ((x - l) / (h - l)).clamp(1e-12, 1.0 - 1e-12);
+                (p / (1.0 - p)).ln()
+            }
+        }
+    }
+
+    /// The lower/upper bounds of the constrained domain.
+    pub fn bounds(&self) -> (f64, f64) {
+        match *self {
+            Constraint::None => (f64::NEG_INFINITY, f64::INFINITY),
+            Constraint::Lower(l) => (l, f64::INFINITY),
+            Constraint::Upper(u) => (f64::NEG_INFINITY, u),
+            Constraint::Bounded(l, u) => (l, u),
+        }
+    }
+
+    /// Whether a constrained value lies inside the domain.
+    pub fn contains(&self, x: f64) -> bool {
+        let (lo, hi) = self.bounds();
+        x >= lo && x <= hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidiff::{grad, tape, Var};
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_identity() {
+        for c in [
+            Constraint::None,
+            Constraint::Lower(2.0),
+            Constraint::Upper(-1.0),
+            Constraint::Bounded(0.0, 10.0),
+        ] {
+            for &u in &[-1.5, 0.0, 0.7, 2.0] {
+                let x = c.to_constrained(u);
+                let back = c.to_unconstrained(x);
+                assert!((back - u).abs() < 1e-6, "{c:?} u={u} x={x} back={back}");
+                assert!(c.contains(x), "{c:?} produced out-of-domain {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn jacobian_matches_derivative_of_transform() {
+        for c in [
+            Constraint::Lower(1.0),
+            Constraint::Upper(3.0),
+            Constraint::Bounded(-2.0, 5.0),
+        ] {
+            for &u0 in &[-0.8, 0.0, 1.3] {
+                tape::reset();
+                let u = Var::new(u0);
+                let x = c.to_constrained(u);
+                let g = grad(x, &[u]);
+                let lj = c.log_jacobian(u0);
+                assert!(
+                    (g[0].abs().ln() - lj).abs() < 1e-10,
+                    "{c:?} u={u0}: dx/du={} log_jac={}",
+                    g[0],
+                    lj
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_and_membership() {
+        assert_eq!(Constraint::Lower(0.0).bounds(), (0.0, f64::INFINITY));
+        assert!(Constraint::Bounded(0.0, 1.0).contains(0.5));
+        assert!(!Constraint::Bounded(0.0, 1.0).contains(1.5));
+        assert_eq!(
+            Constraint::from_bounds(Some(1.0), Some(2.0)),
+            Constraint::Bounded(1.0, 2.0)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_constrained_values_are_in_domain(u in -20.0f64..20.0, l in -5.0f64..0.0, width in 0.1f64..10.0) {
+            let c = Constraint::Bounded(l, l + width);
+            let x = c.to_constrained(u);
+            prop_assert!(x >= l - 1e-9 && x <= l + width + 1e-9);
+        }
+
+        #[test]
+        fn prop_lower_roundtrip(u in -10.0f64..10.0, l in -5.0f64..5.0) {
+            let c = Constraint::Lower(l);
+            let x = c.to_constrained(u);
+            prop_assert!((c.to_unconstrained(x) - u).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,506 @@
+//! Python code generation: the Pyro and NumPyro backends.
+//!
+//! Given a compiled [`GProbProgram`], these functions emit the Python model
+//! (and guide) functions in the style of the paper's Stanc3 backends —
+//! Figure 2 for the Pyro output and the lambda-lifted `fori_loop` style of
+//! Section 4 for NumPyro. The generated text is what the original system
+//! would hand to the Pyro / NumPyro runtimes; in this reproduction it is used
+//! for inspection, golden tests and documentation, while execution goes
+//! through the `gprob` interpreter.
+
+use gprob::ir::{DistCall, GExpr, GProbProgram, LoopKind};
+use stan_frontend::ast::{BinOp, Expr, UnOp};
+
+/// Target backend flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Pyro,
+    NumPyro,
+}
+
+/// Generates Pyro Python source for the compiled program.
+pub fn to_pyro(program: &GProbProgram, model_name: &str) -> String {
+    generate(program, model_name, Backend::Pyro)
+}
+
+/// Generates NumPyro Python source for the compiled program (loops are
+/// lambda-lifted into `fori_loop` bodies as described in Section 4).
+pub fn to_numpyro(program: &GProbProgram, model_name: &str) -> String {
+    generate(program, model_name, Backend::NumPyro)
+}
+
+fn generate(program: &GProbProgram, model_name: &str, backend: Backend) -> String {
+    let mut out = String::new();
+    match backend {
+        Backend::Pyro => {
+            out.push_str("import torch\nimport pyro\nimport pyro.distributions as dist\n\n");
+        }
+        Backend::NumPyro => {
+            out.push_str(
+                "import jax.numpy as jnp\nfrom jax.lax import fori_loop\nimport numpyro\nimport numpyro.distributions as dist\n\n",
+            );
+        }
+    }
+    let data_args: Vec<String> = program.data.iter().map(|d| d.name.clone()).collect();
+    out.push_str(&format!(
+        "def {}({}):\n",
+        sanitize(model_name),
+        data_args.join(", ")
+    ));
+    let mut gen = Gen {
+        backend,
+        indent: 1,
+        counter: 0,
+        out: String::new(),
+    };
+    gen.emit_gexpr(&program.body);
+    if gen.out.is_empty() {
+        gen.line("pass");
+    }
+    out.push_str(&gen.out);
+
+    if let Some(guide) = &program.guide_body {
+        out.push('\n');
+        out.push_str(&format!(
+            "def {}_guide({}):\n",
+            sanitize(model_name),
+            data_args.join(", ")
+        ));
+        let mut ggen = Gen {
+            backend,
+            indent: 1,
+            counter: 0,
+            out: String::new(),
+        };
+        for gp in &program.guide_params {
+            ggen.line(&format!(
+                "{} = pyro.param('{}', torch.zeros(()))",
+                sanitize(&gp.name),
+                gp.name
+            ));
+        }
+        ggen.emit_gexpr(guide);
+        out.push_str(&ggen.out);
+    }
+    out
+}
+
+struct Gen {
+    backend: Backend,
+    indent: usize,
+    counter: usize,
+    out: String,
+}
+
+impl Gen {
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.counter += 1;
+        format!("{prefix}__{}", self.counter)
+    }
+
+    fn emit_gexpr(&mut self, e: &GExpr) {
+        match e {
+            GExpr::Unit => {}
+            GExpr::Return(expr) => {
+                let py = py_expr(expr);
+                self.line(&format!("return {py}"));
+            }
+            GExpr::LetDecl { decl, body } => {
+                match &decl.init {
+                    Some(init) => {
+                        let py = py_expr(init);
+                        self.line(&format!("{} = {py}", sanitize(&decl.name)));
+                    }
+                    None => {
+                        let zeros = match self.backend {
+                            Backend::Pyro => "torch.zeros",
+                            Backend::NumPyro => "jnp.zeros",
+                        };
+                        let dims: Vec<String> = decl.dims.iter().map(py_expr).collect();
+                        let shape = if dims.is_empty() {
+                            "()".to_string()
+                        } else {
+                            format!("({},)", dims.join(", "))
+                        };
+                        self.line(&format!("{} = {zeros}({shape})", sanitize(&decl.name)));
+                    }
+                }
+                self.emit_gexpr(body);
+            }
+            GExpr::LetDet { name, value, body } => {
+                self.line(&format!("{} = {}", sanitize(name), py_expr(value)));
+                self.emit_gexpr(body);
+            }
+            GExpr::LetIndexed {
+                name,
+                indices,
+                value,
+                body,
+            } => {
+                let idx: Vec<String> = indices
+                    .iter()
+                    .map(|i| format!("{} - 1", py_expr(i)))
+                    .collect();
+                match self.backend {
+                    Backend::Pyro => self.line(&format!(
+                        "{}[{}] = {}",
+                        sanitize(name),
+                        idx.join(", "),
+                        py_expr(value)
+                    )),
+                    Backend::NumPyro => self.line(&format!(
+                        "{n} = {n}.at[{i}].set({v})",
+                        n = sanitize(name),
+                        i = idx.join(", "),
+                        v = py_expr(value)
+                    )),
+                }
+                self.emit_gexpr(body);
+            }
+            GExpr::LetSample { name, dist, body } => {
+                let d = py_dist(dist);
+                let module = self.module();
+                self.line(&format!(
+                    "{} = {module}.sample('{}', {d})",
+                    sanitize(name),
+                    name
+                ));
+                self.emit_gexpr(body);
+            }
+            GExpr::Observe { dist, value, body } => {
+                let d = py_dist(dist);
+                let site = self.fresh("obs");
+                let module = self.module();
+                self.line(&format!(
+                    "{module}.sample('{site}', {d}, obs={})",
+                    py_expr(value)
+                ));
+                self.emit_gexpr(body);
+            }
+            GExpr::Factor { value, body } => {
+                let site = self.fresh("factor");
+                let module = self.module();
+                self.line(&format!("{module}.factor('{site}', {})", py_expr(value)));
+                self.emit_gexpr(body);
+            }
+            GExpr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.line(&format!("if {}:", py_expr(cond)));
+                self.indent += 1;
+                self.emit_gexpr(then_branch);
+                if self.out.ends_with(":\n") {
+                    self.line("pass");
+                }
+                self.indent -= 1;
+                self.line("else:");
+                self.indent += 1;
+                self.emit_gexpr(else_branch);
+                if self.out.ends_with(":\n") {
+                    self.line("pass");
+                }
+                self.indent -= 1;
+            }
+            GExpr::LetLoop {
+                kind,
+                state,
+                loop_body,
+                body,
+            } => {
+                match (self.backend, kind) {
+                    (Backend::NumPyro, LoopKind::Range { var, lo, hi }) => {
+                        // Lambda-lift the body into a fori_loop as in Section 4.
+                        let fname = self.fresh("fori");
+                        let acc = if state.is_empty() {
+                            "acc".to_string()
+                        } else {
+                            format!("({},)", state.iter().map(|s| sanitize(s)).collect::<Vec<_>>().join(", "))
+                        };
+                        self.line(&format!("def {fname}({}, {acc}):", sanitize(var)));
+                        self.indent += 1;
+                        self.emit_gexpr(loop_body);
+                        if state.is_empty() {
+                            self.line("return None");
+                        }
+                        self.indent -= 1;
+                        self.line(&format!(
+                            "_ = fori_loop({}, {} + 1, {fname}, {})",
+                            py_expr(lo),
+                            py_expr(hi),
+                            if state.is_empty() { "None".to_string() } else { acc }
+                        ));
+                    }
+                    _ => {
+                        match kind {
+                            LoopKind::Range { var, lo, hi } => self.line(&format!(
+                                "for {} in range({}, {} + 1):",
+                                sanitize(var),
+                                py_expr(lo),
+                                py_expr(hi)
+                            )),
+                            LoopKind::ForEach { var, collection } => self.line(&format!(
+                                "for {} in {}:",
+                                sanitize(var),
+                                py_expr(collection)
+                            )),
+                            LoopKind::While { cond } => {
+                                self.line(&format!("while {}:", py_expr(cond)))
+                            }
+                        }
+                        self.indent += 1;
+                        self.emit_gexpr(loop_body);
+                        if self.out.ends_with(":\n") {
+                            self.line("pass");
+                        }
+                        self.indent -= 1;
+                    }
+                }
+                self.emit_gexpr(body);
+            }
+        }
+    }
+
+    fn module(&self) -> &'static str {
+        match self.backend {
+            Backend::Pyro => "pyro",
+            Backend::NumPyro => "numpyro",
+        }
+    }
+}
+
+/// Maps a Stan distribution name to the Pyro/NumPyro distribution class.
+fn py_dist(d: &DistCall) -> String {
+    let args: Vec<String> = d.args.iter().map(py_expr).collect();
+    let (class, args) = match d.name.as_str() {
+        "normal" => ("Normal", args),
+        "lognormal" => ("LogNormal", args),
+        "uniform" => ("Uniform", args),
+        "improper_uniform" => ("ImproperUniform", args),
+        "beta" => ("Beta", args),
+        "gamma" => ("Gamma", args),
+        "inv_gamma" => ("InverseGamma", args),
+        "exponential" => ("Exponential", args),
+        "cauchy" => ("Cauchy", args),
+        "student_t" => ("StudentT", args),
+        "double_exponential" => ("Laplace", args),
+        "chi_square" => ("Chi2", args),
+        "bernoulli" => ("Bernoulli", args),
+        "bernoulli_logit" => ("Bernoulli", vec![format!("logits={}", args.join(", "))]),
+        "binomial" => ("Binomial", args),
+        "poisson" => ("Poisson", args),
+        "categorical" => ("Categorical", args),
+        "categorical_logit" => ("Categorical", vec![format!("logits={}", args.join(", "))]),
+        "dirichlet" => ("Dirichlet", args),
+        "multi_normal" => ("MultivariateNormal", args),
+        other => return format!("dist.{}({})", camel(other), args.join(", ")),
+    };
+    let mut text = format!("dist.{class}({})", args.join(", "));
+    if !d.shape.is_empty() {
+        let dims: Vec<String> = d.shape.iter().map(py_expr).collect();
+        text.push_str(&format!(".expand([{}])", dims.join(", ")));
+    }
+    text
+}
+
+/// Converts a Stan expression to Python source, handling the 1-based to
+/// 0-based index shift.
+pub fn py_expr(e: &Expr) -> String {
+    match e {
+        Expr::IntLit(v) => v.to_string(),
+        Expr::RealLit(v) => {
+            if v.is_infinite() {
+                if *v > 0.0 {
+                    "float('inf')".to_string()
+                } else {
+                    "float('-inf')".to_string()
+                }
+            } else {
+                format!("{v:?}")
+            }
+        }
+        Expr::StringLit(s) => format!("{s:?}"),
+        Expr::Var(x) => sanitize(x),
+        Expr::Call(f, args) => {
+            let a: Vec<String> = args.iter().map(py_expr).collect();
+            format!("{}({})", py_function(f), a.join(", "))
+        }
+        Expr::Binary(op, a, b) => {
+            let sym = match op {
+                BinOp::Pow => "**".to_string(),
+                BinOp::EltMul => "*".to_string(),
+                BinOp::EltDiv => "/".to_string(),
+                BinOp::And => "and".to_string(),
+                BinOp::Or => "or".to_string(),
+                other => other.symbol().to_string(),
+            };
+            format!("({} {} {})", py_expr(a), sym, py_expr(b))
+        }
+        Expr::Unary(op, a) => match op {
+            UnOp::Neg => format!("(-{})", py_expr(a)),
+            UnOp::Not => format!("(not {})", py_expr(a)),
+            UnOp::Plus => py_expr(a),
+        },
+        Expr::Index(base, idx) => {
+            let parts: Vec<String> = idx
+                .iter()
+                .map(|i| match i {
+                    Expr::Range(lo, hi) => format!("{} - 1:{}", py_expr(lo), py_expr(hi)),
+                    other => format!("{} - 1", py_expr(other)),
+                })
+                .collect();
+            format!("{}[{}]", py_expr(base), parts.join(", "))
+        }
+        Expr::ArrayLit(items) | Expr::VectorLit(items) => {
+            let a: Vec<String> = items.iter().map(py_expr).collect();
+            format!("[{}]", a.join(", "))
+        }
+        Expr::Range(lo, hi) => format!("range({}, {} + 1)", py_expr(lo), py_expr(hi)),
+        Expr::Ternary(c, a, b) => format!(
+            "({} if {} else {})",
+            py_expr(a),
+            py_expr(c),
+            py_expr(b)
+        ),
+    }
+}
+
+/// Maps Stan standard-library function names to the runtime library shipped
+/// with the backends (paper Section 4, "Stan has a large standard library
+/// that also has to be ported").
+fn py_function(name: &str) -> String {
+    match name {
+        "sum" | "max" | "min" | "abs" | "round" => name.to_string(),
+        "fabs" => "abs".to_string(),
+        "square" => "stanlib.square".to_string(),
+        "inv_logit" => "stanlib.inv_logit".to_string(),
+        _ => {
+            if name.ends_with("_lpdf") || name.ends_with("_lpmf") || name.ends_with("_rng") {
+                format!("stanlib.{name}")
+            } else {
+                format!("stanlib.{name}")
+            }
+        }
+    }
+}
+
+/// Renames identifiers that collide with Python keywords (the paper's name
+/// handling: `lambda` is a common Stan parameter name).
+pub fn sanitize(name: &str) -> String {
+    const KEYWORDS: &[&str] = &[
+        "lambda", "def", "return", "class", "import", "from", "global", "pass", "if", "else",
+        "for", "while", "in", "is", "not", "and", "or", "None", "True", "False", "print",
+    ];
+    let base = name.replace('.', "__");
+    if KEYWORDS.contains(&base.as_str()) {
+        format!("{base}__")
+    } else {
+        base
+    }
+}
+
+fn camel(name: &str) -> String {
+    name.split('_')
+        .map(|w| {
+            let mut c = w.chars();
+            match c.next() {
+                Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, Scheme};
+    use stan_frontend::parse_program;
+
+    const COIN: &str = r#"
+        data { int N; int<lower=0,upper=1> x[N]; }
+        parameters { real<lower=0,upper=1> z; }
+        model { z ~ beta(1, 1); for (i in 1:N) x[i] ~ bernoulli(z); }
+    "#;
+
+    #[test]
+    fn pyro_output_resembles_figure_2() {
+        let p = compile(&parse_program(COIN).unwrap(), Scheme::Comprehensive).unwrap();
+        let code = to_pyro(&p, "coin");
+        assert!(code.contains("def coin(N, x):"));
+        assert!(code.contains("z = pyro.sample('z', dist.Uniform(0, 1))"));
+        assert!(code.contains("dist.Beta(1, 1), obs=z"));
+        assert!(code.contains("dist.Bernoulli(z), obs=x[i - 1]"));
+        assert!(code.contains("for i in range(1, N + 1):"));
+    }
+
+    #[test]
+    fn mixed_pyro_output_recovers_generative_style() {
+        let p = compile(&parse_program(COIN).unwrap(), Scheme::Mixed).unwrap();
+        let code = to_pyro(&p, "coin");
+        assert!(code.contains("z = pyro.sample('z', dist.Beta(1, 1))"));
+        assert!(!code.contains("Uniform"));
+    }
+
+    #[test]
+    fn numpyro_output_uses_fori_loop_like_section_4() {
+        let p = compile(&parse_program(COIN).unwrap(), Scheme::Mixed).unwrap();
+        let code = to_numpyro(&p, "coin");
+        assert!(code.contains("import numpyro"));
+        assert!(code.contains("fori_loop(1, N + 1"));
+        assert!(code.contains("def fori__"));
+        assert!(code.contains("numpyro.sample"));
+    }
+
+    #[test]
+    fn python_keywords_are_renamed() {
+        let src = "parameters { real lambda; } model { lambda ~ normal(0, 1); }";
+        let p = compile(&parse_program(src).unwrap(), Scheme::Comprehensive).unwrap();
+        let code = to_pyro(&p, "kw");
+        assert!(code.contains("lambda__ = pyro.sample('lambda'"));
+    }
+
+    #[test]
+    fn target_statements_become_factor() {
+        let src = "parameters { real mu; } model { target += -0.5 * mu * mu; }";
+        let p = compile(&parse_program(src).unwrap(), Scheme::Comprehensive).unwrap();
+        let code = to_pyro(&p, "m");
+        assert!(code.contains("pyro.factor('factor__"));
+    }
+
+    #[test]
+    fn guides_are_emitted_with_params(){
+        let src = r#"
+            parameters { real theta; }
+            model { theta ~ normal(0, 1); }
+            guide parameters { real m; }
+            guide { theta ~ normal(m, 1); }
+        "#;
+        let p = compile(&parse_program(src).unwrap(), Scheme::Comprehensive).unwrap();
+        let code = to_pyro(&p, "multimodal");
+        assert!(code.contains("def multimodal_guide():"));
+        assert!(code.contains("pyro.param('m'"));
+        assert!(code.contains("theta = pyro.sample('theta', dist.Normal(m, 1))"));
+    }
+
+    #[test]
+    fn expressions_shift_indices_to_zero_based() {
+        assert_eq!(
+            py_expr(&Expr::Index(
+                Box::new(Expr::var("x")),
+                vec![Expr::var("i"), Expr::IntLit(2)]
+            )),
+            "x[i - 1, 2 - 1]"
+        );
+        assert_eq!(sanitize("mlp.l1.weight"), "mlp__l1__weight");
+    }
+}

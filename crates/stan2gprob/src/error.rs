@@ -1,0 +1,58 @@
+//! Compilation errors.
+
+use std::fmt;
+
+/// Error produced while compiling a Stan program to GProb or to Python.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    message: String,
+    /// The compilation scheme that failed, when relevant.
+    pub scheme: Option<&'static str>,
+}
+
+impl CompileError {
+    /// Creates a compile error.
+    pub fn new(message: impl Into<String>) -> Self {
+        CompileError {
+            message: message.into(),
+            scheme: None,
+        }
+    }
+
+    /// Creates a compile error tagged with the scheme that failed.
+    pub fn in_scheme(message: impl Into<String>, scheme: &'static str) -> Self {
+        CompileError {
+            message: message.into(),
+            scheme: Some(scheme),
+        }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.scheme {
+            Some(s) => write!(f, "compilation error ({s} scheme): {}", self.message),
+            None => write!(f, "compilation error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_scheme() {
+        let e = CompileError::in_scheme("parameter `x` sampled twice", "generative");
+        assert!(e.to_string().contains("generative"));
+        assert!(e.to_string().contains("sampled twice"));
+        assert_eq!(CompileError::new("boom").message(), "boom");
+    }
+}

@@ -1,0 +1,268 @@
+//! Static analysis of the non-generative Stan features of Table 1.
+//!
+//! The three features that defeat the naive generative translation are:
+//!
+//! * **Left expressions** — the left-hand side of `~` is an arbitrary
+//!   expression rather than a parameter or data variable
+//!   (e.g. `sum(phi) ~ normal(0, 0.001*N)`).
+//! * **Multiple updates** — the same parameter appears on the left-hand side
+//!   of more than one `~` statement.
+//! * **Implicit priors** — a parameter never appears on the left-hand side of
+//!   any `~` statement (its prior is the implicit improper uniform).
+//!
+//! [`analyze_features`] reports which features a single program uses, and
+//! [`FeatureStats`] aggregates prevalence over a corpus — regenerating the
+//! percentages of Table 1 over the bundled model zoo.
+
+use std::collections::HashMap;
+
+use stan_frontend::ast::{Expr, Program, Stmt};
+
+/// Which non-generative features a program uses.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeatureReport {
+    /// `~` statements whose left-hand side is not a plain variable.
+    pub left_expressions: Vec<String>,
+    /// Parameters updated by more than one `~` statement.
+    pub multiple_updates: Vec<String>,
+    /// Parameters with no `~` statement at all.
+    pub implicit_priors: Vec<String>,
+    /// Whether the program uses `target +=` directly.
+    pub uses_target_increment: bool,
+}
+
+impl FeatureReport {
+    /// Whether the program uses any feature that defeats the generative
+    /// translation.
+    pub fn is_non_generative(&self) -> bool {
+        !self.left_expressions.is_empty()
+            || !self.multiple_updates.is_empty()
+            || !self.implicit_priors.is_empty()
+            || self.uses_target_increment
+    }
+}
+
+fn walk_tildes<'a>(stmt: &'a Stmt, out: &mut Vec<(&'a Expr, &'a str)>, targets: &mut bool) {
+    match stmt {
+        Stmt::Tilde { lhs, dist, .. } => out.push((lhs, dist.as_str())),
+        Stmt::TargetPlus(_) => *targets = true,
+        Stmt::Block(ss) => {
+            for s in ss {
+                walk_tildes(s, out, targets);
+            }
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            walk_tildes(then_branch, out, targets);
+            if let Some(e) = else_branch {
+                walk_tildes(e, out, targets);
+            }
+        }
+        Stmt::ForRange { body, .. } | Stmt::ForEach { body, .. } | Stmt::While { body, .. } => {
+            walk_tildes(body, out, targets)
+        }
+        _ => {}
+    }
+}
+
+/// Analyzes one program for the non-generative features of Table 1.
+pub fn analyze_features(program: &Program) -> FeatureReport {
+    let mut report = FeatureReport::default();
+    let mut tildes: Vec<(&Expr, &str)> = Vec::new();
+    let mut stmts: Vec<&Stmt> = program.model.stmts.iter().collect();
+    if let Some(tp) = &program.transformed_parameters {
+        stmts.extend(tp.stmts.iter());
+    }
+    for s in stmts {
+        walk_tildes(s, &mut tildes, &mut report.uses_target_increment);
+    }
+
+    let params: Vec<&str> = program.parameter_names();
+    let mut update_counts: HashMap<&str, usize> = HashMap::new();
+
+    for (lhs, _) in &tildes {
+        match lhs {
+            Expr::Var(name) => {
+                if params.contains(&name.as_str()) {
+                    *update_counts.entry(name.as_str()).or_insert(0) += 1;
+                }
+            }
+            Expr::Index(base, _) => match base.lvalue_root() {
+                // Indexing a parameter inside a loop is still a plain update
+                // (each cell is updated once); indexing anything else is a
+                // left expression only if the root is not a variable.
+                Some(root) if params.contains(&root) => {
+                    // Count at most one update per syntactic site; multiple
+                    // syntactic sites on the same parameter count as multiple
+                    // updates only when the whole parameter is resampled.
+                }
+                _ => {}
+            },
+            other => {
+                report
+                    .left_expressions
+                    .push(format!("{} ~ ...", other.variables().join(", ")));
+            }
+        }
+    }
+
+    for (name, count) in update_counts.iter() {
+        if *count > 1 {
+            report.multiple_updates.push((*name).to_string());
+        }
+    }
+    for p in &params {
+        let updated = tildes.iter().any(|(lhs, _)| match lhs {
+            Expr::Var(name) => name == p,
+            Expr::Index(base, _) => base.lvalue_root() == Some(p),
+            _ => false,
+        });
+        if !updated {
+            report.implicit_priors.push((*p).to_string());
+        }
+    }
+    report.multiple_updates.sort();
+    report.implicit_priors.sort();
+    report
+}
+
+/// Aggregate prevalence of each feature over a corpus of programs — the
+/// percentages reported in Table 1.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeatureStats {
+    /// Number of programs analyzed.
+    pub total: usize,
+    /// Programs with at least one left expression.
+    pub with_left_expression: usize,
+    /// Programs with at least one multiply-updated parameter.
+    pub with_multiple_updates: usize,
+    /// Programs with at least one implicit prior.
+    pub with_implicit_prior: usize,
+    /// Programs using any non-generative feature.
+    pub non_generative: usize,
+}
+
+impl FeatureStats {
+    /// Aggregates feature reports over a corpus.
+    pub fn from_reports<'a>(reports: impl IntoIterator<Item = &'a FeatureReport>) -> Self {
+        let mut stats = FeatureStats::default();
+        for r in reports {
+            stats.total += 1;
+            stats.with_left_expression += usize::from(!r.left_expressions.is_empty());
+            stats.with_multiple_updates += usize::from(!r.multiple_updates.is_empty());
+            stats.with_implicit_prior += usize::from(!r.implicit_priors.is_empty());
+            stats.non_generative += usize::from(r.is_non_generative());
+        }
+        stats
+    }
+
+    /// Percentage of programs using left expressions.
+    pub fn pct_left_expression(&self) -> f64 {
+        percentage(self.with_left_expression, self.total)
+    }
+
+    /// Percentage of programs with multiple updates.
+    pub fn pct_multiple_updates(&self) -> f64 {
+        percentage(self.with_multiple_updates, self.total)
+    }
+
+    /// Percentage of programs with implicit priors.
+    pub fn pct_implicit_prior(&self) -> f64 {
+        percentage(self.with_implicit_prior, self.total)
+    }
+}
+
+fn percentage(n: usize, total: usize) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * n as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stan_frontend::parse_program;
+
+    fn report(src: &str) -> FeatureReport {
+        analyze_features(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn clean_generative_model_has_no_features() {
+        let r = report(
+            "data { int N; real y[N]; } parameters { real mu; }
+             model { mu ~ normal(0, 1); y ~ normal(mu, 1); }",
+        );
+        assert!(!r.is_non_generative());
+    }
+
+    #[test]
+    fn detects_left_expressions() {
+        let r = report(
+            "parameters { real phi[5]; }
+             model { phi ~ normal(0, 1); sum(phi) ~ normal(0, 0.001 * 5); }",
+        );
+        assert_eq!(r.left_expressions.len(), 1);
+        assert!(r.is_non_generative());
+    }
+
+    #[test]
+    fn detects_multiple_updates() {
+        let r = report(
+            "parameters { real phi_y; }
+             model { phi_y ~ normal(0, 1); phi_y ~ normal(0, 2); }",
+        );
+        assert_eq!(r.multiple_updates, vec!["phi_y".to_string()]);
+    }
+
+    #[test]
+    fn detects_implicit_priors() {
+        let r = report(
+            "data { real y; } parameters { real alpha0; real mu; }
+             model { y ~ normal(mu, 1); }",
+        );
+        assert_eq!(r.implicit_priors, vec!["alpha0".to_string(), "mu".to_string()]);
+        // `mu` has no ~ statement either (it only parameterizes the data
+        // likelihood), which is precisely Stan's implicit-prior idiom.
+    }
+
+    #[test]
+    fn target_increment_counts_as_non_generative() {
+        let r = report("parameters { real mu; } model { mu ~ normal(0,1); target += -mu; }");
+        assert!(r.uses_target_increment);
+        assert!(r.is_non_generative());
+    }
+
+    #[test]
+    fn indexed_parameter_updates_in_loops_are_fine() {
+        let r = report(
+            "data { int N; } parameters { real theta[N]; }
+             model { for (i in 1:N) theta[i] ~ normal(0, 1); }",
+        );
+        assert!(r.left_expressions.is_empty());
+        assert!(r.multiple_updates.is_empty());
+        assert!(r.implicit_priors.is_empty());
+    }
+
+    #[test]
+    fn stats_aggregate_percentages() {
+        let reports = vec![
+            report("parameters { real a; } model { a ~ normal(0,1); }"),
+            report("parameters { real a; } model { sum({a}) ~ normal(0,1); a ~ normal(0,1); }"),
+            report("data { real y; } parameters { real a; } model { y ~ normal(a, 1); }"),
+            report("parameters { real a; } model { a ~ normal(0,1); a ~ normal(1,1); }"),
+        ];
+        let stats = FeatureStats::from_reports(&reports);
+        assert_eq!(stats.total, 4);
+        assert_eq!(stats.with_left_expression, 1);
+        assert_eq!(stats.with_multiple_updates, 1);
+        assert_eq!(stats.with_implicit_prior, 1);
+        assert!((stats.pct_left_expression() - 25.0).abs() < 1e-9);
+        assert!((stats.pct_implicit_prior() - 25.0).abs() < 1e-9);
+    }
+}

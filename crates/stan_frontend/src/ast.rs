@@ -1,0 +1,607 @@
+//! Abstract syntax tree for Stan and DeepStan programs.
+//!
+//! The structure follows the grammar of Section 3.1 of the paper: a program
+//! is a sequence of optional blocks, each block is a list of declarations and
+//! statements, and statements include the two probabilistic constructs
+//! `target += e` and `e ~ dist(args)`. The DeepStan extensions of Section 5
+//! add `networks`, `guide parameters` and `guide` blocks.
+
+use std::fmt;
+
+/// Binary operators (Stan spells most of them like C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` (integer modulo)
+    Mod,
+    /// `^` (power)
+    Pow,
+    /// `.*` element-wise multiplication
+    EltMul,
+    /// `./` element-wise division
+    EltDiv,
+    /// `==`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Leq,
+    /// `>`
+    Gt,
+    /// `>=`
+    Geq,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// The Stan source spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Pow => "^",
+            BinOp::EltMul => ".*",
+            BinOp::EltDiv => "./",
+            BinOp::Eq => "==",
+            BinOp::Neq => "!=",
+            BinOp::Lt => "<",
+            BinOp::Leq => "<=",
+            BinOp::Gt => ">",
+            BinOp::Geq => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Logical not `!`.
+    Not,
+    /// Unary plus `+` (no-op, kept for fidelity).
+    Plus,
+}
+
+/// Expressions (Section 3.1: constants, variables, calls, containers,
+/// indexing), extended with the conditional operator `cond ? a : b` which
+/// appears in several `example-models` programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Real literal.
+    RealLit(f64),
+    /// String literal (only used by `print` / `reject`).
+    StringLit(String),
+    /// Variable reference.
+    Var(String),
+    /// Function call `f(e1, ..., en)`; binary operators are *not* lowered to
+    /// calls, they keep their own node.
+    Call(String, Vec<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Indexing `e[i1, ..., in]`; multi-dimensional indexing is flattened
+    /// into a single node with one expression per dimension.
+    Index(Box<Expr>, Vec<Expr>),
+    /// Array literal `{e1, ..., en}`.
+    ArrayLit(Vec<Expr>),
+    /// Vector / row-vector literal `[e1, ..., en]`.
+    VectorLit(Vec<Expr>),
+    /// Range expression `lo:hi`, only valid in indexing and loop bounds.
+    Range(Box<Expr>, Box<Expr>),
+    /// Conditional operator `cond ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for variable references.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Collects every variable name mentioned in the expression.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(x) => {
+                if !out.contains(x) {
+                    out.push(x.clone());
+                }
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+            Expr::Binary(_, a, b) | Expr::Range(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Unary(_, a) => a.collect_vars(out),
+            Expr::Index(base, idx) => {
+                base.collect_vars(out);
+                for i in idx {
+                    i.collect_vars(out);
+                }
+            }
+            Expr::ArrayLit(es) | Expr::VectorLit(es) => {
+                for e in es {
+                    e.collect_vars(out);
+                }
+            }
+            Expr::Ternary(c, a, b) => {
+                c.collect_vars(out);
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::IntLit(_) | Expr::RealLit(_) | Expr::StringLit(_) => {}
+        }
+    }
+
+    /// The root variable of an expression that is usable as an assignment
+    /// target (`x` or `x[i][j]`), if any.
+    pub fn lvalue_root(&self) -> Option<&str> {
+        match self {
+            Expr::Var(x) => Some(x),
+            Expr::Index(base, _) => base.lvalue_root(),
+            _ => None,
+        }
+    }
+}
+
+/// Base (unsized element) types of Stan declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaseType {
+    /// `int`
+    Int,
+    /// `real`
+    Real,
+    /// `vector[n]`
+    Vector(Box<Expr>),
+    /// `row_vector[n]`
+    RowVector(Box<Expr>),
+    /// `matrix[r, c]`
+    Matrix(Box<Expr>, Box<Expr>),
+    /// `simplex[n]` — constrained vector summing to one.
+    Simplex(Box<Expr>),
+    /// `ordered[n]` — increasing vector (unsupported by the backends,
+    /// mirroring the paper's reported Pyro/NumPyro limitation).
+    Ordered(Box<Expr>),
+    /// `positive_ordered[n]`.
+    PositiveOrdered(Box<Expr>),
+    /// `unit_vector[n]`.
+    UnitVector(Box<Expr>),
+    /// `cov_matrix[n]`.
+    CovMatrix(Box<Expr>),
+    /// `corr_matrix[n]`.
+    CorrMatrix(Box<Expr>),
+    /// `cholesky_factor_corr[n]`.
+    CholeskyFactorCorr(Box<Expr>),
+}
+
+impl BaseType {
+    /// Whether values of this type are integers.
+    pub fn is_int(&self) -> bool {
+        matches!(self, BaseType::Int)
+    }
+
+    /// Whether this type is a container (vector / matrix family).
+    pub fn is_container(&self) -> bool {
+        !matches!(self, BaseType::Int | BaseType::Real)
+    }
+}
+
+/// A `<lower=..., upper=...>` constraint attached to a declaration. Either
+/// bound may be absent. `offset`/`multiplier` transforms are accepted by the
+/// parser but ignored by the backends.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConstraintSpec {
+    /// Lower bound expression.
+    pub lower: Option<Expr>,
+    /// Upper bound expression.
+    pub upper: Option<Expr>,
+}
+
+impl ConstraintSpec {
+    /// True when no bound is present.
+    pub fn is_unconstrained(&self) -> bool {
+        self.lower.is_none() && self.upper.is_none()
+    }
+}
+
+/// A variable declaration, e.g. `real<lower=0> sigma;` or
+/// `vector[N] x[10];` (an array of ten vectors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    /// Element type.
+    pub ty: BaseType,
+    /// Optional domain constraint.
+    pub constraint: ConstraintSpec,
+    /// Variable name.
+    pub name: String,
+    /// Array dimensions (empty for scalars / bare containers).
+    pub dims: Vec<Expr>,
+    /// Optional initializer (only allowed in transformed blocks and local
+    /// declarations).
+    pub init: Option<Expr>,
+}
+
+/// An assignment target: a variable possibly followed by indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LValue {
+    /// Variable name.
+    pub name: String,
+    /// Index expressions (empty for a plain variable).
+    pub indices: Vec<Expr>,
+}
+
+/// Compound assignment operators (`=`, `+=`, `-=`, `*=`, `/=`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=`
+    AddAssign,
+    /// `-=`
+    SubAssign,
+    /// `*=`
+    MulAssign,
+    /// `/=`
+    DivAssign,
+}
+
+/// Statements (Section 3.1), plus local declarations, `print`, `reject`,
+/// `return`, `break` and `continue` which occur in the example models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration inside a block.
+    LocalDecl(Decl),
+    /// `lhs op rhs;`
+    Assign {
+        /// Assignment target.
+        lhs: LValue,
+        /// Assignment operator.
+        op: AssignOp,
+        /// Right-hand side.
+        rhs: Expr,
+    },
+    /// `target += e;`
+    TargetPlus(Expr),
+    /// `e ~ dist(args) [T[lo, hi]];`
+    Tilde {
+        /// Left-hand side (may be an arbitrary expression — the paper's
+        /// "left expression" feature).
+        lhs: Expr,
+        /// Distribution name.
+        dist: String,
+        /// Distribution arguments.
+        args: Vec<Expr>,
+        /// Optional truncation bounds `T[lo, hi]`.
+        truncation: Option<(Option<Expr>, Option<Expr>)>,
+    },
+    /// `{ stmts }` — a braced sequence.
+    Block(Vec<Stmt>),
+    /// `if (cond) then else alt`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Box<Stmt>,
+        /// Optional else branch.
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// `for (x in lo:hi) body`
+    ForRange {
+        /// Loop variable.
+        var: String,
+        /// Lower bound.
+        lo: Expr,
+        /// Upper bound.
+        hi: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `for (x in collection) body`
+    ForEach {
+        /// Loop variable.
+        var: String,
+        /// Collection expression.
+        collection: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `while (cond) body`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `print(...)` — ignored by the backends but parsed for fidelity.
+    Print(Vec<Expr>),
+    /// `reject(...)` — rejects the current draw.
+    Reject(Vec<Expr>),
+    /// `return e;` inside user-defined functions.
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// The empty statement `;`.
+    Skip,
+}
+
+impl Stmt {
+    /// Collects the names assigned anywhere inside the statement — the
+    /// `lhs(stmt)` analysis used when compiling loops to GProb (Section 3.3).
+    pub fn assigned_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_assigned(&mut out);
+        out
+    }
+
+    fn collect_assigned(&self, out: &mut Vec<String>) {
+        let mut push = |n: &str| {
+            if !out.iter().any(|x| x == n) {
+                out.push(n.to_string());
+            }
+        };
+        match self {
+            Stmt::Assign { lhs, .. } => push(&lhs.name),
+            Stmt::LocalDecl(d) => {
+                if d.init.is_some() {
+                    push(&d.name);
+                }
+            }
+            Stmt::Block(ss) => {
+                for s in ss {
+                    s.collect_assigned(out);
+                }
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                then_branch.collect_assigned(out);
+                if let Some(e) = else_branch {
+                    e.collect_assigned(out);
+                }
+            }
+            Stmt::ForRange { body, .. } | Stmt::ForEach { body, .. } | Stmt::While { body, .. } => {
+                body.collect_assigned(out)
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A block body: the statements of `model`, `transformed data`, etc.
+/// Declarations may be interleaved with statements (they appear as
+/// [`Stmt::LocalDecl`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BlockBody {
+    /// The statements, in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl BlockBody {
+    /// The declarations appearing directly in this block.
+    pub fn decls(&self) -> Vec<&Decl> {
+        self.stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::LocalDecl(d) => Some(d),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// A function argument declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunArg {
+    /// `data` qualifier present?
+    pub is_data: bool,
+    /// Argument type.
+    pub ty: UnsizedType,
+    /// Argument name.
+    pub name: String,
+}
+
+/// Unsized types used in function signatures (`real`, `int`, `vector`,
+/// `real[]`, `real[,]`, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnsizedType {
+    /// Element kind: `int`, `real`, `vector`, `row_vector`, `matrix`, `void`.
+    pub kind: String,
+    /// Number of array dimensions.
+    pub array_dims: usize,
+}
+
+/// A user-defined function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunDecl {
+    /// Return type (`void` for statements-only functions).
+    pub return_type: UnsizedType,
+    /// Function name.
+    pub name: String,
+    /// Arguments.
+    pub args: Vec<FunArg>,
+    /// Body.
+    pub body: BlockBody,
+}
+
+/// A neural network declaration from the DeepStan `networks` block, e.g.
+/// `real[,] decoder(real[] x);`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkDecl {
+    /// Return type of the network's forward function.
+    pub return_type: UnsizedType,
+    /// Network name.
+    pub name: String,
+    /// Input arguments.
+    pub args: Vec<FunArg>,
+}
+
+/// A complete Stan / DeepStan program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// `functions { ... }`
+    pub functions: Vec<FunDecl>,
+    /// `data { ... }`
+    pub data: Vec<Decl>,
+    /// `transformed data { ... }`
+    pub transformed_data: Option<BlockBody>,
+    /// `parameters { ... }`
+    pub parameters: Vec<Decl>,
+    /// `transformed parameters { ... }`
+    pub transformed_parameters: Option<BlockBody>,
+    /// `model { ... }` (the only mandatory block).
+    pub model: BlockBody,
+    /// `generated quantities { ... }`
+    pub generated_quantities: Option<BlockBody>,
+    /// DeepStan `networks { ... }`
+    pub networks: Vec<NetworkDecl>,
+    /// DeepStan `guide parameters { ... }`
+    pub guide_parameters: Vec<Decl>,
+    /// DeepStan `guide { ... }`
+    pub guide: Option<BlockBody>,
+}
+
+impl Program {
+    /// Names of the data variables, in declaration order.
+    pub fn data_names(&self) -> Vec<&str> {
+        self.data.iter().map(|d| d.name.as_str()).collect()
+    }
+
+    /// Names of the parameters, in declaration order.
+    pub fn parameter_names(&self) -> Vec<&str> {
+        self.parameters.iter().map(|d| d.name.as_str()).collect()
+    }
+
+    /// Whether the program uses any DeepStan extension block.
+    pub fn is_deepstan(&self) -> bool {
+        !self.networks.is_empty() || !self.guide_parameters.is_empty() || self.guide.is_some()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Program(data: {:?}, parameters: {:?}, model: {} statements)",
+            self.data_names(),
+            self.parameter_names(),
+            self.model.stmts.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_variable_collection_is_deduplicated() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::var("x")),
+            Box::new(Expr::Binary(
+                BinOp::Mul,
+                Box::new(Expr::var("x")),
+                Box::new(Expr::var("y")),
+            )),
+        );
+        assert_eq!(e.variables(), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn lvalue_root_traverses_indexing() {
+        let e = Expr::Index(
+            Box::new(Expr::Index(Box::new(Expr::var("phi")), vec![Expr::IntLit(1)])),
+            vec![Expr::var("i")],
+        );
+        assert_eq!(e.lvalue_root(), Some("phi"));
+        assert_eq!(Expr::IntLit(3).lvalue_root(), None);
+    }
+
+    #[test]
+    fn assigned_names_covers_nested_statements() {
+        let s = Stmt::ForRange {
+            var: "i".into(),
+            lo: Expr::IntLit(1),
+            hi: Expr::var("N"),
+            body: Box::new(Stmt::Block(vec![
+                Stmt::Assign {
+                    lhs: LValue {
+                        name: "mu".into(),
+                        indices: vec![Expr::var("i")],
+                    },
+                    op: AssignOp::Assign,
+                    rhs: Expr::RealLit(0.0),
+                },
+                Stmt::If {
+                    cond: Expr::var("flag"),
+                    then_branch: Box::new(Stmt::Assign {
+                        lhs: LValue {
+                            name: "acc".into(),
+                            indices: vec![],
+                        },
+                        op: AssignOp::AddAssign,
+                        rhs: Expr::var("mu"),
+                    }),
+                    else_branch: None,
+                },
+            ])),
+        };
+        assert_eq!(s.assigned_names(), vec!["mu".to_string(), "acc".to_string()]);
+    }
+
+    #[test]
+    fn program_accessors() {
+        let mut p = Program::default();
+        p.data.push(Decl {
+            ty: BaseType::Int,
+            constraint: ConstraintSpec::default(),
+            name: "N".into(),
+            dims: vec![],
+            init: None,
+        });
+        p.parameters.push(Decl {
+            ty: BaseType::Real,
+            constraint: ConstraintSpec::default(),
+            name: "mu".into(),
+            dims: vec![],
+            init: None,
+        });
+        assert_eq!(p.data_names(), vec!["N"]);
+        assert_eq!(p.parameter_names(), vec!["mu"]);
+        assert!(!p.is_deepstan());
+    }
+}

@@ -1,0 +1,105 @@
+//! Error and source-location types shared across the frontend.
+
+use std::fmt;
+
+/// A position in the source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span at the given line and column.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The category of a frontend error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Lexical error (unknown character, malformed literal).
+    Lex,
+    /// Syntactic error (unexpected token, missing delimiter).
+    Parse,
+    /// Semantic error (unknown variable, type mismatch, illegal write).
+    Semantic,
+}
+
+/// An error produced by the lexer, parser, or type checker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontendError {
+    /// The error category.
+    pub kind: ErrorKind,
+    /// Human-readable description.
+    pub message: String,
+    /// Location in the source text, when known.
+    pub span: Option<Span>,
+}
+
+impl FrontendError {
+    /// Creates a lexical error.
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        FrontendError {
+            kind: ErrorKind::Lex,
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// Creates a parse error.
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        FrontendError {
+            kind: ErrorKind::Parse,
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// Creates a semantic error.
+    pub fn semantic(message: impl Into<String>) -> Self {
+        FrontendError {
+            kind: ErrorKind::Semantic,
+            message: message.into(),
+            span: None,
+        }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            ErrorKind::Lex => "lexical error",
+            ErrorKind::Parse => "syntax error",
+            ErrorKind::Semantic => "semantic error",
+        };
+        match self.span {
+            Some(s) => write!(f, "{kind} at {s}: {}", self.message),
+            None => write!(f, "{kind}: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = FrontendError::parse("expected ';'", Span::new(3, 14));
+        assert_eq!(e.to_string(), "syntax error at 3:14: expected ';'");
+        let s = FrontendError::semantic("unknown variable `zz`");
+        assert!(s.to_string().contains("unknown variable"));
+    }
+}

@@ -1,0 +1,327 @@
+//! Tokenizer for Stan source text.
+//!
+//! Handles `//`, `#` and `/* ... */` comments, integer and real literals
+//! (including scientific notation), string literals, identifiers, and the
+//! full operator set used by Stan programs.
+
+use crate::error::{FrontendError, Span};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are recognized by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal.
+    Str(String),
+    /// Punctuation or operator, e.g. `"+"`, `"<="`, `"~"`.
+    Sym(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Text form, used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Int(v) => format!("integer `{v}`"),
+            Tok::Real(v) => format!("real `{v}`"),
+            Tok::Str(s) => format!("string \"{s}\""),
+            Tok::Sym(s) => format!("`{s}`"),
+            Tok::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+/// A token together with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// All multi-character symbols, longest first so maximal munch works.
+const SYMBOLS: &[&str] = &[
+    "...", "+=", "-=", "*=", "/=", "==", "!=", "<=", ">=", "&&", "||", ".*", "./",
+    "+", "-", "*", "/", "%", "^", "=", "<", ">", "!", "?", ":", ";", ",", "~", "|", "(", ")",
+    "[", "]", "{", "}", ".",
+];
+
+/// Tokenizes Stan source text.
+///
+/// # Errors
+/// Returns a lexical error for unknown characters or malformed literals.
+pub fn lex(source: &str) -> Result<Vec<Token>, FrontendError> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    let advance = |c: char, line: &mut u32, col: &mut u32| {
+        if c == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let span = Span::new(line, col);
+
+        // Whitespace
+        if c.is_whitespace() {
+            advance(c, &mut line, &mut col);
+            i += 1;
+            continue;
+        }
+
+        // Line comments: `//` and `#` (but not `#include`, which we skip too).
+        if c == '#' || (c == '/' && chars.get(i + 1) == Some(&'/')) {
+            while i < chars.len() && chars[i] != '\n' {
+                advance(chars[i], &mut line, &mut col);
+                i += 1;
+            }
+            continue;
+        }
+
+        // Block comments.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            i += 2;
+            col += 2;
+            loop {
+                if i >= chars.len() {
+                    return Err(FrontendError::lex("unterminated block comment", span));
+                }
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    i += 2;
+                    col += 2;
+                    break;
+                }
+                advance(chars[i], &mut line, &mut col);
+                i += 1;
+            }
+            continue;
+        }
+
+        // String literals.
+        if c == '"' {
+            let mut s = String::new();
+            i += 1;
+            col += 1;
+            loop {
+                if i >= chars.len() {
+                    return Err(FrontendError::lex("unterminated string literal", span));
+                }
+                let ch = chars[i];
+                if ch == '"' {
+                    i += 1;
+                    col += 1;
+                    break;
+                }
+                s.push(ch);
+                advance(ch, &mut line, &mut col);
+                i += 1;
+            }
+            tokens.push(Token {
+                tok: Tok::Str(s),
+                span,
+            });
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+        {
+            let start = i;
+            let mut is_real = false;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i < chars.len() && chars[i] == '.' && chars.get(i + 1) != Some(&'*')
+                && chars.get(i + 1) != Some(&'/')
+            {
+                is_real = true;
+                i += 1;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < chars.len() && (chars[i] == 'e' || chars[i] == 'E') {
+                let mut j = i + 1;
+                if j < chars.len() && (chars[j] == '+' || chars[j] == '-') {
+                    j += 1;
+                }
+                if j < chars.len() && chars[j].is_ascii_digit() {
+                    is_real = true;
+                    i = j;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            col += (i - start) as u32;
+            let tok = if is_real {
+                Tok::Real(text.parse().map_err(|_| {
+                    FrontendError::lex(format!("malformed real literal `{text}`"), span)
+                })?)
+            } else {
+                Tok::Int(text.parse().map_err(|_| {
+                    FrontendError::lex(format!("malformed integer literal `{text}`"), span)
+                })?)
+            };
+            tokens.push(Token { tok, span });
+            continue;
+        }
+
+        // Identifiers (may contain dots for DeepStan network parameters such
+        // as `mlp.l1.weight`).
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_ascii_alphanumeric()
+                    || chars[i] == '_'
+                    || (chars[i] == '.'
+                        && chars
+                            .get(i + 1)
+                            .is_some_and(|d| d.is_ascii_alphabetic() || *d == '_')))
+            {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            col += (i - start) as u32;
+            tokens.push(Token {
+                tok: Tok::Ident(text),
+                span,
+            });
+            continue;
+        }
+
+        // Symbols / operators.
+        let mut matched = false;
+        for sym in SYMBOLS {
+            let n = sym.len();
+            if i + n <= chars.len() {
+                let candidate: String = chars[i..i + n].iter().collect();
+                if candidate == *sym {
+                    tokens.push(Token {
+                        tok: Tok::Sym(sym),
+                        span,
+                    });
+                    i += n;
+                    col += n as u32;
+                    matched = true;
+                    break;
+                }
+            }
+        }
+        if matched {
+            continue;
+        }
+
+        return Err(FrontendError::lex(format!("unexpected character `{c}`"), span));
+    }
+
+    tokens.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(line, col),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_simple_statement() {
+        let t = toks("z ~ beta(1, 1);");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("z".into()),
+                Tok::Sym("~"),
+                Tok::Ident("beta".into()),
+                Tok::Sym("("),
+                Tok::Int(1),
+                Tok::Sym(","),
+                Tok::Int(1),
+                Tok::Sym(")"),
+                Tok::Sym(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_reals_and_scientific_notation() {
+        assert_eq!(toks("0.001")[0], Tok::Real(0.001));
+        assert_eq!(toks("1e-3")[0], Tok::Real(0.001));
+        assert_eq!(toks("2.5E2")[0], Tok::Real(250.0));
+        assert_eq!(toks("42")[0], Tok::Int(42));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = toks("x // trailing\n# old style\n/* block\n comment */ y");
+        assert_eq!(
+            t,
+            vec![Tok::Ident("x".into()), Tok::Ident("y".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn compound_operators_use_maximal_munch() {
+        let t = toks("a += b .* c <= d && e");
+        assert!(t.contains(&Tok::Sym("+=")));
+        assert!(t.contains(&Tok::Sym(".*")));
+        assert!(t.contains(&Tok::Sym("<=")));
+        assert!(t.contains(&Tok::Sym("&&")));
+    }
+
+    #[test]
+    fn dotted_identifiers_for_network_parameters() {
+        let t = toks("mlp.l1.weight ~ normal(0, 1);");
+        assert_eq!(t[0], Tok::Ident("mlp.l1.weight".into()));
+    }
+
+    #[test]
+    fn element_wise_ops_do_not_absorb_numbers() {
+        // `x ./ 2` must lex as ident, ./, int — not a malformed real.
+        let t = toks("x ./ 2");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Sym("./"),
+                Tok::Int(2),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn error_location_is_reported() {
+        let err = lex("x @ y").unwrap_err();
+        assert_eq!(err.span.unwrap(), Span::new(1, 3));
+    }
+
+    #[test]
+    fn string_literals() {
+        let t = toks("print(\"hello world\");");
+        assert!(t.contains(&Tok::Str("hello world".into())));
+    }
+}

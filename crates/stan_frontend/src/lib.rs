@@ -1,0 +1,72 @@
+//! `stan_frontend` — lexer, parser, AST and semantic checks for Stan.
+//!
+//! This crate implements the Stan surface language of Section 3.1 of the
+//! paper — all seven program blocks, constrained variable declarations,
+//! arrays / vectors / matrices, the two probabilistic statements
+//! (`target += e` and `e ~ dist(...)`), loops, conditionals and user-defined
+//! functions — plus the conservative **DeepStan** extensions of Section 5:
+//! the `networks`, `guide parameters` and `guide` blocks.
+//!
+//! The pipeline is the classic one:
+//!
+//! ```text
+//! source text --lexer--> tokens --parser--> ast::Program --typeck--> checked Program
+//! ```
+//!
+//! The produced [`ast::Program`] is consumed by the `stan2gprob` compiler and
+//! by the `stan_ref` baseline interpreter.
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!     data { int N; int<lower=0, upper=1> x[N]; }
+//!     parameters { real<lower=0, upper=1> z; }
+//!     model {
+//!       z ~ beta(1, 1);
+//!       for (i in 1:N) x[i] ~ bernoulli(z);
+//!     }
+//! "#;
+//! let program = stan_frontend::parse_program(src).unwrap();
+//! assert_eq!(program.parameters.len(), 1);
+//! assert_eq!(program.parameters[0].name, "z");
+//! stan_frontend::typecheck(&program).unwrap();
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod typeck;
+
+pub use ast::Program;
+pub use error::{FrontendError, Span};
+
+/// Parses a complete Stan (or DeepStan) program.
+///
+/// # Errors
+/// Returns a [`FrontendError`] describing the first lexical or syntactic
+/// problem, with its source location.
+pub fn parse_program(source: &str) -> Result<ast::Program, FrontendError> {
+    let tokens = lexer::lex(source)?;
+    parser::Parser::new(tokens).parse_program()
+}
+
+/// Runs the semantic checks (undeclared variables, duplicate declarations,
+/// type errors in expressions and statements, writes to read-only blocks).
+///
+/// # Errors
+/// Returns the first semantic error found.
+pub fn typecheck(program: &ast::Program) -> Result<(), FrontendError> {
+    typeck::check_program(program)
+}
+
+/// Convenience helper: parse and type check in one call.
+///
+/// # Errors
+/// Returns the first lexical, syntactic, or semantic error.
+pub fn compile_frontend(source: &str) -> Result<ast::Program, FrontendError> {
+    let p = parse_program(source)?;
+    typecheck(&p)?;
+    Ok(p)
+}

@@ -1,0 +1,630 @@
+//! Semantic checks: scoping, duplicate declarations, illegal writes, and a
+//! lightweight type inference for expressions.
+//!
+//! The checker mirrors the static analyses Stanc3 runs before its backends:
+//! it rejects programs that reference undeclared variables, re-declare a
+//! name in the same scope, assign to parameters or data inside the model, or
+//! apply operators to incompatible shapes. The inferred [`Ty`] of an
+//! expression is intentionally coarse (scalars, vectors, matrices, and
+//! arrays) — enough to drive the compiler's code generation decisions and to
+//! reproduce the "compile error" rows of the paper's evaluation tables.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::*;
+use crate::error::FrontendError;
+
+/// The coarse type lattice used by the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// Integer scalar.
+    Int,
+    /// Real scalar.
+    Real,
+    /// Vector / row vector / simplex (length not tracked).
+    Vector,
+    /// Matrix.
+    Matrix,
+    /// Array of an element type with the given number of dimensions.
+    Array(Box<Ty>, usize),
+    /// A value whose type we cannot determine (e.g. unknown function call).
+    Unknown,
+}
+
+impl Ty {
+    /// Whether this type is an (int or real) scalar.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Ty::Int | Ty::Real)
+    }
+
+    /// The type obtained by indexing with `n` indices.
+    pub fn index(&self, n: usize) -> Ty {
+        match self {
+            Ty::Array(elem, dims) => {
+                if n < *dims {
+                    Ty::Array(elem.clone(), dims - n)
+                } else if n == *dims {
+                    (**elem).clone()
+                } else {
+                    elem.index(n - dims)
+                }
+            }
+            Ty::Vector => {
+                if n == 1 {
+                    Ty::Real
+                } else {
+                    Ty::Unknown
+                }
+            }
+            Ty::Matrix => match n {
+                1 => Ty::Vector,
+                2 => Ty::Real,
+                _ => Ty::Unknown,
+            },
+            _ => Ty::Unknown,
+        }
+    }
+}
+
+/// Where a symbol was declared — used to reject illegal writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Origin {
+    /// `data` block (read-only everywhere).
+    Data,
+    /// `parameters` block (read-only; sampled by inference).
+    Parameter,
+    /// `guide parameters` block.
+    GuideParameter,
+    /// Any other declaration (transformed blocks, local, generated).
+    Local,
+    /// Loop index variable.
+    LoopIndex,
+    /// Declared network (callable).
+    Network,
+    /// User-defined function argument.
+    FunctionArg,
+}
+
+#[derive(Debug, Clone)]
+struct SymbolInfo {
+    ty: Ty,
+    origin: Origin,
+}
+
+fn decl_ty(d: &Decl) -> Ty {
+    let base = match &d.ty {
+        BaseType::Int => Ty::Int,
+        BaseType::Real => Ty::Real,
+        BaseType::Matrix(_, _)
+        | BaseType::CovMatrix(_)
+        | BaseType::CorrMatrix(_)
+        | BaseType::CholeskyFactorCorr(_) => Ty::Matrix,
+        _ => Ty::Vector,
+    };
+    if d.dims.is_empty() {
+        base
+    } else {
+        Ty::Array(Box::new(base), d.dims.len())
+    }
+}
+
+/// The checking context: nested scopes and the user function/network tables.
+struct Checker {
+    scopes: Vec<HashMap<String, SymbolInfo>>,
+    functions: HashSet<String>,
+    errors: Vec<String>,
+    allow_parameter_writes: bool,
+}
+
+impl Checker {
+    fn new() -> Self {
+        Checker {
+            scopes: vec![HashMap::new()],
+            functions: HashSet::new(),
+            errors: Vec::new(),
+            allow_parameter_writes: false,
+        }
+    }
+
+    fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn declare(&mut self, name: &str, ty: Ty, origin: Origin) {
+        let scope = self.scopes.last_mut().expect("at least one scope");
+        if scope.contains_key(name) {
+            self.errors
+                .push(format!("duplicate declaration of `{name}`"));
+        }
+        scope.insert(name.to_string(), SymbolInfo { ty, origin });
+    }
+
+    fn lookup(&self, name: &str) -> Option<&SymbolInfo> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn check_expr(&mut self, e: &Expr) -> Ty {
+        match e {
+            Expr::IntLit(_) => Ty::Int,
+            Expr::RealLit(_) => Ty::Real,
+            Expr::StringLit(_) => Ty::Unknown,
+            Expr::Var(name) => match self.lookup(name) {
+                Some(info) => info.ty.clone(),
+                None => {
+                    self.errors.push(format!("unknown variable `{name}`"));
+                    Ty::Unknown
+                }
+            },
+            Expr::Call(name, args) => {
+                for a in args {
+                    self.check_expr(a);
+                }
+                self.call_return_type(name, args.len())
+            }
+            Expr::Binary(op, a, b) => {
+                let ta = self.check_expr(a);
+                let tb = self.check_expr(b);
+                self.binary_type(*op, ta, tb)
+            }
+            Expr::Unary(_, a) => self.check_expr(a),
+            Expr::Index(base, idx) => {
+                let tb = self.check_expr(base);
+                let mut range_indexing = false;
+                for i in idx {
+                    if matches!(i, Expr::Range(_, _)) {
+                        range_indexing = true;
+                    }
+                    self.check_expr(i);
+                }
+                if range_indexing {
+                    tb
+                } else {
+                    tb.index(idx.len())
+                }
+            }
+            Expr::ArrayLit(items) => {
+                let elem = items
+                    .first()
+                    .map(|i| self.check_expr(i))
+                    .unwrap_or(Ty::Unknown);
+                for i in items.iter().skip(1) {
+                    self.check_expr(i);
+                }
+                Ty::Array(Box::new(elem), 1)
+            }
+            Expr::VectorLit(items) => {
+                for i in items {
+                    self.check_expr(i);
+                }
+                Ty::Vector
+            }
+            Expr::Range(a, b) => {
+                self.check_expr(a);
+                self.check_expr(b);
+                Ty::Array(Box::new(Ty::Int), 1)
+            }
+            Expr::Ternary(c, a, b) => {
+                self.check_expr(c);
+                let ta = self.check_expr(a);
+                let tb = self.check_expr(b);
+                if ta == tb {
+                    ta
+                } else {
+                    Ty::Real
+                }
+            }
+        }
+    }
+
+    fn binary_type(&mut self, op: BinOp, a: Ty, b: Ty) -> Ty {
+        use BinOp::*;
+        match op {
+            Eq | Neq | Lt | Leq | Gt | Geq | And | Or => Ty::Int,
+            Mod => Ty::Int,
+            _ => match (a, b) {
+                (Ty::Int, Ty::Int) => {
+                    if op == Div {
+                        Ty::Int
+                    } else {
+                        Ty::Int
+                    }
+                }
+                (Ty::Unknown, o) | (o, Ty::Unknown) => o,
+                (Ty::Matrix, _) | (_, Ty::Matrix) => Ty::Matrix,
+                (Ty::Vector, Ty::Vector) if op == Mul => Ty::Real,
+                (Ty::Vector, _) | (_, Ty::Vector) => Ty::Vector,
+                (Ty::Array(e, d), _) | (_, Ty::Array(e, d)) => Ty::Array(e, d),
+                _ => Ty::Real,
+            },
+        }
+    }
+
+    fn call_return_type(&mut self, name: &str, _arity: usize) -> Ty {
+        // Reductions and scalar transcendental functions.
+        const SCALAR_FNS: &[&str] = &[
+            "sum", "mean", "sd", "variance", "min", "max", "prod", "dot_product", "dot_self",
+            "log", "exp", "sqrt", "fabs", "abs", "square", "inv", "inv_logit", "logit", "pow",
+            "fmax", "fmin", "lgamma", "tgamma", "log1p", "log1m", "expm1", "floor", "ceil",
+            "round", "step", "if_else", "log_sum_exp", "log_mix", "normal_lpdf", "normal_lpmf",
+            "bernoulli_lpmf", "binomial_lpmf", "poisson_lpmf", "beta_lpdf", "gamma_lpdf",
+            "cauchy_lpdf", "student_t_lpdf", "uniform_lpdf", "exponential_lpdf",
+            "lognormal_lpdf", "categorical_lpmf", "categorical_logit_lpmf", "multi_normal_lpdf",
+            "dirichlet_lpdf", "normal_rng", "bernoulli_rng", "binomial_rng", "poisson_rng",
+            "beta_rng", "gamma_rng", "uniform_rng", "categorical_rng", "exponential_rng",
+            "lognormal_rng", "student_t_rng", "cauchy_rng", "num_elements", "rows", "cols",
+            "size", "sin", "cos", "tan", "atan", "atan2", "tanh", "erf", "Phi", "Phi_approx",
+            "binomial_logit_lpmf", "bernoulli_logit_lpmf", "neg_binomial_2_lpmf", "int_step",
+        ];
+        const VECTOR_FNS: &[&str] = &[
+            "rep_vector", "to_vector", "softmax", "cumulative_sum", "head", "tail", "segment",
+            "col", "row", "diagonal", "sort_asc", "sort_desc", "rep_row_vector", "inverse",
+            "append_row", "append_col",
+        ];
+        const MATRIX_FNS: &[&str] = &["rep_matrix", "to_matrix", "diag_matrix", "cov_exp_quad"];
+        const ARRAY_FNS: &[&str] = &["rep_array", "to_array_1d", "to_array_2d"];
+        if SCALAR_FNS.contains(&name) {
+            Ty::Real
+        } else if VECTOR_FNS.contains(&name) {
+            Ty::Vector
+        } else if MATRIX_FNS.contains(&name) {
+            Ty::Matrix
+        } else if ARRAY_FNS.contains(&name) {
+            Ty::Array(Box::new(Ty::Real), 1)
+        } else if self.functions.contains(name) || self.lookup(name).map(|i| i.origin) == Some(Origin::Network)
+        {
+            Ty::Unknown
+        } else if name.ends_with("_rng")
+            || name.ends_with("_lpdf")
+            || name.ends_with("_lpmf")
+            || name.ends_with("_lcdf")
+            || name.ends_with("_lccdf")
+            || name.ends_with("_cdf")
+        {
+            Ty::Real
+        } else {
+            // Unknown functions are reported but typed as Unknown so one
+            // missing stdlib entry produces a single error.
+            self.errors.push(format!("unknown function `{name}`"));
+            Ty::Unknown
+        }
+    }
+
+    fn check_lvalue(&mut self, lv: &LValue) {
+        match self.lookup(&lv.name) {
+            None => self
+                .errors
+                .push(format!("assignment to undeclared variable `{}`", lv.name)),
+            Some(info) => match info.origin {
+                Origin::Data => self
+                    .errors
+                    .push(format!("cannot assign to data variable `{}`", lv.name)),
+                Origin::Parameter if !self.allow_parameter_writes => self.errors.push(format!(
+                    "cannot assign to parameter `{}` inside the model",
+                    lv.name
+                )),
+                _ => {}
+            },
+        }
+        let idx = lv.indices.clone();
+        for i in &idx {
+            self.check_expr(i);
+        }
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::LocalDecl(d) => {
+                self.check_decl_exprs(d);
+                self.declare(&d.name, decl_ty(d), Origin::Local);
+                if let Some(init) = &d.init {
+                    self.check_expr(init);
+                }
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                self.check_lvalue(lhs);
+                self.check_expr(rhs);
+            }
+            Stmt::TargetPlus(e) => {
+                let t = self.check_expr(e);
+                if matches!(t, Ty::Matrix) {
+                    self.errors
+                        .push("target += expects a scalar or vector expression".to_string());
+                }
+            }
+            Stmt::Tilde { lhs, args, .. } => {
+                self.check_expr(lhs);
+                for a in args {
+                    self.check_expr(a);
+                }
+            }
+            Stmt::Block(ss) => {
+                self.push_scope();
+                for s in ss {
+                    self.check_stmt(s);
+                }
+                self.pop_scope();
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let t = self.check_expr(cond);
+                if !t.is_scalar() && t != Ty::Unknown {
+                    self.errors
+                        .push("if condition must be a scalar".to_string());
+                }
+                self.check_stmt(then_branch);
+                if let Some(e) = else_branch {
+                    self.check_stmt(e);
+                }
+            }
+            Stmt::ForRange { var, lo, hi, body } => {
+                self.check_expr(lo);
+                self.check_expr(hi);
+                self.push_scope();
+                self.declare(var, Ty::Int, Origin::LoopIndex);
+                self.check_stmt(body);
+                self.pop_scope();
+            }
+            Stmt::ForEach {
+                var,
+                collection,
+                body,
+            } => {
+                let t = self.check_expr(collection);
+                self.push_scope();
+                self.declare(var, t.index(1), Origin::LoopIndex);
+                self.check_stmt(body);
+                self.pop_scope();
+            }
+            Stmt::While { cond, body } => {
+                self.check_expr(cond);
+                self.check_stmt(body);
+            }
+            Stmt::Print(args) | Stmt::Reject(args) => {
+                for a in args {
+                    self.check_expr(a);
+                }
+            }
+            Stmt::Return(Some(e)) => {
+                self.check_expr(e);
+            }
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue | Stmt::Skip => {}
+        }
+    }
+
+    fn check_decl_exprs(&mut self, d: &Decl) {
+        if let Some(l) = &d.constraint.lower {
+            self.check_expr(l);
+        }
+        if let Some(u) = &d.constraint.upper {
+            self.check_expr(u);
+        }
+        for dim in &d.dims {
+            self.check_expr(dim);
+        }
+        match &d.ty {
+            BaseType::Vector(n)
+            | BaseType::RowVector(n)
+            | BaseType::Simplex(n)
+            | BaseType::Ordered(n)
+            | BaseType::PositiveOrdered(n)
+            | BaseType::UnitVector(n)
+            | BaseType::CovMatrix(n)
+            | BaseType::CorrMatrix(n)
+            | BaseType::CholeskyFactorCorr(n) => {
+                self.check_expr(n);
+            }
+            BaseType::Matrix(r, c) => {
+                self.check_expr(r);
+                self.check_expr(c);
+            }
+            BaseType::Int | BaseType::Real => {}
+        }
+    }
+
+    fn check_body(&mut self, body: &BlockBody) {
+        for s in &body.stmts {
+            self.check_stmt(s);
+        }
+    }
+}
+
+/// Checks a whole program.
+///
+/// # Errors
+/// Returns the first semantic error; the message concatenates everything that
+/// was found so callers can show all problems at once.
+pub fn check_program(program: &Program) -> Result<(), FrontendError> {
+    let mut ck = Checker::new();
+
+    // User-defined functions: register names, then check bodies in their own
+    // scope with their arguments declared.
+    for f in &program.functions {
+        ck.functions.insert(f.name.clone());
+    }
+    for f in &program.functions {
+        ck.push_scope();
+        for arg in &f.args {
+            let base = match arg.ty.kind.as_str() {
+                "int" => Ty::Int,
+                "vector" | "row_vector" => Ty::Vector,
+                "matrix" => Ty::Matrix,
+                _ => Ty::Real,
+            };
+            let ty = if arg.ty.array_dims > 0 {
+                Ty::Array(Box::new(base), arg.ty.array_dims)
+            } else {
+                base
+            };
+            ck.declare(&arg.name, ty, Origin::FunctionArg);
+        }
+        ck.check_body(&f.body);
+        ck.pop_scope();
+    }
+
+    // Networks behave like opaque callables; their lifted parameters (e.g.
+    // `mlp.l1.weight`) are declared in the parameters block by the user.
+    for n in &program.networks {
+        ck.declare(&n.name, Ty::Unknown, Origin::Network);
+    }
+
+    for d in &program.data {
+        ck.check_decl_exprs(d);
+        ck.declare(&d.name, decl_ty(d), Origin::Data);
+    }
+    if let Some(td) = &program.transformed_data {
+        ck.check_body(td);
+        // Transformed-data declarations stay visible to later blocks.
+        hoist_decls(&mut ck, td);
+    }
+    for d in &program.parameters {
+        ck.check_decl_exprs(d);
+        ck.declare(&d.name, decl_ty(d), Origin::Parameter);
+    }
+    if let Some(tp) = &program.transformed_parameters {
+        ck.check_body(tp);
+        hoist_decls(&mut ck, tp);
+    }
+
+    ck.push_scope();
+    ck.check_body(&program.model);
+    ck.pop_scope();
+
+    if let Some(gq) = &program.generated_quantities {
+        ck.push_scope();
+        ck.check_body(gq);
+        ck.pop_scope();
+    }
+
+    // DeepStan guide: guide parameters are learnable coefficients; the guide
+    // body must sample the model parameters, so writes to them are illegal
+    // but ~ statements about them are expected.
+    for d in &program.guide_parameters {
+        ck.check_decl_exprs(d);
+        ck.declare(&d.name, decl_ty(d), Origin::GuideParameter);
+    }
+    if let Some(guide) = &program.guide {
+        ck.push_scope();
+        ck.check_body(guide);
+        ck.pop_scope();
+    }
+
+    if ck.errors.is_empty() {
+        Ok(())
+    } else {
+        Err(FrontendError::semantic(ck.errors.join("; ")))
+    }
+}
+
+fn hoist_decls(ck: &mut Checker, body: &BlockBody) {
+    for s in &body.stmts {
+        if let Stmt::LocalDecl(d) = s {
+            // Re-declare at the top level so subsequent blocks can see it;
+            // duplicates were already reported while checking the block.
+            let scope = ck.scopes.first_mut().expect("root scope");
+            scope.insert(
+                d.name.clone(),
+                SymbolInfo {
+                    ty: decl_ty(d),
+                    origin: Origin::Local,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    fn check(src: &str) -> Result<(), FrontendError> {
+        check_program(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_the_coin_model() {
+        check(
+            "data { int N; int<lower=0,upper=1> x[N]; } parameters { real<lower=0,upper=1> z; }
+             model { z ~ beta(1,1); for (i in 1:N) x[i] ~ bernoulli(z); }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_variables() {
+        let err = check("model { y ~ normal(0, 1); }").unwrap_err();
+        assert!(err.message.contains("unknown variable `y`"));
+    }
+
+    #[test]
+    fn rejects_duplicate_declarations() {
+        let err = check("data { int N; real N; } model { }").unwrap_err();
+        assert!(err.message.contains("duplicate declaration"));
+    }
+
+    #[test]
+    fn rejects_assignment_to_data_and_parameters() {
+        let err = check(
+            "data { real y; } parameters { real mu; } model { y = 1; mu = 2; }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("cannot assign to data"));
+        assert!(err.message.contains("cannot assign to parameter"));
+    }
+
+    #[test]
+    fn loop_variable_is_scoped_to_the_loop() {
+        let err = check(
+            "data { int N; } parameters { real mu; } model { for (i in 1:N) mu ~ normal(0,1); mu ~ normal(i, 1); }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unknown variable `i`"));
+    }
+
+    #[test]
+    fn transformed_data_is_visible_downstream() {
+        check(
+            "data { int N; real y[N]; } transformed data { real m; m = mean(y); }
+             parameters { real mu; } model { mu ~ normal(m, 1); }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn unknown_functions_are_reported() {
+        let err = check("parameters { real mu; } model { mu ~ normal(frobnicate(1), 1); }")
+            .unwrap_err();
+        assert!(err.message.contains("unknown function `frobnicate`"));
+    }
+
+    #[test]
+    fn user_functions_and_networks_are_callable() {
+        check(
+            "functions { real f(real x) { return x * 2; } }
+             networks { vector mlp(real[,] imgs); }
+             data { real y; }
+             parameters { real mu; }
+             model { y ~ normal(f(mu) + sum(mlp(rep_array(y, 2, 2))), 1); }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn guide_blocks_are_checked() {
+        let err = check(
+            "parameters { real theta; }
+             model { theta ~ normal(0, 1); }
+             guide parameters { real m; }
+             guide { theta ~ normal(m, s); }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unknown variable `s`"));
+    }
+}

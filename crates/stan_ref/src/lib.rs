@@ -1,0 +1,419 @@
+//! `stan_ref` — the baseline Stan-semantics interpreter.
+//!
+//! This crate implements the imperative density semantics of Figure 3 of the
+//! paper directly on the Stan AST: given data and parameter values, the model
+//! block is executed statement by statement, accumulating the reserved
+//! `target` variable (`target += e` adds `e`; `e ~ D` adds `D_lpdf(e)`).
+//! Combined with the same constraint transforms and NUTS engine used by the
+//! GProb backends, it plays the role CmdStan plays in the paper's evaluation:
+//! the reference posterior machinery and the speed baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use gprob::value::{Env, Value};
+//! use stan_ref::StanModel;
+//!
+//! let src = r#"
+//!     data { int N; int<lower=0,upper=1> x[N]; }
+//!     parameters { real<lower=0,upper=1> z; }
+//!     model { z ~ beta(1, 1); for (i in 1:N) x[i] ~ bernoulli(z); }
+//! "#;
+//! let program = stan_frontend::compile_frontend(src).unwrap();
+//! let mut data = Env::new();
+//! data.insert("N".to_string(), Value::Int(2));
+//! data.insert("x".to_string(), Value::IntArray(vec![1, 0]));
+//! let model = StanModel::new(&program, data).unwrap();
+//! let (lp, grad) = model.log_density_and_grad(&[0.0]).unwrap();
+//! assert!(lp.is_finite() && grad.len() == 1);
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use gprob::eval::{
+    default_value, eval_expr, exec_stmt, DeterministicOnly, EvalCtx, Flow, TargetAccumulator,
+};
+use gprob::model::ParamSlot;
+use gprob::value::{lift_env, Env, RuntimeError, Value};
+use minidiff::{grad, tape, Real, Var};
+use probdist::Constraint;
+use rand::rngs::StdRng;
+use rand::Rng;
+use stan_frontend::ast::{BaseType, Program, Stmt};
+
+/// A Stan program instantiated with data, evaluated with the reference
+/// density semantics (the paper's Figure 3).
+pub struct StanModel {
+    program: Program,
+    data: Env<f64>,
+    slots: Vec<ParamSlot>,
+    dim: usize,
+}
+
+impl StanModel {
+    /// Instantiates the model: runs `transformed data` once and lays out the
+    /// unconstrained parameter vector from the `parameters` declarations.
+    ///
+    /// # Errors
+    /// Fails if the transformed-data block fails, a parameter shape cannot be
+    /// evaluated, or a parameter type is unsupported.
+    pub fn new(program: &Program, mut data: Env<f64>) -> Result<Self, RuntimeError> {
+        let ctx: EvalCtx<f64> = EvalCtx::with_functions(&program.functions);
+        if let Some(td) = &program.transformed_data {
+            let mut handler = DeterministicOnly;
+            for stmt in &td.stmts {
+                match exec_stmt(stmt, &mut data, &ctx, &mut handler)? {
+                    Flow::Normal => {}
+                    other => {
+                        return Err(RuntimeError::new(format!(
+                            "unexpected control flow {other:?} in transformed data"
+                        )))
+                    }
+                }
+            }
+        }
+
+        let mut slots = Vec::new();
+        let mut offset = 0usize;
+        for d in &program.parameters {
+            let mut dims: Vec<i64> = Vec::new();
+            for e in &d.dims {
+                dims.push(eval_expr(e, &data, &ctx)?.as_int()?);
+            }
+            match &d.ty {
+                BaseType::Real => {}
+                BaseType::Vector(n) | BaseType::RowVector(n) => {
+                    dims.push(eval_expr(n, &data, &ctx)?.as_int()?);
+                }
+                BaseType::Matrix(r, c) => {
+                    dims.push(eval_expr(r, &data, &ctx)?.as_int()?);
+                    dims.push(eval_expr(c, &data, &ctx)?.as_int()?);
+                }
+                other => {
+                    return Err(RuntimeError::new(format!(
+                        "parameter type {other:?} is not supported by the reference interpreter"
+                    )))
+                }
+            }
+            let size: usize = dims.iter().map(|&d| d.max(0) as usize).product();
+            let lower = match &d.constraint.lower {
+                Some(e) => Some(eval_expr(e, &data, &ctx)?.as_real()?),
+                None => None,
+            };
+            let upper = match &d.constraint.upper {
+                Some(e) => Some(eval_expr(e, &data, &ctx)?.as_real()?),
+                None => None,
+            };
+            slots.push(ParamSlot {
+                name: d.name.clone(),
+                dims,
+                size,
+                offset,
+                constraint: Constraint::from_bounds(lower, upper),
+            });
+            offset += size;
+        }
+
+        Ok(StanModel {
+            program: program.clone(),
+            data,
+            slots,
+            dim: offset,
+        })
+    }
+
+    /// Number of unconstrained dimensions.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The data environment (after transformed data).
+    pub fn data(&self) -> &Env<f64> {
+        &self.data
+    }
+
+    /// Parameter layout.
+    pub fn slots(&self) -> &[ParamSlot] {
+        &self.slots
+    }
+
+    /// Flat component names (`mu`, `theta[1]`, ...).
+    pub fn component_names(&self) -> Vec<String> {
+        self.slots
+            .iter()
+            .flat_map(|s| s.component_names())
+            .collect()
+    }
+
+    /// Maps an unconstrained vector to constrained parameter values and the
+    /// log-Jacobian of the transforms.
+    ///
+    /// # Errors
+    /// Fails if `theta_u` has the wrong length.
+    pub fn constrain<T: Real>(&self, theta_u: &[T]) -> Result<(Env<T>, T), RuntimeError> {
+        if theta_u.len() != self.dim {
+            return Err(RuntimeError::new(format!(
+                "expected {} unconstrained values, got {}",
+                self.dim,
+                theta_u.len()
+            )));
+        }
+        let mut env = Env::new();
+        let mut log_jac = T::from_f64(0.0);
+        for slot in &self.slots {
+            let mut comps = Vec::with_capacity(slot.size);
+            for i in 0..slot.size {
+                let u = theta_u[slot.offset + i];
+                comps.push(slot.constraint.to_constrained(u));
+                log_jac = log_jac + slot.constraint.log_jacobian(u);
+            }
+            env.insert(slot.name.clone(), shape_param(&comps, &slot.dims));
+        }
+        Ok((env, log_jac))
+    }
+
+    /// The value of `target` (the un-normalized log-density of Figure 3) for
+    /// the given unconstrained parameters, including the Jacobian correction.
+    ///
+    /// This executes `transformed parameters` followed by `model` in a fresh
+    /// environment exactly as the Stan semantics prescribes.
+    ///
+    /// # Errors
+    /// Propagates evaluation errors (unknown functions, bad indexing, ...).
+    pub fn log_density<T: Real>(&self, theta_u: &[T]) -> Result<T, RuntimeError> {
+        let (params, log_jac) = self.constrain(theta_u)?;
+        let ctx: EvalCtx<T> = EvalCtx::with_functions(&self.program.functions);
+        let mut env: Env<T> = lift_env(&self.data);
+        for (k, v) in params {
+            env.insert(k, v);
+        }
+        let mut handler = TargetAccumulator::default();
+        if let Some(tp) = &self.program.transformed_parameters {
+            for stmt in &tp.stmts {
+                exec_stmt(stmt, &mut env, &ctx, &mut handler)?;
+            }
+        }
+        for stmt in &self.program.model.stmts {
+            exec_stmt(stmt, &mut env, &ctx, &mut handler)?;
+        }
+        Ok(handler.target + log_jac)
+    }
+
+    /// Plain `f64` log-density.
+    ///
+    /// # Errors
+    /// Propagates evaluation errors.
+    pub fn log_density_f64(&self, theta_u: &[f64]) -> Result<f64, RuntimeError> {
+        self.log_density(theta_u)
+    }
+
+    /// Log-density and gradient via the reverse-mode tape.
+    ///
+    /// # Errors
+    /// Propagates evaluation errors.
+    pub fn log_density_and_grad(&self, theta_u: &[f64]) -> Result<(f64, Vec<f64>), RuntimeError> {
+        tape::reset();
+        let vars: Vec<Var> = theta_u.iter().map(|&x| Var::new(x)).collect();
+        let lp = self.log_density(&vars)?;
+        let g = grad(lp, &vars);
+        Ok((lp.value(), g))
+    }
+
+    /// Stan-style initialization: uniform in `[-2, 2]` on the unconstrained
+    /// scale.
+    pub fn initial_unconstrained(&self, rng: &mut StdRng) -> Vec<f64> {
+        (0..self.dim).map(|_| rng.gen_range(-2.0..2.0)).collect()
+    }
+
+    /// Evaluates the `generated quantities` block for one draw.
+    ///
+    /// # Errors
+    /// Propagates evaluation errors.
+    pub fn generated_quantities(
+        &self,
+        theta_u: &[f64],
+        rng: Rc<RefCell<StdRng>>,
+    ) -> Result<Env<f64>, RuntimeError> {
+        let Some(gq) = &self.program.generated_quantities else {
+            return Ok(Env::new());
+        };
+        let (params, _) = self.constrain::<f64>(theta_u)?;
+        let mut env = self.data.clone();
+        for (k, v) in params {
+            env.insert(k, v);
+        }
+        let ctx = EvalCtx {
+            funcs: self
+                .program
+                .functions
+                .iter()
+                .map(|f| (f.name.clone(), f))
+                .collect(),
+            externals: &gprob::eval::NoExternals,
+            rng: Some(rng),
+        };
+        let mut handler = DeterministicOnly;
+        if let Some(tp) = &self.program.transformed_parameters {
+            for stmt in &tp.stmts {
+                exec_stmt(stmt, &mut env, &ctx, &mut handler)?;
+            }
+        }
+        let declared: Vec<String> = gq
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::LocalDecl(d) => Some(d.name.clone()),
+                _ => None,
+            })
+            .collect();
+        for stmt in &gq.stmts {
+            exec_stmt(stmt, &mut env, &ctx, &mut handler)?;
+        }
+        Ok(env
+            .into_iter()
+            .filter(|(k, _)| declared.contains(k))
+            .collect())
+    }
+
+    /// Default (zero / empty) values of every data variable — handy when
+    /// constructing synthetic data sets shape-compatible with the program.
+    ///
+    /// # Errors
+    /// Fails when a dimension expression cannot be evaluated from the
+    /// already-provided variables.
+    pub fn data_defaults(program: &Program, partial: &Env<f64>) -> Result<Env<f64>, RuntimeError> {
+        let ctx: EvalCtx<f64> = EvalCtx::empty();
+        let mut env = partial.clone();
+        for d in &program.data {
+            if !env.contains_key(&d.name) {
+                let v: Value<f64> = default_value(d, &env, &ctx)?;
+                env.insert(d.name.clone(), v);
+            }
+        }
+        Ok(env)
+    }
+}
+
+fn shape_param<T: Real>(comps: &[T], dims: &[i64]) -> Value<T> {
+    match dims.len() {
+        0 => Value::Real(comps[0]),
+        1 => Value::Vector(comps.to_vec()),
+        _ => {
+            let chunk = comps.len() / dims[0].max(1) as usize;
+            Value::Array(
+                comps
+                    .chunks(chunk.max(1))
+                    .map(|c| shape_param(c, &dims[1..]))
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stan_frontend::compile_frontend;
+
+    fn coin_model() -> StanModel {
+        let src = r#"
+            data { int N; int<lower=0,upper=1> x[N]; }
+            parameters { real<lower=0,upper=1> z; }
+            model { z ~ beta(1, 1); for (i in 1:N) x[i] ~ bernoulli(z); }
+        "#;
+        let program = compile_frontend(src).unwrap();
+        let mut data = Env::new();
+        data.insert("N".into(), Value::Int(10));
+        data.insert(
+            "x".into(),
+            Value::IntArray(vec![1, 1, 1, 0, 1, 0, 1, 1, 0, 1]),
+        );
+        StanModel::new(&program, data).unwrap()
+    }
+
+    #[test]
+    fn coin_density_matches_manual_computation() {
+        let m = coin_model();
+        let u = 0.4_f64;
+        let z = 1.0 / (1.0 + (-u).exp());
+        let lp = m.log_density_f64(&[u]).unwrap();
+        let manual = 7.0 * z.ln() + 3.0 * (1.0 - z).ln() + (z * (1.0 - z)).ln();
+        assert!((lp - manual).abs() < 1e-10, "{lp} vs {manual}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let m = coin_model();
+        let (_, g) = m.log_density_and_grad(&[0.2]).unwrap();
+        let h = 1e-6;
+        let fd = (m.log_density_f64(&[0.2 + h]).unwrap() - m.log_density_f64(&[0.2 - h]).unwrap())
+            / (2.0 * h);
+        assert!((g[0] - fd).abs() < 1e-5);
+    }
+
+    #[test]
+    fn transformed_blocks_and_generated_quantities() {
+        let src = r#"
+            data { int N; real y[N]; }
+            transformed data { real mean_y; mean_y = mean(y); }
+            parameters { real mu; real<lower=0> sigma; }
+            transformed parameters { real shifted; shifted = mu + mean_y; }
+            model { y ~ normal(shifted, sigma); mu ~ normal(0, 10); sigma ~ lognormal(0, 1); }
+            generated quantities { real yrep; yrep = normal_rng(shifted, sigma); }
+        "#;
+        let program = compile_frontend(src).unwrap();
+        let mut data = Env::new();
+        data.insert("N".into(), Value::Int(3));
+        data.insert("y".into(), Value::Vector(vec![1.0, 2.0, 3.0]));
+        let m = StanModel::new(&program, data).unwrap();
+        assert_eq!(m.dim(), 2);
+        // transformed data computed once
+        assert_eq!(m.data().get("mean_y").unwrap(), &Value::Real(2.0));
+        let lp = m.log_density_f64(&[0.1, -0.2]).unwrap();
+        assert!(lp.is_finite());
+        let rng = Rc::new(RefCell::new(rand::SeedableRng::seed_from_u64(1)));
+        let gq = m.generated_quantities(&[0.1, -0.2], rng).unwrap();
+        assert!(gq.contains_key("yrep"));
+    }
+
+    #[test]
+    fn vector_parameters_and_left_expressions() {
+        let src = r#"
+            data { int N; }
+            parameters { real phi[N]; }
+            model {
+              phi ~ normal(0, 1);
+              sum(phi) ~ normal(0, 0.001 * N);
+            }
+        "#;
+        let program = compile_frontend(src).unwrap();
+        let mut data = Env::new();
+        data.insert("N".into(), Value::Int(3));
+        let m = StanModel::new(&program, data).unwrap();
+        assert_eq!(m.dim(), 3);
+        let theta = [0.5, -0.2, 0.1];
+        let lp = m.log_density_f64(&theta).unwrap();
+        let normal = |x: f64, mu: f64, sd: f64| {
+            -0.5 * ((x - mu) / sd).powi(2) - sd.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+        };
+        let manual: f64 = theta.iter().map(|&x| normal(x, 0.0, 1.0)).sum::<f64>()
+            + normal(0.4, 0.0, 0.003);
+        assert!((lp - manual).abs() < 1e-9, "{lp} vs {manual}");
+    }
+
+    #[test]
+    fn wrong_dimension_errors() {
+        let m = coin_model();
+        assert!(m.log_density_f64(&[0.1, 0.2]).is_err());
+    }
+
+    #[test]
+    fn data_defaults_fill_missing_entries() {
+        let src = "data { int N; real y[3]; } parameters { real mu; } model { mu ~ normal(0,1); }";
+        let program = compile_frontend(src).unwrap();
+        let env = StanModel::data_defaults(&program, &Env::new()).unwrap();
+        assert_eq!(env.get("N").unwrap(), &Value::Int(0));
+        assert_eq!(env.get("y").unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,39 @@
+//! The multimodal example of Figure 10: NUTS cannot represent the relative
+//! mass of the two modes, mean-field ADVI collapses to one mode, and
+//! variational inference with the explicit DeepStan guide recovers both.
+//!
+//! ```bash
+//! cargo run --release --example multimodal_vi
+//! ```
+
+use deepstan::{DeepStan, NutsSettings, SviSettings};
+use inference::advi::AdviConfig;
+
+fn mode_masses(theta: &[f64]) -> (usize, usize) {
+    let near_zero = theta.iter().filter(|&&t| t.abs() < 5.0).count();
+    let near_twenty = theta.iter().filter(|&&t| (t - 20.0).abs() < 5.0).count();
+    (near_zero, near_twenty)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let entry = model_zoo::find("multimodal_guide").expect("corpus model");
+    let program = DeepStan::compile_named(entry.name, entry.source)?;
+
+    let nuts = program.nuts(&[], &NutsSettings { warmup: 400, samples: 1000, seed: 1, ..Default::default() })?;
+    let (z, t) = mode_masses(&nuts.component("theta").unwrap());
+    println!("DeepStan NUTS:          {z} draws near 0, {t} near 20");
+
+    let advi = program.advi(&[], &AdviConfig { steps: 2000, output_samples: 1000, seed: 2, ..Default::default() })?;
+    let (z, t) = mode_masses(&advi.component("theta").unwrap());
+    println!("Stan ADVI (mean-field): {z} draws near 0, {t} near 20");
+
+    let fit = program.svi(&[], &[], &SviSettings { steps: 3000, lr: 0.05, seed: 3 })?;
+    let guided = program.sample_guide(&[], &fit, &[], 1000, 4)?;
+    let (z, t) = mode_masses(&guided.component("theta").unwrap());
+    println!(
+        "DeepStan VI (guide):    {z} draws near 0, {t} near 20   (m1 = {:.2}, m2 = {:.2})",
+        fit.guide_params["m1"][0], fit.guide_params["m2"][0]
+    );
+    println!("\nExpected: only the custom guide puts substantial mass on both modes.");
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! Workspace umbrella crate for the DeepStan reproduction.
+//!
+//! This crate exists so that the repository-level `examples/` and `tests/`
+//! directories can exercise the public API of every member crate. The actual
+//! functionality lives in the crates under `crates/`; start from
+//! [`deepstan`] for the user-facing API.
+//!
+//! ```
+//! use deepstan::DeepStan;
+//! let program = DeepStan::compile("parameters { real mu; } model { mu ~ normal(0, 1); }").unwrap();
+//! assert_eq!(program.parameter_names(), vec!["mu".to_string()]);
+//! ```
+
+pub use deepstan;
+pub use gprob;
+pub use inference;
+pub use model_zoo;
+pub use stan2gprob;
+pub use stan_frontend;
+pub use stan_ref;

@@ -1,0 +1,151 @@
+//! End-to-end posterior checks on conjugate / analytically tractable models,
+//! exercising the whole pipeline (frontend → compiler → runtime → NUTS →
+//! diagnostics) through the public API only.
+
+use deepstan::{DeepStan, NutsSettings};
+use gprob::value::Value;
+use inference::diagnostics::{accuracy_pass, ess, split_rhat};
+use stan2gprob::Scheme;
+
+#[test]
+fn conjugate_normal_posterior_is_recovered_by_both_runtimes() {
+    // y_i ~ N(mu, 1), mu ~ N(0, 1). With n observations the posterior is
+    // N(sum(y) / (n + 1), 1 / (n + 1)).
+    let src = r#"
+        data { int N; real y[N]; }
+        parameters { real mu; }
+        model { mu ~ normal(0, 1); y ~ normal(mu, 1); }
+    "#;
+    let y = vec![1.3, 0.7, 1.9, 1.1, 0.4, 1.6];
+    let n = y.len() as f64;
+    let post_mean = y.iter().sum::<f64>() / (n + 1.0);
+    let post_sd = (1.0 / (n + 1.0)).sqrt();
+    let program = DeepStan::compile(src).unwrap();
+    let data = vec![("N", Value::Int(y.len() as i64)), ("y", Value::Vector(y))];
+    let settings = NutsSettings {
+        warmup: 300,
+        samples: 800,
+        seed: 5,
+        ..Default::default()
+    };
+
+    let compiled = program.nuts(&data, &settings).unwrap();
+    let reference = program.nuts_reference(&data, &settings).unwrap();
+    for (label, posterior) in [("gprob", &compiled), ("stan_ref", &reference)] {
+        let s = posterior.summary("mu").unwrap();
+        assert!(
+            accuracy_pass(s.mean, post_mean, post_sd),
+            "{label}: mean {} vs analytic {post_mean}",
+            s.mean
+        );
+        assert!((s.stddev - post_sd).abs() < 0.05, "{label}: sd {}", s.stddev);
+        let chain = posterior.component("mu").unwrap();
+        assert!(split_rhat(&chain) < 1.1, "{label}: rhat");
+        assert!(ess(&chain) > 50.0, "{label}: ess");
+    }
+}
+
+#[test]
+fn constrained_scale_parameter_stays_positive_and_matches_reference() {
+    let entry = model_zoo::find("kidscore_momhs").unwrap();
+    let program = DeepStan::compile_named(entry.name, entry.source).unwrap();
+    let data = entry.dataset(1);
+    let data_refs: Vec<(&str, Value<f64>)> =
+        data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+    let settings = NutsSettings {
+        warmup: 300,
+        samples: 600,
+        seed: 2,
+        ..Default::default()
+    };
+    let posterior = program.nuts(&data_refs, &settings).unwrap();
+    let sigma = posterior.component("sigma").unwrap();
+    assert!(sigma.iter().all(|&s| s > 0.0), "sigma must stay positive");
+    // The data was generated with sigma = 1 and beta = 2.
+    let beta = posterior.summary("beta").unwrap();
+    assert!((beta.mean - 2.0).abs() < 0.5, "beta {}", beta.mean);
+    let sig = posterior.summary("sigma").unwrap();
+    assert!((sig.mean - 1.0).abs() < 0.4, "sigma {}", sig.mean);
+}
+
+#[test]
+fn all_three_schemes_agree_on_a_generative_model() {
+    let entry = model_zoo::find("kidscore_mom_work").unwrap();
+    let program = DeepStan::compile_named(entry.name, entry.source).unwrap();
+    let data = entry.dataset(4);
+    let data_refs: Vec<(&str, Value<f64>)> =
+        data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+    let settings = NutsSettings {
+        warmup: 250,
+        samples: 500,
+        seed: 11,
+        ..Default::default()
+    };
+    let mut means = Vec::new();
+    for scheme in [Scheme::Comprehensive, Scheme::Mixed, Scheme::Generative] {
+        let posterior = program.nuts_with(scheme, &data_refs, &settings).unwrap();
+        means.push(posterior.summary("b1").unwrap());
+    }
+    for pair in means.windows(2) {
+        assert!(
+            accuracy_pass(pair[0].mean, pair[1].mean, pair[1].stddev.max(0.05)),
+            "schemes disagree: {} vs {}",
+            pair[0].mean,
+            pair[1].mean
+        );
+    }
+}
+
+#[test]
+fn left_expression_model_constrains_the_sum() {
+    // sum(phi) ~ normal(0, 0.001 * N) forces the posterior sum toward zero —
+    // this only works because the comprehensive scheme keeps the left
+    // expression as an observation.
+    let entry = model_zoo::find("sum_to_zero_left_expr").unwrap();
+    let program = DeepStan::compile_named(entry.name, entry.source).unwrap();
+    let data = entry.dataset(6);
+    let data_refs: Vec<(&str, Value<f64>)> =
+        data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+    let settings = NutsSettings {
+        warmup: 300,
+        samples: 600,
+        seed: 3,
+        ..Default::default()
+    };
+    let posterior = program.nuts(&data_refs, &settings).unwrap();
+    let names: Vec<String> = posterior
+        .names
+        .iter()
+        .filter(|n| n.starts_with("phi"))
+        .cloned()
+        .collect();
+    let mean_sum: f64 = names
+        .iter()
+        .map(|n| posterior.summary(n).unwrap().mean)
+        .sum();
+    assert!(mean_sum.abs() < 0.2, "posterior sum {mean_sum} should be ~0");
+}
+
+#[test]
+fn expected_failures_fail_loudly_not_silently() {
+    for name in ["truncated_normal", "ordered_mixture"] {
+        let entry = model_zoo::find(name).unwrap();
+        let err = DeepStan::compile_named(name, entry.source).err();
+        assert!(err.is_some(), "{name} should fail to compile");
+    }
+    let entry = model_zoo::find("censored_lccdf").unwrap();
+    let program = DeepStan::compile_named(entry.name, entry.source).unwrap();
+    let data = entry.dataset(1);
+    let data_refs: Vec<(&str, Value<f64>)> =
+        data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+    let result = program.nuts(
+        &data_refs,
+        &NutsSettings {
+            warmup: 10,
+            samples: 10,
+            seed: 1,
+            ..Default::default()
+        },
+    );
+    assert!(result.is_err(), "lccdf model should fail at runtime");
+}

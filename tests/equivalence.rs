@@ -1,0 +1,95 @@
+//! Differential test of Theorem 3.3: for every runnable corpus model, the
+//! un-normalized log-density computed by the baseline Stan-semantics
+//! interpreter and by the compiled GProb program differ by at most a constant
+//! (independent of the parameter values).
+
+use deepstan::DeepStan;
+use gprob::value::Value;
+use proptest::prelude::*;
+use stan2gprob::Scheme;
+
+fn density_gap(name: &str, scheme: Scheme, points: &[Vec<f64>]) -> Option<Vec<f64>> {
+    let entry = model_zoo::find(name)?;
+    let program = DeepStan::compile_named(name, entry.source).ok()?;
+    let data = entry.dataset(3);
+    let data_refs: Vec<(&str, Value<f64>)> =
+        data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+    let gmodel = program.bind_with(scheme, &data_refs).ok()?;
+    let smodel = program.bind_reference(&data_refs).ok()?;
+    let mut gaps = Vec::new();
+    for p in points {
+        let theta: Vec<f64> = (0..gmodel.dim()).map(|i| p[i % p.len()]).collect();
+        let a = gmodel.log_density_f64(&theta).ok()?;
+        let b = smodel.log_density_f64(&theta).ok()?;
+        if a.is_finite() && b.is_finite() {
+            gaps.push(a - b);
+        }
+    }
+    Some(gaps)
+}
+
+#[test]
+fn compiled_and_reference_densities_agree_up_to_a_constant() {
+    let points = vec![
+        vec![0.1, -0.3, 0.7],
+        vec![0.5, 0.2, -0.1],
+        vec![-0.8, 1.1, 0.4],
+        vec![1.5, -1.5, 0.0],
+    ];
+    let mut checked = 0;
+    for entry in model_zoo::corpus() {
+        if !entry.should_run() || entry.name == "multimodal_guide" {
+            continue;
+        }
+        for scheme in [Scheme::Comprehensive, Scheme::Mixed] {
+            let Some(gaps) = density_gap(entry.name, scheme, &points) else {
+                continue;
+            };
+            if gaps.len() < 2 {
+                continue;
+            }
+            checked += 1;
+            let first = gaps[0];
+            for (i, g) in gaps.iter().enumerate() {
+                assert!(
+                    (g - first).abs() < 1e-6,
+                    "{} ({scheme:?}): density gap varies with parameters ({first} vs {g} at point {i})",
+                    entry.name
+                );
+            }
+        }
+    }
+    assert!(checked >= 20, "only {checked} model/scheme pairs checked");
+}
+
+#[test]
+fn generative_scheme_agrees_where_it_exists() {
+    let points = vec![vec![0.3, -0.2, 0.9], vec![-0.4, 0.6, 0.1]];
+    for name in ["coin", "kidscore_mom_work", "multiple_updates"] {
+        if let Some(gaps) = density_gap(name, Scheme::Generative, &points) {
+            if gaps.len() == 2 {
+                assert!(
+                    (gaps[0] - gaps[1]).abs() < 1e-6,
+                    "{name}: generative density gap varies"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn prop_coin_densities_differ_by_a_constant(u1 in -3.0f64..3.0, u2 in -3.0f64..3.0) {
+        let entry = model_zoo::find("coin").unwrap();
+        let program = DeepStan::compile_named("coin", entry.source).unwrap();
+        let data = entry.dataset(3);
+        let data_refs: Vec<(&str, Value<f64>)> =
+            data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        let gmodel = program.bind(&data_refs).unwrap();
+        let smodel = program.bind_reference(&data_refs).unwrap();
+        let gap1 = gmodel.log_density_f64(&[u1]).unwrap() - smodel.log_density_f64(&[u1]).unwrap();
+        let gap2 = gmodel.log_density_f64(&[u2]).unwrap() - smodel.log_density_f64(&[u2]).unwrap();
+        prop_assert!((gap1 - gap2).abs() < 1e-9);
+    }
+}

@@ -22,7 +22,11 @@ fn bench_schemes(c: &mut Criterion) {
             };
             let theta = vec![0.1; model.dim()];
             group.bench_function(format!("{name}/{}", scheme.name()), |b| {
-                b.iter(|| model.log_density_and_grad(std::hint::black_box(&theta)).unwrap())
+                b.iter(|| {
+                    model
+                        .log_density_and_grad(std::hint::black_box(&theta))
+                        .unwrap()
+                })
             });
         }
     }

@@ -1,10 +1,17 @@
 //! Log-density (and gradient) evaluation throughput: baseline Stan-semantics
 //! interpreter vs the compiled GProb runtime — the per-evaluation cost that
 //! drives the end-to-end speed comparison of Table 3.
+//!
+//! The `gprob_*` rows run the slot-resolved frame runtime; the
+//! `gprob_*_string_baseline` rows run the retained `HashMap<String, _>`
+//! evaluation path on the *same* compiled program, isolating the speedup of
+//! compile-time name resolution.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepstan::DeepStan;
+use gprob::eval::NoExternals;
 use gprob::value::Value;
+use minidiff::{grad, tape, Var};
 
 fn bench_density(c: &mut Criterion) {
     let mut group = c.benchmark_group("density_eval");
@@ -20,13 +27,43 @@ fn bench_density(c: &mut Criterion) {
         let theta = vec![0.1; gmodel.dim()];
 
         group.bench_function(format!("{name}/stan_ref_grad"), |b| {
-            b.iter(|| smodel.log_density_and_grad(std::hint::black_box(&theta)).unwrap())
+            b.iter(|| {
+                smodel
+                    .log_density_and_grad(std::hint::black_box(&theta))
+                    .unwrap()
+            })
         });
         group.bench_function(format!("{name}/gprob_grad"), |b| {
-            b.iter(|| gmodel.log_density_and_grad(std::hint::black_box(&theta)).unwrap())
+            b.iter(|| {
+                gmodel
+                    .log_density_and_grad(std::hint::black_box(&theta))
+                    .unwrap()
+            })
+        });
+        group.bench_function(format!("{name}/gprob_grad_string_baseline"), |b| {
+            b.iter(|| {
+                tape::reset();
+                let vars: Vec<Var> = std::hint::black_box(&theta)
+                    .iter()
+                    .map(|&x| Var::new(x))
+                    .collect();
+                let lp = gmodel.log_density_baseline(&vars, &NoExternals).unwrap();
+                grad(lp, &vars)
+            })
         });
         group.bench_function(format!("{name}/gprob_value_only"), |b| {
-            b.iter(|| gmodel.log_density_f64(std::hint::black_box(&theta)).unwrap())
+            b.iter(|| {
+                gmodel
+                    .log_density_f64(std::hint::black_box(&theta))
+                    .unwrap()
+            })
+        });
+        group.bench_function(format!("{name}/gprob_value_string_baseline"), |b| {
+            b.iter(|| {
+                gmodel
+                    .log_density_f64_baseline(std::hint::black_box(&theta))
+                    .unwrap()
+            })
         });
     }
     group.finish();

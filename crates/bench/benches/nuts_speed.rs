@@ -1,9 +1,19 @@
 //! Short end-to-end NUTS runs per backend — the sampling-throughput shape
 //! behind Table 3 and Table 5.
+//!
+//! `gprob_mixed` runs the slot-resolved frame runtime; `gprob_string_baseline`
+//! drives the same NUTS engine through the retained `HashMap<String, _>`
+//! density path, isolating the end-to-end effect of compile-time name
+//! resolution.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepstan::{DeepStan, NutsSettings};
+use gprob::eval::NoExternals;
 use gprob::value::Value;
+use inference::nuts::{nuts_sample, NutsConfig};
+use minidiff::{grad, tape, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn bench_nuts(c: &mut Criterion) {
     let mut group = c.benchmark_group("nuts_speed");
@@ -25,6 +35,29 @@ fn bench_nuts(c: &mut Criterion) {
         });
         group.bench_function(format!("{name}/gprob_mixed"), |b| {
             b.iter(|| program.nuts(&data_refs, &settings).unwrap())
+        });
+        group.bench_function(format!("{name}/gprob_string_baseline"), |b| {
+            b.iter(|| {
+                let model = program.bind(&data_refs).unwrap();
+                let mut rng = StdRng::seed_from_u64(settings.seed);
+                let init = model.initial_unconstrained(&mut rng);
+                let target = |q: &[f64]| {
+                    tape::reset();
+                    let vars: Vec<Var> = q.iter().map(|&x| Var::new(x)).collect();
+                    match model.log_density_baseline(&vars, &NoExternals) {
+                        Ok(lp) => (lp.value(), grad(lp, &vars)),
+                        Err(_) => (f64::NEG_INFINITY, vec![0.0; q.len()]),
+                    }
+                };
+                let config = NutsConfig {
+                    warmup: settings.warmup,
+                    samples: settings.samples,
+                    max_depth: settings.max_depth,
+                    seed: settings.seed,
+                    ..Default::default()
+                };
+                nuts_sample(&target, init, &config)
+            })
         });
     }
     group.finish();

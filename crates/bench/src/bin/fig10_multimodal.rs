@@ -42,7 +42,10 @@ fn main() {
 
     // 2. DeepStan (compiled backend) with NUTS.
     let deepstan_nuts = program.nuts(&[], &nuts_cfg).expect("deepstan nuts");
-    print_histogram("DeepStan (NUTS)", &deepstan_nuts.component("theta").unwrap());
+    print_histogram(
+        "DeepStan (NUTS)",
+        &deepstan_nuts.component("theta").unwrap(),
+    );
 
     // 3. DeepStan VI with the explicit guide of Figure 10.
     let fit = program
@@ -59,7 +62,10 @@ fn main() {
     let vi_posterior = program
         .sample_guide(&[], &fit, &[], scaled(1000), 3)
         .expect("guide samples");
-    print_histogram("DeepStan (VI, custom guide)", &vi_posterior.component("theta").unwrap());
+    print_histogram(
+        "DeepStan (VI, custom guide)",
+        &vi_posterior.component("theta").unwrap(),
+    );
     println!(
         "  fitted guide means: m1 = {:.2}, m2 = {:.2}",
         fit.guide_params["m1"][0], fit.guide_params["m2"][0]
@@ -80,5 +86,7 @@ fn main() {
     print_histogram("Stan (ADVI, mean-field)", &advi.component("theta").unwrap());
 
     println!("\nExpected shape (paper Figure 10): NUTS misses the relative mode weights,");
-    println!("mean-field ADVI collapses to a single mode, VI with the custom guide finds both modes.");
+    println!(
+        "mean-field ADVI collapses to a single mode, VI with the custom guide finds both modes."
+    );
 }

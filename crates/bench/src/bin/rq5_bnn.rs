@@ -14,7 +14,13 @@ use deepstan_bench::scaled;
 use gprob::value::Value;
 use model_zoo::{synthetic_digits, BAYESIAN_MLP_SOURCE};
 
-fn build_data(images: &[Vec<f64>], labels: &[i64], nx: usize, nh: usize, ny: usize) -> Vec<(&'static str, Value<f64>)> {
+fn build_data(
+    images: &[Vec<f64>],
+    labels: &[i64],
+    nx: usize,
+    nh: usize,
+    ny: usize,
+) -> Vec<(&'static str, Value<f64>)> {
     vec![
         ("batch_size", Value::Int(images.len() as i64)),
         ("nx", Value::Int(nx as i64)),
@@ -82,7 +88,13 @@ fn ensemble_predict(
         .collect()
 }
 
-fn train(prior_sd_label: &str, steps: usize, seed: u64, data: &[(&str, Value<f64>)], networks: &[MlpSpec]) -> VariationalFit {
+fn train(
+    prior_sd_label: &str,
+    steps: usize,
+    seed: u64,
+    data: &[(&str, Value<f64>)],
+    networks: &[MlpSpec],
+) -> VariationalFit {
     let source = if prior_sd_label == "wide" {
         BAYESIAN_MLP_SOURCE.replace("normal(0, 1)", "normal(0, 10)")
     } else {
@@ -127,12 +139,8 @@ fn main() {
     let pred_b = ensemble_predict(&fit_b, &mlp, &test_imgs, 100, 12);
     let acc_a = accuracy(&pred_a, &test_labels);
     let acc_b = accuracy(&pred_b, &test_labels);
-    let agreement = pred_a
-        .iter()
-        .zip(&pred_b)
-        .filter(|(a, b)| a == b)
-        .count() as f64
-        / pred_a.len() as f64;
+    let agreement =
+        pred_a.iter().zip(&pred_b).filter(|(a, b)| a == b).count() as f64 / pred_a.len() as f64;
 
     println!("\nRQ5 (Bayesian MLP): ensemble of 100 posterior networks");
     println!("  model A test accuracy  = {acc_a:.2}");

@@ -18,19 +18,28 @@ fn main() {
     }
     let stats = FeatureStats::from_reports(&reports);
 
-    println!("Table 1: Stan features that defy generative translation (corpus of {} models)\n", stats.total);
+    println!(
+        "Table 1: Stan features that defy generative translation (corpus of {} models)\n",
+        stats.total
+    );
     println!("{:<22} {:>8} {:>8}", "Feature", "models", "%");
     println!(
         "{:<22} {:>8} {:>7.0}%",
-        "Left expression", stats.with_left_expression, stats.pct_left_expression()
+        "Left expression",
+        stats.with_left_expression,
+        stats.pct_left_expression()
     );
     println!(
         "{:<22} {:>8} {:>7.0}%",
-        "Multiple updates", stats.with_multiple_updates, stats.pct_multiple_updates()
+        "Multiple updates",
+        stats.with_multiple_updates,
+        stats.pct_multiple_updates()
     );
     println!(
         "{:<22} {:>8} {:>7.0}%",
-        "Implicit prior", stats.with_implicit_prior, stats.pct_implicit_prior()
+        "Implicit prior",
+        stats.with_implicit_prior,
+        stats.pct_implicit_prior()
     );
     println!(
         "{:<22} {:>8} {:>7.0}%",
@@ -55,6 +64,14 @@ fn main() {
         if report.uses_target_increment {
             tags.push("target+=");
         }
-        println!("  {:32} {}", name, if tags.is_empty() { "—".to_string() } else { tags.join(", ") });
+        println!(
+            "  {:32} {}",
+            name,
+            if tags.is_empty() {
+                "—".to_string()
+            } else {
+                tags.join(", ")
+            }
+        );
     }
 }

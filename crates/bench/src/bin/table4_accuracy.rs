@@ -48,5 +48,7 @@ fn main() {
             entry.name, row[0], row[1], row[2], row[3]
         );
     }
-    println!("\nErrors are mean |mean - mean_ref| / stddev_ref; the paper's pass threshold is 0.3.");
+    println!(
+        "\nErrors are mean |mean - mean_ref| / stddev_ref; the paper's pass threshold is 0.3."
+    );
 }

@@ -20,7 +20,10 @@ fn main() {
         "{:<28} {:>16} {:>16} {:>16} {:>16}",
         "Model", "Stan(ref)", "Compr.", "Mixed", "Gener."
     );
-    for entry in corpus.iter().filter(|e| e.should_run() && e.name != "multimodal_guide") {
+    for entry in corpus
+        .iter()
+        .filter(|e| e.should_run() && e.name != "multimodal_guide")
+    {
         let mut cells = Vec::new();
         for backend in BackendKind::all() {
             let mut times = Vec::new();

@@ -225,7 +225,12 @@ pub fn geometric_mean(ratios: &[f64]) -> f64 {
 /// Formats a duration in the paper's `hh:mm:ss` style.
 pub fn fmt_duration(seconds: f64) -> String {
     let total = seconds.round() as u64;
-    format!("{:02}:{:02}:{:05.2}", total / 3600, (total % 3600) / 60, seconds % 60.0)
+    format!(
+        "{:02}:{:02}:{:05.2}",
+        total / 3600,
+        (total % 3600) / 60,
+        seconds % 60.0
+    )
 }
 
 /// Expected-failure helper for the tables.

@@ -8,6 +8,7 @@ use gprob::value::{Env, RuntimeError, Value};
 use gprob::GModel;
 use inference::diagnostics::{summarize, Summary};
 use inference::nuts::{nuts_sample, NutsConfig};
+use inference::target::GradTarget;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stan2gprob::{compile, CompileError, Scheme};
@@ -134,11 +135,7 @@ impl Default for NutsSettings {
 impl CompiledProgram {
     /// Names of the model parameters.
     pub fn parameter_names(&self) -> Vec<String> {
-        self.ast
-            .parameters
-            .iter()
-            .map(|d| d.name.clone())
-            .collect()
+        self.ast.parameters.iter().map(|d| d.name.clone()).collect()
     }
 
     /// The GProb translation for a scheme, if available.
@@ -227,13 +224,8 @@ impl CompiledProgram {
         // Check the density is evaluable before launching the sampler so
         // runtime errors surface as errors rather than silent -inf plateaus.
         model.log_density_f64(&init)?;
-        let target = |theta: &[f64]| {
-            model
-                .log_density_and_grad(theta)
-                .unwrap_or((f64::NEG_INFINITY, vec![0.0; theta.len()]))
-        };
         let start = Instant::now();
-        let result = nuts_sample(&target, init, &nuts_config(settings));
+        let result = nuts_sample(&GModelTarget(&model), init, &nuts_config(settings));
         Ok(Posterior::from_unconstrained(
             model.component_names(),
             model.slots(),
@@ -257,13 +249,8 @@ impl CompiledProgram {
         let mut rng = StdRng::seed_from_u64(settings.seed);
         let init = model.initial_unconstrained(&mut rng);
         model.log_density_f64(&init)?;
-        let target = |theta: &[f64]| {
-            model
-                .log_density_and_grad(theta)
-                .unwrap_or((f64::NEG_INFINITY, vec![0.0; theta.len()]))
-        };
         let start = Instant::now();
-        let result = nuts_sample(&target, init, &nuts_config(settings));
+        let result = nuts_sample(&StanModelTarget(&model), init, &nuts_config(settings));
         Ok(Posterior::from_unconstrained(
             model.component_names(),
             model.slots(),
@@ -285,13 +272,8 @@ impl CompiledProgram {
     ) -> Result<Posterior, InferenceError> {
         let model = self.bind(data)?;
         model.log_density_f64(&vec![0.0; model.dim()])?;
-        let target = |theta: &[f64]| {
-            model
-                .log_density_and_grad(theta)
-                .unwrap_or((f64::NEG_INFINITY, vec![0.0; theta.len()]))
-        };
         let start = Instant::now();
-        let fit = inference::advi::advi_fit(&target, model.dim(), config);
+        let fit = inference::advi::advi_fit(&GModelTarget(&model), model.dim(), config);
         Ok(Posterior::from_unconstrained(
             model.component_names(),
             model.slots(),
@@ -299,6 +281,31 @@ impl CompiledProgram {
             0,
             start.elapsed().as_secs_f64(),
         ))
+    }
+}
+
+/// [`GradTarget`] adapter for the slot-resolved GProb runtime: NUTS calls
+/// [`GModel::log_density_and_grad`] directly, with no closure indirection.
+/// Evaluation errors surface as `-inf` plateaus, exactly as the previous
+/// closure-based wiring did.
+pub struct GModelTarget<'a>(pub &'a GModel);
+
+impl GradTarget for GModelTarget<'_> {
+    fn logp_grad(&self, q: &[f64]) -> (f64, Vec<f64>) {
+        self.0
+            .log_density_and_grad(q)
+            .unwrap_or_else(|_| (f64::NEG_INFINITY, vec![0.0; q.len()]))
+    }
+}
+
+/// [`GradTarget`] adapter for the baseline Stan-semantics interpreter.
+pub struct StanModelTarget<'a>(pub &'a StanModel);
+
+impl GradTarget for StanModelTarget<'_> {
+    fn logp_grad(&self, q: &[f64]) -> (f64, Vec<f64>) {
+        self.0
+            .log_density_and_grad(q)
+            .unwrap_or_else(|_| (f64::NEG_INFINITY, vec![0.0; q.len()]))
     }
 }
 
@@ -459,8 +466,8 @@ mod tests {
     fn compile_errors_are_propagated() {
         let err = DeepStan::compile("data { int N; }").unwrap_err();
         assert!(matches!(err, InferenceError::Frontend(_)));
-        let err =
-            DeepStan::compile("parameters { real s; } model { s ~ normal(0,1) T[0,]; }").unwrap_err();
+        let err = DeepStan::compile("parameters { real s; } model { s ~ normal(0,1) T[0,]; }")
+            .unwrap_err();
         assert!(matches!(err, InferenceError::Compile(_)));
     }
 

@@ -41,11 +41,11 @@
 //! ```
 
 pub mod api;
-pub mod nn;
 pub mod networks;
+pub mod nn;
 pub mod svi;
 
 pub use api::{CompiledProgram, DeepStan, InferenceError, NutsSettings, Posterior};
-pub use nn::{Activation, LayerSpec, MlpSpec};
 pub use networks::NetworkRegistry;
+pub use nn::{Activation, LayerSpec, MlpSpec};
 pub use svi::{SviSettings, VariationalFit};

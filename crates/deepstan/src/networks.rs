@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 
 use gprob::eval::ExternalFns;
-use gprob::value::{Env, RuntimeError, Value};
+use gprob::value::{EnvView, RuntimeError, Value};
 use minidiff::Real;
 
 use crate::nn::MlpSpec;
@@ -71,12 +71,12 @@ impl<T: Real> NetworkRegistry<T> {
     fn gather_params(
         &self,
         spec: &MlpSpec,
-        env: &Env<T>,
+        env: &dyn EnvView<T>,
     ) -> Result<HashMap<String, Vec<T>>, RuntimeError> {
         let mut params = HashMap::new();
         for (pname, shape) in spec.parameter_shapes() {
             let expected: usize = shape.iter().product();
-            let values: Vec<T> = if let Some(v) = env.get(&pname) {
+            let values: Vec<T> = if let Some(v) = env.get_var(&pname) {
                 v.as_real_vec()?
             } else if let Some(v) = self.learnable.get(&pname) {
                 v.clone()
@@ -102,7 +102,7 @@ impl<T: Real> ExternalFns<T> for NetworkRegistry<T> {
         &self,
         name: &str,
         args: &[Value<T>],
-        env: &Env<T>,
+        env: &dyn EnvView<T>,
     ) -> Option<Result<Value<T>, RuntimeError>> {
         let spec = self.specs.get(name)?;
         Some((|| {
@@ -111,9 +111,7 @@ impl<T: Real> ExternalFns<T> for NetworkRegistry<T> {
                 .ok_or_else(|| RuntimeError::new(format!("network `{name}` needs an input")))?
                 .as_real_vec()?;
             let params = self.gather_params(spec, env)?;
-            let out = spec
-                .forward(&params, &input)
-                .map_err(RuntimeError::new)?;
+            let out = spec.forward(&params, &input).map_err(RuntimeError::new)?;
             Ok(Value::Vector(out))
         })())
     }
@@ -123,6 +121,7 @@ impl<T: Real> ExternalFns<T> for NetworkRegistry<T> {
 mod tests {
     use super::*;
     use crate::nn::Activation;
+    use gprob::value::Env;
 
     #[test]
     fn learnable_parameters_are_used_when_not_in_env() {
@@ -145,10 +144,7 @@ mod tests {
         reg.set_learnable("net.l1.bias", vec![0.0]);
         let mut env = Env::new();
         env.insert("net.l1.weight".to_string(), Value::Vector(vec![10.0]));
-        let out = reg
-            .call("net", &[Value::Real(1.0)], &env)
-            .unwrap()
-            .unwrap();
+        let out = reg.call("net", &[Value::Real(1.0)], &env).unwrap().unwrap();
         assert_eq!(out, Value::Vector(vec![10.0]));
     }
 

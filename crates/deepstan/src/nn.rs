@@ -67,7 +67,10 @@ impl MlpSpec {
     /// Builds an MLP from layer widths, with the given hidden activation and
     /// an identity output layer.
     pub fn new(name: impl Into<String>, widths: &[usize], hidden: Activation) -> Self {
-        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .enumerate()
@@ -196,10 +199,7 @@ mod tests {
     fn identity_params(spec: &MlpSpec) -> HashMap<String, Vec<f64>> {
         // 2-2 identity weight matrix with zero bias.
         let mut p = HashMap::new();
-        p.insert(
-            format!("{}.l1.weight", spec.name),
-            vec![1.0, 0.0, 0.0, 1.0],
-        );
+        p.insert(format!("{}.l1.weight", spec.name), vec![1.0, 0.0, 0.0, 1.0]);
         p.insert(format!("{}.l1.bias", spec.name), vec![0.0, 0.0]);
         p
     }
@@ -217,9 +217,7 @@ mod tests {
     #[test]
     fn identity_network_reproduces_its_input() {
         let spec = MlpSpec::new("id", &[2, 2], Activation::Relu);
-        let out = spec
-            .forward(&identity_params(&spec), &[0.3, -0.7])
-            .unwrap();
+        let out = spec.forward(&identity_params(&spec), &[0.3, -0.7]).unwrap();
         // Output layer is Identity, so the negative value survives.
         assert_eq!(out, vec![0.3, -0.7]);
     }
@@ -228,9 +226,7 @@ mod tests {
     fn activations_are_applied() {
         let mut spec = MlpSpec::new("id", &[2, 2], Activation::Relu);
         spec = spec.with_output_activation(Activation::Relu);
-        let out = spec
-            .forward(&identity_params(&spec), &[0.3, -0.7])
-            .unwrap();
+        let out = spec.forward(&identity_params(&spec), &[0.3, -0.7]).unwrap();
         assert_eq!(out, vec![0.3, 0.0]);
         let sig = MlpSpec::new("id", &[2, 2], Activation::Relu)
             .with_output_activation(Activation::Sigmoid);
@@ -270,12 +266,7 @@ mod tests {
         let p = spec.init_params(&mut StdRng::seed_from_u64(1));
         assert_eq!(p["net.l1.weight"].len(), 32);
         assert_eq!(p["net.l2.bias"].len(), 2);
-        let out = spec
-            .forward(
-                &p,
-                &[0.1, 0.2, 0.3, 0.4],
-            )
-            .unwrap();
+        let out = spec.forward(&p, &[0.1, 0.2, 0.3, 0.4]).unwrap();
         assert_eq!(out.len(), 2);
     }
 }

@@ -113,10 +113,14 @@ impl CompiledProgram {
         for d in &program.guide_params {
             let mut size = 1usize;
             for dim in &d.dims {
-                size *= gprob::eval::eval_expr(dim, &data_env, &ctx_f64)?.as_int()?.max(0) as usize;
+                size *= gprob::eval::eval_expr(dim, &data_env, &ctx_f64)?
+                    .as_int()?
+                    .max(0) as usize;
             }
             if let stan_frontend::ast::BaseType::Vector(n) = &d.ty {
-                size *= gprob::eval::eval_expr(n, &data_env, &ctx_f64)?.as_int()?.max(0) as usize;
+                size *= gprob::eval::eval_expr(n, &data_env, &ctx_f64)?
+                    .as_int()?
+                    .max(0) as usize;
             }
             let lower = match &d.constraint.lower {
                 Some(e) => Some(gprob::eval::eval_expr(e, &data_env, &ctx_f64)?.as_real()?),
@@ -246,7 +250,10 @@ impl CompiledProgram {
         let mut network_params = HashMap::new();
         for slot in &slots {
             let values: Vec<f64> = (0..slot.size)
-                .map(|i| slot.constraint.to_constrained(result.params[slot.offset + i]))
+                .map(|i| {
+                    slot.constraint
+                        .to_constrained(result.params[slot.offset + i])
+                })
                 .collect();
             if slot.is_guide_param {
                 guide_params.insert(slot.name.clone(), values);
@@ -277,9 +284,10 @@ impl CompiledProgram {
         seed: u64,
     ) -> Result<Posterior, InferenceError> {
         let program = &self.comprehensive;
-        let guide_body = program.guide_body.clone().ok_or_else(|| {
-            InferenceError::Usage("this program has no guide block".to_string())
-        })?;
+        let guide_body = program
+            .guide_body
+            .clone()
+            .ok_or_else(|| InferenceError::Usage("this program has no guide block".to_string()))?;
         let data_env: Env<f64> = env_of(data);
 
         let mut registry: NetworkRegistry<f64> = NetworkRegistry::new();
@@ -291,7 +299,11 @@ impl CompiledProgram {
         }
 
         let ctx = EvalCtx {
-            funcs: program.functions.iter().map(|f| (f.name.clone(), f)).collect(),
+            funcs: program
+                .functions
+                .iter()
+                .map(|f| (f.name.clone(), f))
+                .collect(),
             externals: &registry,
             rng: None,
         };
@@ -359,7 +371,15 @@ mod tests {
     fn svi_finds_both_modes_of_the_multimodal_example() {
         let program = DeepStan::compile(MULTIMODAL).unwrap();
         let fit = program
-            .svi(&[], &[], &SviSettings { steps: 3000, lr: 0.05, seed: 2 })
+            .svi(
+                &[],
+                &[],
+                &SviSettings {
+                    steps: 3000,
+                    lr: 0.05,
+                    seed: 2,
+                },
+            )
             .unwrap();
         let m1 = fit.guide_params["m1"][0];
         let m2 = fit.guide_params["m2"][0];
@@ -398,17 +418,30 @@ mod tests {
         "#;
         let program = DeepStan::compile(src).unwrap();
         let y = vec![1.2, 0.8, 1.5, 0.9];
-        let data = vec![
-            ("N", Value::Int(4)),
-            ("y", Value::Vector(y.clone())),
-        ];
+        let data = vec![("N", Value::Int(4)), ("y", Value::Vector(y.clone()))];
         let fit = program
-            .svi(&data, &[], &SviSettings { steps: 4000, lr: 0.02, seed: 5 })
+            .svi(
+                &data,
+                &[],
+                &SviSettings {
+                    steps: 4000,
+                    lr: 0.02,
+                    seed: 5,
+                },
+            )
             .unwrap();
         let post_mean = y.iter().sum::<f64>() / 5.0;
         let post_sd = (1.0f64 / 5.0).sqrt();
-        assert!((fit.guide_params["m"][0] - post_mean).abs() < 0.12, "{}", fit.guide_params["m"][0]);
-        assert!((fit.guide_params["s"][0] - post_sd).abs() < 0.2, "{}", fit.guide_params["s"][0]);
+        assert!(
+            (fit.guide_params["m"][0] - post_mean).abs() < 0.12,
+            "{}",
+            fit.guide_params["m"][0]
+        );
+        assert!(
+            (fit.guide_params["s"][0] - post_sd).abs() < 0.2,
+            "{}",
+            fit.guide_params["s"][0]
+        );
         // ELBO improves over training.
         assert!(fit.elbo_trace.last().unwrap() > fit.elbo_trace.first().unwrap());
     }

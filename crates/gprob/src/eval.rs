@@ -19,19 +19,21 @@ use probdist::dist::{dist_from_name, DistArg};
 use rand::rngs::StdRng;
 use stan_frontend::ast::*;
 
-use crate::value::{Env, RuntimeError, Value};
+use crate::value::{Env, EnvView, RuntimeError, Value};
 
 /// Hook for evaluating calls the evaluator does not know about — used by the
 /// DeepStan extension to plug neural-network forward passes into models.
 pub trait ExternalFns<T: Real> {
     /// Returns `Some(result)` if this hook handles the function `name`. The
-    /// current environment is provided so that hooks can read lifted network
-    /// parameters (e.g. `mlp.l1.weight`) bound by the surrounding model.
+    /// current environment is provided (as a name-addressed view, so both the
+    /// string-keyed and the slot-resolved runtime can supply it) so that
+    /// hooks can read lifted network parameters (e.g. `mlp.l1.weight`) bound
+    /// by the surrounding model.
     fn call(
         &self,
         name: &str,
         args: &[Value<T>],
-        env: &Env<T>,
+        env: &dyn EnvView<T>,
     ) -> Option<Result<Value<T>, RuntimeError>>;
 }
 
@@ -44,7 +46,7 @@ impl<T: Real> ExternalFns<T> for NoExternals {
         &self,
         _name: &str,
         _args: &[Value<T>],
-        _env: &Env<T>,
+        _env: &dyn EnvView<T>,
     ) -> Option<Result<Value<T>, RuntimeError>> {
         None
     }
@@ -119,10 +121,13 @@ impl<T: Real> ProbHandler<T> for TargetAccumulator<T> {
 
 /// Log density of `lhs ~ dist(args)`, vectorizing over `lhs` when it is a
 /// container (Stan's vectorized sampling statements).
-pub fn tilde_lpdf<T: Real>(
+///
+/// Arguments are accepted through [`std::borrow::Borrow`] so the
+/// slot-resolved runtime can pass values borrowed straight from its frame.
+pub fn tilde_lpdf<T: Real, V: std::borrow::Borrow<Value<T>>>(
     lhs: &Value<T>,
     dist: &str,
-    args: &[Value<T>],
+    args: &[V],
 ) -> Result<T, RuntimeError> {
     // Distributions whose outcome is a vector, and distributions whose
     // parameter is legitimately a vector (so a vector argument must not be
@@ -130,58 +135,72 @@ pub fn tilde_lpdf<T: Real>(
     let multivariate = matches!(dist, "dirichlet" | "multi_normal" | "multi_normal_diag");
     let vector_param = matches!(dist, "categorical" | "categorical_logit");
 
-    let dist_args: Vec<DistArg<T>> = args
-        .iter()
-        .map(|a| match a {
-            Value::Vector(_) | Value::IntArray(_) | Value::Array(_) => {
-                Ok(DistArg::Vector(a.as_real_vec()?))
-            }
-            other => Ok(DistArg::Scalar(other.as_real()?)),
-        })
-        .collect::<Result<_, RuntimeError>>()?;
+    // Built lazily: the element-wise broadcast branch never needs it.
+    let dist_args = || -> Result<Vec<DistArg<T>>, RuntimeError> {
+        args.iter()
+            .map(|a| match a.borrow() {
+                Value::Vector(_) | Value::IntArray(_) | Value::Array(_) => {
+                    Ok(DistArg::Vector(a.borrow().as_real_vec()?))
+                }
+                other => Ok(DistArg::Scalar(other.as_real()?)),
+            })
+            .collect()
+    };
 
     // Broadcasting: if the outcome is a container and some scalar-distribution
     // argument is a container of the same length, apply element-wise.
-    let is_container =
-        matches!(lhs, Value::Vector(_) | Value::IntArray(_) | Value::Array(_));
+    let is_container = matches!(lhs, Value::Vector(_) | Value::IntArray(_) | Value::Array(_));
     if is_container && !multivariate {
         let xs = lhs.as_real_vec()?;
         let n = xs.len();
-        let any_vector_arg = !vector_param && args.iter().any(|a| a.len() > 1);
+        let any_vector_arg = !vector_param && args.iter().any(|a| a.borrow().len() > 1);
         if any_vector_arg {
-            // Element-wise distribution parameters.
+            // Element-wise distribution parameters. Flatten each container
+            // argument once up front (not once per element) and reuse one
+            // argument buffer across the loop.
+            enum Bcast<T> {
+                Scalar(T),
+                PerElem(Vec<T>),
+            }
+            let mut flat: Vec<Bcast<T>> = Vec::with_capacity(args.len());
+            for a in args {
+                let a = a.borrow();
+                if a.len() > 1 {
+                    let v = a.as_real_vec()?;
+                    if v.len() != n {
+                        return Err(RuntimeError::new(format!(
+                            "broadcast length mismatch in {dist}: {} vs {n}",
+                            v.len()
+                        )));
+                    }
+                    flat.push(Bcast::PerElem(v));
+                } else {
+                    flat.push(Bcast::Scalar(a.as_real()?));
+                }
+            }
+            let mut elem_args: Vec<DistArg<T>> = Vec::with_capacity(args.len());
             let mut acc = T::from_f64(0.0);
             for i in 0..n {
-                let elem_args: Vec<DistArg<T>> = args
-                    .iter()
-                    .map(|a| -> Result<DistArg<T>, RuntimeError> {
-                        if a.len() > 1 {
-                            let v = a.as_real_vec()?;
-                            if v.len() != n {
-                                return Err(RuntimeError::new(format!(
-                                    "broadcast length mismatch in {dist}: {} vs {n}",
-                                    v.len()
-                                )));
-                            }
-                            Ok(DistArg::Scalar(v[i]))
-                        } else {
-                            Ok(DistArg::Scalar(a.as_real()?))
-                        }
-                    })
-                    .collect::<Result<_, _>>()?;
+                elem_args.clear();
+                for b in &flat {
+                    elem_args.push(DistArg::Scalar(match b {
+                        Bcast::Scalar(x) => *x,
+                        Bcast::PerElem(v) => v[i],
+                    }));
+                }
                 let di = dist_from_name(dist, &elem_args)?;
                 acc = acc + di.lpdf(xs[i])?;
             }
             Ok(acc)
         } else {
-            let d = dist_from_name(dist, &dist_args)?;
+            let d = dist_from_name(dist, &dist_args()?)?;
             Ok(d.lpdf_vec(&xs)?)
         }
     } else if multivariate {
-        let d = dist_from_name(dist, &dist_args)?;
+        let d = dist_from_name(dist, &dist_args()?)?;
         Ok(d.lpdf_vec(&lhs.as_real_vec()?)?)
     } else {
-        let d = dist_from_name(dist, &dist_args)?;
+        let d = dist_from_name(dist, &dist_args()?)?;
         Ok(d.lpdf(lhs.as_real()?)?)
     }
 }
@@ -281,18 +300,7 @@ pub fn eval_expr<T: Real>(
                 .iter()
                 .map(|i| eval_expr(i, env, ctx))
                 .collect::<Result<_, _>>()?;
-            // Promote to a flat container when all elements are scalars.
-            if vals.iter().all(|v| matches!(v, Value::Int(_))) {
-                Ok(Value::IntArray(
-                    vals.iter().map(|v| v.as_int()).collect::<Result<_, _>>()?,
-                ))
-            } else if vals.iter().all(|v| matches!(v, Value::Real(_) | Value::Int(_))) {
-                Ok(Value::Vector(
-                    vals.iter().map(|v| v.as_real()).collect::<Result<_, _>>()?,
-                ))
-            } else {
-                Ok(Value::Array(vals))
-            }
+            promote_array_lit(vals)
         }
         Expr::VectorLit(items) => {
             let vals: Vec<T> = items
@@ -333,10 +341,13 @@ pub fn eval_expr<T: Real>(
     }
 }
 
-fn call_user_function<T: Real>(
+/// Calls a user-defined function with already-evaluated arguments. The outer
+/// environment is provided as a view so both runtimes (string-keyed and
+/// slot-resolved) can invoke interpreted functions.
+pub(crate) fn call_user_function<T: Real>(
     fun: &FunDecl,
     args: &[Value<T>],
-    outer_env: &Env<T>,
+    outer_env: &dyn EnvView<T>,
     ctx: &EvalCtx<T>,
 ) -> Result<Value<T>, RuntimeError> {
     if args.len() != fun.args.len() {
@@ -354,9 +365,11 @@ fn call_user_function<T: Real>(
         env.insert(decl.name.clone(), val.clone());
     }
     // Allow data to remain visible for convenience in the corpus models.
-    for (k, v) in outer_env {
-        env.entry(k.clone()).or_insert_with(|| v.clone());
-    }
+    outer_env.for_each_var(&mut |k, v| {
+        if !env.contains_key(k) {
+            env.insert(k.to_string(), v.clone());
+        }
+    });
     let mut handler = DeterministicOnly;
     for stmt in &fun.body.stmts {
         match exec_stmt(stmt, &mut env, ctx, &mut handler)? {
@@ -372,7 +385,30 @@ fn call_user_function<T: Real>(
     Ok(Value::Unit)
 }
 
-fn slice_value<T: Real>(v: &Value<T>, lo: i64, hi: i64) -> Result<Value<T>, RuntimeError> {
+/// Promotes an array literal's elements to a flat container when all of
+/// them are scalars (the policy shared by both evaluators).
+pub(crate) fn promote_array_lit<T: Real>(vals: Vec<Value<T>>) -> Result<Value<T>, RuntimeError> {
+    if vals.iter().all(|v| matches!(v, Value::Int(_))) {
+        Ok(Value::IntArray(
+            vals.iter().map(|v| v.as_int()).collect::<Result<_, _>>()?,
+        ))
+    } else if vals
+        .iter()
+        .all(|v| matches!(v, Value::Real(_) | Value::Int(_)))
+    {
+        Ok(Value::Vector(
+            vals.iter().map(|v| v.as_real()).collect::<Result<_, _>>()?,
+        ))
+    } else {
+        Ok(Value::Array(vals))
+    }
+}
+
+pub(crate) fn slice_value<T: Real>(
+    v: &Value<T>,
+    lo: i64,
+    hi: i64,
+) -> Result<Value<T>, RuntimeError> {
     if lo < 1 || hi as usize > v.len() || lo > hi + 1 {
         return Err(RuntimeError::new(format!(
             "slice {lo}:{hi} out of bounds for length {}",
@@ -384,11 +420,16 @@ fn slice_value<T: Real>(v: &Value<T>, lo: i64, hi: i64) -> Result<Value<T>, Runt
         Value::Vector(x) => Value::Vector(x[a..b].to_vec()),
         Value::IntArray(x) => Value::IntArray(x[a..b].to_vec()),
         Value::Array(x) => Value::Array(x[a..b].to_vec()),
-        other => return Err(RuntimeError::new(format!("cannot slice a {}", other.kind()))),
+        other => {
+            return Err(RuntimeError::new(format!(
+                "cannot slice a {}",
+                other.kind()
+            )))
+        }
     })
 }
 
-fn eval_unary<T: Real>(op: UnOp, v: Value<T>) -> Result<Value<T>, RuntimeError> {
+pub(crate) fn eval_unary<T: Real>(op: UnOp, v: Value<T>) -> Result<Value<T>, RuntimeError> {
     match op {
         UnOp::Plus => Ok(v),
         UnOp::Neg => match v {
@@ -413,11 +454,7 @@ fn eval_unary<T: Real>(op: UnOp, v: Value<T>) -> Result<Value<T>, RuntimeError> 
 /// Applies a binary operator to two runtime values with Stan's broadcasting
 /// rules (scalar-container operations apply element-wise; `*` between two
 /// vectors is the dot product; `.*` / `./` are element-wise).
-pub fn eval_binary<T: Real>(
-    op: BinOp,
-    a: Value<T>,
-    b: Value<T>,
-) -> Result<Value<T>, RuntimeError> {
+pub fn eval_binary<T: Real>(op: BinOp, a: Value<T>, b: Value<T>) -> Result<Value<T>, RuntimeError> {
     use BinOp::*;
     // Comparisons and logical operators work on scalars and return ints.
     if matches!(op, Eq | Neq | Lt | Leq | Gt | Geq | And | Or) {
@@ -475,8 +512,7 @@ pub fn eval_binary<T: Real>(
         })
     };
 
-    let is_scalar =
-        |v: &Value<T>| matches!(v, Value::Int(_) | Value::Real(_));
+    let is_scalar = |v: &Value<T>| matches!(v, Value::Int(_) | Value::Real(_));
     let is_flat = |v: &Value<T>| matches!(v, Value::Vector(_) | Value::IntArray(_));
 
     match (&a, &b) {
@@ -660,7 +696,9 @@ pub fn call_builtin<T: Real>(
             scalar(if name == "sd" { var.sqrt() } else { var })
         }
         "min" | "max" => {
-            if args.len() == 2 && matches!(arg(0)?, Value::Int(_)) && matches!(arg(1)?, Value::Int(_))
+            if args.len() == 2
+                && matches!(arg(0)?, Value::Int(_))
+                && matches!(arg(1)?, Value::Int(_))
             {
                 let (a, b) = (arg(0)?.as_int()?, arg(1)?.as_int()?);
                 return Ok(Value::Int(if name == "min" { a.min(b) } else { a.max(b) }));
@@ -709,7 +747,10 @@ pub fn call_builtin<T: Real>(
             } else {
                 vec(0)?
             };
-            let m = v.iter().map(|x| x.value()).fold(f64::NEG_INFINITY, f64::max);
+            let m = v
+                .iter()
+                .map(|x| x.value())
+                .fold(f64::NEG_INFINITY, f64::max);
             let mut acc = T::from_f64(0.0);
             for x in &v {
                 acc = acc + (*x - T::from_f64(m)).exp();
@@ -872,7 +913,10 @@ pub fn call_builtin<T: Real>(
         }
         "softmax" => {
             let v = vec(0)?;
-            let m = v.iter().map(|x| x.value()).fold(f64::NEG_INFINITY, f64::max);
+            let m = v
+                .iter()
+                .map(|x| x.value())
+                .fold(f64::NEG_INFINITY, f64::max);
             let exps: Vec<T> = v.iter().map(|x| (*x - T::from_f64(m)).exp()).collect();
             let mut total = T::from_f64(0.0);
             for e in &exps {
@@ -882,7 +926,10 @@ pub fn call_builtin<T: Real>(
         }
         "log_softmax" => {
             let v = vec(0)?;
-            let m = v.iter().map(|x| x.value()).fold(f64::NEG_INFINITY, f64::max);
+            let m = v
+                .iter()
+                .map(|x| x.value())
+                .fold(f64::NEG_INFINITY, f64::max);
             let mut total = T::from_f64(0.0);
             for x in &v {
                 total = total + (*x - T::from_f64(m)).exp();
@@ -906,7 +953,10 @@ pub fn call_builtin<T: Real>(
                         .map(|r| r.index(j)?.as_real())
                         .collect::<Result<_, _>>()?,
                 )),
-                other => Err(RuntimeError::new(format!("col: expected matrix, got {}", other.kind()))),
+                other => Err(RuntimeError::new(format!(
+                    "col: expected matrix, got {}",
+                    other.kind()
+                ))),
             }
         }
         "row" => arg(0)?.index(arg(1)?.as_int()?),
@@ -986,9 +1036,7 @@ pub fn default_value<T: Real>(
                     .collect(),
             )
         }
-        BaseType::CovMatrix(n)
-        | BaseType::CorrMatrix(n)
-        | BaseType::CholeskyFactorCorr(n) => {
+        BaseType::CovMatrix(n) | BaseType::CorrMatrix(n) | BaseType::CholeskyFactorCorr(n) => {
             let n = eval_expr(n, env, ctx)?.as_int()?;
             Value::Array(
                 (0..n)
@@ -1048,19 +1096,8 @@ pub fn exec_stmt<T: Real>(
             Ok(Flow::Normal)
         }
         Stmt::TargetPlus(e) => {
-            let v = eval_expr(e, env, ctx)?;
             // `target +=` accepts vectors, summing their elements.
-            let total = match v {
-                Value::Vector(_) | Value::Array(_) | Value::IntArray(_) => {
-                    let xs = v.as_real_vec()?;
-                    let mut acc = T::from_f64(0.0);
-                    for x in xs {
-                        acc = acc + x;
-                    }
-                    acc
-                }
-                other => other.as_real()?,
-            };
+            let total = eval_expr(e, env, ctx)?.sum_as_real()?;
             handler.on_target_plus(total)?;
             Ok(Flow::Normal)
         }
@@ -1110,7 +1147,13 @@ pub fn exec_stmt<T: Real>(
             let lo = eval_expr(lo, env, ctx)?.as_int()?;
             let hi = eval_expr(hi, env, ctx)?.as_int()?;
             for i in lo..=hi {
-                env.insert(var.clone(), Value::Int(i));
+                // Clone the key only on the first iteration.
+                match env.get_mut(var) {
+                    Some(slot) => *slot = Value::Int(i),
+                    None => {
+                        env.insert(var.clone(), Value::Int(i));
+                    }
+                }
                 match exec_stmt(body, env, ctx, handler)? {
                     Flow::Break => break,
                     Flow::Return(v) => return Ok(Flow::Return(v)),
@@ -1127,7 +1170,13 @@ pub fn exec_stmt<T: Real>(
         } => {
             let coll = eval_expr(collection, env, ctx)?;
             for i in 1..=coll.len() as i64 {
-                env.insert(var.clone(), coll.index(i)?);
+                let item = coll.index(i)?;
+                match env.get_mut(var) {
+                    Some(slot) => *slot = item,
+                    None => {
+                        env.insert(var.clone(), item);
+                    }
+                }
                 match exec_stmt(body, env, ctx, handler)? {
                     Flow::Break => break,
                     Flow::Return(v) => return Ok(Flow::Return(v)),
@@ -1146,7 +1195,9 @@ pub fn exec_stmt<T: Real>(
                 }
                 iterations += 1;
                 if iterations > 10_000_000 {
-                    return Err(RuntimeError::new("while loop exceeded the iteration budget"));
+                    return Err(RuntimeError::new(
+                        "while loop exceeded the iteration budget",
+                    ));
                 }
                 match exec_stmt(body, env, ctx, handler)? {
                     Flow::Break => break,
@@ -1208,22 +1259,41 @@ pub fn write_lvalue<T: Real>(
     env: &mut Env<T>,
     ctx: &EvalCtx<T>,
 ) -> Result<(), RuntimeError> {
-    if lv.indices.is_empty() {
-        env.insert(lv.name.clone(), value);
+    write_indexed(&lv.name, &lv.indices, value, env, ctx)
+}
+
+/// Writes a value into `name[indices]` without constructing an [`LValue`] —
+/// the allocation-free form used by the interpreter's hot loops.
+///
+/// # Errors
+/// Fails on unbound variables or out-of-bounds indices.
+pub fn write_indexed<T: Real>(
+    name: &str,
+    indices: &[Expr],
+    value: Value<T>,
+    env: &mut Env<T>,
+    ctx: &EvalCtx<T>,
+) -> Result<(), RuntimeError> {
+    if indices.is_empty() {
+        match env.get_mut(name) {
+            Some(slot) => *slot = value,
+            None => {
+                env.insert(name.to_string(), value);
+            }
+        }
         return Ok(());
     }
-    let indices: Vec<i64> = lv
-        .indices
+    let indices: Vec<i64> = indices
         .iter()
         .map(|e| eval_expr(e, env, ctx)?.as_int())
         .collect::<Result<_, _>>()?;
     let slot = env
-        .get_mut(&lv.name)
-        .ok_or_else(|| RuntimeError::new(format!("unbound variable `{}`", lv.name)))?;
+        .get_mut(name)
+        .ok_or_else(|| RuntimeError::new(format!("unbound variable `{name}`")))?;
     set_nested(slot, &indices, value)
 }
 
-fn set_nested<T: Real>(
+pub(crate) fn set_nested<T: Real>(
     slot: &mut Value<T>,
     indices: &[i64],
     value: Value<T>,
@@ -1284,20 +1354,11 @@ mod tests {
         assert_eq!(eval_str("x * 3 + 1", &env), Value::Real(7.0));
         assert_eq!(eval_str("7 / 2", &env), Value::Int(3));
         assert_eq!(eval_str("7.0 / 2", &env), Value::Real(3.5));
-        assert_eq!(
-            eval_str("v + 1", &env),
-            Value::Vector(vec![2.0, 3.0, 4.0])
-        );
-        assert_eq!(
-            eval_str("2 * v", &env),
-            Value::Vector(vec![2.0, 4.0, 6.0])
-        );
+        assert_eq!(eval_str("v + 1", &env), Value::Vector(vec![2.0, 3.0, 4.0]));
+        assert_eq!(eval_str("2 * v", &env), Value::Vector(vec![2.0, 4.0, 6.0]));
         // vector * vector is a dot product; .* is element-wise
         assert_eq!(eval_str("v * v", &env), Value::Real(14.0));
-        assert_eq!(
-            eval_str("v .* v", &env),
-            Value::Vector(vec![1.0, 4.0, 9.0])
-        );
+        assert_eq!(eval_str("v .* v", &env), Value::Vector(vec![1.0, 4.0, 9.0]));
     }
 
     #[test]
@@ -1331,9 +1392,13 @@ mod tests {
     #[test]
     fn lpdf_builtins_match_probdist() {
         let env = base_env();
-        let v = eval_str("normal_lpdf(0.0 | 0.0, 1.0)", &env).as_real().unwrap();
+        let v = eval_str("normal_lpdf(0.0 | 0.0, 1.0)", &env)
+            .as_real()
+            .unwrap();
         assert!((v + 0.9189385332046727).abs() < 1e-12);
-        let vect = eval_str("normal_lpdf(v | 0.0, 1.0)", &env).as_real().unwrap();
+        let vect = eval_str("normal_lpdf(v | 0.0, 1.0)", &env)
+            .as_real()
+            .unwrap();
         let expect: f64 = [1.0f64, 2.0, 3.0]
             .iter()
             .map(|x| -0.5 * x * x - 0.9189385332046727)
@@ -1441,7 +1506,9 @@ mod tests {
         let mut env: Env<Var> = Env::new();
         env.insert("mu".into(), Value::Real(mu));
         env.insert("y".into(), Value::Vector(vec![Var::constant(2.0)]));
-        let v = eval_str("normal_lpdf(y | mu, 1.0)", &env).as_real().unwrap();
+        let v = eval_str("normal_lpdf(y | mu, 1.0)", &env)
+            .as_real()
+            .unwrap();
         let g = grad(v, &[mu]);
         assert!((g[0] - (2.0 - 1.5)).abs() < 1e-12);
     }

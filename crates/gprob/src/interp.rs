@@ -25,10 +25,9 @@ use probdist::sampling;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::eval::{eval_expr, tilde_lpdf, write_lvalue, EvalCtx};
+use crate::eval::{eval_expr, tilde_lpdf, write_indexed, EvalCtx};
 use crate::ir::{DistCall, GExpr, LoopKind};
 use crate::value::{Env, RuntimeError, Value};
-use stan_frontend::ast::LValue;
 
 /// How `sample` sites are resolved during interpretation.
 pub enum Mode<'a, T: Real> {
@@ -108,17 +107,19 @@ impl<'a, T: Real> Interp<'a, T> {
                 body,
             } => {
                 let v = eval_expr(value, env, self.ctx)?;
-                let lv = LValue {
-                    name: name.clone(),
-                    indices: indices.clone(),
-                };
-                write_lvalue(&lv, v, env, self.ctx)?;
+                write_indexed(name, indices, v, env, self.ctx)?;
                 self.eval(body, env)
             }
             GExpr::LetSample { name, dist, body } => {
                 let value = self.handle_sample(name, dist, env)?;
                 self.trace.insert(name.clone(), value.clone());
-                env.insert(name.clone(), value);
+                // Reuse the existing binding's key allocation when present.
+                match env.get_mut(name.as_str()) {
+                    Some(slot) => *slot = value,
+                    None => {
+                        env.insert(name.clone(), value);
+                    }
+                }
                 self.eval(body, env)
             }
             GExpr::Observe { dist, value, body } => {
@@ -129,18 +130,7 @@ impl<'a, T: Real> Interp<'a, T> {
             }
             GExpr::Factor { value, body } => {
                 let v = eval_expr(value, env, self.ctx)?;
-                let total = match v {
-                    Value::Vector(_) | Value::IntArray(_) | Value::Array(_) => {
-                        let xs = v.as_real_vec()?;
-                        let mut acc = T::from_f64(0.0);
-                        for x in xs {
-                            acc = acc + x;
-                        }
-                        acc
-                    }
-                    other => other.as_real()?,
-                };
-                self.score = self.score + total;
+                self.score = self.score + v.sum_as_real()?;
                 self.eval(body, env)
             }
             GExpr::If {
@@ -166,7 +156,13 @@ impl<'a, T: Real> Interp<'a, T> {
                         let lo = eval_expr(lo, env, self.ctx)?.as_int()?;
                         let hi = eval_expr(hi, env, self.ctx)?.as_int()?;
                         for i in lo..=hi {
-                            env.insert(var.clone(), Value::Int(i));
+                            // Clone the key only on the first iteration.
+                            match env.get_mut(var) {
+                                Some(slot) => *slot = Value::Int(i),
+                                None => {
+                                    env.insert(var.clone(), Value::Int(i));
+                                }
+                            }
                             self.eval(loop_body, env)?;
                         }
                         env.remove(var);
@@ -174,7 +170,13 @@ impl<'a, T: Real> Interp<'a, T> {
                     LoopKind::ForEach { var, collection } => {
                         let coll = eval_expr(collection, env, self.ctx)?;
                         for i in 1..=coll.len() as i64 {
-                            env.insert(var.clone(), coll.index(i)?);
+                            let item = coll.index(i)?;
+                            match env.get_mut(var) {
+                                Some(slot) => *slot = item,
+                                None => {
+                                    env.insert(var.clone(), item);
+                                }
+                            }
                             self.eval(loop_body, env)?;
                         }
                         env.remove(var);
@@ -201,11 +203,7 @@ impl<'a, T: Real> Interp<'a, T> {
         }
     }
 
-    fn eval_dist_args(
-        &self,
-        dist: &DistCall,
-        env: &Env<T>,
-    ) -> Result<Vec<Value<T>>, RuntimeError> {
+    fn eval_dist_args(&self, dist: &DistCall, env: &Env<T>) -> Result<Vec<Value<T>>, RuntimeError> {
         dist.args
             .iter()
             .map(|a| eval_expr(a, env, self.ctx))
@@ -228,12 +226,12 @@ impl<'a, T: Real> Interp<'a, T> {
                 Ok(value)
             }
             Mode::Prior(rng) => {
-                let value = self.draw(dist, &args, env, rng.clone(), false)?;
+                let value = self.draw(dist, &args, env, rng, false)?;
                 self.score = self.score + tilde_lpdf(&value, &dist.name, &args)?;
                 Ok(value)
             }
             Mode::Reparam(rng) => {
-                let value = self.draw(dist, &args, env, rng.clone(), true)?;
+                let value = self.draw(dist, &args, env, rng, true)?;
                 self.score = self.score + tilde_lpdf(&value, &dist.name, &args)?;
                 Ok(value)
             }
@@ -245,65 +243,75 @@ impl<'a, T: Real> Interp<'a, T> {
         dist: &DistCall,
         args: &[Value<T>],
         env: &Env<T>,
-        rng: Rc<RefCell<StdRng>>,
+        rng: &Rc<RefCell<StdRng>>,
         reparam: bool,
     ) -> Result<Value<T>, RuntimeError> {
         // Total number of scalar draws implied by the declared shape.
-        let mut total: i64 = 1;
         let mut dims: Vec<i64> = Vec::new();
         for s in &dist.shape {
-            let n = eval_expr(s, env, self.ctx)?.as_int()?;
-            dims.push(n);
-            total *= n.max(0);
+            dims.push(eval_expr(s, env, self.ctx)?.as_int()?);
         }
-
-        let multivariate = matches!(
-            dist.name.as_str(),
-            "dirichlet" | "multi_normal" | "multi_normal_diag"
-        );
-        let mut rng = rng.borrow_mut();
-        let mut draw_scalar = |i: usize| -> Result<Value<T>, RuntimeError> {
-            // When a distribution argument is a vector of the same length as
-            // the site (e.g. `theta ~ normal(mu_vec, sigma)` under the mixed
-            // scheme), use the i-th component.
-            let elem_args: Vec<DistArg<T>> = args
-                .iter()
-                .map(|a| -> Result<DistArg<T>, RuntimeError> {
-                    if a.len() as i64 == total && total > 1 {
-                        Ok(DistArg::Scalar(a.as_real_vec()?[i]))
-                    } else {
-                        match a {
-                            Value::Vector(_) | Value::IntArray(_) | Value::Array(_) => {
-                                Ok(DistArg::Vector(a.as_real_vec()?))
-                            }
-                            other => Ok(DistArg::Scalar(other.as_real()?)),
-                        }
-                    }
-                })
-                .collect::<Result<_, _>>()?;
-            let di = dist_from_name::<T>(&dist.name, &elem_args)?;
-            if reparam {
-                Ok(reparam_draw(&di, &mut rng))
-            } else {
-                Ok(match di.sample(&mut *rng)? {
-                    probdist::SampleValue::Real(x) => Value::Real(T::from_f64(x)),
-                    probdist::SampleValue::Int(k) => Value::Int(k),
-                    probdist::SampleValue::Vec(v) => {
-                        Value::Vector(v.into_iter().map(T::from_f64).collect())
-                    }
-                })
-            }
-        };
-
-        if dist.shape.is_empty() || multivariate {
-            return draw_scalar(0);
-        }
-        // Build the shaped container (nested arrays of vectors).
-        let flat: Vec<Value<T>> = (0..total as usize)
-            .map(draw_scalar)
-            .collect::<Result<_, _>>()?;
-        Ok(shape_values(&flat, &dims))
+        draw_site(&dist.name, args, &dims, rng, reparam)
     }
+}
+
+/// Draws a value for a sample site whose distribution arguments and shape
+/// dimensions have already been evaluated. Shared by the string-keyed and the
+/// slot-resolved interpreters.
+pub(crate) fn draw_site<T: Real>(
+    dist_name: &str,
+    args: &[Value<T>],
+    dims: &[i64],
+    rng: &Rc<RefCell<StdRng>>,
+    reparam: bool,
+) -> Result<Value<T>, RuntimeError> {
+    let total: i64 = dims.iter().map(|&n| n.max(0)).product();
+    let multivariate = matches!(
+        dist_name,
+        "dirichlet" | "multi_normal" | "multi_normal_diag"
+    );
+    let mut rng = rng.borrow_mut();
+    let mut draw_scalar = |i: usize| -> Result<Value<T>, RuntimeError> {
+        // When a distribution argument is a vector of the same length as
+        // the site (e.g. `theta ~ normal(mu_vec, sigma)` under the mixed
+        // scheme), use the i-th component.
+        let elem_args: Vec<DistArg<T>> = args
+            .iter()
+            .map(|a| -> Result<DistArg<T>, RuntimeError> {
+                if a.len() as i64 == total && total > 1 {
+                    Ok(DistArg::Scalar(a.as_real_vec()?[i]))
+                } else {
+                    match a {
+                        Value::Vector(_) | Value::IntArray(_) | Value::Array(_) => {
+                            Ok(DistArg::Vector(a.as_real_vec()?))
+                        }
+                        other => Ok(DistArg::Scalar(other.as_real()?)),
+                    }
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        let di = dist_from_name::<T>(dist_name, &elem_args)?;
+        if reparam {
+            Ok(reparam_draw(&di, &mut rng))
+        } else {
+            Ok(match di.sample(&mut *rng)? {
+                probdist::SampleValue::Real(x) => Value::Real(T::from_f64(x)),
+                probdist::SampleValue::Int(k) => Value::Int(k),
+                probdist::SampleValue::Vec(v) => {
+                    Value::Vector(v.into_iter().map(T::from_f64).collect())
+                }
+            })
+        }
+    };
+
+    if dims.is_empty() || multivariate {
+        return draw_scalar(0);
+    }
+    // Build the shaped container (nested arrays of vectors).
+    let flat: Vec<Value<T>> = (0..total as usize)
+        .map(draw_scalar)
+        .collect::<Result<_, _>>()?;
+    Ok(shape_values(&flat, dims))
 }
 
 fn shape_values<T: Real>(flat: &[Value<T>], dims: &[i64]) -> Value<T> {
@@ -508,7 +516,10 @@ mod tests {
             name: "z".into(),
             dist: DistCall::new(
                 "normal",
-                vec![Expr::var("m"), Expr::Call("exp".into(), vec![Expr::var("s")])],
+                vec![
+                    Expr::var("m"),
+                    Expr::Call("exp".into(), vec![Expr::var("s")]),
+                ],
             ),
             body: Box::new(GExpr::Return(Expr::var("z"))),
         };

@@ -72,11 +72,12 @@ pub enum LoopKind {
 }
 
 /// A GProb expression in continuation-passing form.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum GExpr {
     /// `return(e)` — the final value of the program or of a loop body.
     Return(Expr),
     /// `return(())`.
+    #[default]
     Unit,
     /// `let name = default(decl) in body` — a Stan local declaration carried
     /// through compilation so the runtime can build the default-shaped value.
@@ -158,9 +159,7 @@ pub enum GExpr {
 impl GExpr {
     /// Number of `sample` sites syntactically present in the expression.
     pub fn count_samples(&self) -> usize {
-        self.fold(&mut |e, acc: usize| {
-            acc + usize::from(matches!(e, GExpr::LetSample { .. }))
-        })
+        self.fold(&mut |e, acc: usize| acc + usize::from(matches!(e, GExpr::LetSample { .. })))
     }
 
     /// Number of `observe` sites syntactically present in the expression.
@@ -209,10 +208,7 @@ impl GExpr {
         }
     }
 
-    fn fold<A: Copy>(&self, f: &mut impl FnMut(&GExpr, A) -> A) -> A
-    where
-        A: Default,
-    {
+    fn fold<A: Copy + Default>(&self, f: &mut impl FnMut(&GExpr, A) -> A) -> A {
         let mut acc = A::default();
         self.visit(&mut |e| {
             acc = f(e, acc);
@@ -278,12 +274,6 @@ pub struct GProbProgram {
     /// Compiled guide body (DeepStan `guide`), generated with the generative
     /// scheme.
     pub guide_body: Option<GExpr>,
-}
-
-impl Default for GExpr {
-    fn default() -> Self {
-        GExpr::Unit
-    }
 }
 
 impl GProbProgram {

@@ -4,18 +4,68 @@
 //! of Section 3.2 of the paper, together with the runtime that the paper
 //! delegates to Pyro / NumPyro:
 //!
-//! * [`ir`] — the GProb expression IR: `let`, `sample`, `observe`, `factor`,
-//!   `return`, conditionals, and state-annotated loops.
-//! * [`value`] / [`eval`] — the runtime value model and the evaluator for
-//!   deterministic Stan expressions and statements (shared with the baseline
-//!   `stan_ref` interpreter); this is the role Pyro's host language (Python /
-//!   PyTorch) plays in the original system.
-//! * [`interp`] — the probabilistic interpreter: trace-based density
-//!   evaluation (score of a parameter assignment) and generative forward
-//!   sampling, the two effect-handler modes the backends need.
-//! * [`model`] — [`model::GModel`], a compiled GProb program packaged with
-//!   its parameter table, exposing the unconstrained log-density interface
-//!   consumed by the `inference` crate (NUTS, SVI, importance sampling).
+//! * [`ir`] — the GProb expression IR emitted by the `stan2gprob` compiler:
+//!   `let`, `sample`, `observe`, `factor`, `return`, conditionals, and
+//!   state-annotated loops. Variables are still *names* at this level.
+//! * [`resolved`] — the slot-resolved form of that IR: a resolution pass
+//!   interns every name once and rewrites each variable reference to a dense
+//!   frame slot, and [`resolved::Frame`] replaces `HashMap<String, Value>`
+//!   as the runtime environment.
+//! * [`value`] / [`eval`] — the runtime value model and the *string-keyed*
+//!   evaluator for deterministic Stan expressions and statements (shared
+//!   with the baseline `stan_ref` interpreter, and still the engine for
+//!   interpreted user-defined functions).
+//! * [`reval`] — the slot-resolved evaluator and probabilistic interpreter:
+//!   the mirror of [`eval`] / [`interp`] that the density hot path runs on.
+//! * [`interp`] — the string-keyed probabilistic interpreter, retained for
+//!   the SVI guide machinery and as the differential-testing baseline.
+//! * [`model`] — [`model::GModel`], a compiled program instantiated with
+//!   data, exposing the unconstrained log-density interface consumed by the
+//!   `inference` crate (NUTS, SVI, importance sampling).
+//!
+//! # Architecture: compile-time resolution
+//!
+//! Inference evaluates `log_density` thousands of times per chain, and the
+//! tree-walking evaluator historically resolved every variable read through
+//! a `HashMap<String, Value<T>>` — string hashing dominated the NUTS hot
+//! path. The pipeline now resolves names exactly once, at compile time:
+//!
+//! ```text
+//!  Stan source
+//!      │  stan_frontend (lex, parse, typecheck; symbols::Interner)
+//!      ▼
+//!  ast::Program
+//!      │  stan2gprob (generative / comprehensive / mixed schemes)
+//!      ▼
+//!  ir::GProbProgram            names: String            ── codegen → Pyro/NumPyro
+//!      │  resolved::resolve_program  (Interner + ScopeStack)
+//!      ▼
+//!  resolved::ResolvedProgram   names: dense u32 slots
+//!      │  model::GModel::new  (bind data → Frame template)
+//!      ▼
+//!  reval::RInterp over resolved::Frame<T>   ── log_density / gradients
+//! ```
+//!
+//! Key invariants:
+//!
+//! * **Flat namespace fidelity.** The paper's dynamic environment is a flat
+//!   map (an insert overwrites any same-named binding; loop indices are
+//!   removed after their loop), so resolution allocates one slot per
+//!   distinct name and clears loop-index slots on exit. The differential
+//!   suite (`tests/slot_equivalence.rs`) pins the resolved density to the
+//!   string-keyed baseline to 1e-12 across the whole `model_zoo` corpus.
+//! * **One value model.** Both runtimes share [`value::Value`], the binary
+//!   operators, the builtin library, and distribution scoring/sampling —
+//!   they cannot drift apart semantically.
+//! * **Name-addressed boundaries.** Public trace APIs (`GModel::constrain`,
+//!   `interp::RunResult::trace`, posterior extraction) remain string-keyed;
+//!   frames cross to names only at those boundaries. External functions
+//!   (DeepStan networks) and interpreted user functions reach the
+//!   environment through [`value::EnvView`], implemented by both `Env` and
+//!   `Frame` views.
+//! * **Baseline retained.** [`model::GModel::log_density_baseline`] runs the
+//!   pre-resolution path for differential tests and benchmarks
+//!   (`benches/density_eval.rs` reports both).
 //!
 //! # Example
 //!
@@ -42,13 +92,47 @@
 //! // beta(1,1) contributes 0, bernoulli(0.25) at 1 contributes ln(0.25)
 //! assert!((score - 0.25f64.ln()).abs() < 1e-12);
 //! ```
+//!
+//! The same program through the slot-resolved runtime:
+//!
+//! ```
+//! use gprob::ir::{DistCall, GExpr, GProbProgram};
+//! use gprob::resolved::resolve_program;
+//! use gprob::reval::{RCtx, RInterp, RMode};
+//! use gprob::value::Value;
+//! use stan_frontend::ast::Expr;
+//!
+//! let program = GProbProgram {
+//!     body: GExpr::LetSample {
+//!         name: "z".into(),
+//!         dist: DistCall::new("beta", vec![Expr::RealLit(1.0), Expr::RealLit(1.0)]),
+//!         body: Box::new(GExpr::Observe {
+//!             dist: DistCall::new("bernoulli", vec![Expr::var("z")]),
+//!             value: Expr::IntLit(1),
+//!             body: Box::new(GExpr::Return(Expr::var("z"))),
+//!         }),
+//!     },
+//!     ..Default::default()
+//! };
+//! let resolved = resolve_program(&program);
+//! let mut trace = resolved.frame::<f64>();
+//! trace.set(resolved.slot_of("z").unwrap(), Value::Real(0.25));
+//! let ctx = RCtx::new(&resolved, &[], &gprob::eval::NoExternals);
+//! let mut frame = resolved.frame();
+//! let mut interp = RInterp::new(&ctx, RMode::Trace(&trace));
+//! let run = interp.run(&resolved.body, &mut frame).unwrap();
+//! assert!((run.score - 0.25f64.ln()).abs() < 1e-12);
+//! ```
 
 pub mod eval;
 pub mod interp;
 pub mod ir;
 pub mod model;
+pub mod resolved;
+pub mod reval;
 pub mod value;
 
 pub use ir::{DistCall, GExpr, GProbProgram, ParamInfo};
 pub use model::GModel;
-pub use value::{Env, RuntimeError, Value};
+pub use resolved::{resolve_program, Frame, ResolvedProgram};
+pub use value::{Env, EnvView, RuntimeError, Value};

@@ -16,8 +16,10 @@ use rand::Rng;
 use crate::eval::{
     eval_expr, exec_stmt, DeterministicOnly, EvalCtx, ExternalFns, Flow, NoExternals,
 };
-use crate::interp::{run_generative, Interp, Mode, RunResult};
+use crate::interp::{Interp, Mode, RunResult};
 use crate::ir::GProbProgram;
+use crate::resolved::{resolve_program, Frame, ResolvedProgram};
+use crate::reval::{RCtx, RInterp, RMode};
 use crate::value::{lift_env, Env, RuntimeError, Value};
 
 /// The flat layout of one parameter in the unconstrained vector.
@@ -61,10 +63,22 @@ impl ParamSlot {
 }
 
 /// A GProb program instantiated with a concrete data set.
+///
+/// Construction resolves the program to its slot-annotated form
+/// ([`ResolvedProgram`]); the density hot path runs entirely on
+/// [`Frame`] environments (no string hashing). The string-keyed evaluation
+/// path is retained as [`GModel::log_density_baseline`] for differential
+/// testing and benchmarking.
 pub struct GModel {
     program: GProbProgram,
+    resolved: ResolvedProgram,
     data: Env<f64>,
+    /// The post-`transformed data` environment as a frame, cloned (and
+    /// lifted) once per density evaluation.
+    data_frame: Frame<f64>,
     slots: Vec<ParamSlot>,
+    /// Frame slot of each parameter, parallel to `slots`.
+    param_frame_slots: Vec<u32>,
     dim: usize,
 }
 
@@ -121,10 +135,19 @@ impl GModel {
             offset += size;
         }
 
+        // Compile-time name resolution: one dense slot per variable, so the
+        // density hot path below never hashes a string.
+        let resolved = resolve_program(&program);
+        let data_frame = resolved.frame_from_env(&data);
+        let param_frame_slots = resolved.params.iter().map(|p| p.slot).collect();
+
         Ok(GModel {
             program,
+            resolved,
             data,
+            data_frame,
             slots,
+            param_frame_slots,
             dim: offset,
         })
     }
@@ -137,6 +160,11 @@ impl GModel {
     /// The underlying compiled program.
     pub fn program(&self) -> &GProbProgram {
         &self.program
+    }
+
+    /// The slot-resolved form of the program.
+    pub fn resolved(&self) -> &ResolvedProgram {
+        &self.resolved
     }
 
     /// The data environment (after transformed data).
@@ -185,12 +213,70 @@ impl GModel {
         Ok((trace, log_jac))
     }
 
+    /// Maps an unconstrained vector to a trace *frame* of constrained
+    /// parameter values plus the total log-Jacobian — the slot-resolved
+    /// analog of [`GModel::constrain`], used by the density hot path.
+    ///
+    /// # Errors
+    /// Fails if `theta_u` has the wrong length.
+    pub fn constrain_frame<T: Real>(&self, theta_u: &[T]) -> Result<(Frame<T>, T), RuntimeError> {
+        if theta_u.len() != self.dim {
+            return Err(RuntimeError::new(format!(
+                "expected {} unconstrained values, got {}",
+                self.dim,
+                theta_u.len()
+            )));
+        }
+        let mut trace = self.resolved.frame();
+        let mut log_jac = T::from_f64(0.0);
+        for (slot, &frame_slot) in self.slots.iter().zip(&self.param_frame_slots) {
+            let mut comps = Vec::with_capacity(slot.size);
+            for i in 0..slot.size {
+                let u = theta_u[slot.offset + i];
+                comps.push(slot.constraint.to_constrained(u));
+                log_jac = log_jac + slot.constraint.log_jacobian(u);
+            }
+            trace.set(frame_slot, shape_param(&comps, &slot.dims));
+        }
+        Ok((trace, log_jac))
+    }
+
     /// Log-density (up to a constant) of the unconstrained parameter vector,
     /// including the Jacobian correction, evaluated with any scalar type.
+    ///
+    /// Runs on the slot-resolved program: every variable access is a frame
+    /// index, so NUTS gradient evaluations never hash a string.
     ///
     /// # Errors
     /// Propagates runtime evaluation errors.
     pub fn log_density<T: Real>(
+        &self,
+        theta_u: &[T],
+        externals: &dyn ExternalFns<T>,
+    ) -> Result<T, RuntimeError> {
+        let (trace, log_jac) = self.constrain_frame(theta_u)?;
+        let ctx = RCtx::new(&self.resolved, &self.program.functions, externals);
+        let mut frame: Frame<T> = Frame::lift(&self.data_frame);
+        let mut interp = RInterp::new(&ctx, RMode::Trace(&trace));
+        let result = interp.run(&self.resolved.body, &mut frame)?;
+        Ok(result.score + log_jac)
+    }
+
+    /// Plain `f64` log-density (no gradient).
+    ///
+    /// # Errors
+    /// Propagates runtime evaluation errors.
+    pub fn log_density_f64(&self, theta_u: &[f64]) -> Result<f64, RuntimeError> {
+        self.log_density(theta_u, &NoExternals)
+    }
+
+    /// The string-keyed (pre-resolution) density path, retained as the
+    /// differential-testing and benchmarking baseline: evaluates the same
+    /// compiled body through `HashMap<String, Value>` environments.
+    ///
+    /// # Errors
+    /// Propagates runtime evaluation errors.
+    pub fn log_density_baseline<T: Real>(
         &self,
         theta_u: &[T],
         externals: &dyn ExternalFns<T>,
@@ -212,12 +298,12 @@ impl GModel {
         Ok(result.score + log_jac)
     }
 
-    /// Plain `f64` log-density (no gradient).
+    /// Plain `f64` baseline log-density (string-keyed environments).
     ///
     /// # Errors
     /// Propagates runtime evaluation errors.
-    pub fn log_density_f64(&self, theta_u: &[f64]) -> Result<f64, RuntimeError> {
-        self.log_density(theta_u, &NoExternals)
+    pub fn log_density_f64_baseline(&self, theta_u: &[f64]) -> Result<f64, RuntimeError> {
+        self.log_density_baseline(theta_u, &NoExternals)
     }
 
     /// Log-density and its gradient with respect to the unconstrained vector,
@@ -242,11 +328,21 @@ impl GModel {
     /// Runs the program generatively (prior mode): used for the "one
     /// iteration" generality check and for prior predictive simulation.
     ///
+    /// Executes on the slot-resolved runtime; the returned trace is
+    /// converted to the string-keyed [`Env`] at this API boundary.
+    ///
     /// # Errors
     /// Propagates runtime evaluation errors.
     pub fn run_prior(&self, rng: Rc<RefCell<StdRng>>) -> Result<RunResult<f64>, RuntimeError> {
-        let ctx = EvalCtx::with_functions(&self.program.functions);
-        run_generative(&self.program.body, &self.data, &ctx, rng)
+        let ctx = RCtx::new(&self.resolved, &self.program.functions, &NoExternals);
+        let mut frame = self.data_frame.clone();
+        let mut interp = RInterp::new(&ctx, RMode::Prior(rng));
+        let run = interp.run(&self.resolved.body, &mut frame)?;
+        Ok(RunResult {
+            score: run.score,
+            trace: run.trace.to_env(&self.resolved.interner),
+            value: run.value,
+        })
     }
 
     /// Evaluates the `generated quantities` block for one posterior draw,
@@ -358,7 +454,10 @@ mod tests {
     fn coin_data() -> Env<f64> {
         let mut env = Env::new();
         env.insert("N".into(), Value::Int(10));
-        env.insert("x".into(), Value::IntArray(vec![1, 1, 1, 0, 1, 0, 1, 1, 0, 1]));
+        env.insert(
+            "x".into(),
+            Value::IntArray(vec![1, 1, 1, 0, 1, 0, 1, 1, 0, 1]),
+        );
         env
     }
 
@@ -416,11 +515,7 @@ mod tests {
         // Give beta a harmless prior site so the trace lookup succeeds.
         p.body = GExpr::LetSample {
             name: "beta".into(),
-            dist: DistCall::with_shape(
-                "improper_uniform",
-                vec![],
-                vec![Expr::IntLit(3)],
-            ),
+            dist: DistCall::with_shape("improper_uniform", vec![], vec![Expr::IntLit(3)]),
             body: Box::new(p.body),
         };
         let m = GModel::new(p, coin_data()).unwrap();

@@ -1,0 +1,721 @@
+//! The slot-resolved form of the GProb IR and its runtime frame.
+//!
+//! The tree-walking runtime historically executed [`crate::ir::GExpr`]
+//! directly, looking every variable up in a `HashMap<String, Value<T>>`.
+//! String hashing on each read dominated the NUTS log-density hot path. This
+//! module implements the standard compiler fix: a resolution pass
+//! ([`resolve_program`]) that interns every name once (using
+//! [`stan_frontend::symbols`]) and rewrites the IR so each variable carries
+//! its dense frame slot. The runtime environment becomes a [`Frame`] — a
+//! flat `Vec<Option<Value<T>>>` indexed by slot — and the evaluator
+//! (`crate::reval`) never hashes a string again.
+//!
+//! Semantics are preserved exactly. The dynamic environment of the paper's
+//! semantics is a single flat namespace (an insert overwrites any previous
+//! binding of that name; loop indices are removed after the loop), so the
+//! resolver allocates **one slot per distinct name** — the symbol index is
+//! the slot index — and marks loop indices for clearing on loop exit
+//! (lexically scoped resolution via
+//! [`stan_frontend::symbols::ScopeStack`] is reserved for user-function
+//! bodies). The differential suite in
+//! `tests/slot_equivalence.rs` pins the resolved density to the string-keyed
+//! baseline to 1e-12 across the whole model corpus.
+
+use minidiff::Real;
+use stan_frontend::ast::{BaseType, Decl, Expr, FunDecl, UnOp};
+use stan_frontend::symbols::Interner;
+
+use crate::ir::{DistCall, GExpr, GProbProgram, LoopKind, ParamInfo};
+use crate::value::{Env, EnvView, Value};
+
+/// A runtime variable frame: one pre-allocated slot per resolved name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame<T: Real> {
+    slots: Vec<Option<Value<T>>>,
+}
+
+impl<T: Real> Frame<T> {
+    /// An empty frame with `n` slots.
+    pub fn new(n: usize) -> Self {
+        Frame {
+            slots: vec![None; n],
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the frame has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Reads a slot.
+    #[inline]
+    pub fn get(&self, slot: u32) -> Option<&Value<T>> {
+        self.slots[slot as usize].as_ref()
+    }
+
+    /// Writes a slot.
+    #[inline]
+    pub fn set(&mut self, slot: u32, value: Value<T>) {
+        self.slots[slot as usize] = Some(value);
+    }
+
+    /// Mutable access to a slot's contents.
+    #[inline]
+    pub fn get_mut(&mut self, slot: u32) -> Option<&mut Value<T>> {
+        self.slots[slot as usize].as_mut()
+    }
+
+    /// Unbinds a slot (the slot-frame analog of `HashMap::remove`).
+    #[inline]
+    pub fn clear(&mut self, slot: u32) {
+        self.slots[slot as usize] = None;
+    }
+
+    /// Lifts a plain `f64` frame into any scalar type (constants, no
+    /// gradient) — the slot-frame analog of [`crate::value::lift_env`].
+    pub fn lift(template: &Frame<f64>) -> Frame<T> {
+        Frame {
+            slots: template
+                .slots
+                .iter()
+                .map(|s| s.as_ref().map(Value::lift))
+                .collect(),
+        }
+    }
+
+    /// Converts the frame back to a string-keyed environment — used only at
+    /// the public trace API boundary. Frames shorter than the interner
+    /// (e.g. the empty trace density evaluation returns) convert to a
+    /// correspondingly partial environment.
+    pub fn to_env(&self, interner: &Interner) -> Env<T> {
+        let mut env = Env::new();
+        for (sym, name) in interner.iter() {
+            if let Some(Some(v)) = self.slots.get(sym.index()) {
+                env.insert(name.to_string(), v.clone());
+            }
+        }
+        env
+    }
+}
+
+/// A name-addressed view of a frame (for externals and user functions).
+pub struct FrameView<'a, T: Real> {
+    /// The underlying frame.
+    pub frame: &'a Frame<T>,
+    /// The symbol table mapping names to slots.
+    pub interner: &'a Interner,
+}
+
+impl<T: Real> EnvView<T> for FrameView<'_, T> {
+    fn get_var(&self, name: &str) -> Option<&Value<T>> {
+        let idx = self.interner.lookup(name)?.index();
+        self.frame.slots.get(idx)?.as_ref()
+    }
+    fn for_each_var(&self, f: &mut dyn FnMut(&str, &Value<T>)) {
+        for (sym, name) in self.interner.iter() {
+            if let Some(Some(v)) = self.frame.slots.get(sym.index()) {
+                f(name, v);
+            }
+        }
+    }
+}
+
+/// How a call site dispatches, decided at resolution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallTarget {
+    /// A user-defined function (index into [`GProbProgram::functions`]).
+    User(u32),
+    /// A standard-library builtin (or an external hook, probed at runtime).
+    Builtin,
+}
+
+/// A slot-resolved expression. Mirrors [`stan_frontend::ast::Expr`] with
+/// variable references replaced by frame slots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RExpr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Real literal.
+    RealLit(f64),
+    /// String literal (evaluates to unit, as in the string evaluator).
+    StringLit(String),
+    /// Variable read through its resolved slot.
+    Slot(u32),
+    /// Function call with a resolved dispatch target.
+    Call(String, CallTarget, Vec<RExpr>),
+    /// Binary operation.
+    Binary(stan_frontend::ast::BinOp, Box<RExpr>, Box<RExpr>),
+    /// Unary operation.
+    Unary(UnOp, Box<RExpr>),
+    /// Indexing; range indices become [`RIndex::Range`].
+    Index(Box<RExpr>, Vec<RIndex>),
+    /// Array literal.
+    ArrayLit(Vec<RExpr>),
+    /// Vector literal.
+    VectorLit(Vec<RExpr>),
+    /// Range expression `lo:hi`.
+    Range(Box<RExpr>, Box<RExpr>),
+    /// Conditional operator.
+    Ternary(Box<RExpr>, Box<RExpr>, Box<RExpr>),
+}
+
+/// One index position of an [`RExpr::Index`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RIndex {
+    /// A single 1-based index.
+    One(RExpr),
+    /// A slice `lo:hi`.
+    Slice(RExpr, RExpr),
+}
+
+/// A resolved distribution call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RDistCall {
+    /// Distribution name (Stan spelling).
+    pub name: String,
+    /// Argument expressions.
+    pub args: Vec<RExpr>,
+    /// Shape expressions of the sampled value.
+    pub shape: Vec<RExpr>,
+}
+
+/// The element kind of a resolved declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RDeclKind {
+    /// `int`
+    Int,
+    /// `real`
+    Real,
+    /// All vector-like types (`vector`, `row_vector`, `simplex`, ...).
+    Vector(RExpr),
+    /// `matrix[r, c]`
+    Matrix(RExpr, RExpr),
+    /// Square-matrix types (`cov_matrix`, `corr_matrix`, ...).
+    Square(RExpr),
+}
+
+/// A resolved local declaration (carries everything `default_value` needs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RDecl {
+    /// Target slot.
+    pub slot: u32,
+    /// Element kind.
+    pub kind: RDeclKind,
+    /// Array dimensions (outermost first).
+    pub dims: Vec<RExpr>,
+    /// Optional initializer.
+    pub init: Option<RExpr>,
+}
+
+/// Loop headers in resolved form. The loop variable slot is cleared when the
+/// loop exits, matching the string runtime's `env.remove(var)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RLoopKind {
+    /// `for (var in lo:hi)`
+    Range {
+        /// Loop variable slot.
+        slot: u32,
+        /// Lower bound.
+        lo: RExpr,
+        /// Upper bound.
+        hi: RExpr,
+    },
+    /// `for (var in collection)`
+    ForEach {
+        /// Loop variable slot.
+        slot: u32,
+        /// Collection expression.
+        collection: RExpr,
+    },
+    /// `while (cond)`
+    While {
+        /// Condition.
+        cond: RExpr,
+    },
+}
+
+/// A slot-resolved GProb expression in continuation-passing form, mirroring
+/// [`GExpr`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RGExpr {
+    /// `return(e)`.
+    Return(RExpr),
+    /// `return(())`.
+    Unit,
+    /// `let slot = default(decl) in body`.
+    LetDecl {
+        /// The resolved declaration.
+        decl: RDecl,
+        /// Continuation.
+        body: Box<RGExpr>,
+    },
+    /// `let slot = value in body`.
+    LetDet {
+        /// Target slot.
+        slot: u32,
+        /// Value expression.
+        value: RExpr,
+        /// Continuation.
+        body: Box<RGExpr>,
+    },
+    /// `let slot[indices] = value in body`.
+    LetIndexed {
+        /// Updated slot.
+        slot: u32,
+        /// Index expressions.
+        indices: Vec<RExpr>,
+        /// New cell value.
+        value: RExpr,
+        /// Continuation.
+        body: Box<RGExpr>,
+    },
+    /// `let slot = sample(dist) in body`. The slot doubles as the trace key.
+    LetSample {
+        /// Site / variable slot.
+        slot: u32,
+        /// The distribution sampled from.
+        dist: RDistCall,
+        /// Continuation.
+        body: Box<RGExpr>,
+    },
+    /// `let () = observe(dist, value) in body`.
+    Observe {
+        /// The observed distribution.
+        dist: RDistCall,
+        /// The observed value.
+        value: RExpr,
+        /// Continuation.
+        body: Box<RGExpr>,
+    },
+    /// `let () = factor(value) in body`.
+    Factor {
+        /// Log-score increment.
+        value: RExpr,
+        /// Continuation.
+        body: Box<RGExpr>,
+    },
+    /// `if (cond) then_branch else else_branch`.
+    If {
+        /// Condition.
+        cond: RExpr,
+        /// Then branch.
+        then_branch: Box<RGExpr>,
+        /// Else branch.
+        else_branch: Box<RGExpr>,
+    },
+    /// A state-annotated loop.
+    LetLoop {
+        /// Loop kind and header.
+        kind: RLoopKind,
+        /// The loop body.
+        loop_body: Box<RGExpr>,
+        /// Continuation after the loop.
+        body: Box<RGExpr>,
+    },
+}
+
+/// Parameter metadata with resolved shape / bound expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RParamInfo {
+    /// Frame slot of the parameter (doubles as its trace key).
+    pub slot: u32,
+    /// Parameter name (reporting only).
+    pub name: String,
+    /// Shape expressions.
+    pub shape: Vec<RExpr>,
+    /// Lower bound, if declared.
+    pub lower: Option<RExpr>,
+    /// Upper bound, if declared.
+    pub upper: Option<RExpr>,
+}
+
+/// A fully resolved GProb program: the slot-annotated body plus the symbol
+/// table needed to cross back to the name-addressed world at API boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedProgram {
+    /// The symbol table; symbol indices coincide with frame slots.
+    pub interner: Interner,
+    /// Frame size.
+    pub n_slots: usize,
+    /// Resolved parameter table.
+    pub params: Vec<RParamInfo>,
+    /// The resolved model body.
+    pub body: RGExpr,
+}
+
+impl ResolvedProgram {
+    /// The frame slot bound to `name`, if the program mentions it.
+    pub fn slot_of(&self, name: &str) -> Option<u32> {
+        self.interner.lookup(name).map(|s| s.index() as u32)
+    }
+
+    /// The name bound to a frame slot.
+    pub fn name_of(&self, slot: u32) -> &str {
+        self.interner.name_at(slot as usize).unwrap_or("<unknown>")
+    }
+
+    /// Builds an empty frame of the right size.
+    pub fn frame<T: Real>(&self) -> Frame<T> {
+        Frame::new(self.n_slots)
+    }
+
+    /// Fills a frame from a string-keyed environment (data binding).
+    pub fn frame_from_env<T: Real>(&self, env: &Env<T>) -> Frame<T> {
+        let mut frame = self.frame();
+        for (k, v) in env {
+            if let Some(slot) = self.slot_of(k) {
+                frame.set(slot, v.clone());
+            }
+        }
+        frame
+    }
+}
+
+/// The resolution pass: walks a compiled [`GProbProgram`] and produces its
+/// slot-annotated [`ResolvedProgram`]. Never fails — unbound names resolve
+/// to (initially empty) slots, preserving the runtime's "unbound variable"
+/// errors with the original names.
+pub fn resolve_program(program: &GProbProgram) -> ResolvedProgram {
+    let mut r = Resolver {
+        interner: Interner::new(),
+        functions: &program.functions,
+    };
+
+    // Data declarations, transformed-data locals, and function/argument
+    // names are interned first so every variable the data environment can
+    // supply has a slot (user-defined functions see that environment).
+    for d in &program.data {
+        r.slot_for(&d.name);
+        for dim in &d.dims {
+            r.resolve_expr(dim);
+        }
+    }
+    if let Some(td) = &program.transformed_data {
+        r.intern_stmts(&td.stmts);
+    }
+
+    let params: Vec<RParamInfo> = program.params.iter().map(|p| r.resolve_param(p)).collect();
+
+    let body = r.resolve_gexpr(&program.body);
+
+    ResolvedProgram {
+        n_slots: r.interner.len(),
+        interner: r.interner,
+        params,
+        body,
+    }
+}
+
+struct Resolver<'a> {
+    interner: Interner,
+    functions: &'a [FunDecl],
+}
+
+impl Resolver<'_> {
+    /// Interns `name` and returns its frame slot. The runtime environment is
+    /// a flat namespace (one location per name), so the symbol index *is*
+    /// the slot index; `stan_frontend::symbols::ScopeStack` stays available
+    /// for the planned lexical resolution of user-function bodies.
+    fn slot_for(&mut self, name: &str) -> u32 {
+        self.interner.intern(name).index() as u32
+    }
+
+    /// Interns every name bound by a statement block (transformed data),
+    /// reusing the frontend's single statement walker.
+    fn intern_stmts(&mut self, stmts: &[stan_frontend::ast::Stmt]) {
+        stan_frontend::symbols::intern_stmt_names(&mut self.interner, stmts);
+    }
+
+    fn resolve_param(&mut self, p: &ParamInfo) -> RParamInfo {
+        RParamInfo {
+            slot: self.slot_for(&p.name),
+            name: p.name.clone(),
+            shape: p.shape.iter().map(|e| self.resolve_expr(e)).collect(),
+            lower: p.lower.as_ref().map(|e| self.resolve_expr(e)),
+            upper: p.upper.as_ref().map(|e| self.resolve_expr(e)),
+        }
+    }
+
+    fn resolve_expr(&mut self, e: &Expr) -> RExpr {
+        match e {
+            Expr::IntLit(v) => RExpr::IntLit(*v),
+            Expr::RealLit(v) => RExpr::RealLit(*v),
+            Expr::StringLit(s) => RExpr::StringLit(s.clone()),
+            Expr::Var(name) => RExpr::Slot(self.slot_for(name)),
+            Expr::Call(name, args) => {
+                // Last definition wins, matching the `HashMap` the
+                // evaluators build from the function list.
+                let target = match self.functions.iter().rposition(|f| &f.name == name) {
+                    Some(idx) => CallTarget::User(idx as u32),
+                    None => CallTarget::Builtin,
+                };
+                RExpr::Call(
+                    name.clone(),
+                    target,
+                    args.iter().map(|a| self.resolve_expr(a)).collect(),
+                )
+            }
+            Expr::Binary(op, a, b) => RExpr::Binary(
+                *op,
+                Box::new(self.resolve_expr(a)),
+                Box::new(self.resolve_expr(b)),
+            ),
+            Expr::Unary(op, a) => RExpr::Unary(*op, Box::new(self.resolve_expr(a))),
+            Expr::Index(base, indices) => RExpr::Index(
+                Box::new(self.resolve_expr(base)),
+                indices
+                    .iter()
+                    .map(|i| match i {
+                        Expr::Range(lo, hi) => {
+                            RIndex::Slice(self.resolve_expr(lo), self.resolve_expr(hi))
+                        }
+                        other => RIndex::One(self.resolve_expr(other)),
+                    })
+                    .collect(),
+            ),
+            Expr::ArrayLit(items) => {
+                RExpr::ArrayLit(items.iter().map(|i| self.resolve_expr(i)).collect())
+            }
+            Expr::VectorLit(items) => {
+                RExpr::VectorLit(items.iter().map(|i| self.resolve_expr(i)).collect())
+            }
+            Expr::Range(lo, hi) => RExpr::Range(
+                Box::new(self.resolve_expr(lo)),
+                Box::new(self.resolve_expr(hi)),
+            ),
+            Expr::Ternary(c, a, b) => RExpr::Ternary(
+                Box::new(self.resolve_expr(c)),
+                Box::new(self.resolve_expr(a)),
+                Box::new(self.resolve_expr(b)),
+            ),
+        }
+    }
+
+    fn resolve_dist(&mut self, d: &DistCall) -> RDistCall {
+        RDistCall {
+            name: d.name.clone(),
+            args: d.args.iter().map(|a| self.resolve_expr(a)).collect(),
+            shape: d.shape.iter().map(|s| self.resolve_expr(s)).collect(),
+        }
+    }
+
+    fn resolve_decl(&mut self, d: &Decl) -> RDecl {
+        let kind = match &d.ty {
+            BaseType::Int => RDeclKind::Int,
+            BaseType::Real => RDeclKind::Real,
+            BaseType::Vector(n)
+            | BaseType::RowVector(n)
+            | BaseType::Simplex(n)
+            | BaseType::Ordered(n)
+            | BaseType::PositiveOrdered(n)
+            | BaseType::UnitVector(n) => RDeclKind::Vector(self.resolve_expr(n)),
+            BaseType::Matrix(r, c) => RDeclKind::Matrix(self.resolve_expr(r), self.resolve_expr(c)),
+            BaseType::CovMatrix(n) | BaseType::CorrMatrix(n) | BaseType::CholeskyFactorCorr(n) => {
+                RDeclKind::Square(self.resolve_expr(n))
+            }
+        };
+        RDecl {
+            slot: self.slot_for(&d.name),
+            kind,
+            dims: d.dims.iter().map(|e| self.resolve_expr(e)).collect(),
+            init: d.init.as_ref().map(|e| self.resolve_expr(e)),
+        }
+    }
+
+    fn resolve_gexpr(&mut self, e: &GExpr) -> RGExpr {
+        match e {
+            GExpr::Unit => RGExpr::Unit,
+            GExpr::Return(expr) => RGExpr::Return(self.resolve_expr(expr)),
+            GExpr::LetDecl { decl, body } => RGExpr::LetDecl {
+                decl: self.resolve_decl(decl),
+                body: Box::new(self.resolve_gexpr(body)),
+            },
+            GExpr::LetDet { name, value, body } => RGExpr::LetDet {
+                value: self.resolve_expr(value),
+                slot: self.slot_for(name),
+                body: Box::new(self.resolve_gexpr(body)),
+            },
+            GExpr::LetIndexed {
+                name,
+                indices,
+                value,
+                body,
+            } => RGExpr::LetIndexed {
+                slot: self.slot_for(name),
+                indices: indices.iter().map(|i| self.resolve_expr(i)).collect(),
+                value: self.resolve_expr(value),
+                body: Box::new(self.resolve_gexpr(body)),
+            },
+            GExpr::LetSample { name, dist, body } => RGExpr::LetSample {
+                slot: self.slot_for(name),
+                dist: self.resolve_dist(dist),
+                body: Box::new(self.resolve_gexpr(body)),
+            },
+            GExpr::Observe { dist, value, body } => RGExpr::Observe {
+                dist: self.resolve_dist(dist),
+                value: self.resolve_expr(value),
+                body: Box::new(self.resolve_gexpr(body)),
+            },
+            GExpr::Factor { value, body } => RGExpr::Factor {
+                value: self.resolve_expr(value),
+                body: Box::new(self.resolve_gexpr(body)),
+            },
+            GExpr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => RGExpr::If {
+                cond: self.resolve_expr(cond),
+                then_branch: Box::new(self.resolve_gexpr(then_branch)),
+                else_branch: Box::new(self.resolve_gexpr(else_branch)),
+            },
+            GExpr::LetLoop {
+                kind,
+                state: _,
+                loop_body,
+                body,
+            } => {
+                let kind = match kind {
+                    LoopKind::Range { var, lo, hi } => RLoopKind::Range {
+                        lo: self.resolve_expr(lo),
+                        hi: self.resolve_expr(hi),
+                        slot: self.slot_for(var),
+                    },
+                    LoopKind::ForEach { var, collection } => RLoopKind::ForEach {
+                        collection: self.resolve_expr(collection),
+                        slot: self.slot_for(var),
+                    },
+                    LoopKind::While { cond } => RLoopKind::While {
+                        cond: self.resolve_expr(cond),
+                    },
+                };
+                RGExpr::LetLoop {
+                    kind,
+                    loop_body: Box::new(self.resolve_gexpr(loop_body)),
+                    body: Box::new(self.resolve_gexpr(body)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stan_frontend::ast::Expr;
+
+    fn coin_body() -> GExpr {
+        GExpr::LetSample {
+            name: "z".into(),
+            dist: DistCall::new("beta", vec![Expr::RealLit(1.0), Expr::RealLit(1.0)]),
+            body: Box::new(GExpr::Observe {
+                dist: DistCall::new("bernoulli", vec![Expr::var("z")]),
+                value: Expr::var("x"),
+                body: Box::new(GExpr::Return(Expr::var("z"))),
+            }),
+        }
+    }
+
+    #[test]
+    fn resolution_assigns_dense_slots() {
+        let program = GProbProgram {
+            body: coin_body(),
+            params: vec![ParamInfo::scalar("z")],
+            ..Default::default()
+        };
+        let resolved = resolve_program(&program);
+        let z = resolved.slot_of("z").unwrap();
+        let x = resolved.slot_of("x").unwrap();
+        assert_ne!(z, x);
+        assert!(resolved.n_slots >= 2);
+        assert_eq!(resolved.params[0].slot, z);
+        assert_eq!(resolved.name_of(z), "z");
+        // The same name always resolves to the same slot (flat namespace).
+        match &resolved.body {
+            RGExpr::LetSample { slot, body, .. } => {
+                assert_eq!(*slot, z);
+                match &**body {
+                    RGExpr::Observe { dist, value, .. } => {
+                        assert_eq!(dist.args[0], RExpr::Slot(z));
+                        assert_eq!(*value, RExpr::Slot(x));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_through_envs() {
+        let program = GProbProgram {
+            body: coin_body(),
+            ..Default::default()
+        };
+        let resolved = resolve_program(&program);
+        let mut env: Env<f64> = Env::new();
+        env.insert("x".into(), Value::Int(1));
+        env.insert("unrelated".into(), Value::Real(9.0)); // no slot: dropped
+        let frame = resolved.frame_from_env(&env);
+        let back = frame.to_env(&resolved.interner);
+        assert_eq!(back.get("x"), Some(&Value::Int(1)));
+        assert!(!back.contains_key("unrelated"));
+        let view = FrameView {
+            frame: &frame,
+            interner: &resolved.interner,
+        };
+        assert_eq!(view.get_var("x"), Some(&Value::Int(1)));
+        assert_eq!(view.get_var("nope"), None);
+    }
+
+    #[test]
+    fn user_function_calls_are_dispatch_resolved() {
+        use stan_frontend::ast::{BlockBody, FunArg, UnsizedType};
+        let fun = FunDecl {
+            return_type: UnsizedType {
+                kind: "real".into(),
+                array_dims: 0,
+            },
+            name: "f".into(),
+            args: vec![FunArg {
+                is_data: false,
+                ty: UnsizedType {
+                    kind: "real".into(),
+                    array_dims: 0,
+                },
+                name: "v".into(),
+            }],
+            body: BlockBody::default(),
+        };
+        let program = GProbProgram {
+            functions: vec![fun],
+            body: GExpr::Return(Expr::Call("f".into(), vec![Expr::RealLit(1.0)])),
+            ..Default::default()
+        };
+        let resolved = resolve_program(&program);
+        match &resolved.body {
+            RGExpr::Return(RExpr::Call(name, target, _)) => {
+                assert_eq!(name, "f");
+                assert_eq!(*target, CallTarget::User(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unknown names dispatch as builtins.
+        let program2 = GProbProgram {
+            body: GExpr::Return(Expr::Call("exp".into(), vec![Expr::RealLit(1.0)])),
+            ..Default::default()
+        };
+        let resolved2 = resolve_program(&program2);
+        match &resolved2.body {
+            RGExpr::Return(RExpr::Call(_, target, _)) => {
+                assert_eq!(*target, CallTarget::Builtin)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,605 @@
+//! Evaluation of slot-resolved programs over [`Frame`] environments.
+//!
+//! This is the hot path of the runtime: the mirror of [`crate::eval`] /
+//! [`crate::interp`] for the resolved IR of [`crate::resolved`]. Every
+//! variable access is a vector index instead of a string hash. Value-level
+//! helpers (binary operators, the builtin library, distribution scoring and
+//! sampling) are shared with the string-keyed evaluator, so the two runtimes
+//! cannot drift apart semantically.
+//!
+//! User-defined functions and external functions (DeepStan networks) remain
+//! name-addressed; they receive the frame through the
+//! [`crate::value::EnvView`] boundary without any copying.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use minidiff::Real;
+use rand::rngs::StdRng;
+use stan_frontend::ast::FunDecl;
+
+use crate::eval::{
+    call_builtin, call_user_function, eval_binary, eval_unary, set_nested, slice_value, EvalCtx,
+    ExternalFns,
+};
+
+use crate::interp::draw_site;
+use crate::resolved::{
+    CallTarget, Frame, FrameView, RDecl, RDeclKind, RDistCall, RExpr, RGExpr, RIndex, RLoopKind,
+    ResolvedProgram,
+};
+use crate::value::{RuntimeError, Value};
+
+/// Evaluation context for resolved programs: the resolved program (for the
+/// symbol table), the user-function table, and the shared value-level
+/// context (builtins RNG, externals) reused from the string evaluator.
+pub struct RCtx<'a, T: Real> {
+    /// The resolved program (symbol table, slot count).
+    pub resolved: &'a ResolvedProgram,
+    /// User-defined functions, indexed by [`CallTarget::User`].
+    pub functions: &'a [FunDecl],
+    /// Value-level context shared with the string evaluator (used when
+    /// dropping into interpreted user functions and builtins).
+    pub eval: EvalCtx<'a, T>,
+}
+
+impl<'a, T: Real> RCtx<'a, T> {
+    /// Builds a context over a resolved program and its function table.
+    pub fn new(
+        resolved: &'a ResolvedProgram,
+        functions: &'a [FunDecl],
+        externals: &'a dyn ExternalFns<T>,
+    ) -> Self {
+        RCtx {
+            resolved,
+            functions,
+            eval: EvalCtx {
+                funcs: functions.iter().map(|f| (f.name.clone(), f)).collect(),
+                externals,
+                rng: None,
+            },
+        }
+    }
+
+    fn unbound(&self, slot: u32) -> RuntimeError {
+        RuntimeError::new(format!(
+            "unbound variable `{}`",
+            self.resolved.name_of(slot)
+        ))
+    }
+}
+
+/// A possibly-borrowed evaluation result. Slot reads and container-element
+/// reads borrow straight from the frame — the key win over the string
+/// runtime, which clones a container out of the environment before every
+/// `y[i]` access (quadratic in vector length across an observation loop).
+pub enum RefValue<'a, T: Real> {
+    /// A value borrowed from the frame.
+    Borrowed(&'a Value<T>),
+    /// A freshly computed value.
+    Owned(Value<T>),
+}
+
+impl<'a, T: Real> RefValue<'a, T> {
+    /// A shared reference to the value.
+    #[inline]
+    pub fn as_value(&self) -> &Value<T> {
+        match self {
+            RefValue::Borrowed(v) => v,
+            RefValue::Owned(v) => v,
+        }
+    }
+
+    /// Extracts an owned value (cloning only if borrowed).
+    #[inline]
+    pub fn into_owned(self) -> Value<T> {
+        match self {
+            RefValue::Borrowed(v) => v.clone(),
+            RefValue::Owned(v) => v,
+        }
+    }
+}
+
+impl<T: Real> std::borrow::Borrow<Value<T>> for RefValue<'_, T> {
+    fn borrow(&self) -> &Value<T> {
+        self.as_value()
+    }
+}
+
+/// Evaluates a resolved expression, borrowing from the frame when the
+/// expression is a plain slot read or an element access into one.
+///
+/// # Errors
+/// Same as [`reval_expr`].
+pub fn reval_ref<'a, T: Real>(
+    e: &RExpr,
+    frame: &'a Frame<T>,
+    ctx: &RCtx<T>,
+) -> Result<RefValue<'a, T>, RuntimeError> {
+    match e {
+        RExpr::Slot(slot) => frame
+            .get(*slot)
+            .map(RefValue::Borrowed)
+            .ok_or_else(|| ctx.unbound(*slot)),
+        RExpr::Index(base, indices) => {
+            let mut cur = reval_ref(base, frame, ctx)?;
+            for idx in indices {
+                match idx {
+                    RIndex::Slice(lo, hi) => {
+                        let lo = reval_expr(lo, frame, ctx)?.as_int()?;
+                        let hi = reval_expr(hi, frame, ctx)?.as_int()?;
+                        cur = RefValue::Owned(slice_value(cur.as_value(), lo, hi)?);
+                    }
+                    RIndex::One(i) => {
+                        let i = reval_expr(i, frame, ctx)?.as_int()?;
+                        cur = match cur {
+                            // Indexing a borrowed nested array yields a
+                            // borrow of the element; scalars are copied out.
+                            RefValue::Borrowed(Value::Array(items)) => {
+                                let len = items.len();
+                                if i < 1 || i as usize > len {
+                                    return Err(RuntimeError::new(format!(
+                                        "index {i} out of bounds for length {len}"
+                                    )));
+                                }
+                                RefValue::Borrowed(&items[(i - 1) as usize])
+                            }
+                            other => RefValue::Owned(other.as_value().index(i)?),
+                        };
+                    }
+                }
+            }
+            Ok(cur)
+        }
+        other => reval_expr(other, frame, ctx).map(RefValue::Owned),
+    }
+}
+
+/// Evaluates a resolved expression against a frame.
+///
+/// # Errors
+/// Returns a [`RuntimeError`] on unbound slots, unknown functions, shape
+/// mismatches, or out-of-bounds indexing.
+pub fn reval_expr<T: Real>(
+    e: &RExpr,
+    frame: &Frame<T>,
+    ctx: &RCtx<T>,
+) -> Result<Value<T>, RuntimeError> {
+    match e {
+        RExpr::IntLit(v) => Ok(Value::Int(*v)),
+        RExpr::RealLit(v) => Ok(Value::Real(T::from_f64(*v))),
+        RExpr::StringLit(_) => Ok(Value::Unit),
+        RExpr::Slot(slot) => frame.get(*slot).cloned().ok_or_else(|| ctx.unbound(*slot)),
+        RExpr::Unary(op, a) => {
+            let va = reval_expr(a, frame, ctx)?;
+            eval_unary(*op, va)
+        }
+        RExpr::Binary(op, a, b) => {
+            let va = reval_expr(a, frame, ctx)?;
+            let vb = reval_expr(b, frame, ctx)?;
+            eval_binary(*op, va, vb)
+        }
+        RExpr::Index(..) => reval_ref(e, frame, ctx).map(RefValue::into_owned),
+        RExpr::ArrayLit(items) => {
+            let vals: Vec<Value<T>> = items
+                .iter()
+                .map(|i| reval_expr(i, frame, ctx))
+                .collect::<Result<_, _>>()?;
+            crate::eval::promote_array_lit(vals)
+        }
+        RExpr::VectorLit(items) => {
+            let vals: Vec<T> = items
+                .iter()
+                .map(|i| reval_expr(i, frame, ctx)?.as_real())
+                .collect::<Result<_, _>>()?;
+            Ok(Value::Vector(vals))
+        }
+        RExpr::Range(lo, hi) => {
+            let lo = reval_expr(lo, frame, ctx)?.as_int()?;
+            let hi = reval_expr(hi, frame, ctx)?.as_int()?;
+            Ok(Value::IntArray((lo..=hi).collect()))
+        }
+        RExpr::Ternary(c, a, b) => {
+            let cond = reval_expr(c, frame, ctx)?.as_real()?;
+            if cond.value() != 0.0 {
+                reval_expr(a, frame, ctx)
+            } else {
+                reval_expr(b, frame, ctx)
+            }
+        }
+        RExpr::Call(name, target, args) => {
+            let vals: Vec<Value<T>> = args
+                .iter()
+                .map(|a| reval_expr(a, frame, ctx))
+                .collect::<Result<_, _>>()?;
+            // 1. External hook (neural networks) — probed first, as in the
+            //    string evaluator.
+            let view = FrameView {
+                frame,
+                interner: &ctx.resolved.interner,
+            };
+            if let Some(result) = ctx.eval.externals.call(name, &vals, &view) {
+                return result;
+            }
+            // 2. User-defined functions, dispatch-resolved at compile time.
+            if let CallTarget::User(idx) = target {
+                return call_user_function(&ctx.functions[*idx as usize], &vals, &view, &ctx.eval);
+            }
+            // 3. Built-ins.
+            call_builtin(name, &vals, &ctx.eval)
+        }
+    }
+}
+
+/// Builds the default (zero) value for a resolved declaration.
+///
+/// # Errors
+/// Fails if a dimension expression cannot be evaluated.
+pub fn default_rvalue<T: Real>(
+    decl: &RDecl,
+    frame: &Frame<T>,
+    ctx: &RCtx<T>,
+) -> Result<Value<T>, RuntimeError> {
+    let int_dim = |e: &RExpr| -> Result<i64, RuntimeError> { reval_expr(e, frame, ctx)?.as_int() };
+    let zero_vec = |n: i64| Value::Vector(vec![T::from_f64(0.0); n.max(0) as usize]);
+    let base: Value<T> = match &decl.kind {
+        RDeclKind::Int => Value::Int(0),
+        RDeclKind::Real => Value::Real(T::from_f64(0.0)),
+        RDeclKind::Vector(n) => zero_vec(int_dim(n)?),
+        RDeclKind::Matrix(r, c) => {
+            let (rows, cols) = (int_dim(r)?, int_dim(c)?);
+            Value::Array((0..rows).map(|_| zero_vec(cols)).collect())
+        }
+        RDeclKind::Square(n) => {
+            let n = int_dim(n)?;
+            Value::Array((0..n).map(|_| zero_vec(n)).collect())
+        }
+    };
+    let mut val = base;
+    for dim in decl.dims.iter().rev() {
+        let n = int_dim(dim)?;
+        match (&val, &decl.kind) {
+            (Value::Int(_), _) => val = Value::IntArray(vec![0; n.max(0) as usize]),
+            (Value::Real(_), _) => val = zero_vec(n),
+            _ => val = Value::Array(vec![val.clone(); n.max(0) as usize]),
+        }
+    }
+    Ok(val)
+}
+
+/// How `sample` sites are resolved by the frame interpreter.
+pub enum RMode<'a, T: Real> {
+    /// Look values up in a trace frame; contribute their log-density.
+    Trace(&'a Frame<T>),
+    /// Draw fresh untracked values from the prior.
+    Prior(Rc<RefCell<StdRng>>),
+    /// Draw reparameterized (gradient-tracked) values.
+    Reparam(Rc<RefCell<StdRng>>),
+}
+
+/// The result of running a resolved GProb body.
+#[derive(Debug, Clone)]
+pub struct RRunResult<T: Real> {
+    /// Accumulated log-score.
+    pub score: T,
+    /// Values of all `sample` sites, keyed by their frame slot. Populated
+    /// only in the sampling modes ([`RMode::Prior`] / [`RMode::Reparam`]);
+    /// in [`RMode::Trace`] the caller already owns the trace, so collecting
+    /// a copy would only add a clone per site to the density hot path.
+    pub trace: Frame<T>,
+    /// The value of the final `return` expression.
+    pub value: Value<T>,
+}
+
+/// The slot-frame probabilistic interpreter (mirror of [`crate::interp::Interp`]).
+pub struct RInterp<'a, T: Real> {
+    ctx: &'a RCtx<'a, T>,
+    mode: RMode<'a, T>,
+    score: T,
+    trace: Frame<T>,
+}
+
+impl<'a, T: Real> RInterp<'a, T> {
+    /// Creates an interpreter in the given mode.
+    pub fn new(ctx: &'a RCtx<'a, T>, mode: RMode<'a, T>) -> Self {
+        let trace = match mode {
+            // Density evaluation never reads the collected trace.
+            RMode::Trace(_) => Frame::new(0),
+            _ => ctx.resolved.frame(),
+        };
+        RInterp {
+            mode,
+            score: T::from_f64(0.0),
+            trace,
+            ctx,
+        }
+    }
+
+    /// Runs a resolved body in the given frame.
+    ///
+    /// # Errors
+    /// Propagates evaluation errors, unknown distributions, and missing
+    /// trace values.
+    pub fn run(
+        &mut self,
+        body: &RGExpr,
+        frame: &mut Frame<T>,
+    ) -> Result<RRunResult<T>, RuntimeError> {
+        let value = self.eval(body, frame)?;
+        Ok(RRunResult {
+            score: self.score,
+            trace: std::mem::replace(&mut self.trace, Frame::new(0)),
+            value,
+        })
+    }
+
+    fn eval(&mut self, e: &RGExpr, frame: &mut Frame<T>) -> Result<Value<T>, RuntimeError> {
+        match e {
+            RGExpr::Unit => Ok(Value::Unit),
+            RGExpr::Return(expr) => reval_expr(expr, frame, self.ctx),
+            RGExpr::LetDecl { decl, body } => {
+                let v = match &decl.init {
+                    Some(e) => reval_expr(e, frame, self.ctx)?,
+                    None => default_rvalue(decl, frame, self.ctx)?,
+                };
+                frame.set(decl.slot, v);
+                self.eval(body, frame)
+            }
+            RGExpr::LetDet { slot, value, body } => {
+                let v = reval_expr(value, frame, self.ctx)?;
+                frame.set(*slot, v);
+                self.eval(body, frame)
+            }
+            RGExpr::LetIndexed {
+                slot,
+                indices,
+                value,
+                body,
+            } => {
+                let v = reval_expr(value, frame, self.ctx)?;
+                let idx: Vec<i64> = indices
+                    .iter()
+                    .map(|i| reval_expr(i, frame, self.ctx)?.as_int())
+                    .collect::<Result<_, _>>()?;
+                let target = frame
+                    .get_mut(*slot)
+                    .ok_or_else(|| self.ctx.unbound(*slot))?;
+                set_nested(target, &idx, v)?;
+                self.eval(body, frame)
+            }
+            RGExpr::LetSample { slot, dist, body } => {
+                let value = self.handle_sample(*slot, dist, frame)?;
+                if !matches!(self.mode, RMode::Trace(_)) {
+                    self.trace.set(*slot, value.clone());
+                }
+                frame.set(*slot, value);
+                self.eval(body, frame)
+            }
+            RGExpr::Observe { dist, value, body } => {
+                // Borrow both the observed value and the distribution
+                // arguments from the frame — no container is cloned.
+                let score = {
+                    let observed = reval_ref(value, frame, self.ctx)?;
+                    let args = self.eval_dist_args(dist, frame)?;
+                    crate::eval::tilde_lpdf(observed.as_value(), &dist.name, &args)?
+                };
+                self.score = self.score + score;
+                self.eval(body, frame)
+            }
+            RGExpr::Factor { value, body } => {
+                let v = reval_ref(value, frame, self.ctx)?;
+                self.score = self.score + v.as_value().sum_as_real()?;
+                self.eval(body, frame)
+            }
+            RGExpr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let c = reval_expr(cond, frame, self.ctx)?.as_real()?;
+                if c.value() != 0.0 {
+                    self.eval(then_branch, frame)
+                } else {
+                    self.eval(else_branch, frame)
+                }
+            }
+            RGExpr::LetLoop {
+                kind,
+                loop_body,
+                body,
+            } => {
+                match kind {
+                    RLoopKind::Range { slot, lo, hi } => {
+                        let lo = reval_expr(lo, frame, self.ctx)?.as_int()?;
+                        let hi = reval_expr(hi, frame, self.ctx)?.as_int()?;
+                        for i in lo..=hi {
+                            frame.set(*slot, Value::Int(i));
+                            self.eval(loop_body, frame)?;
+                        }
+                        frame.clear(*slot);
+                    }
+                    RLoopKind::ForEach { slot, collection } => {
+                        let coll = reval_expr(collection, frame, self.ctx)?;
+                        for i in 1..=coll.len() as i64 {
+                            frame.set(*slot, coll.index(i)?);
+                            self.eval(loop_body, frame)?;
+                        }
+                        frame.clear(*slot);
+                    }
+                    RLoopKind::While { cond } => {
+                        let mut iterations = 0usize;
+                        loop {
+                            let c = reval_expr(cond, frame, self.ctx)?.as_real()?;
+                            if c.value() == 0.0 {
+                                break;
+                            }
+                            iterations += 1;
+                            if iterations > 10_000_000 {
+                                return Err(RuntimeError::new(
+                                    "while loop exceeded the iteration budget",
+                                ));
+                            }
+                            self.eval(loop_body, frame)?;
+                        }
+                    }
+                }
+                self.eval(body, frame)
+            }
+        }
+    }
+
+    fn eval_dist_args<'f>(
+        &self,
+        dist: &RDistCall,
+        frame: &'f Frame<T>,
+    ) -> Result<Vec<RefValue<'f, T>>, RuntimeError> {
+        dist.args
+            .iter()
+            .map(|a| reval_ref(a, frame, self.ctx))
+            .collect()
+    }
+
+    fn handle_sample(
+        &mut self,
+        slot: u32,
+        dist: &RDistCall,
+        frame: &mut Frame<T>,
+    ) -> Result<Value<T>, RuntimeError> {
+        match &self.mode {
+            RMode::Trace(trace) => {
+                let value = trace.get(slot).ok_or_else(|| {
+                    RuntimeError::new(format!(
+                        "trace is missing a value for sample site `{}`",
+                        self.ctx.resolved.name_of(slot)
+                    ))
+                })?;
+                let args = self.eval_dist_args(dist, frame)?;
+                let score = crate::eval::tilde_lpdf(value, &dist.name, &args)?;
+                self.score = self.score + score;
+                // The clone binds the traced value into the frame; the trace
+                // itself stays untouched.
+                Ok(value.clone())
+            }
+            RMode::Prior(rng) | RMode::Reparam(rng) => {
+                let reparam = matches!(self.mode, RMode::Reparam(_));
+                let args: Vec<Value<T>> = self
+                    .eval_dist_args(dist, frame)?
+                    .into_iter()
+                    .map(RefValue::into_owned)
+                    .collect();
+                let mut dims: Vec<i64> = Vec::with_capacity(dist.shape.len());
+                for s in &dist.shape {
+                    dims.push(reval_expr(s, frame, self.ctx)?.as_int()?);
+                }
+                let value = draw_site(&dist.name, &args, &dims, rng, reparam)?;
+                self.score = self.score + crate::eval::tilde_lpdf(&value, &dist.name, &args)?;
+                Ok(value)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{DistCall, GExpr, GProbProgram};
+    use crate::resolved::resolve_program;
+    use crate::value::Env;
+    use rand::SeedableRng;
+    use stan_frontend::ast::Expr;
+
+    fn coin_program() -> GProbProgram {
+        GProbProgram {
+            body: GExpr::LetSample {
+                name: "z".into(),
+                dist: DistCall::new("uniform", vec![Expr::RealLit(0.0), Expr::RealLit(1.0)]),
+                body: Box::new(GExpr::Observe {
+                    dist: DistCall::new("beta", vec![Expr::RealLit(1.0), Expr::RealLit(1.0)]),
+                    value: Expr::var("z"),
+                    body: Box::new(GExpr::LetLoop {
+                        kind: crate::ir::LoopKind::Range {
+                            var: "i".into(),
+                            lo: Expr::IntLit(1),
+                            hi: Expr::var("N"),
+                        },
+                        state: vec![],
+                        loop_body: Box::new(GExpr::Observe {
+                            dist: DistCall::new("bernoulli", vec![Expr::var("z")]),
+                            value: Expr::Index(Box::new(Expr::var("x")), vec![Expr::var("i")]),
+                            body: Box::new(GExpr::Unit),
+                        }),
+                        body: Box::new(GExpr::Return(Expr::var("z"))),
+                    }),
+                }),
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn trace_mode_matches_string_interpreter() {
+        let program = coin_program();
+        let resolved = resolve_program(&program);
+        let mut data: Env<f64> = Env::new();
+        data.insert("N".into(), Value::Int(4));
+        data.insert("x".into(), Value::IntArray(vec![1, 0, 1, 1]));
+        // String-keyed baseline.
+        let mut trace_env: Env<f64> = Env::new();
+        trace_env.insert("z".into(), Value::Real(0.7));
+        let expect = crate::interp::score_trace(&program.body, &data, &trace_env).unwrap();
+        // Slot-resolved path.
+        let mut frame = resolved.frame_from_env(&data);
+        let mut trace = resolved.frame::<f64>();
+        trace.set(resolved.slot_of("z").unwrap(), Value::Real(0.7));
+        let ctx = RCtx::new(&resolved, &[], &crate::eval::NoExternals);
+        let mut interp = RInterp::new(&ctx, RMode::Trace(&trace));
+        let run = interp.run(&resolved.body, &mut frame).unwrap();
+        assert!(
+            (run.score - expect).abs() < 1e-15,
+            "{} vs {expect}",
+            run.score
+        );
+        assert_eq!(run.value, Value::Real(0.7));
+        // Loop variable slot was cleared on exit.
+        assert!(frame.get(resolved.slot_of("i").unwrap()).is_none());
+    }
+
+    #[test]
+    fn prior_mode_draws_and_scores() {
+        let program = coin_program();
+        let resolved = resolve_program(&program);
+        let mut data: Env<f64> = Env::new();
+        data.insert("N".into(), Value::Int(4));
+        data.insert("x".into(), Value::IntArray(vec![1, 0, 1, 1]));
+        let ctx = RCtx::new(&resolved, &[], &crate::eval::NoExternals);
+        let rng = Rc::new(RefCell::new(StdRng::seed_from_u64(11)));
+        for _ in 0..20 {
+            let mut frame = resolved.frame_from_env(&data);
+            let mut interp = RInterp::new(&ctx, RMode::Prior(rng.clone()));
+            let run = interp.run(&resolved.body, &mut frame).unwrap();
+            let z = run
+                .trace
+                .get(resolved.slot_of("z").unwrap())
+                .unwrap()
+                .as_real()
+                .unwrap();
+            assert!((0.0..=1.0).contains(&z));
+            assert!(run.score.is_finite());
+        }
+    }
+
+    #[test]
+    fn unbound_slots_report_the_original_name() {
+        let program = GProbProgram {
+            body: GExpr::Return(Expr::var("mystery")),
+            ..Default::default()
+        };
+        let resolved = resolve_program(&program);
+        let ctx = RCtx::new(&resolved, &[], &crate::eval::NoExternals);
+        let mut frame = resolved.frame::<f64>();
+        let empty_trace = resolved.frame();
+        let mut interp = RInterp::new(&ctx, RMode::Trace(&empty_trace));
+        let err = interp.run(&resolved.body, &mut frame).unwrap_err();
+        assert!(err.message().contains("mystery"), "{}", err.message());
+    }
+}

@@ -121,6 +121,33 @@ impl<T: Real> Value<T> {
         }
     }
 
+    /// Sums the value's elements as a real scalar: containers are reduced,
+    /// scalars pass through. Used by `target +=` / `factor` with container
+    /// arguments.
+    ///
+    /// # Errors
+    /// Fails if any leaf is not numeric.
+    pub fn sum_as_real(&self) -> Result<T, RuntimeError> {
+        match self {
+            Value::Vector(xs) => {
+                let mut acc = T::from_f64(0.0);
+                for x in xs {
+                    acc = acc + *x;
+                }
+                Ok(acc)
+            }
+            Value::IntArray(xs) => Ok(T::from_f64(xs.iter().sum::<i64>() as f64)),
+            Value::Array(items) => {
+                let mut acc = T::from_f64(0.0);
+                for item in items {
+                    acc = acc + item.sum_as_real()?;
+                }
+                Ok(acc)
+            }
+            other => other.as_real(),
+        }
+    }
+
     /// A short description of the value's kind, for error messages.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -166,7 +193,10 @@ impl<T: Real> Value<T> {
             Value::Vector(v) => Ok(Value::Real(v[check(v.len())?])),
             Value::IntArray(v) => Ok(Value::Int(v[check(v.len())?])),
             Value::Array(v) => Ok(v[check(v.len())?].clone()),
-            other => Err(RuntimeError::new(format!("cannot index a {}", other.kind()))),
+            other => Err(RuntimeError::new(format!(
+                "cannot index a {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -266,6 +296,31 @@ impl<T: Real> From<i64> for Value<T> {
 /// A variable environment mapping names to values.
 pub type Env<T> = HashMap<String, Value<T>>;
 
+/// A read-only, name-addressed view of a variable environment.
+///
+/// The runtime-extension boundary (external functions such as DeepStan
+/// networks, and user-defined function calls) is name-addressed, while the
+/// hot evaluation path is slot-addressed. This trait lets both environment
+/// representations — the string-keyed [`Env`] and the slot-resolved
+/// `resolved::Frame` — serve those boundary consumers without copying.
+pub trait EnvView<T: Real> {
+    /// Looks up a variable by name.
+    fn get_var(&self, name: &str) -> Option<&Value<T>>;
+    /// Visits every bound variable.
+    fn for_each_var(&self, f: &mut dyn FnMut(&str, &Value<T>));
+}
+
+impl<T: Real> EnvView<T> for Env<T> {
+    fn get_var(&self, name: &str) -> Option<&Value<T>> {
+        self.get(name)
+    }
+    fn for_each_var(&self, f: &mut dyn FnMut(&str, &Value<T>)) {
+        for (k, v) in self {
+            f(k, v);
+        }
+    }
+}
+
 /// Builds a data environment (plain `f64`) from `(name, value)` pairs.
 pub fn env_from_pairs(pairs: &[(&str, Value<f64>)]) -> Env<f64> {
     pairs
@@ -276,7 +331,9 @@ pub fn env_from_pairs(pairs: &[(&str, Value<f64>)]) -> Env<f64> {
 
 /// Lifts an `f64` environment into an environment over any scalar type.
 pub fn lift_env<T: Real>(env: &Env<f64>) -> Env<T> {
-    env.iter().map(|(k, v)| (k.clone(), Value::lift(v))).collect()
+    env.iter()
+        .map(|(k, v)| (k.clone(), Value::lift(v)))
+        .collect()
 }
 
 #[cfg(test)]

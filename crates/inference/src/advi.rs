@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::svi::{Adam, AdamConfig};
+use crate::target::GradTarget;
 
 /// ADVI configuration.
 #[derive(Debug, Clone)]
@@ -53,15 +54,17 @@ pub struct AdviResult {
 }
 
 /// Fits mean-field ADVI to a `(log p, ∇ log p)` target.
-pub fn advi_fit(
-    target: &dyn Fn(&[f64]) -> (f64, Vec<f64>),
-    dim: usize,
-    config: &AdviConfig,
-) -> AdviResult {
+pub fn advi_fit<T: GradTarget + ?Sized>(target: &T, dim: usize, config: &AdviConfig) -> AdviResult {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut mu = vec![0.0f64; dim];
     let mut omega = vec![-1.0f64; dim];
-    let mut adam = Adam::new(2 * dim, AdamConfig { lr: config.lr, ..Default::default() });
+    let mut adam = Adam::new(
+        2 * dim,
+        AdamConfig {
+            lr: config.lr,
+            ..Default::default()
+        },
+    );
     let mut elbo_trace = Vec::new();
     let report_every = (config.steps / 50).max(1);
     let mut running = 0.0;
@@ -72,7 +75,7 @@ pub fn advi_fit(
         for _ in 0..config.grad_samples {
             let eps: Vec<f64> = (0..dim).map(|_| standard_normal(&mut rng)).collect();
             let z: Vec<f64> = (0..dim).map(|i| mu[i] + omega[i].exp() * eps[i]).collect();
-            let (lp, g) = target(&z);
+            let (lp, g) = target.logp_grad(&z);
             let lp = if lp.is_finite() { lp } else { -1e10 };
             elbo += lp;
             for i in 0..dim {
@@ -136,7 +139,15 @@ mod tests {
             let lp = -0.5 * z1 * z1 - 0.5 * z2 * z2;
             (lp, vec![-z1 / 0.5, -z2 / 2.0])
         };
-        let res = advi_fit(&target, 2, &AdviConfig { steps: 3000, seed: 4, ..Default::default() });
+        let res = advi_fit(
+            &target,
+            2,
+            &AdviConfig {
+                steps: 3000,
+                seed: 4,
+                ..Default::default()
+            },
+        );
         assert!((res.mu[0] - 1.0).abs() < 0.15, "{}", res.mu[0]);
         assert!((res.mu[1] + 2.0).abs() < 0.4, "{}", res.mu[1]);
         assert!((res.omega[0].exp() - 0.5).abs() < 0.2);
@@ -160,7 +171,15 @@ mod tests {
             let g = wa * (-x) + wb * (-(x - 20.0));
             (lp, vec![g])
         };
-        let res = advi_fit(&target, 1, &AdviConfig { steps: 3000, seed: 5, ..Default::default() });
+        let res = advi_fit(
+            &target,
+            1,
+            &AdviConfig {
+                steps: 3000,
+                seed: 5,
+                ..Default::default()
+            },
+        );
         let sd = res.omega[0].exp();
         // The approximation sits on one mode with a narrow standard deviation
         // rather than spanning [0, 20].

@@ -170,7 +170,9 @@ mod tests {
 
     #[test]
     fn ess_detects_autocorrelation() {
-        let iid: Vec<f64> = (0..2000).map(|i| (((i * 2654435761_u64) % 1000) as f64) / 1000.0).collect();
+        let iid: Vec<f64> = (0..2000)
+            .map(|i| (((i * 2654435761_u64) % 1000) as f64) / 1000.0)
+            .collect();
         let ess_iid = ess(&iid);
         assert!(ess_iid > 500.0, "{ess_iid}");
         // A slowly-moving chain has far fewer effective samples.

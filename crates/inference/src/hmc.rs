@@ -6,6 +6,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::target::GradTarget;
+
 /// Configuration for static HMC.
 #[derive(Debug, Clone)]
 pub struct HmcConfig {
@@ -46,15 +48,15 @@ pub struct HmcResult {
 }
 
 /// Runs static HMC on a `(log p, ∇ log p)` target.
-pub fn hmc_sample(
-    target: &dyn Fn(&[f64]) -> (f64, Vec<f64>),
+pub fn hmc_sample<T: GradTarget + ?Sized>(
+    target: &T,
     init: Vec<f64>,
     config: &HmcConfig,
 ) -> HmcResult {
     let dim = init.len();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut q = init;
-    let (mut logp, mut grad) = target(&q);
+    let (mut logp, mut grad) = target.logp_grad(&q);
     let mut step = config.step_size;
     let mut draws = Vec::with_capacity(config.samples);
     let mut accepted_post = 0usize;
@@ -74,7 +76,7 @@ pub fn hmc_sample(
             for i in 0..dim {
                 q_new[i] += step * p[i];
             }
-            let (lp, g) = target(&q_new);
+            let (lp, g) = target.logp_grad(&q_new);
             logp_new = if lp.is_nan() { f64::NEG_INFINITY } else { lp };
             grad_new = g;
             let last = l + 1 == config.leapfrog_steps;

@@ -66,7 +66,12 @@ pub fn importance_sample(
     let unnormalized: Vec<f64> = log_weights.iter().map(|lw| (lw - max_lw).exp()).collect();
     let total: f64 = unnormalized.iter().sum();
     let weights: Vec<f64> = unnormalized.iter().map(|w| w / total).collect();
-    let ess = 1.0 / weights.iter().map(|w| w * w).sum::<f64>().max(f64::MIN_POSITIVE);
+    let ess = 1.0
+        / weights
+            .iter()
+            .map(|w| w * w)
+            .sum::<f64>()
+            .max(f64::MIN_POSITIVE);
     let log_evidence = max_lw + (total / n as f64).ln();
     ImportanceResult {
         draws,
@@ -120,7 +125,11 @@ mod tests {
         let log_weight = |z: &[f64]| 7.0 * z[0].ln() + 3.0 * (1.0 - z[0]).ln();
         let res = importance_sample(&propose, &log_weight, 50_000, 2);
         let analytic = minidiff::special::lbeta(8.0, 4.0);
-        assert!((res.log_evidence - analytic).abs() < 0.05, "{} vs {analytic}", res.log_evidence);
+        assert!(
+            (res.log_evidence - analytic).abs() < 0.05,
+            "{} vs {analytic}",
+            res.log_evidence
+        );
     }
 
     #[test]

@@ -41,8 +41,10 @@ pub mod hmc;
 pub mod importance;
 pub mod nuts;
 pub mod svi;
+pub mod target;
 
 pub use advi::{advi_fit, AdviConfig, AdviResult};
 pub use diagnostics::{accuracy_pass, ess, split_rhat, summarize, Summary};
 pub use nuts::{nuts_sample, NutsConfig, NutsResult};
 pub use svi::{Adam, AdamConfig};
+pub use target::GradTarget;

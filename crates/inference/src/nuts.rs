@@ -8,6 +8,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::target::GradTarget;
+
 /// NUTS configuration.
 #[derive(Debug, Clone)]
 pub struct NutsConfig {
@@ -105,13 +107,14 @@ impl DualAveraging {
     }
 }
 
-/// Runs NUTS on a target given by a closure returning `(log p, ∇ log p)`.
+/// Runs NUTS on a [`GradTarget`] — any model exposing `(log p, ∇ log p)` on
+/// the unconstrained scale (closures implement the trait, as does the
+/// slot-resolved `gprob::GModel` through `deepstan`'s adapter).
 ///
-/// The target is evaluated on the unconstrained scale; constrained models
-/// should wrap their density with the appropriate transform (as
-/// `gprob::GModel` does).
-pub fn nuts_sample(
-    target: &dyn Fn(&[f64]) -> (f64, Vec<f64>),
+/// Constrained models should wrap their density with the appropriate
+/// transform (as `gprob::GModel` does).
+pub fn nuts_sample<T: GradTarget + ?Sized>(
+    target: &T,
     init: Vec<f64>,
     config: &NutsConfig,
 ) -> NutsResult {
@@ -120,7 +123,7 @@ pub fn nuts_sample(
     let mut n_grad_evals = 0usize;
     let eval = |q: &[f64], count: &mut usize| -> (f64, Vec<f64>) {
         *count += 1;
-        let (lp, g) = target(q);
+        let (lp, g) = target.logp_grad(q);
         if lp.is_nan() {
             (f64::NEG_INFINITY, vec![0.0; q.len()])
         } else {
@@ -302,8 +305,8 @@ pub fn nuts_sample(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn build_tree(
-    target: &dyn Fn(&[f64]) -> (f64, Vec<f64>),
+fn build_tree<T: GradTarget + ?Sized>(
+    target: &T,
     edge: &mut State,
     go_right: bool,
     depth: usize,
@@ -345,25 +348,25 @@ fn build_tree(
     true
 }
 
-fn leapfrog(
-    target: &dyn Fn(&[f64]) -> (f64, Vec<f64>),
+fn leapfrog<T: GradTarget + ?Sized>(
+    target: &T,
     s: &mut State,
     eps: f64,
     inv_mass: &[f64],
     n_grad_evals: &mut usize,
 ) {
-    for i in 0..s.q.len() {
-        s.p[i] += 0.5 * eps * s.grad[i];
+    for (p, g) in s.p.iter_mut().zip(&s.grad) {
+        *p += 0.5 * eps * g;
     }
-    for i in 0..s.q.len() {
-        s.q[i] += eps * inv_mass[i] * s.p[i];
+    for ((q, im), p) in s.q.iter_mut().zip(inv_mass).zip(&s.p) {
+        *q += eps * im * p;
     }
     *n_grad_evals += 1;
-    let (lp, g) = target(&s.q);
+    let (lp, g) = target.logp_grad(&s.q);
     s.logp = if lp.is_nan() { f64::NEG_INFINITY } else { lp };
     s.grad = g;
-    for i in 0..s.q.len() {
-        s.p[i] += 0.5 * eps * s.grad[i];
+    for (p, g) in s.p.iter_mut().zip(&s.grad) {
+        *p += 0.5 * eps * g;
     }
 }
 
@@ -376,12 +379,7 @@ fn kinetic(p: &[f64], inv_mass: &[f64]) -> f64 {
 }
 
 fn uturn(minus: &State, plus: &State, inv_mass: &[f64]) -> bool {
-    let dq: Vec<f64> = plus
-        .q
-        .iter()
-        .zip(&minus.q)
-        .map(|(a, b)| a - b)
-        .collect();
+    let dq: Vec<f64> = plus.q.iter().zip(&minus.q).map(|(a, b)| a - b).collect();
     let forward: f64 = dq
         .iter()
         .zip(&plus.p)
@@ -398,8 +396,8 @@ fn uturn(minus: &State, plus: &State, inv_mass: &[f64]) -> bool {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn find_initial_step_size(
-    target: &dyn Fn(&[f64]) -> (f64, Vec<f64>),
+fn find_initial_step_size<T: GradTarget + ?Sized>(
+    target: &T,
     q: &[f64],
     logp: f64,
     grad: &[f64],
@@ -526,7 +524,11 @@ mod tests {
         let summary = summarize(&res.draws);
         assert!((summary[0].mean - 2.0).abs() < 0.1, "{}", summary[0].mean);
         assert!((summary[1].mean + 1.0).abs() < 0.5, "{}", summary[1].mean);
-        assert!((summary[1].stddev - 3.0).abs() < 0.7, "{}", summary[1].stddev);
+        assert!(
+            (summary[1].stddev - 3.0).abs() < 0.7,
+            "{}",
+            summary[1].stddev
+        );
         assert_eq!(res.draws.len(), 1000);
     }
 

@@ -86,8 +86,8 @@ pub struct SviResult {
 /// `objective_grad` receives the current parameters and an RNG (for drawing
 /// the Monte-Carlo noise of the reparameterized ELBO estimate) and returns
 /// `(elbo_estimate, gradient)`.
-pub fn svi_optimize(
-    objective_grad: &mut dyn FnMut(&[f64], &mut StdRng) -> (f64, Vec<f64>),
+pub fn svi_optimize<F: FnMut(&[f64], &mut StdRng) -> (f64, Vec<f64>)>(
+    objective_grad: &mut F,
     init: Vec<f64>,
     steps: usize,
     config: AdamConfig,
@@ -120,7 +120,13 @@ mod tests {
     fn adam_maximizes_a_quadratic() {
         // Maximize -(x-3)^2 - (y+1)^2.
         let mut params = vec![0.0, 0.0];
-        let mut adam = Adam::new(2, AdamConfig { lr: 0.05, ..Default::default() });
+        let mut adam = Adam::new(
+            2,
+            AdamConfig {
+                lr: 0.05,
+                ..Default::default()
+            },
+        );
         for _ in 0..2000 {
             let grad = vec![-2.0 * (params[0] - 3.0), -2.0 * (params[1] + 1.0)];
             adam.step(&mut params, &grad);
@@ -163,10 +169,17 @@ mod tests {
             &mut objective,
             vec![0.0, 0.0],
             4000,
-            AdamConfig { lr: 0.02, ..Default::default() },
+            AdamConfig {
+                lr: 0.02,
+                ..Default::default()
+            },
             1,
         );
-        assert!((result.params[0] - 2.0).abs() < 0.15, "mu {}", result.params[0]);
+        assert!(
+            (result.params[0] - 2.0).abs() < 0.15,
+            "mu {}",
+            result.params[0]
+        );
         assert!(
             (result.params[1].exp() - 0.5).abs() < 0.2,
             "sigma {}",

@@ -1,0 +1,40 @@
+//! The target-density interface shared by all gradient-based samplers.
+//!
+//! Samplers used to take `&dyn Fn(&[f64]) -> (f64, Vec<f64>)`, forcing a
+//! virtual call per gradient evaluation and a closure allocation at every
+//! call site. [`GradTarget`] makes the samplers generic: model-backed targets
+//! (e.g. `gprob::GModel` behind `deepstan`'s adapter) are dispatched
+//! statically, while every existing closure keeps working through the
+//! blanket implementation.
+
+/// A log-density with gradient, evaluated on the unconstrained scale.
+pub trait GradTarget {
+    /// Returns `(log p(q), ∇ log p(q))`.
+    fn logp_grad(&self, q: &[f64]) -> (f64, Vec<f64>);
+}
+
+impl<F: Fn(&[f64]) -> (f64, Vec<f64>)> GradTarget for F {
+    fn logp_grad(&self, q: &[f64]) -> (f64, Vec<f64>) {
+        self(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Quadratic;
+    impl GradTarget for Quadratic {
+        fn logp_grad(&self, q: &[f64]) -> (f64, Vec<f64>) {
+            (-0.5 * q[0] * q[0], vec![-q[0]])
+        }
+    }
+
+    #[test]
+    fn closures_and_structs_both_implement_the_trait() {
+        let closure = |q: &[f64]| (-0.5 * q[0] * q[0], vec![-q[0]]);
+        let (lp_c, g_c) = closure.logp_grad(&[2.0]);
+        let (lp_s, g_s) = Quadratic.logp_grad(&[2.0]);
+        assert_eq!((lp_c, g_c), (lp_s, g_s));
+    }
+}

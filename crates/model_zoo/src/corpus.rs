@@ -77,7 +77,7 @@ fn regression_1cov(seed: u64) -> DataSet {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = 60;
     let x = covariates(&mut rng, n, 0.0, 1.0);
-    let y = linear_response(&mut rng, &[x.clone()], 1.5, &[2.0], 1.0);
+    let y = linear_response(&mut rng, std::slice::from_ref(&x), 1.5, &[2.0], 1.0);
     vec![
         bind("N", Value::Int(n as i64)),
         bind("x", Value::Vector(x)),
@@ -136,8 +136,8 @@ fn timeseries_data(seed: u64) -> DataSet {
     let n = 80usize;
     let mut y = vec![0.0f64; n];
     for t in 2..n {
-        y[t] = 0.3 + 0.5 * y[t - 1] - 0.2 * y[t - 2]
-            + probdist::sampling::normal(&mut rng, 0.0, 0.5);
+        y[t] =
+            0.3 + 0.5 * y[t - 1] - 0.2 * y[t - 2] + probdist::sampling::normal(&mut rng, 0.0, 0.5);
     }
     vec![bind("N", Value::Int(n as i64)), bind("y", Value::Vector(y))]
 }

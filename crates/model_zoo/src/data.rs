@@ -90,13 +90,7 @@ pub fn synthetic_digits(n: usize, side: usize, noise: f64, seed: u64) -> (Vec<Ve
         let k = i % 10;
         let img: Vec<f64> = prototypes[k]
             .iter()
-            .map(|&v| {
-                if rng.gen::<f64>() < noise {
-                    1.0 - v
-                } else {
-                    v
-                }
-            })
+            .map(|&v| if rng.gen::<f64>() < noise { 1.0 - v } else { v })
             .collect();
         images.push(img);
         labels.push((k + 1) as i64);
@@ -129,7 +123,7 @@ mod tests {
     fn regression_helpers_produce_consistent_lengths() {
         let mut rng = StdRng::seed_from_u64(2);
         let x = covariates(&mut rng, 30, 0.0, 1.0);
-        let y = linear_response(&mut rng, &[x.clone()], 1.0, &[2.0], 0.5);
+        let y = linear_response(&mut rng, std::slice::from_ref(&x), 1.0, &[2.0], 0.5);
         assert_eq!(y.len(), 30);
         let z = logit_response(&mut rng, &[x], -0.5, &[1.5]);
         assert!(z.iter().all(|&v| v == 0 || v == 1));

@@ -20,7 +20,6 @@
 pub mod corpus;
 pub mod data;
 
-
 pub use corpus::{corpus, find, ModelEntry};
 pub use corpus::{ExpectedFailure, BAYESIAN_MLP_SOURCE, VAE_SOURCE};
 pub use data::synthetic_digits;

@@ -239,10 +239,7 @@ impl<T: Real> Dist<T> {
 
     /// Whether the distribution is over a vector-valued outcome.
     pub fn is_multivariate(&self) -> bool {
-        matches!(
-            self,
-            Dist::Dirichlet { .. } | Dist::MultiNormalDiag { .. }
-        )
+        matches!(self, Dist::Dirichlet { .. } | Dist::MultiNormalDiag { .. })
     }
 
     /// Log probability density (or mass) at a scalar value.
@@ -297,14 +294,17 @@ impl<T: Real> Dist<T> {
                 if x.value() <= 0.0 {
                     return Ok(neg_inf);
                 }
-                Ok(*shape * rate.ln() - shape.lgamma() + (*shape - T::from_f64(1.0)) * x.ln()
-                    - *rate * x)
+                Ok(
+                    *shape * rate.ln() - shape.lgamma() + (*shape - T::from_f64(1.0)) * x.ln()
+                        - *rate * x,
+                )
             }
             Dist::InvGamma { shape, scale } => {
                 if x.value() <= 0.0 {
                     return Ok(neg_inf);
                 }
-                Ok(*shape * scale.ln() - shape.lgamma()
+                Ok(*shape * scale.ln()
+                    - shape.lgamma()
                     - (*shape + T::from_f64(1.0)) * x.ln()
                     - *scale / x)
             }
@@ -338,9 +338,11 @@ impl<T: Real> Dist<T> {
                     return Ok(neg_inf);
                 }
                 let half = T::from_f64(0.5);
-                Ok(-(*nu * half) * T::from_f64(2f64.ln()) - (*nu * half).lgamma()
-                    + (*nu * half - T::from_f64(1.0)) * x.ln()
-                    - half * x)
+                Ok(
+                    -(*nu * half) * T::from_f64(2f64.ln()) - (*nu * half).lgamma()
+                        + (*nu * half - T::from_f64(1.0)) * x.ln()
+                        - half * x,
+                )
             }
             Dist::Bernoulli { p } => {
                 let k = x.value().round();
@@ -455,8 +457,7 @@ impl<T: Real> Dist<T> {
                 let mut acc = T::from_f64(0.0);
                 for ((m, s), x) in mu.iter().zip(sigma).zip(xs) {
                     let z = (*x - *m) / *s;
-                    acc = acc
-                        + T::from_f64(-0.5 * (2.0 * std::f64::consts::PI).ln())
+                    acc = acc + T::from_f64(-0.5 * (2.0 * std::f64::consts::PI).ln())
                         - s.ln()
                         - T::from_f64(0.5) * z * z;
                 }
@@ -521,17 +522,16 @@ impl<T: Real> Dist<T> {
                 val(loc.value() - scale.value() * u.signum() * (1.0 - 2.0 * u.abs()).ln())
             }
             Dist::ChiSquare { nu } => val(sampling::gamma(rng, nu.value() / 2.0, 0.5)),
-            Dist::Bernoulli { p } => Ok(SampleValue::Int(
-                (rng.gen::<f64>() < p.value()) as i64,
-            )),
+            Dist::Bernoulli { p } => Ok(SampleValue::Int((rng.gen::<f64>() < p.value()) as i64)),
             Dist::BernoulliLogit { logit } => Ok(SampleValue::Int(
                 (rng.gen::<f64>() < special::sigmoid(logit.value())) as i64,
             )),
             Dist::Binomial { n, p } => Ok(SampleValue::Int(sampling::binomial(rng, *n, p.value()))),
             Dist::Poisson { rate } => Ok(SampleValue::Int(sampling::poisson(rng, rate.value()))),
-            Dist::PoissonLog { log_rate } => {
-                Ok(SampleValue::Int(sampling::poisson(rng, log_rate.value().exp())))
-            }
+            Dist::PoissonLog { log_rate } => Ok(SampleValue::Int(sampling::poisson(
+                rng,
+                log_rate.value().exp(),
+            ))),
             Dist::Categorical { probs } => {
                 let w: Vec<f64> = probs.iter().map(|p| p.value()).collect();
                 Ok(SampleValue::Int(sampling::categorical(rng, &w)))
@@ -747,7 +747,11 @@ mod tests {
             alpha: vec![1.0, 2.0, 3.0],
         };
         // lnGamma(6) - lnGamma(2) - lnGamma(3) + ln(0.3) + 2 ln(0.5)
-        assert_close(d.lpdf_vec(&[0.2, 0.3, 0.5]).unwrap(), 1.5040773967762764, 1e-12);
+        assert_close(
+            d.lpdf_vec(&[0.2, 0.3, 0.5]).unwrap(),
+            1.5040773967762764,
+            1e-12,
+        );
     }
 
     #[test]
@@ -788,21 +792,21 @@ mod tests {
         let g = grad(lp, &[mu, sigma]);
         // d/dmu = (x-mu)/sigma^2 ; d/dsigma = ((x-mu)^2 - sigma^2)/sigma^3
         assert_close(g[0], (2.0 - 0.5) / (1.5 * 1.5), 1e-12);
-        assert_close(g[1], ((2.0 - 0.5f64).powi(2) - 1.5 * 1.5) / 1.5f64.powi(3), 1e-12);
+        assert_close(
+            g[1],
+            ((2.0 - 0.5f64).powi(2) - 1.5 * 1.5) / 1.5f64.powi(3),
+            1e-12,
+        );
     }
 
     #[test]
     fn dist_from_name_roundtrip() {
-        let d = dist_from_name::<f64>("normal", &[DistArg::Scalar(0.0), DistArg::Scalar(1.0)])
-            .unwrap();
+        let d =
+            dist_from_name::<f64>("normal", &[DistArg::Scalar(0.0), DistArg::Scalar(1.0)]).unwrap();
         assert_eq!(d.name(), "normal");
         let e = dist_from_name::<f64>("nosuchdist", &[]);
         assert!(e.is_err());
-        let c = dist_from_name::<f64>(
-            "categorical",
-            &[DistArg::Vector(vec![0.2, 0.8])],
-        )
-        .unwrap();
+        let c = dist_from_name::<f64>("categorical", &[DistArg::Vector(vec![0.2, 0.8])]).unwrap();
         assert_eq!(c.support(), Support::IntRange(1, 2));
     }
 

@@ -22,7 +22,10 @@ pub fn normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
 /// Gamma draw (shape/rate parameterization) using Marsaglia–Tsang, with the
 /// usual boost for shape < 1.
 pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, rate: f64) -> f64 {
-    assert!(shape > 0.0 && rate > 0.0, "gamma requires positive parameters");
+    assert!(
+        shape > 0.0 && rate > 0.0,
+        "gamma requires positive parameters"
+    );
     if shape < 1.0 {
         let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
         return gamma(rng, shape + 1.0, rate) * u.powf(1.0 / shape);

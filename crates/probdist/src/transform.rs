@@ -44,9 +44,7 @@ impl Constraint {
             Constraint::None => u,
             Constraint::Lower(l) => u.exp() + T::from_f64(l),
             Constraint::Upper(h) => T::from_f64(h) - u.exp(),
-            Constraint::Bounded(l, h) => {
-                T::from_f64(l) + T::from_f64(h - l) * u.sigmoid()
-            }
+            Constraint::Bounded(l, h) => T::from_f64(l) + T::from_f64(h - l) * u.sigmoid(),
         }
     }
 

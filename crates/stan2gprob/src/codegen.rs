@@ -224,7 +224,14 @@ impl Gen {
                         let acc = if state.is_empty() {
                             "acc".to_string()
                         } else {
-                            format!("({},)", state.iter().map(|s| sanitize(s)).collect::<Vec<_>>().join(", "))
+                            format!(
+                                "({},)",
+                                state
+                                    .iter()
+                                    .map(|s| sanitize(s))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
                         };
                         self.line(&format!("def {fname}({}, {acc}):", sanitize(var)));
                         self.indent += 1;
@@ -237,7 +244,11 @@ impl Gen {
                             "_ = fori_loop({}, {} + 1, {fname}, {})",
                             py_expr(lo),
                             py_expr(hi),
-                            if state.is_empty() { "None".to_string() } else { acc }
+                            if state.is_empty() {
+                                "None".to_string()
+                            } else {
+                                acc
+                            }
                         ));
                     }
                     _ => {
@@ -365,12 +376,7 @@ pub fn py_expr(e: &Expr) -> String {
             format!("[{}]", a.join(", "))
         }
         Expr::Range(lo, hi) => format!("range({}, {} + 1)", py_expr(lo), py_expr(hi)),
-        Expr::Ternary(c, a, b) => format!(
-            "({} if {} else {})",
-            py_expr(a),
-            py_expr(c),
-            py_expr(b)
-        ),
+        Expr::Ternary(c, a, b) => format!("({} if {} else {})", py_expr(a), py_expr(c), py_expr(b)),
     }
 }
 
@@ -383,13 +389,7 @@ fn py_function(name: &str) -> String {
         "fabs" => "abs".to_string(),
         "square" => "stanlib.square".to_string(),
         "inv_logit" => "stanlib.inv_logit".to_string(),
-        _ => {
-            if name.ends_with("_lpdf") || name.ends_with("_lpmf") || name.ends_with("_rng") {
-                format!("stanlib.{name}")
-            } else {
-                format!("stanlib.{name}")
-            }
-        }
+        _ => format!("stanlib.{name}"),
     }
 }
 
@@ -478,7 +478,7 @@ mod tests {
     }
 
     #[test]
-    fn guides_are_emitted_with_params(){
+    fn guides_are_emitted_with_params() {
         let src = r#"
             parameters { real theta; }
             model { theta ~ normal(0, 1); }

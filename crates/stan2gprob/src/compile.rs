@@ -1,6 +1,7 @@
 //! The three compilation schemes from Stan to GProb.
 
 use gprob::ir::{DistCall, GExpr, GProbProgram, LoopKind, ParamInfo};
+use gprob::resolved::{resolve_program, ResolvedProgram};
 use stan_frontend::ast::*;
 
 use crate::error::CompileError;
@@ -40,7 +41,6 @@ impl Scheme {
 pub fn compile(program: &Program, scheme: Scheme) -> Result<GProbProgram, CompileError> {
     let params = param_infos(program)?;
     let param_names: Vec<String> = params.iter().map(|p| p.name.clone()).collect();
-    let data_names: Vec<String> = program.data.iter().map(|d| d.name.clone()).collect();
 
     // The compiled model: transformed parameters inlined before the model
     // statements (Section 3.3), ending with a return of the parameter tuple.
@@ -90,7 +90,6 @@ pub fn compile(program: &Program, scheme: Scheme) -> Result<GProbProgram, Compil
                 scheme,
                 params: &params,
                 param_names: &param_names,
-                data_names: &data_names,
             };
             compile_stmts(&stmts, return_expr, &ctx)?
         }
@@ -99,7 +98,6 @@ pub fn compile(program: &Program, scheme: Scheme) -> Result<GProbProgram, Compil
                 scheme: Scheme::Comprehensive,
                 params: &params,
                 param_names: &param_names,
-                data_names: &data_names,
             };
             let observed = compile_stmts(&stmts, return_expr, &ctx)?;
             // Prepend the prior initialization of every parameter (Figure 6).
@@ -133,7 +131,7 @@ pub fn compile(program: &Program, scheme: Scheme) -> Result<GProbProgram, Compil
     // DeepStan guide: compiled with the generative scheme (the guide must be
     // directly sampleable, Section 5.1).
     let guide_body = match &program.guide {
-        Some(guide) => Some(compile_guide(guide, &params, &data_names)?),
+        Some(guide) => Some(compile_guide(guide, &params)?),
         None => None,
     };
 
@@ -151,11 +149,27 @@ pub fn compile(program: &Program, scheme: Scheme) -> Result<GProbProgram, Compil
     })
 }
 
+/// Compiles a Stan program to GProb *and* lowers it to the slot-resolved
+/// form consumed by the frame-based runtime: every variable, parameter and
+/// user function is assigned a dense slot, so downstream density evaluation
+/// never re-looks names up by string.
+///
+/// # Errors
+/// Same as [`compile`]; the resolution pass itself cannot fail (unbound
+/// names surface as runtime errors with their original spelling).
+pub fn compile_resolved(
+    program: &Program,
+    scheme: Scheme,
+) -> Result<(GProbProgram, ResolvedProgram), CompileError> {
+    let compiled = compile(program, scheme)?;
+    let resolved = resolve_program(&compiled);
+    Ok((compiled, resolved))
+}
+
 struct Ctx<'a> {
     scheme: Scheme,
     params: &'a [ParamInfo],
     param_names: &'a [String],
-    data_names: &'a [String],
 }
 
 /// Extracts the parameter table: shapes (array dims then container size) and
@@ -185,9 +199,9 @@ fn param_infos(program: &Program) -> Result<Vec<ParamInfo>, CompileError> {
             | BaseType::CorrMatrix(_)
             | BaseType::CholeskyFactorCorr(_) => {
                 return Err(CompileError::new(format!(
-                    "constrained parameter type of `{}` is not supported by the Pyro/NumPyro backends",
-                    d.name
-                )))
+                "constrained parameter type of `{}` is not supported by the Pyro/NumPyro backends",
+                d.name
+            )))
             }
         }
         params.push(ParamInfo {
@@ -204,11 +218,9 @@ fn param_infos(program: &Program) -> Result<Vec<ParamInfo>, CompileError> {
 /// (Figure 6): uniform on a bounded domain, improper uniform otherwise.
 fn prior_dist(p: &ParamInfo) -> DistCall {
     match (&p.lower, &p.upper) {
-        (Some(lo), Some(hi)) => DistCall::with_shape(
-            "uniform",
-            vec![lo.clone(), hi.clone()],
-            p.shape.clone(),
-        ),
+        (Some(lo), Some(hi)) => {
+            DistCall::with_shape("uniform", vec![lo.clone(), hi.clone()], p.shape.clone())
+        }
         (Some(lo), None) => DistCall::with_shape(
             "improper_uniform",
             vec![lo.clone(), Expr::RealLit(f64::INFINITY)],
@@ -470,7 +482,9 @@ fn constraint_bounds(p: &ParamInfo) -> Option<(f64, f64)> {
 fn merge_sample_observe(body: GExpr, params: &[ParamInfo]) -> GExpr {
     let mut result = body;
     for p in params {
-        let Some(cstr) = constraint_bounds(p) else { continue };
+        let Some(cstr) = constraint_bounds(p) else {
+            continue;
+        };
         // Count observations of the bare parameter at the top level of the
         // continuation chain and make sure there is exactly one.
         let mut top_level_obs = 0usize;
@@ -545,7 +559,12 @@ fn read_before_observe(e: &GExpr, param: &str) -> bool {
                 }
                 current = body;
             }
-            GExpr::LetIndexed { value, indices, body, .. } => {
+            GExpr::LetIndexed {
+                value,
+                indices,
+                body,
+                ..
+            } => {
                 if uses(value, param) || indices.iter().any(|i| uses(i, param)) {
                     return true;
                 }
@@ -563,7 +582,12 @@ fn read_before_observe(e: &GExpr, param: &str) -> bool {
                 }
                 current = body;
             }
-            GExpr::LetLoop { loop_body, body, kind, .. } => {
+            GExpr::LetLoop {
+                loop_body,
+                body,
+                kind,
+                ..
+            } => {
                 // Conservatively treat any use inside the loop as a read.
                 let mut used = false;
                 loop_body.visit(&mut |sub| {
@@ -601,13 +625,15 @@ fn read_before_observe(e: &GExpr, param: &str) -> bool {
 /// into a sample site.
 fn apply_merge(e: GExpr, p: &ParamInfo) -> GExpr {
     match e {
-        GExpr::LetSample { name, dist: _, body } if name == p.name => {
+        GExpr::LetSample {
+            name,
+            dist: _,
+            body,
+        } if name == p.name => {
             // Drop the initialization; continue rewriting below.
             apply_merge(*body, p)
         }
-        GExpr::Observe { dist, value, body }
-            if matches!(&value, Expr::Var(n) if n == &p.name) =>
-        {
+        GExpr::Observe { dist, value, body } if matches!(&value, Expr::Var(n) if n == &p.name) => {
             GExpr::LetSample {
                 name: p.name.clone(),
                 dist: DistCall::with_shape(dist.name, dist.args, p.shape.clone()),
@@ -666,17 +692,12 @@ fn apply_merge(e: GExpr, p: &ParamInfo) -> GExpr {
 /// Compiles a DeepStan guide with the generative scheme: every `~` statement
 /// over a model parameter becomes a sample site; non-generative features are
 /// rejected (the guide must describe a directly sampleable distribution).
-fn compile_guide(
-    guide: &BlockBody,
-    params: &[ParamInfo],
-    data_names: &[String],
-) -> Result<GExpr, CompileError> {
+fn compile_guide(guide: &BlockBody, params: &[ParamInfo]) -> Result<GExpr, CompileError> {
     let param_names: Vec<String> = params.iter().map(|p| p.name.clone()).collect();
     let ctx = Ctx {
         scheme: Scheme::Generative,
         params,
         param_names: &param_names,
-        data_names,
     };
     let ret = if param_names.is_empty() {
         GExpr::Unit
@@ -765,7 +786,8 @@ mod tests {
 
     #[test]
     fn generative_rejects_non_generative_features() {
-        let left = "parameters { real phi[3]; } model { phi ~ normal(0,1); sum(phi) ~ normal(0, 0.1); }";
+        let left =
+            "parameters { real phi[3]; } model { phi ~ normal(0,1); sum(phi) ~ normal(0, 0.1); }";
         let err = compile_src(left, Scheme::Generative).unwrap_err();
         assert!(err.message().contains("left expressions"));
 

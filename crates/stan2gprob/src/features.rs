@@ -226,7 +226,10 @@ mod tests {
             "data { real y; } parameters { real alpha0; real mu; }
              model { y ~ normal(mu, 1); }",
         );
-        assert_eq!(r.implicit_priors, vec!["alpha0".to_string(), "mu".to_string()]);
+        assert_eq!(
+            r.implicit_priors,
+            vec!["alpha0".to_string(), "mu".to_string()]
+        );
         // `mu` has no ~ statement either (it only parameterizes the data
         // likelihood), which is precisely Stan's implicit-prior idiom.
     }

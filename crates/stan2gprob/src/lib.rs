@@ -44,6 +44,6 @@ pub mod error;
 pub mod features;
 
 pub use codegen::{to_numpyro, to_pyro};
-pub use compile::{compile, Scheme};
+pub use compile::{compile, compile_resolved, Scheme};
 pub use error::CompileError;
 pub use features::{analyze_features, FeatureReport};

@@ -373,10 +373,8 @@ impl Stmt {
         };
         match self {
             Stmt::Assign { lhs, .. } => push(&lhs.name),
-            Stmt::LocalDecl(d) => {
-                if d.init.is_some() {
-                    push(&d.name);
-                }
+            Stmt::LocalDecl(d) if d.init.is_some() => {
+                push(&d.name);
             }
             Stmt::Block(ss) => {
                 for s in ss {
@@ -544,7 +542,10 @@ mod tests {
     #[test]
     fn lvalue_root_traverses_indexing() {
         let e = Expr::Index(
-            Box::new(Expr::Index(Box::new(Expr::var("phi")), vec![Expr::IntLit(1)])),
+            Box::new(Expr::Index(
+                Box::new(Expr::var("phi")),
+                vec![Expr::IntLit(1)],
+            )),
             vec![Expr::var("i")],
         );
         assert_eq!(e.lvalue_root(), Some("phi"));
@@ -580,7 +581,10 @@ mod tests {
                 },
             ])),
         };
-        assert_eq!(s.assigned_names(), vec!["mu".to_string(), "acc".to_string()]);
+        assert_eq!(
+            s.assigned_names(),
+            vec!["mu".to_string(), "acc".to_string()]
+        );
     }
 
     #[test]

@@ -48,9 +48,9 @@ pub struct Token {
 
 /// All multi-character symbols, longest first so maximal munch works.
 const SYMBOLS: &[&str] = &[
-    "...", "+=", "-=", "*=", "/=", "==", "!=", "<=", ">=", "&&", "||", ".*", "./",
-    "+", "-", "*", "/", "%", "^", "=", "<", ">", "!", "?", ":", ";", ",", "~", "|", "(", ")",
-    "[", "]", "{", "}", ".",
+    "...", "+=", "-=", "*=", "/=", "==", "!=", "<=", ">=", "&&", "||", ".*", "./", "+", "-", "*",
+    "/", "%", "^", "=", "<", ">", "!", "?", ":", ";", ",", "~", "|", "(", ")", "[", "]", "{", "}",
+    ".",
 ];
 
 /// Tokenizes Stan source text.
@@ -146,7 +146,9 @@ pub fn lex(source: &str) -> Result<Vec<Token>, FrontendError> {
             while i < chars.len() && chars[i].is_ascii_digit() {
                 i += 1;
             }
-            if i < chars.len() && chars[i] == '.' && chars.get(i + 1) != Some(&'*')
+            if i < chars.len()
+                && chars[i] == '.'
+                && chars.get(i + 1) != Some(&'*')
                 && chars.get(i + 1) != Some(&'/')
             {
                 is_real = true;
@@ -228,7 +230,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, FrontendError> {
             continue;
         }
 
-        return Err(FrontendError::lex(format!("unexpected character `{c}`"), span));
+        return Err(FrontendError::lex(
+            format!("unexpected character `{c}`"),
+            span,
+        ));
     }
 
     tokens.push(Token {

@@ -37,10 +37,12 @@ pub mod ast;
 pub mod error;
 pub mod lexer;
 pub mod parser;
+pub mod symbols;
 pub mod typeck;
 
 pub use ast::Program;
 pub use error::{FrontendError, Span};
+pub use symbols::{Interner, ScopeStack, SlotId, SymbolId};
 
 /// Parses a complete Stan (or DeepStan) program.
 ///
@@ -69,4 +71,18 @@ pub fn compile_frontend(source: &str) -> Result<ast::Program, FrontendError> {
     let p = parse_program(source)?;
     typecheck(&p)?;
     Ok(p)
+}
+
+/// Parse, type check, and intern every declared name — the front half of the
+/// slot-resolution pipeline (the compiled IR is resolved against this table).
+///
+/// # Errors
+/// Returns the first lexical, syntactic, or semantic error.
+pub fn compile_frontend_with_symbols(
+    source: &str,
+) -> Result<(ast::Program, symbols::Interner), FrontendError> {
+    let p = parse_program(source)?;
+    typecheck(&p)?;
+    let interner = symbols::intern_program(&p);
+    Ok((p, interner))
 }

@@ -4,6 +4,9 @@ use crate::ast::*;
 use crate::error::{FrontendError, Span};
 use crate::lexer::{Tok, Token};
 
+/// Truncation bounds `T[lo, hi]` (either side optional).
+type Truncation = (Option<Expr>, Option<Expr>);
+
 /// Type keywords that can begin a declaration.
 const TYPE_KEYWORDS: &[&str] = &[
     "int",
@@ -322,8 +325,15 @@ impl Parser {
         match kind.as_str() {
             "int" => Ok((BaseType::Int, self.parse_constraint()?)),
             "real" => Ok((BaseType::Real, self.parse_constraint()?)),
-            "vector" | "row_vector" | "simplex" | "ordered" | "positive_ordered" | "unit_vector"
-            | "cov_matrix" | "corr_matrix" | "cholesky_factor_corr" => {
+            "vector"
+            | "row_vector"
+            | "simplex"
+            | "ordered"
+            | "positive_ordered"
+            | "unit_vector"
+            | "cov_matrix"
+            | "corr_matrix"
+            | "cholesky_factor_corr" => {
                 let constraint = self.parse_constraint()?;
                 self.expect_sym("[")?;
                 let n = self.parse_expr()?;
@@ -516,9 +526,7 @@ impl Parser {
         })
     }
 
-    fn parse_truncation(
-        &mut self,
-    ) -> Result<Option<(Option<Expr>, Option<Expr>)>, FrontendError> {
+    fn parse_truncation(&mut self) -> Result<Option<Truncation>, FrontendError> {
         if self.peek_ident() == Some("T") && matches!(self.peek_at(1), Tok::Sym("[")) {
             self.bump();
             self.bump();
@@ -1006,7 +1014,13 @@ mod tests {
             "#,
         );
         let has_trunc = p.model.stmts.iter().any(|s| {
-            matches!(s, Stmt::Tilde { truncation: Some((Some(_), None)), .. })
+            matches!(
+                s,
+                Stmt::Tilde {
+                    truncation: Some((Some(_), None)),
+                    ..
+                }
+            )
         });
         assert!(has_trunc);
     }

@@ -1,0 +1,365 @@
+//! Symbol interning and compile-time name resolution.
+//!
+//! The runtimes historically looked every variable up in a
+//! `HashMap<String, Value>` on each access — string hashing in the innermost
+//! loop of `log_density`. This module provides the compile-time half of the
+//! fix:
+//!
+//! * [`Interner`] assigns every distinct name a dense [`SymbolId`];
+//! * [`ScopeStack`] resolves names to dense frame [`SlotId`]s, with lexical
+//!   scopes for constructs that bound a variable's lifetime (loop indices,
+//!   function bodies) and shadowing support (an inner declaration of an
+//!   already-bound name gets a fresh slot; the outer binding becomes visible
+//!   again when the scope is popped).
+//!
+//! The `gprob` crate runs a resolution pass over its compiled IR after type
+//! checking, producing a `ResolvedProgram` whose environments are plain
+//! `Vec`-indexed frames. Stan's dynamic environment semantics are flat — a
+//! `HashMap` insert overwrites any previous binding of the name — so that
+//! pass uses [`ScopeStack::define_or_reuse`] at the top level (one slot per
+//! name) and fresh scopes only where the interpreter used to `remove` names
+//! (loop variables).
+
+use std::collections::HashMap;
+
+/// A dense identifier for an interned name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolId(u32);
+
+impl SymbolId {
+    /// The dense index of the symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A dense identifier for a runtime frame slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotId(u32);
+
+impl SlotId {
+    /// Builds a slot id from a raw index.
+    pub fn new(index: u32) -> Self {
+        SlotId(index)
+    }
+
+    /// The dense index of the slot.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A string interner: every distinct name gets a dense [`SymbolId`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, SymbolId>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns a name, returning its id (stable across repeated calls).
+    pub fn intern(&mut self, name: &str) -> SymbolId {
+        if let Some(&id) = self.map.get(name) {
+            return id;
+        }
+        let id = SymbolId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.map.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks a name up without interning it.
+    pub fn lookup(&self, name: &str) -> Option<SymbolId> {
+        self.map.get(name).copied()
+    }
+
+    /// The name of an interned symbol.
+    pub fn name(&self, id: SymbolId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// The name at a dense symbol index, if one has been interned there.
+    pub fn name_at(&self, index: usize) -> Option<&str> {
+        self.names.get(index).map(String::as_str)
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no symbol has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (SymbolId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (SymbolId(i as u32), n.as_str()))
+    }
+}
+
+/// A lexically scoped name-to-slot resolver.
+///
+/// Slots are allocated densely and never reused, so the maximum frame size is
+/// simply [`ScopeStack::n_slots`]. Scopes control *visibility*: resolving a
+/// symbol finds its innermost binding, and popping a scope restores whatever
+/// the symbol resolved to outside it.
+#[derive(Debug, Clone)]
+pub struct ScopeStack {
+    /// One vector of `(symbol, slot)` bindings per open scope.
+    scopes: Vec<Vec<(SymbolId, SlotId)>>,
+    next_slot: u32,
+}
+
+impl Default for ScopeStack {
+    fn default() -> Self {
+        ScopeStack::new()
+    }
+}
+
+impl ScopeStack {
+    /// Creates a resolver with one open (root) scope.
+    pub fn new() -> Self {
+        ScopeStack {
+            scopes: vec![Vec::new()],
+            next_slot: 0,
+        }
+    }
+
+    /// Opens a nested scope.
+    pub fn push(&mut self) {
+        self.scopes.push(Vec::new());
+    }
+
+    /// Closes the innermost scope, returning the bindings it introduced.
+    ///
+    /// # Panics
+    /// Panics if only the root scope remains.
+    pub fn pop(&mut self) -> Vec<(SymbolId, SlotId)> {
+        assert!(self.scopes.len() > 1, "cannot pop the root scope");
+        self.scopes.pop().expect("scope stack is never empty")
+    }
+
+    /// Declares `sym` in the current scope with a fresh slot, shadowing any
+    /// outer binding until the scope is popped.
+    pub fn define(&mut self, sym: SymbolId) -> SlotId {
+        let slot = SlotId(self.next_slot);
+        self.next_slot += 1;
+        self.scopes
+            .last_mut()
+            .expect("scope stack is never empty")
+            .push((sym, slot));
+        slot
+    }
+
+    /// Returns the slot of a visible binding of `sym`, or declares it in the
+    /// current scope. This reproduces the flat `HashMap` environment
+    /// semantics (one location per name) used by the tree-walking runtimes.
+    pub fn define_or_reuse(&mut self, sym: SymbolId) -> SlotId {
+        match self.resolve(sym) {
+            Some(slot) => slot,
+            None => self.define(sym),
+        }
+    }
+
+    /// Resolves a symbol to its innermost visible slot.
+    pub fn resolve(&self, sym: SymbolId) -> Option<SlotId> {
+        for scope in self.scopes.iter().rev() {
+            // Later bindings in the same scope shadow earlier ones.
+            if let Some(&(_, slot)) = scope.iter().rev().find(|(s, _)| *s == sym) {
+                return Some(slot);
+            }
+        }
+        None
+    }
+
+    /// Total number of slots allocated so far — the frame size needed to run
+    /// the fully resolved program.
+    pub fn n_slots(&self) -> usize {
+        self.next_slot as usize
+    }
+
+    /// Current scope depth (1 = only the root scope).
+    pub fn depth(&self) -> usize {
+        self.scopes.len()
+    }
+}
+
+/// Interns every name *declared* by a program (data, parameters, transformed
+/// blocks, functions and their arguments, networks, guide parameters).
+///
+/// Run after type checking; the result seeds the resolution pass of the
+/// compiled IR, and guarantees that names visible to user-defined functions
+/// (which see the data environment) have symbols even when the model body
+/// never mentions them.
+pub fn intern_program(program: &crate::ast::Program) -> Interner {
+    let mut interner = Interner::new();
+    for d in &program.data {
+        interner.intern(&d.name);
+    }
+    if let Some(td) = &program.transformed_data {
+        intern_stmt_names(&mut interner, &td.stmts);
+    }
+    for d in &program.parameters {
+        interner.intern(&d.name);
+    }
+    if let Some(tp) = &program.transformed_parameters {
+        intern_stmt_names(&mut interner, &tp.stmts);
+    }
+    intern_stmt_names(&mut interner, &program.model.stmts);
+    for f in &program.functions {
+        interner.intern(&f.name);
+        for a in &f.args {
+            interner.intern(&a.name);
+        }
+    }
+    for n in &program.networks {
+        interner.intern(&n.name);
+    }
+    for d in &program.guide_parameters {
+        interner.intern(&d.name);
+    }
+    if let Some(g) = &program.guide {
+        intern_stmt_names(&mut interner, &g.stmts);
+    }
+    interner
+}
+
+/// Interns every name *bound* inside a statement block (local declarations,
+/// assignment targets, loop indices). The single statement walker shared by
+/// [`intern_program`] and the `gprob` resolution pass, so the two cannot
+/// drift on which names receive slots.
+pub fn intern_stmt_names(interner: &mut Interner, stmts: &[crate::ast::Stmt]) {
+    use crate::ast::Stmt;
+    for s in stmts {
+        match s {
+            Stmt::LocalDecl(d) => {
+                interner.intern(&d.name);
+            }
+            Stmt::Assign { lhs, .. } => {
+                interner.intern(&lhs.name);
+            }
+            Stmt::Block(ss) => intern_stmt_names(interner, ss),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                intern_stmt_names(interner, std::slice::from_ref(then_branch));
+                if let Some(e) = else_branch {
+                    intern_stmt_names(interner, std::slice::from_ref(e));
+                }
+            }
+            Stmt::ForRange { var, body, .. } | Stmt::ForEach { var, body, .. } => {
+                interner.intern(var);
+                intern_stmt_names(interner, std::slice::from_ref(body));
+            }
+            Stmt::While { body, .. } => intern_stmt_names(interner, std::slice::from_ref(body)),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_dense() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.name(a), "alpha");
+        assert_eq!(i.lookup("beta"), Some(b));
+        assert_eq!(i.lookup("gamma"), None);
+        assert_eq!(i.len(), 2);
+        assert_eq!((a.index(), b.index()), (0, 1));
+    }
+
+    #[test]
+    fn shadowing_allocates_a_fresh_slot_and_pop_restores() {
+        let mut i = Interner::new();
+        let x = i.intern("x");
+        let mut scopes = ScopeStack::new();
+        let outer = scopes.define(x);
+        scopes.push();
+        let inner = scopes.define(x);
+        assert_ne!(outer, inner, "inner declaration must shadow, not alias");
+        assert_eq!(scopes.resolve(x), Some(inner));
+        let dropped = scopes.pop();
+        assert_eq!(dropped, vec![(x, inner)]);
+        assert_eq!(scopes.resolve(x), Some(outer), "outer binding restored");
+        assert_eq!(scopes.n_slots(), 2);
+    }
+
+    #[test]
+    fn loop_scoped_variables_do_not_leak() {
+        let mut i = Interner::new();
+        let n = i.intern("N");
+        let idx = i.intern("i");
+        let mut scopes = ScopeStack::new();
+        scopes.define(n);
+        // Loop header opens a scope for the index variable.
+        scopes.push();
+        let slot_i = scopes.define(idx);
+        assert_eq!(scopes.resolve(idx), Some(slot_i));
+        scopes.pop();
+        assert_eq!(scopes.resolve(idx), None, "loop index out of scope");
+        assert_eq!(scopes.resolve(n).map(SlotId::index), Some(0));
+    }
+
+    #[test]
+    fn define_or_reuse_mirrors_flat_env_semantics() {
+        let mut i = Interner::new();
+        let mu = i.intern("mu");
+        let mut scopes = ScopeStack::new();
+        let first = scopes.define_or_reuse(mu);
+        let again = scopes.define_or_reuse(mu);
+        assert_eq!(first, again, "flat semantics: one location per name");
+        assert_eq!(scopes.n_slots(), 1);
+    }
+
+    #[test]
+    fn intern_program_covers_all_declared_names() {
+        let src = r#"
+            functions { real double_it(real v) { return 2 * v; } }
+            data { int N; real y[N]; }
+            transformed data { real mean_y; mean_y = mean(y); }
+            parameters { real mu; }
+            transformed parameters { real shifted; shifted = mu + mean_y; }
+            model {
+              real acc;
+              acc = 0;
+              for (i in 1:N) acc += y[i];
+              mu ~ normal(0, 1);
+            }
+        "#;
+        let program = crate::parse_program(src).unwrap();
+        crate::typecheck(&program).unwrap();
+        let interner = intern_program(&program);
+        for name in [
+            "N",
+            "y",
+            "mean_y",
+            "mu",
+            "shifted",
+            "acc",
+            "i",
+            "double_it",
+            "v",
+        ] {
+            assert!(interner.lookup(name).is_some(), "missing `{name}`");
+        }
+    }
+}

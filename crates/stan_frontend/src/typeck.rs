@@ -226,13 +226,8 @@ impl Checker {
             Eq | Neq | Lt | Leq | Gt | Geq | And | Or => Ty::Int,
             Mod => Ty::Int,
             _ => match (a, b) {
-                (Ty::Int, Ty::Int) => {
-                    if op == Div {
-                        Ty::Int
-                    } else {
-                        Ty::Int
-                    }
-                }
+                // Integer arithmetic stays integral (incl. Stan's int division).
+                (Ty::Int, Ty::Int) => Ty::Int,
                 (Ty::Unknown, o) | (o, Ty::Unknown) => o,
                 (Ty::Matrix, _) | (_, Ty::Matrix) => Ty::Matrix,
                 (Ty::Vector, Ty::Vector) if op == Mul => Ty::Real,
@@ -246,23 +241,102 @@ impl Checker {
     fn call_return_type(&mut self, name: &str, _arity: usize) -> Ty {
         // Reductions and scalar transcendental functions.
         const SCALAR_FNS: &[&str] = &[
-            "sum", "mean", "sd", "variance", "min", "max", "prod", "dot_product", "dot_self",
-            "log", "exp", "sqrt", "fabs", "abs", "square", "inv", "inv_logit", "logit", "pow",
-            "fmax", "fmin", "lgamma", "tgamma", "log1p", "log1m", "expm1", "floor", "ceil",
-            "round", "step", "if_else", "log_sum_exp", "log_mix", "normal_lpdf", "normal_lpmf",
-            "bernoulli_lpmf", "binomial_lpmf", "poisson_lpmf", "beta_lpdf", "gamma_lpdf",
-            "cauchy_lpdf", "student_t_lpdf", "uniform_lpdf", "exponential_lpdf",
-            "lognormal_lpdf", "categorical_lpmf", "categorical_logit_lpmf", "multi_normal_lpdf",
-            "dirichlet_lpdf", "normal_rng", "bernoulli_rng", "binomial_rng", "poisson_rng",
-            "beta_rng", "gamma_rng", "uniform_rng", "categorical_rng", "exponential_rng",
-            "lognormal_rng", "student_t_rng", "cauchy_rng", "num_elements", "rows", "cols",
-            "size", "sin", "cos", "tan", "atan", "atan2", "tanh", "erf", "Phi", "Phi_approx",
-            "binomial_logit_lpmf", "bernoulli_logit_lpmf", "neg_binomial_2_lpmf", "int_step",
+            "sum",
+            "mean",
+            "sd",
+            "variance",
+            "min",
+            "max",
+            "prod",
+            "dot_product",
+            "dot_self",
+            "log",
+            "exp",
+            "sqrt",
+            "fabs",
+            "abs",
+            "square",
+            "inv",
+            "inv_logit",
+            "logit",
+            "pow",
+            "fmax",
+            "fmin",
+            "lgamma",
+            "tgamma",
+            "log1p",
+            "log1m",
+            "expm1",
+            "floor",
+            "ceil",
+            "round",
+            "step",
+            "if_else",
+            "log_sum_exp",
+            "log_mix",
+            "normal_lpdf",
+            "normal_lpmf",
+            "bernoulli_lpmf",
+            "binomial_lpmf",
+            "poisson_lpmf",
+            "beta_lpdf",
+            "gamma_lpdf",
+            "cauchy_lpdf",
+            "student_t_lpdf",
+            "uniform_lpdf",
+            "exponential_lpdf",
+            "lognormal_lpdf",
+            "categorical_lpmf",
+            "categorical_logit_lpmf",
+            "multi_normal_lpdf",
+            "dirichlet_lpdf",
+            "normal_rng",
+            "bernoulli_rng",
+            "binomial_rng",
+            "poisson_rng",
+            "beta_rng",
+            "gamma_rng",
+            "uniform_rng",
+            "categorical_rng",
+            "exponential_rng",
+            "lognormal_rng",
+            "student_t_rng",
+            "cauchy_rng",
+            "num_elements",
+            "rows",
+            "cols",
+            "size",
+            "sin",
+            "cos",
+            "tan",
+            "atan",
+            "atan2",
+            "tanh",
+            "erf",
+            "Phi",
+            "Phi_approx",
+            "binomial_logit_lpmf",
+            "bernoulli_logit_lpmf",
+            "neg_binomial_2_lpmf",
+            "int_step",
         ];
         const VECTOR_FNS: &[&str] = &[
-            "rep_vector", "to_vector", "softmax", "cumulative_sum", "head", "tail", "segment",
-            "col", "row", "diagonal", "sort_asc", "sort_desc", "rep_row_vector", "inverse",
-            "append_row", "append_col",
+            "rep_vector",
+            "to_vector",
+            "softmax",
+            "cumulative_sum",
+            "head",
+            "tail",
+            "segment",
+            "col",
+            "row",
+            "diagonal",
+            "sort_asc",
+            "sort_desc",
+            "rep_row_vector",
+            "inverse",
+            "append_row",
+            "append_col",
         ];
         const MATRIX_FNS: &[&str] = &["rep_matrix", "to_matrix", "diag_matrix", "cov_exp_quad"];
         const ARRAY_FNS: &[&str] = &["rep_array", "to_array_1d", "to_array_2d"];
@@ -274,7 +348,8 @@ impl Checker {
             Ty::Matrix
         } else if ARRAY_FNS.contains(&name) {
             Ty::Array(Box::new(Ty::Real), 1)
-        } else if self.functions.contains(name) || self.lookup(name).map(|i| i.origin) == Some(Origin::Network)
+        } else if self.functions.contains(name)
+            || self.lookup(name).map(|i| i.origin) == Some(Origin::Network)
         {
             Ty::Unknown
         } else if name.ends_with("_rng")
@@ -571,10 +646,8 @@ mod tests {
 
     #[test]
     fn rejects_assignment_to_data_and_parameters() {
-        let err = check(
-            "data { real y; } parameters { real mu; } model { y = 1; mu = 2; }",
-        )
-        .unwrap_err();
+        let err =
+            check("data { real y; } parameters { real mu; } model { y = 1; mu = 2; }").unwrap_err();
         assert!(err.message.contains("cannot assign to data"));
         assert!(err.message.contains("cannot assign to parameter"));
     }
@@ -599,8 +672,8 @@ mod tests {
 
     #[test]
     fn unknown_functions_are_reported() {
-        let err = check("parameters { real mu; } model { mu ~ normal(frobnicate(1), 1); }")
-            .unwrap_err();
+        let err =
+            check("parameters { real mu; } model { mu ~ normal(frobnicate(1), 1); }").unwrap_err();
         assert!(err.message.contains("unknown function `frobnicate`"));
     }
 

@@ -397,8 +397,8 @@ mod tests {
         let normal = |x: f64, mu: f64, sd: f64| {
             -0.5 * ((x - mu) / sd).powi(2) - sd.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
         };
-        let manual: f64 = theta.iter().map(|&x| normal(x, 0.0, 1.0)).sum::<f64>()
-            + normal(0.4, 0.0, 0.003);
+        let manual: f64 =
+            theta.iter().map(|&x| normal(x, 0.0, 1.0)).sum::<f64>() + normal(0.4, 0.0, 0.003);
         assert!((lp - manual).abs() < 1e-9, "{lp} vs {manual}");
     }
 

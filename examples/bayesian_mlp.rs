@@ -31,7 +31,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     println!("training a {nx}-{nh}-{ny} Bayesian MLP with SVI...");
-    let fit = program.svi(&data, &[mlp.clone()], &SviSettings { steps: 200, lr: 0.02, seed: 1 })?;
+    let fit = program.svi(
+        &data,
+        std::slice::from_ref(&mlp),
+        &SviSettings {
+            steps: 200,
+            lr: 0.02,
+            seed: 1,
+        },
+    )?;
     println!(
         "fitted {} guide parameter tensors (posterior means and log-scales of every weight)",
         fit.guide_params.len()
@@ -44,9 +52,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Use the posterior means as a single point-estimate network.
     let mut params = std::collections::HashMap::new();
-    params.insert("mlp.l1.weight".to_string(), fit.guide_params["w1_mu"].clone());
+    params.insert(
+        "mlp.l1.weight".to_string(),
+        fit.guide_params["w1_mu"].clone(),
+    );
     params.insert("mlp.l1.bias".to_string(), fit.guide_params["b1_mu"].clone());
-    params.insert("mlp.l2.weight".to_string(), fit.guide_params["w2_mu"].clone());
+    params.insert(
+        "mlp.l2.weight".to_string(),
+        fit.guide_params["w2_mu"].clone(),
+    );
     params.insert("mlp.l2.bias".to_string(), fit.guide_params["b2_mu"].clone());
     let correct = images
         .iter()

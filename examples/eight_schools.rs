@@ -20,18 +20,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let reference = program.nuts_reference(
         &data_refs,
-        &NutsSettings { warmup: 800, samples: 1600, seed: 99, ..Default::default() },
+        &NutsSettings {
+            warmup: 800,
+            samples: 1600,
+            seed: 99,
+            ..Default::default()
+        },
     )?;
     println!("reference (Stan semantics interpreter + NUTS):");
     for (name, s) in reference.summaries().iter().take(4) {
-        println!("  {name:<10} mean = {:>7.3}  sd = {:>6.3}", s.mean, s.stddev);
+        println!(
+            "  {name:<10} mean = {:>7.3}  sd = {:>6.3}",
+            s.mean, s.stddev
+        );
     }
 
     for scheme in [Scheme::Comprehensive, Scheme::Mixed] {
         let posterior = program.nuts_with(
             scheme,
             &data_refs,
-            &NutsSettings { warmup: 400, samples: 800, seed: 7, ..Default::default() },
+            &NutsSettings {
+                warmup: 400,
+                samples: 800,
+                seed: 7,
+                ..Default::default()
+            },
         )?;
         let mu = posterior.summary("mu").unwrap();
         let mu_ref = reference.summary("mu").unwrap();

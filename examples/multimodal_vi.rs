@@ -19,15 +19,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let entry = model_zoo::find("multimodal_guide").expect("corpus model");
     let program = DeepStan::compile_named(entry.name, entry.source)?;
 
-    let nuts = program.nuts(&[], &NutsSettings { warmup: 400, samples: 1000, seed: 1, ..Default::default() })?;
+    let nuts = program.nuts(
+        &[],
+        &NutsSettings {
+            warmup: 400,
+            samples: 1000,
+            seed: 1,
+            ..Default::default()
+        },
+    )?;
     let (z, t) = mode_masses(&nuts.component("theta").unwrap());
     println!("DeepStan NUTS:          {z} draws near 0, {t} near 20");
 
-    let advi = program.advi(&[], &AdviConfig { steps: 2000, output_samples: 1000, seed: 2, ..Default::default() })?;
+    let advi = program.advi(
+        &[],
+        &AdviConfig {
+            steps: 2000,
+            output_samples: 1000,
+            seed: 2,
+            ..Default::default()
+        },
+    )?;
     let (z, t) = mode_masses(&advi.component("theta").unwrap());
     println!("Stan ADVI (mean-field): {z} draws near 0, {t} near 20");
 
-    let fit = program.svi(&[], &[], &SviSettings { steps: 3000, lr: 0.05, seed: 3 })?;
+    let fit = program.svi(
+        &[],
+        &[],
+        &SviSettings {
+            steps: 3000,
+            lr: 0.05,
+            seed: 3,
+        },
+    )?;
     let guided = program.sample_guide(&[], &fit, &[], 1000, 4)?;
     let (z, t) = mode_masses(&guided.component("theta").unwrap());
     println!(

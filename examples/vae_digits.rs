@@ -27,9 +27,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = vec![
         ("nz", Value::Int(nz as i64)),
         ("npix", Value::Int(npix as i64)),
-        ("x", Value::IntArray(img.iter().map(|&p| p as i64).collect())),
+        (
+            "x",
+            Value::IntArray(img.iter().map(|&p| p as i64).collect()),
+        ),
     ];
-    let fit = program.svi(&data, &networks, &SviSettings { steps: 300, lr: 0.01, seed: 1 })?;
+    let fit = program.svi(
+        &data,
+        &networks,
+        &SviSettings {
+            steps: 300,
+            lr: 0.01,
+            seed: 1,
+        },
+    )?;
     println!(
         "trained {} network parameter tensors; final smoothed ELBO: {:.1}",
         fit.network_params.len(),
@@ -37,6 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let first = fit.elbo_trace.first().copied().unwrap_or(f64::NAN);
     let last = fit.elbo_trace.last().copied().unwrap_or(f64::NAN);
-    println!("ELBO improved from {first:.1} to {last:.1}: {}", last > first);
+    println!(
+        "ELBO improved from {first:.1} to {last:.1}: {}",
+        last > first
+    );
     Ok(())
 }

@@ -10,8 +10,7 @@ fn every_corpus_model_parses_and_typechecks() {
     for entry in model_zoo::corpus() {
         let ast = stan_frontend::parse_program(entry.source)
             .unwrap_or_else(|e| panic!("{}: parse error {e}", entry.name));
-        stan_frontend::typecheck(&ast)
-            .unwrap_or_else(|e| panic!("{}: type error {e}", entry.name));
+        stan_frontend::typecheck(&ast).unwrap_or_else(|e| panic!("{}: type error {e}", entry.name));
     }
 }
 

@@ -38,7 +38,11 @@ fn conjugate_normal_posterior_is_recovered_by_both_runtimes() {
             "{label}: mean {} vs analytic {post_mean}",
             s.mean
         );
-        assert!((s.stddev - post_sd).abs() < 0.05, "{label}: sd {}", s.stddev);
+        assert!(
+            (s.stddev - post_sd).abs() < 0.05,
+            "{label}: sd {}",
+            s.stddev
+        );
         let chain = posterior.component("mu").unwrap();
         assert!(split_rhat(&chain) < 1.1, "{label}: rhat");
         assert!(ess(&chain) > 50.0, "{label}: ess");
@@ -123,7 +127,10 @@ fn left_expression_model_constrains_the_sum() {
         .iter()
         .map(|n| posterior.summary(n).unwrap().mean)
         .sum();
-    assert!(mean_sum.abs() < 0.2, "posterior sum {mean_sum} should be ~0");
+    assert!(
+        mean_sum.abs() < 0.2,
+        "posterior sum {mean_sum} should be ~0"
+    );
 }
 
 #[test]

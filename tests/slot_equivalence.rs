@@ -1,0 +1,142 @@
+//! Differential suite for the slot-resolution refactor: on every runnable
+//! corpus model and every compilation scheme, the slot-resolved density path
+//! (`GModel::log_density_f64`) must agree with the retained string-keyed
+//! baseline (`GModel::log_density_f64_baseline`) to 1e-12, pointwise — and
+//! the gradients computed through both paths must match too.
+
+use deepstan::DeepStan;
+use gprob::eval::NoExternals;
+use gprob::value::Value;
+use gprob::GModel;
+use minidiff::{grad, tape, Var};
+use stan2gprob::Scheme;
+
+fn probe_points(dim: usize) -> Vec<Vec<f64>> {
+    let seeds = [
+        vec![0.1, -0.3, 0.7],
+        vec![0.5, 0.2, -0.1],
+        vec![-0.8, 1.1, 0.4],
+        vec![1.5, -1.5, 0.0],
+        vec![0.0, 0.0, 0.0],
+    ];
+    seeds
+        .iter()
+        .map(|p| (0..dim).map(|i| p[i % p.len()]).collect())
+        .collect()
+}
+
+fn baseline_grad(model: &GModel, theta: &[f64]) -> Option<(f64, Vec<f64>)> {
+    tape::reset();
+    let vars: Vec<Var> = theta.iter().map(|&x| Var::new(x)).collect();
+    let lp = model.log_density_baseline(&vars, &NoExternals).ok()?;
+    let g = grad(lp, &vars);
+    Some((lp.value(), g))
+}
+
+#[test]
+fn resolved_density_matches_string_baseline_on_the_whole_corpus() {
+    let mut checked_models = 0;
+    let mut checked_points = 0;
+    for entry in model_zoo::corpus() {
+        if !entry.should_run() {
+            continue;
+        }
+        let Ok(program) = DeepStan::compile_named(entry.name, entry.source) else {
+            continue;
+        };
+        let data = entry.dataset(3);
+        let data_refs: Vec<(&str, Value<f64>)> =
+            data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        let mut model_checked = false;
+        for scheme in [Scheme::Comprehensive, Scheme::Mixed, Scheme::Generative] {
+            let Ok(model) = program.bind_with(scheme, &data_refs) else {
+                continue;
+            };
+            for theta in probe_points(model.dim()) {
+                let resolved = model.log_density_f64(&theta);
+                let baseline = model.log_density_f64_baseline(&theta);
+                match (resolved, baseline) {
+                    (Ok(a), Ok(b)) => {
+                        // -inf == -inf is fine; finite values must agree tightly.
+                        if a.is_finite() || b.is_finite() {
+                            assert!(
+                                (a - b).abs() < 1e-12,
+                                "{} ({scheme:?}) at {theta:?}: resolved {a} vs baseline {b}",
+                                entry.name
+                            );
+                        }
+                        model_checked = true;
+                        checked_points += 1;
+                    }
+                    (Err(ea), Err(_eb)) => {
+                        // Both paths must fail together (e.g. missing stdlib).
+                        let _ = ea;
+                    }
+                    (a, b) => panic!(
+                        "{} ({scheme:?}): paths diverge: resolved {a:?} vs baseline {b:?}",
+                        entry.name
+                    ),
+                }
+            }
+        }
+        if model_checked {
+            checked_models += 1;
+        }
+    }
+    assert!(
+        checked_models >= 10,
+        "only {checked_models} corpus models were comparable"
+    );
+    assert!(
+        checked_points >= 100,
+        "only {checked_points} points checked"
+    );
+}
+
+#[test]
+fn resolved_gradients_match_string_baseline() {
+    for name in ["coin", "eight_schools_centered", "kidscore_momhs"] {
+        let Some(entry) = model_zoo::find(name) else {
+            continue;
+        };
+        let program = DeepStan::compile_named(name, entry.source).unwrap();
+        let data = entry.dataset(5);
+        let data_refs: Vec<(&str, Value<f64>)> =
+            data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        let model = program.bind(&data_refs).unwrap();
+        for theta in probe_points(model.dim()) {
+            let (lp_resolved, g_resolved) = model.log_density_and_grad(&theta).unwrap();
+            let (lp_baseline, g_baseline) = baseline_grad(&model, &theta).unwrap();
+            assert!(
+                (lp_resolved - lp_baseline).abs() < 1e-12,
+                "{name}: {lp_resolved} vs {lp_baseline}"
+            );
+            for (i, (a, b)) in g_resolved.iter().zip(&g_baseline).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-10,
+                    "{name}: gradient component {i} differs: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn prior_runs_on_the_resolved_runtime_stay_in_support() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    let entry = model_zoo::find("coin").unwrap();
+    let program = DeepStan::compile_named("coin", entry.source).unwrap();
+    let data = entry.dataset(4);
+    let data_refs: Vec<(&str, Value<f64>)> =
+        data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+    let model = program.bind(&data_refs).unwrap();
+    let rng = Rc::new(RefCell::new(rand::SeedableRng::seed_from_u64(2)));
+    for _ in 0..25 {
+        let run = model.run_prior(rng.clone()).unwrap();
+        // The trace crosses back to the string-keyed world at this boundary.
+        let z = run.trace.get("z").unwrap().as_real().unwrap();
+        assert!((0.0..=1.0).contains(&z));
+        assert!(run.score.is_finite());
+    }
+}

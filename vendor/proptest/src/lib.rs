@@ -1,0 +1,153 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(...)]` header,
+//! range strategies over primitives, and [`prop_assert!`]. Cases are driven
+//! by a deterministic seeded RNG; there is no shrinking — a failing case
+//! panics with the generated inputs in the message, which is enough for the
+//! equivalence-style properties tested here.
+
+use rand::rngs::StdRng;
+use rand::Rng as _;
+use std::ops::Range;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A value generator (`x in strategy` in the macro).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn pick(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn pick(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+    fn pick(&self, rng: &mut StdRng) -> i64 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for Range<i32> {
+    type Value = i32;
+    fn pick(&self, rng: &mut StdRng) -> i32 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Property-test declaration macro (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
+                    0x70726f_70746573u64 ^ stringify!($name).len() as u64,
+                );
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::pick(&($strategy), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name ( $($arg in $strategy),* ) $body
+            )*
+        }
+    };
+}
+
+/// Assertion macro, mirroring proptest's (panics instead of shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Equality assertion macro.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(, $($fmt:tt)+)?) => {
+        assert_eq!($a, $b $(, $($fmt)+)?);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_stay_in_bounds(x in -1.0f64..1.0, k in 0usize..10) {
+            prop_assert!((-1.0..1.0).contains(&x));
+            prop_assert!(k < 10);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(y in 0.0f64..5.0) {
+            prop_assert!(y >= 0.0);
+        }
+    }
+}

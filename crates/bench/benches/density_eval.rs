@@ -5,7 +5,10 @@
 //! The `gprob_*` rows run the slot-resolved frame runtime; the
 //! `gprob_*_string_baseline` rows run the retained `HashMap<String, _>`
 //! evaluation path on the *same* compiled program, isolating the speedup of
-//! compile-time name resolution.
+//! compile-time name resolution. The `gprob_*_workspace` rows evaluate
+//! through a pooled `DensityWorkspace` / `GradWorkspace` — the per-chain
+//! configuration `Session` samplers run in — isolating the win of dropping
+//! the per-evaluation `Frame::lift` allocation and per-site dist dispatch.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepstan::DeepStan;
@@ -40,6 +43,15 @@ fn bench_density(c: &mut Criterion) {
                     .unwrap()
             })
         });
+        group.bench_function(format!("{name}/gprob_grad_workspace"), |b| {
+            let mut ws = gmodel.grad_workspace();
+            let mut g = vec![0.0; gmodel.dim()];
+            b.iter(|| {
+                gmodel
+                    .log_density_and_grad_with(&mut ws, std::hint::black_box(&theta), &mut g)
+                    .unwrap()
+            })
+        });
         group.bench_function(format!("{name}/gprob_grad_string_baseline"), |b| {
             b.iter(|| {
                 tape::reset();
@@ -55,6 +67,14 @@ fn bench_density(c: &mut Criterion) {
             b.iter(|| {
                 gmodel
                     .log_density_f64(std::hint::black_box(&theta))
+                    .unwrap()
+            })
+        });
+        group.bench_function(format!("{name}/gprob_value_workspace"), |b| {
+            let mut ws = gmodel.workspace::<f64>();
+            b.iter(|| {
+                gmodel
+                    .log_density_f64_with(&mut ws, std::hint::black_box(&theta))
                     .unwrap()
             })
         });

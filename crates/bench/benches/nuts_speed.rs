@@ -1,13 +1,17 @@
 //! Short end-to-end NUTS runs per backend — the sampling-throughput shape
 //! behind Table 3 and Table 5.
 //!
-//! `gprob_mixed` runs the slot-resolved frame runtime; `gprob_string_baseline`
-//! drives the same NUTS engine through the retained `HashMap<String, _>`
-//! density path, isolating the end-to-end effect of compile-time name
-//! resolution.
+//! `gprob_mixed` runs the slot-resolved frame runtime through the
+//! chain-first `Session` API (one pooled density workspace per chain);
+//! `gprob_string_baseline` drives the same NUTS engine through the retained
+//! `HashMap<String, _>` density path, isolating the end-to-end effect of
+//! compile-time name resolution. `gprob_mixed_4chain_parallel` runs four
+//! chains sharded over threads (each with its own workspace) — on a
+//! multicore machine its wall time should stay well under 2× the
+//! single-chain row.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use deepstan::{DeepStan, NutsSettings};
+use deepstan::{DeepStan, Method, NutsSettings};
 use gprob::eval::NoExternals;
 use gprob::value::Value;
 use inference::nuts::{nuts_sample, NutsConfig};
@@ -31,10 +35,33 @@ fn bench_nuts(c: &mut Criterion) {
         let data_refs: Vec<(&str, Value<f64>)> =
             data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
         group.bench_function(format!("{name}/stan_ref"), |b| {
-            b.iter(|| program.nuts_reference(&data_refs, &settings).unwrap())
+            b.iter(|| {
+                program
+                    .session(&data_refs)
+                    .unwrap()
+                    .reference(true)
+                    .run(Method::Nuts(settings.clone()))
+                    .unwrap()
+            })
         });
         group.bench_function(format!("{name}/gprob_mixed"), |b| {
-            b.iter(|| program.nuts(&data_refs, &settings).unwrap())
+            b.iter(|| {
+                program
+                    .session(&data_refs)
+                    .unwrap()
+                    .run(Method::Nuts(settings.clone()))
+                    .unwrap()
+            })
+        });
+        group.bench_function(format!("{name}/gprob_mixed_4chain_parallel"), |b| {
+            b.iter(|| {
+                program
+                    .session(&data_refs)
+                    .unwrap()
+                    .chains(4)
+                    .run(Method::Nuts(settings.clone()))
+                    .unwrap()
+            })
         });
         group.bench_function(format!("{name}/gprob_string_baseline"), |b| {
             b.iter(|| {

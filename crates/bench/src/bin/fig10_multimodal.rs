@@ -6,7 +6,7 @@
 //! collapses onto one mode, while the custom guide recovers both — the
 //! qualitative result of the paper's RQ4.
 
-use deepstan::{DeepStan, NutsSettings, SviSettings};
+use deepstan::{DeepStan, Method, NutsSettings, SviSettings};
 use deepstan_bench::scaled;
 use inference::advi::AdviConfig;
 use inference::diagnostics::histogram;
@@ -37,51 +37,56 @@ fn main() {
         seed: 1,
         max_depth: 10,
     };
-    let stan_nuts = program.nuts_reference(&[], &nuts_cfg).expect("stan nuts");
+    let stan_nuts = program
+        .session(&[])
+        .expect("session")
+        .reference(true)
+        .run(Method::Nuts(nuts_cfg.clone()))
+        .expect("stan nuts");
     print_histogram("Stan (NUTS)", &stan_nuts.component("theta").unwrap());
 
     // 2. DeepStan (compiled backend) with NUTS.
-    let deepstan_nuts = program.nuts(&[], &nuts_cfg).expect("deepstan nuts");
+    let deepstan_nuts = program
+        .session(&[])
+        .expect("session")
+        .run(Method::Nuts(nuts_cfg))
+        .expect("deepstan nuts");
     print_histogram(
         "DeepStan (NUTS)",
         &deepstan_nuts.component("theta").unwrap(),
     );
 
     // 3. DeepStan VI with the explicit guide of Figure 10.
-    let fit = program
-        .svi(
-            &[],
-            &[],
-            &SviSettings {
-                steps: scaled(3000),
-                lr: 0.05,
-                seed: 2,
-            },
-        )
+    let svi_fit = program
+        .session(&[])
+        .expect("session")
+        .guide_draws(scaled(1000))
+        .run(Method::Svi(SviSettings {
+            steps: scaled(3000),
+            lr: 0.05,
+            seed: 2,
+        }))
         .expect("svi");
-    let vi_posterior = program
-        .sample_guide(&[], &fit, &[], scaled(1000), 3)
-        .expect("guide samples");
     print_histogram(
         "DeepStan (VI, custom guide)",
-        &vi_posterior.component("theta").unwrap(),
+        &svi_fit.component("theta").unwrap(),
     );
+    let guide = svi_fit.variational.as_ref().expect("fitted guide");
     println!(
         "  fitted guide means: m1 = {:.2}, m2 = {:.2}",
-        fit.guide_params["m1"][0], fit.guide_params["m2"][0]
+        guide.guide_params["m1"][0], guide.guide_params["m2"][0]
     );
 
     // 4. Stan ADVI (mean-field) baseline.
     let advi = program
-        .advi(
-            &[],
-            &AdviConfig {
-                steps: scaled(2000),
-                output_samples: scaled(1000),
-                seed: 4,
-                ..Default::default()
-            },
-        )
+        .session(&[])
+        .expect("session")
+        .run(Method::Advi(AdviConfig {
+            steps: scaled(2000),
+            output_samples: scaled(1000),
+            seed: 4,
+            ..Default::default()
+        }))
         .expect("advi");
     print_histogram("Stan (ADVI, mean-field)", &advi.component("theta").unwrap());
 

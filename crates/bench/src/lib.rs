@@ -21,7 +21,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Instant;
 
-use deepstan::{DeepStan, NutsSettings, Posterior};
+use deepstan::{DeepStan, Method, NutsSettings, Posterior};
 use gprob::value::Value;
 use inference::diagnostics::accuracy_pass;
 use model_zoo::{ExpectedFailure, ModelEntry};
@@ -127,20 +127,17 @@ pub fn run_backend(entry: &ModelEntry, backend: BackendKind, seed: u64) -> RunOu
         } else {
             backend_settings(seed, entry.cost)
         };
-        match backend {
-            BackendKind::StanRef => program
-                .nuts_reference(&data_refs, &settings)
-                .map_err(|e| e.to_string()),
-            BackendKind::GProbComprehensive => program
-                .nuts_with(Scheme::Comprehensive, &data_refs, &settings)
-                .map_err(|e| e.to_string()),
-            BackendKind::GProbMixed => program
-                .nuts_with(Scheme::Mixed, &data_refs, &settings)
-                .map_err(|e| e.to_string()),
-            BackendKind::GProbGenerative => program
-                .nuts_with(Scheme::Generative, &data_refs, &settings)
-                .map_err(|e| e.to_string()),
-        }
+        let mut session = program.session(&data_refs).map_err(|e| e.to_string())?;
+        session = match backend {
+            BackendKind::StanRef => session.reference(true),
+            BackendKind::GProbComprehensive => session.scheme(Scheme::Comprehensive),
+            BackendKind::GProbMixed => session.scheme(Scheme::Mixed),
+            BackendKind::GProbGenerative => session.scheme(Scheme::Generative),
+        };
+        session
+            .run(Method::Nuts(settings))
+            .map(|fit| fit.to_posterior())
+            .map_err(|e| e.to_string())
     })();
     let seconds = start.elapsed().as_secs_f64();
     match result {
@@ -210,7 +207,13 @@ pub fn one_iteration_runs(entry: &ModelEntry, scheme: Scheme, interpreted: bool)
             seed: 1,
             max_depth: 5,
         };
-        program.nuts_with(scheme, &data_refs, &settings).is_ok()
+        program
+            .session(&data_refs)
+            .and_then(|mut s| {
+                s = s.scheme(scheme);
+                s.run(Method::Nuts(settings))
+            })
+            .is_ok()
     }
 }
 

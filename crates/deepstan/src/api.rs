@@ -1,16 +1,13 @@
-//! The high-level DeepStan API: compile once, bind data, run inference.
+//! The high-level DeepStan API: compile once, bind data, run inference
+//! through the chain-first [`Session`](crate::session::Session) pipeline.
 
 use std::fmt;
-use std::time::Instant;
 
 use gprob::model::ParamSlot;
 use gprob::value::{Env, RuntimeError, Value};
 use gprob::GModel;
 use inference::diagnostics::{summarize, Summary};
-use inference::nuts::{nuts_sample, NutsConfig};
-use inference::target::GradTarget;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use inference::target::{GradTarget, GradTargetMut};
 use stan2gprob::{compile, CompileError, Scheme};
 use stan_frontend::ast::Program;
 use stan_frontend::FrontendError;
@@ -108,7 +105,8 @@ pub struct CompiledProgram {
     pub generative: Option<gprob::GProbProgram>,
 }
 
-/// Settings for a NUTS run.
+/// Settings for a NUTS run, the payload of
+/// [`Method::Nuts`](crate::session::Method::Nuts).
 #[derive(Debug, Clone)]
 pub struct NutsSettings {
     /// Warmup iterations.
@@ -194,100 +192,12 @@ impl CompiledProgram {
     pub fn bind_reference(&self, data: &[(&str, Value<f64>)]) -> Result<StanModel, InferenceError> {
         Ok(StanModel::new(&self.ast, env_of(data))?)
     }
-
-    /// Runs NUTS against the GProb runtime (mixed scheme) — the "NumPyro
-    /// backend" configuration of the paper's evaluation.
-    ///
-    /// # Errors
-    /// Propagates binding and runtime errors.
-    pub fn nuts(
-        &self,
-        data: &[(&str, Value<f64>)],
-        settings: &NutsSettings,
-    ) -> Result<Posterior, InferenceError> {
-        self.nuts_with(Scheme::Mixed, data, settings)
-    }
-
-    /// Runs NUTS against the GProb runtime under a chosen compilation scheme.
-    ///
-    /// # Errors
-    /// Propagates binding and runtime errors.
-    pub fn nuts_with(
-        &self,
-        scheme: Scheme,
-        data: &[(&str, Value<f64>)],
-        settings: &NutsSettings,
-    ) -> Result<Posterior, InferenceError> {
-        let model = self.bind_with(scheme, data)?;
-        let mut rng = StdRng::seed_from_u64(settings.seed);
-        let init = model.initial_unconstrained(&mut rng);
-        // Check the density is evaluable before launching the sampler so
-        // runtime errors surface as errors rather than silent -inf plateaus.
-        model.log_density_f64(&init)?;
-        let start = Instant::now();
-        let result = nuts_sample(&GModelTarget(&model), init, &nuts_config(settings));
-        Ok(Posterior::from_unconstrained(
-            model.component_names(),
-            model.slots(),
-            result.draws,
-            result.divergences,
-            start.elapsed().as_secs_f64(),
-        ))
-    }
-
-    /// Runs NUTS against the baseline Stan-semantics interpreter — the "Stan"
-    /// column of the paper's evaluation.
-    ///
-    /// # Errors
-    /// Propagates binding and runtime errors.
-    pub fn nuts_reference(
-        &self,
-        data: &[(&str, Value<f64>)],
-        settings: &NutsSettings,
-    ) -> Result<Posterior, InferenceError> {
-        let model = self.bind_reference(data)?;
-        let mut rng = StdRng::seed_from_u64(settings.seed);
-        let init = model.initial_unconstrained(&mut rng);
-        model.log_density_f64(&init)?;
-        let start = Instant::now();
-        let result = nuts_sample(&StanModelTarget(&model), init, &nuts_config(settings));
-        Ok(Posterior::from_unconstrained(
-            model.component_names(),
-            model.slots(),
-            result.draws,
-            result.divergences,
-            start.elapsed().as_secs_f64(),
-        ))
-    }
-
-    /// Runs mean-field ADVI (Stan's `variational` baseline in Figure 10) on
-    /// the GProb runtime.
-    ///
-    /// # Errors
-    /// Propagates binding and runtime errors.
-    pub fn advi(
-        &self,
-        data: &[(&str, Value<f64>)],
-        config: &inference::advi::AdviConfig,
-    ) -> Result<Posterior, InferenceError> {
-        let model = self.bind(data)?;
-        model.log_density_f64(&vec![0.0; model.dim()])?;
-        let start = Instant::now();
-        let fit = inference::advi::advi_fit(&GModelTarget(&model), model.dim(), config);
-        Ok(Posterior::from_unconstrained(
-            model.component_names(),
-            model.slots(),
-            fit.draws,
-            0,
-            start.elapsed().as_secs_f64(),
-        ))
-    }
 }
 
-/// [`GradTarget`] adapter for the slot-resolved GProb runtime: NUTS calls
-/// [`GModel::log_density_and_grad`] directly, with no closure indirection.
-/// Evaluation errors surface as `-inf` plateaus, exactly as the previous
-/// closure-based wiring did.
+/// [`GradTarget`] adapter for the slot-resolved GProb runtime (allocating
+/// path; chains built by a `Session` use the workspace-pooled
+/// [`WorkspaceTarget`](crate::session::WorkspaceTarget) instead).
+/// Evaluation errors surface as `-inf` plateaus.
 pub struct GModelTarget<'a>(pub &'a GModel);
 
 impl GradTarget for GModelTarget<'_> {
@@ -309,13 +219,20 @@ impl GradTarget for StanModelTarget<'_> {
     }
 }
 
-fn nuts_config(settings: &NutsSettings) -> NutsConfig {
-    NutsConfig {
-        warmup: settings.warmup,
-        samples: settings.samples,
-        max_depth: settings.max_depth,
-        seed: settings.seed,
-        ..Default::default()
+/// The reference interpreter has no pooled workspace; its buffered target
+/// simply forwards to the allocating path.
+impl GradTargetMut for StanModelTarget<'_> {
+    fn logp_grad_into(&mut self, q: &[f64], grad: &mut [f64]) -> f64 {
+        match self.0.log_density_and_grad(q) {
+            Ok((lp, g)) => {
+                grad.copy_from_slice(&g);
+                lp
+            }
+            Err(_) => {
+                grad.fill(0.0);
+                f64::NEG_INFINITY
+            }
+        }
     }
 }
 
@@ -340,6 +257,24 @@ pub struct Posterior {
     pub wall_time: f64,
 }
 
+/// Pushes unconstrained draws through each parameter's constraint
+/// transform — the single implementation shared by [`Posterior`] and the
+/// chain-first `Fit` collection.
+pub fn constrain_draws(slots: &[ParamSlot], draws_u: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+    draws_u
+        .into_iter()
+        .map(|d| {
+            let mut c = Vec::with_capacity(d.len());
+            for slot in slots {
+                for i in 0..slot.size {
+                    c.push(slot.constraint.to_constrained(d[slot.offset + i]));
+                }
+            }
+            c
+        })
+        .collect()
+}
+
 impl Posterior {
     /// Builds a posterior from unconstrained draws by pushing every component
     /// through its constraint transform.
@@ -350,21 +285,9 @@ impl Posterior {
         divergences: usize,
         wall_time: f64,
     ) -> Self {
-        let draws = draws_u
-            .into_iter()
-            .map(|d| {
-                let mut c = Vec::with_capacity(d.len());
-                for slot in slots {
-                    for i in 0..slot.size {
-                        c.push(slot.constraint.to_constrained(d[slot.offset + i]));
-                    }
-                }
-                c
-            })
-            .collect();
         Posterior {
             names,
-            draws,
+            draws: constrain_draws(slots, draws_u),
             divergences,
             wall_time,
         }
@@ -434,6 +357,7 @@ mod tests {
 
     #[test]
     fn end_to_end_coin_posterior_matches_conjugate_answer() {
+        use crate::session::Method;
         let program = DeepStan::compile(COIN).unwrap();
         let settings = NutsSettings {
             warmup: 200,
@@ -443,12 +367,22 @@ mod tests {
         };
         // Posterior is Beta(8, 4): mean 2/3, sd ~ 0.1307.
         for scheme in [Scheme::Comprehensive, Scheme::Mixed, Scheme::Generative] {
-            let posterior = program.nuts_with(scheme, &coin_data(), &settings).unwrap();
-            let s = posterior.summary("z").unwrap();
+            let fit = program
+                .session(&coin_data())
+                .unwrap()
+                .scheme(scheme)
+                .run(Method::Nuts(settings.clone()))
+                .unwrap();
+            let s = fit.summary("z").unwrap();
             assert!((s.mean - 2.0 / 3.0).abs() < 0.05, "{scheme:?}: {}", s.mean);
             assert!((s.stddev - 0.1307).abs() < 0.05, "{scheme:?}: {}", s.stddev);
         }
-        let reference = program.nuts_reference(&coin_data(), &settings).unwrap();
+        let reference = program
+            .session(&coin_data())
+            .unwrap()
+            .reference(true)
+            .run(Method::Nuts(settings))
+            .unwrap();
         let s = reference.summary("z").unwrap();
         assert!((s.mean - 2.0 / 3.0).abs() < 0.05);
     }
@@ -486,24 +420,27 @@ mod tests {
         "#;
         let program = DeepStan::compile(src).unwrap();
         let data = vec![("N", Value::Int(2)), ("y", Value::Vector(vec![0.0, 1.0]))];
-        let err = program.nuts(&data, &NutsSettings::default()).unwrap_err();
+        let err = program
+            .session(&data)
+            .unwrap()
+            .run(crate::session::Method::Nuts(NutsSettings::default()))
+            .unwrap_err();
         assert!(matches!(err, InferenceError::Runtime(_)));
     }
 
     #[test]
     fn advi_runs_on_the_coin_model() {
         let program = DeepStan::compile(COIN).unwrap();
-        let posterior = program
-            .advi(
-                &coin_data(),
-                &inference::advi::AdviConfig {
-                    steps: 800,
-                    seed: 9,
-                    ..Default::default()
-                },
-            )
+        let fit = program
+            .session(&coin_data())
+            .unwrap()
+            .run(crate::session::Method::Advi(inference::advi::AdviConfig {
+                steps: 800,
+                seed: 9,
+                ..Default::default()
+            }))
             .unwrap();
-        let s = posterior.summary("z").unwrap();
+        let s = fit.summary("z").unwrap();
         assert!((s.mean - 2.0 / 3.0).abs() < 0.15, "{}", s.mean);
     }
 }

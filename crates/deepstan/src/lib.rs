@@ -2,10 +2,16 @@
 //! extensions of Section 5 of the paper.
 //!
 //! The [`DeepStan`] type ties the whole pipeline together: parse and check a
-//! Stan (or DeepStan) program, compile it with any of the three schemes, bind
-//! data, and run inference — NUTS through either runtime (compiled GProb, or
-//! the baseline Stan-semantics interpreter), stochastic variational inference
-//! with an explicit guide, or mean-field ADVI.
+//! Stan (or DeepStan) program, compile it with any of the three schemes, and
+//! open an inference [`Session`] on it. Sessions are chain-first and
+//! method-agnostic, mirroring the `MCMC` API of Pyro / NumPyro the paper
+//! runs its evaluation through: one builder configures the compilation
+//! scheme, chain count, seeding and initialization, and a single
+//! [`Session::run`] call executes NUTS, mean-field ADVI, guide-based SVI, or
+//! likelihood-weighting importance sampling. Every method returns the same
+//! [`Fit`] type — per-chain posterior draws, cross-chain split-R̂ / ESS,
+//! divergence counts and wall time — and chains shard over threads, each
+//! with its own pooled `gprob` density workspace.
 //!
 //! The DeepStan extensions are implemented here:
 //!
@@ -17,12 +23,12 @@
 //!   *learnable* networks (the `pyro.random_module` analog).
 //! * [`svi`] — the model/guide ELBO used for explicit variational guides
 //!   (Section 5.1), the VAE (Section 5.2) and Bayesian neural networks
-//!   (Section 5.3).
+//!   (Section 5.3), reachable through `Method::Svi`.
 //!
 //! # Quick start
 //!
 //! ```
-//! use deepstan::DeepStan;
+//! use deepstan::{DeepStan, Method, NutsSettings};
 //! use gprob::value::Value;
 //!
 //! let program = DeepStan::compile(r#"
@@ -34,18 +40,28 @@
 //!     ("N", Value::Int(10)),
 //!     ("x", Value::IntArray(vec![1, 1, 1, 0, 1, 0, 1, 1, 0, 1])),
 //! ];
-//! let settings = deepstan::NutsSettings { warmup: 150, samples: 300, seed: 1, ..Default::default() };
-//! let posterior = program.nuts(&data, &settings).unwrap();
-//! let z = posterior.summary("z").unwrap();
+//! let settings = NutsSettings { warmup: 150, samples: 300, seed: 1, ..Default::default() };
+//! let fit = program
+//!     .session(&data)
+//!     .unwrap()
+//!     .chains(2)
+//!     .run(Method::Nuts(settings))
+//!     .unwrap();
+//! let z = fit.summary("z").unwrap();
 //! assert!((z.mean - 8.0 / 12.0).abs() < 0.1); // Beta(8, 4) posterior mean
+//! assert!(fit.split_rhat("z").unwrap() < 1.1); // chains agree
 //! ```
 
 pub mod api;
 pub mod networks;
 pub mod nn;
+pub mod session;
 pub mod svi;
 
 pub use api::{CompiledProgram, DeepStan, InferenceError, NutsSettings, Posterior};
 pub use networks::NetworkRegistry;
 pub use nn::{Activation, LayerSpec, MlpSpec};
+pub use session::{
+    ChainResult, Fit, FitMethod, ImportanceSettings, Init, Method, Session, WorkspaceTarget,
+};
 pub use svi::{SviSettings, VariationalFit};

@@ -1,0 +1,878 @@
+//! The chain-first inference pipeline: [`Session`] → [`Fit`].
+//!
+//! This is the method-agnostic inference surface of the reproduction,
+//! mirroring the chain-first `MCMC` API of Pyro / NumPyro that the paper
+//! runs its evaluation through:
+//!
+//! ```text
+//! CompiledProgram::session(&data)?      // bind once
+//!     .scheme(Scheme::Comprehensive)    // compilation scheme (default Mixed)
+//!     .chains(4)                        // chains run in parallel threads
+//!     .seed(7)                          // chain c is seeded with seed + c
+//!     .run(Method::Nuts(settings))?     // or Advi / Svi / Importance
+//!     // -> Fit: per-chain draws, cross-chain split-R̂ / ESS, divergences
+//! ```
+//!
+//! Chains shard over `std::thread::scope`: the bound model is shared
+//! immutably while every chain owns a pooled `gprob` density workspace
+//! ([`gprob::GradWorkspace`]), so sampling allocates nothing per gradient
+//! evaluation and 4 chains cost close to 1 in wall time on a multicore
+//! machine. The same [`Fit`] type carries every method's output — posterior
+//! draws for NUTS/ADVI/importance, plus the fitted guide
+//! ([`crate::svi::VariationalFit`]) for SVI — so downstream diagnostics and
+//! reporting code is method-agnostic too.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use gprob::model::ParamSlot;
+use gprob::value::Value;
+use gprob::GModel;
+use inference::advi::{advi_fit_mut, AdviConfig};
+use inference::diagnostics::{multi_ess, multi_split_rhat, summarize, Summary};
+use inference::importance::{resample_indices, weight_draws};
+use inference::nuts::{nuts_sample_mut, NutsConfig, NutsResult};
+use inference::target::GradTargetMut;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stan2gprob::Scheme;
+
+use crate::api::{CompiledProgram, InferenceError, NutsSettings, Posterior, StanModelTarget};
+use crate::nn::MlpSpec;
+use crate::svi::{SviSettings, VariationalFit};
+
+/// The inference method a [`Session`] runs. One enum, one pipeline: every
+/// method goes through [`Session::run`] and produces a [`Fit`].
+#[derive(Debug, Clone)]
+pub enum Method {
+    /// The No-U-Turn Sampler on the gradient of the compiled density.
+    Nuts(NutsSettings),
+    /// Mean-field ADVI (Stan's `variational`); `chains(n)` runs `n`
+    /// independent restarts.
+    Advi(AdviConfig),
+    /// Stochastic variational inference with the program's explicit guide
+    /// (requires a `guide` block; runs a single fit).
+    Svi(SviSettings),
+    /// Likelihood-weighting importance sampling from the program prior.
+    Importance(ImportanceSettings),
+}
+
+/// Settings for the importance-sampling method.
+#[derive(Debug, Clone)]
+pub struct ImportanceSettings {
+    /// Number of prior proposals to draw and weight.
+    pub particles: usize,
+}
+
+impl Default for ImportanceSettings {
+    fn default() -> Self {
+        ImportanceSettings { particles: 1000 }
+    }
+}
+
+/// How each chain picks its starting point.
+#[derive(Debug, Clone)]
+pub enum Init {
+    /// Uniform in `[-radius, radius]` on the unconstrained scale per chain
+    /// (Stan's default is radius 2).
+    Random {
+        /// Half-width of the uniform initialization interval.
+        radius: f64,
+    },
+    /// A fixed unconstrained starting point shared by every chain.
+    Value(Vec<f64>),
+}
+
+/// A compiled program bound to a data set, ready to run inference. Built by
+/// [`CompiledProgram::session`]; configured with the builder methods; fired
+/// with [`Session::run`]. The bound model is cached, so running several
+/// methods on one session binds (and re-runs `transformed data`) only once
+/// per scheme.
+pub struct Session<'p> {
+    program: &'p CompiledProgram,
+    data: Vec<(String, Value<f64>)>,
+    scheme: Scheme,
+    chains: usize,
+    seed: Option<u64>,
+    init: Init,
+    networks: Vec<MlpSpec>,
+    reference: bool,
+    guide_draws: usize,
+    model: Option<(Scheme, GModel)>,
+    reference_model: Option<stan_ref::StanModel>,
+}
+
+impl CompiledProgram {
+    /// Opens an inference session on this program with the given data.
+    ///
+    /// # Errors
+    /// Currently infallible, but typed fallible so future eager validation
+    /// (shape checks, data completeness) stays source-compatible.
+    pub fn session(&self, data: &[(&str, Value<f64>)]) -> Result<Session<'_>, InferenceError> {
+        Ok(Session {
+            program: self,
+            data: data
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            scheme: Scheme::Mixed,
+            chains: 1,
+            seed: None,
+            init: Init::Random { radius: 2.0 },
+            networks: Vec::new(),
+            reference: false,
+            guide_draws: 1000,
+            model: None,
+            reference_model: None,
+        })
+    }
+}
+
+impl Session<'_> {
+    /// Selects the compilation scheme (default: mixed).
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Number of chains to run (default 1). Chains beyond the first run on
+    /// their own threads, each with its own density workspace.
+    pub fn chains(mut self, chains: usize) -> Self {
+        self.chains = chains.max(1);
+        self
+    }
+
+    /// Master seed; chain `c` derives `seed + c`. Defaults to the seed
+    /// carried by the method's own settings.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Chain initialization strategy (default: uniform in `[-2, 2]`).
+    pub fn init(mut self, init: Init) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Network architectures for `networks { ... }` declarations (SVI).
+    pub fn networks(mut self, networks: &[MlpSpec]) -> Self {
+        self.networks = networks.to_vec();
+        self
+    }
+
+    /// Runs inference on the baseline Stan-semantics interpreter instead of
+    /// the compiled GProb runtime — the "Stan" column of the paper's tables.
+    /// Only gradient-based methods (NUTS, ADVI) support this backend.
+    pub fn reference(mut self, reference: bool) -> Self {
+        self.reference = reference;
+        self
+    }
+
+    /// Number of posterior draws to pull from the fitted guide after SVI
+    /// (default 1000).
+    pub fn guide_draws(mut self, n: usize) -> Self {
+        self.guide_draws = n.max(1);
+        self
+    }
+
+    /// Runs the chosen method and collects a [`Fit`].
+    ///
+    /// # Errors
+    /// Propagates binding and runtime errors; misuse (e.g. SVI without a
+    /// guide, importance sampling on the reference backend) reports
+    /// [`InferenceError::Usage`].
+    pub fn run(&mut self, method: Method) -> Result<Fit, InferenceError> {
+        let start = Instant::now();
+        let mut fit = match method {
+            Method::Nuts(settings) => self.run_nuts(&settings)?,
+            Method::Advi(config) => self.run_advi(&config)?,
+            Method::Svi(settings) => self.run_svi(&settings)?,
+            Method::Importance(settings) => self.run_importance(&settings)?,
+        };
+        fit.wall_time = start.elapsed().as_secs_f64();
+        Ok(fit)
+    }
+
+    fn data_refs(&self) -> Vec<(&str, Value<f64>)> {
+        self.data
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .collect()
+    }
+
+    /// The bound compiled model for the current scheme (bound lazily,
+    /// cached per scheme).
+    fn model(&mut self) -> Result<&GModel, InferenceError> {
+        let stale = self.model.as_ref().map(|(s, _)| *s) != Some(self.scheme);
+        if stale {
+            let model = self.program.bind_with(self.scheme, &self.data_refs())?;
+            self.model = Some((self.scheme, model));
+        }
+        Ok(&self.model.as_ref().expect("model bound above").1)
+    }
+
+    /// The bound reference-interpreter model (bound lazily, cached).
+    fn ref_model(&mut self) -> Result<&stan_ref::StanModel, InferenceError> {
+        if self.reference_model.is_none() {
+            self.reference_model = Some(self.program.bind_reference(&self.data_refs())?);
+        }
+        Ok(self.reference_model.as_ref().expect("model bound above"))
+    }
+
+    fn run_nuts(&mut self, settings: &NutsSettings) -> Result<Fit, InferenceError> {
+        let seed = self.seed.unwrap_or(settings.seed);
+        let config = NutsConfig {
+            warmup: settings.warmup,
+            samples: settings.samples,
+            max_depth: settings.max_depth,
+            seed,
+            ..Default::default()
+        };
+        let (chains, init, reference) = (self.chains, self.init.clone(), self.reference);
+        if reference {
+            let model = self.ref_model()?;
+            let runs = run_nuts_chains(
+                chains,
+                seed,
+                &config,
+                &|| StanModelTarget(model),
+                &|rng| init_point(&init, rng, model.dim()),
+                &|theta| model.log_density_f64(theta).map(|_| ()),
+            )?;
+            return Ok(collect_nuts_fit(
+                model.component_names(),
+                model.slots(),
+                runs,
+            ));
+        }
+        let model = self.model()?;
+        let runs = run_nuts_chains(
+            chains,
+            seed,
+            &config,
+            &|| WorkspaceTarget::new(model),
+            &|rng| init_point(&init, rng, model.dim()),
+            &|theta| model.log_density_f64(theta).map(|_| ()),
+        )?;
+        Ok(collect_nuts_fit(
+            model.component_names(),
+            model.slots(),
+            runs,
+        ))
+    }
+
+    fn run_advi(&mut self, config: &AdviConfig) -> Result<Fit, InferenceError> {
+        let seed = self.seed.unwrap_or(config.seed);
+        let (chains, reference) = (self.chains, self.reference);
+        if reference {
+            let model = self.ref_model()?;
+            model.log_density_f64(&vec![0.0; model.dim()])?;
+            let runs = run_advi_chains(chains, seed, config, model.dim(), &|| {
+                StanModelTarget(model)
+            });
+            return Ok(collect_advi_fit(
+                model.component_names(),
+                model.slots(),
+                runs,
+            ));
+        }
+        let model = self.model()?;
+        model.log_density_f64(&vec![0.0; model.dim()])?;
+        let runs = run_advi_chains(chains, seed, config, model.dim(), &|| {
+            WorkspaceTarget::new(model)
+        });
+        Ok(collect_advi_fit(
+            model.component_names(),
+            model.slots(),
+            runs,
+        ))
+    }
+
+    fn run_svi(&mut self, settings: &SviSettings) -> Result<Fit, InferenceError> {
+        if self.reference {
+            return Err(InferenceError::Usage(
+                "SVI runs on the compiled runtime only".to_string(),
+            ));
+        }
+        let seed = self.seed.unwrap_or(settings.seed);
+        let mut settings = settings.clone();
+        settings.seed = seed;
+        let data = self.data_refs();
+        let start = Instant::now();
+        let variational = self.program.svi(&data, &self.networks, &settings)?;
+        let posterior = self.program.sample_guide(
+            &data,
+            &variational,
+            &self.networks,
+            self.guide_draws,
+            seed.wrapping_add(1),
+        )?;
+        Ok(Fit {
+            method: FitMethod::Svi,
+            names: posterior.names,
+            chains: vec![ChainResult {
+                draws: posterior.draws,
+                divergences: 0,
+                wall_time: start.elapsed().as_secs_f64(),
+                n_grad_evals: 0,
+            }],
+            wall_time: 0.0,
+            variational: Some(variational),
+            weights: None,
+        })
+    }
+
+    fn run_importance(&mut self, settings: &ImportanceSettings) -> Result<Fit, InferenceError> {
+        if self.reference {
+            return Err(InferenceError::Usage(
+                "importance sampling runs on the compiled runtime only".to_string(),
+            ));
+        }
+        let seed = self.seed.unwrap_or(0);
+        let n = settings.particles.max(1);
+        let model = self.model()?;
+        let start = Instant::now();
+        let rng = Rc::new(RefCell::new(StdRng::seed_from_u64(seed)));
+        let mut draws = Vec::with_capacity(n);
+        let mut log_weights = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (trace, lw) = model.run_prior_weighted(rng.clone())?;
+            // Read each parameter straight out of the trace frame by its
+            // slot — no string-keyed environment on this path. A slot a
+            // data-dependent branch skipped contributes `slot.size` NaNs so
+            // the flat row stays aligned with `names`.
+            let mut flat = Vec::new();
+            for (slot, &frame_slot) in model.slots().iter().zip(model.param_frame_slots()) {
+                match trace.get(frame_slot) {
+                    Some(value) => flat.extend(value.as_real_vec()?),
+                    None => flat.extend(std::iter::repeat_n(f64::NAN, slot.size)),
+                }
+            }
+            draws.push(flat);
+            log_weights.push(lw);
+        }
+        let weighted = weight_draws(draws, log_weights);
+        if !weighted.log_evidence.is_finite() || weighted.weights.iter().any(|w| !w.is_finite()) {
+            return Err(InferenceError::Usage(format!(
+                "importance sampling degenerated: all {n} prior proposals have zero likelihood"
+            )));
+        }
+        // Resample into an unweighted draw set so Fit summaries are the
+        // self-normalized importance estimates.
+        let indices = resample_indices(&weighted.weights, n, seed.wrapping_add(1));
+        let resampled: Vec<Vec<f64>> = indices.iter().map(|&i| weighted.draws[i].clone()).collect();
+        Ok(Fit {
+            method: FitMethod::Importance,
+            names: model.component_names(),
+            chains: vec![ChainResult {
+                draws: resampled,
+                divergences: 0,
+                wall_time: start.elapsed().as_secs_f64(),
+                n_grad_evals: 0,
+            }],
+            wall_time: 0.0,
+            variational: None,
+            weights: Some(weighted.weights),
+        })
+    }
+}
+
+fn init_point(init: &Init, rng: &mut StdRng, dim: usize) -> Vec<f64> {
+    match init {
+        Init::Random { radius } => {
+            let r = *radius;
+            if r > 0.0 {
+                (0..dim).map(|_| rng.gen_range(-r..r)).collect()
+            } else {
+                // Radius 0 (or below) means "start every chain at the
+                // origin" rather than an empty-range panic.
+                vec![0.0; dim]
+            }
+        }
+        Init::Value(v) => v.clone(),
+    }
+}
+
+/// A [`GradTargetMut`] over a compiled model with a pooled per-chain
+/// workspace: each gradient evaluation reuses the chain's scratch frames and
+/// tape-leaf buffer. Evaluation errors surface as `-inf` plateaus, exactly
+/// as the closure-based wiring did.
+pub struct WorkspaceTarget<'m> {
+    model: &'m GModel,
+    ws: gprob::GradWorkspace,
+}
+
+impl<'m> WorkspaceTarget<'m> {
+    /// Builds a target (and its workspace) for one chain.
+    pub fn new(model: &'m GModel) -> Self {
+        WorkspaceTarget {
+            ws: model.grad_workspace(),
+            model,
+        }
+    }
+}
+
+impl GradTargetMut for WorkspaceTarget<'_> {
+    fn logp_grad_into(&mut self, q: &[f64], grad: &mut [f64]) -> f64 {
+        match self.model.log_density_and_grad_with(&mut self.ws, q, grad) {
+            Ok(lp) => lp,
+            Err(_) => {
+                grad.fill(0.0);
+                f64::NEG_INFINITY
+            }
+        }
+    }
+}
+
+/// Runs `chains` NUTS chains, in parallel threads beyond the first, each on
+/// its own freshly built target (one workspace per chain). Chain `c` uses
+/// seed `base_seed + c` for both its starting point and its sampler.
+///
+/// Before each chain samples, its own starting point is checked with
+/// `check` (a plain density evaluation), so a runtime error on *any*
+/// chain's init surfaces as an error rather than a silent `-inf` plateau
+/// that would pool a frozen chain into the summaries.
+fn run_nuts_chains<T, F, G, C>(
+    chains: usize,
+    base_seed: u64,
+    config: &NutsConfig,
+    make_target: &F,
+    make_init: &G,
+    check: &C,
+) -> Result<Vec<(NutsResult, f64)>, InferenceError>
+where
+    T: GradTargetMut,
+    F: Fn() -> T + Sync,
+    G: Fn(&mut StdRng) -> Vec<f64> + Sync,
+    C: Fn(&[f64]) -> Result<(), gprob::RuntimeError> + Sync,
+{
+    let run_one = |c: usize| -> Result<(NutsResult, f64), InferenceError> {
+        let mut chain_cfg = config.clone();
+        chain_cfg.seed = base_seed.wrapping_add(c as u64);
+        let mut rng = StdRng::seed_from_u64(chain_cfg.seed);
+        let init = make_init(&mut rng);
+        check(&init)?;
+        let start = Instant::now();
+        let mut target = make_target();
+        let result = nuts_sample_mut(&mut target, init, &chain_cfg);
+        Ok((result, start.elapsed().as_secs_f64()))
+    };
+    if chains <= 1 {
+        return Ok(vec![run_one(0)?]);
+    }
+    std::thread::scope(|s| {
+        let run_one = &run_one;
+        let handles: Vec<_> = (0..chains).map(|c| s.spawn(move || run_one(c))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("NUTS chain thread panicked"))
+            .collect()
+    })
+}
+
+/// Runs `chains` independent ADVI restarts (seeded `base_seed + c`), in
+/// parallel threads beyond the first.
+fn run_advi_chains<T, F>(
+    chains: usize,
+    base_seed: u64,
+    config: &AdviConfig,
+    dim: usize,
+    make_target: &F,
+) -> Vec<(inference::advi::AdviResult, f64)>
+where
+    T: GradTargetMut,
+    F: Fn() -> T + Sync,
+{
+    let run_one = |c: usize| {
+        let mut chain_cfg = config.clone();
+        chain_cfg.seed = base_seed.wrapping_add(c as u64);
+        let start = Instant::now();
+        let mut target = make_target();
+        let result = advi_fit_mut(&mut target, dim, &chain_cfg);
+        (result, start.elapsed().as_secs_f64())
+    };
+    if chains <= 1 {
+        return vec![run_one(0)];
+    }
+    std::thread::scope(|s| {
+        let run_one = &run_one;
+        let handles: Vec<_> = (0..chains).map(|c| s.spawn(move || run_one(c))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ADVI chain thread panicked"))
+            .collect()
+    })
+}
+
+/// Pushes a chain's unconstrained draws through the constraint transforms
+/// (the same mapping [`Posterior::from_unconstrained`] uses).
+fn constrain_chain(slots: &[ParamSlot], draws_u: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+    crate::api::constrain_draws(slots, draws_u)
+}
+
+fn collect_nuts_fit(names: Vec<String>, slots: &[ParamSlot], runs: Vec<(NutsResult, f64)>) -> Fit {
+    let chains = runs
+        .into_iter()
+        .map(|(result, wall_time)| ChainResult {
+            draws: constrain_chain(slots, result.draws),
+            divergences: result.divergences,
+            wall_time,
+            n_grad_evals: result.n_grad_evals,
+        })
+        .collect();
+    Fit {
+        method: FitMethod::Nuts,
+        names,
+        chains,
+        wall_time: 0.0,
+        variational: None,
+        weights: None,
+    }
+}
+
+fn collect_advi_fit(
+    names: Vec<String>,
+    slots: &[ParamSlot],
+    runs: Vec<(inference::advi::AdviResult, f64)>,
+) -> Fit {
+    let chains = runs
+        .into_iter()
+        .map(|(result, wall_time)| ChainResult {
+            draws: constrain_chain(slots, result.draws),
+            divergences: 0,
+            wall_time,
+            n_grad_evals: 0,
+        })
+        .collect();
+    Fit {
+        method: FitMethod::Advi,
+        names,
+        chains,
+        wall_time: 0.0,
+        variational: None,
+        weights: None,
+    }
+}
+
+/// Which method produced a [`Fit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitMethod {
+    /// The No-U-Turn Sampler.
+    Nuts,
+    /// Mean-field ADVI.
+    Advi,
+    /// SVI with an explicit guide.
+    Svi,
+    /// Likelihood-weighting importance sampling.
+    Importance,
+}
+
+/// One chain's output: constrained draws plus sampler accounting.
+#[derive(Debug, Clone)]
+pub struct ChainResult {
+    /// Constrained draws, one component vector per draw.
+    pub draws: Vec<Vec<f64>>,
+    /// Divergent transitions after warmup (NUTS only).
+    pub divergences: usize,
+    /// Wall-clock seconds this chain ran for.
+    pub wall_time: f64,
+    /// Gradient evaluations this chain performed (NUTS only).
+    pub n_grad_evals: usize,
+}
+
+/// The unified result of a [`Session::run`]: per-chain posterior draws on
+/// the constrained scale, cross-chain convergence diagnostics, and
+/// method-specific extras (the fitted guide for SVI, importance weights for
+/// likelihood weighting).
+#[derive(Debug, Clone)]
+pub struct Fit {
+    /// The method that produced this fit.
+    pub method: FitMethod,
+    /// Flat component names (`mu`, `theta[1]`, ...).
+    pub names: Vec<String>,
+    /// Per-chain results.
+    pub chains: Vec<ChainResult>,
+    /// Total wall-clock seconds for the whole run (all chains).
+    pub wall_time: f64,
+    /// The fitted guide (SVI only).
+    pub variational: Option<VariationalFit>,
+    /// Normalized importance weights of the pre-resampling proposals
+    /// (importance sampling only).
+    pub weights: Option<Vec<f64>>,
+}
+
+impl Fit {
+    /// Number of chains.
+    pub fn n_chains(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Total divergent transitions across chains.
+    pub fn divergences(&self) -> usize {
+        self.chains.iter().map(|c| c.divergences).sum()
+    }
+
+    /// Total gradient evaluations across chains.
+    pub fn n_grad_evals(&self) -> usize {
+        self.chains.iter().map(|c| c.n_grad_evals).sum()
+    }
+
+    /// All chains' draws pooled, in chain order.
+    pub fn pooled_draws(&self) -> Vec<Vec<f64>> {
+        self.chains.iter().flat_map(|c| c.draws.clone()).collect()
+    }
+
+    /// Index of a component by exact name (`"mu"`, `"theta[2]"`).
+    fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Pooled chain of one component across all chains.
+    pub fn component(&self, name: &str) -> Option<Vec<f64>> {
+        let idx = self.index_of(name)?;
+        Some(
+            self.chains
+                .iter()
+                .flat_map(|c| c.draws.iter().map(move |d| d[idx]))
+                .collect(),
+        )
+    }
+
+    /// Per-chain series of one component.
+    pub fn component_chains(&self, name: &str) -> Option<Vec<Vec<f64>>> {
+        let idx = self.index_of(name)?;
+        Some(
+            self.chains
+                .iter()
+                .map(|c| c.draws.iter().map(|d| d[idx]).collect())
+                .collect(),
+        )
+    }
+
+    /// Cross-chain split-R̂ of one component (near 1 at convergence).
+    pub fn split_rhat(&self, name: &str) -> Option<f64> {
+        let chains = self.component_chains(name)?;
+        let views: Vec<&[f64]> = chains.iter().map(|c| c.as_slice()).collect();
+        Some(multi_split_rhat(&views))
+    }
+
+    /// The worst (largest) cross-chain split-R̂ over all components.
+    pub fn max_split_rhat(&self) -> f64 {
+        self.names
+            .iter()
+            .filter_map(|n| self.split_rhat(n))
+            .fold(f64::NAN, f64::max)
+    }
+
+    /// Effective sample size of one component, pooled over chains.
+    pub fn ess(&self, name: &str) -> Option<f64> {
+        let chains = self.component_chains(name)?;
+        let views: Vec<&[f64]> = chains.iter().map(|c| c.as_slice()).collect();
+        Some(multi_ess(&views))
+    }
+
+    /// Per-component posterior summaries over the pooled draws.
+    pub fn summaries(&self) -> Vec<(String, Summary)> {
+        self.names
+            .iter()
+            .cloned()
+            .zip(summarize(&self.pooled_draws()))
+            .collect()
+    }
+
+    /// Summary of one component over the pooled draws. Computed from the
+    /// single pooled column — no full draw-matrix copy per call.
+    pub fn summary(&self, name: &str) -> Option<Summary> {
+        let col = self.component(name)?;
+        let n = col.len() as f64;
+        if col.is_empty() {
+            return Some(Summary {
+                mean: f64::NAN,
+                stddev: f64::NAN,
+            });
+        }
+        let mean = col.iter().sum::<f64>() / n;
+        let var = if col.len() > 1 {
+            col.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        Some(Summary {
+            mean,
+            stddev: var.sqrt(),
+        })
+    }
+
+    /// Means of every component, in component order.
+    pub fn means(&self) -> Vec<f64> {
+        summarize(&self.pooled_draws())
+            .into_iter()
+            .map(|s| s.mean)
+            .collect()
+    }
+
+    /// Standard deviations of every component, in component order.
+    pub fn stddevs(&self) -> Vec<f64> {
+        summarize(&self.pooled_draws())
+            .into_iter()
+            .map(|s| s.stddev)
+            .collect()
+    }
+
+    /// Effective sample size of the importance weights, `1 / Σ w²`
+    /// (importance sampling only).
+    pub fn importance_ess(&self) -> Option<f64> {
+        let weights = self.weights.as_ref()?;
+        Some(
+            1.0 / weights
+                .iter()
+                .map(|w| w * w)
+                .sum::<f64>()
+                .max(f64::MIN_POSITIVE),
+        )
+    }
+
+    /// Flattens the fit into the legacy [`Posterior`] shape (pooled draws,
+    /// total divergences) for reporting code that predates chain-first
+    /// fits.
+    pub fn to_posterior(&self) -> Posterior {
+        Posterior {
+            names: self.names.clone(),
+            draws: self.pooled_draws(),
+            divergences: self.divergences(),
+            wall_time: self.wall_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::DeepStan;
+
+    const COIN: &str = r#"
+        data { int N; int<lower=0,upper=1> x[N]; }
+        parameters { real<lower=0,upper=1> z; }
+        model { z ~ beta(1, 1); for (i in 1:N) x[i] ~ bernoulli(z); }
+    "#;
+
+    fn coin_data() -> Vec<(&'static str, Value<f64>)> {
+        vec![
+            ("N", Value::Int(10)),
+            ("x", Value::IntArray(vec![1, 1, 1, 0, 1, 0, 1, 1, 0, 1])),
+        ]
+    }
+
+    #[test]
+    fn multi_chain_nuts_recovers_the_conjugate_posterior() {
+        let program = DeepStan::compile(COIN).unwrap();
+        let fit = program
+            .session(&coin_data())
+            .unwrap()
+            .chains(4)
+            .seed(3)
+            .run(Method::Nuts(NutsSettings {
+                warmup: 200,
+                samples: 300,
+                ..Default::default()
+            }))
+            .unwrap();
+        assert_eq!(fit.n_chains(), 4);
+        assert_eq!(fit.chains[0].draws.len(), 300);
+        // Posterior is Beta(8, 4): mean 2/3.
+        let s = fit.summary("z").unwrap();
+        assert!((s.mean - 2.0 / 3.0).abs() < 0.05, "{}", s.mean);
+        let rhat = fit.split_rhat("z").unwrap();
+        assert!(rhat < 1.05, "rhat {rhat}");
+        assert!(fit.ess("z").unwrap() > 100.0);
+        // Chains differ (different seeds) but agree in distribution.
+        assert_ne!(fit.chains[0].draws[0], fit.chains[1].draws[0]);
+    }
+
+    #[test]
+    fn single_chain_matches_across_backends_and_methods() {
+        let program = DeepStan::compile(COIN).unwrap();
+        let settings = NutsSettings {
+            warmup: 200,
+            samples: 400,
+            seed: 3,
+            ..Default::default()
+        };
+        let compiled = program
+            .session(&coin_data())
+            .unwrap()
+            .run(Method::Nuts(settings.clone()))
+            .unwrap();
+        let reference = program
+            .session(&coin_data())
+            .unwrap()
+            .reference(true)
+            .run(Method::Nuts(settings))
+            .unwrap();
+        for fit in [&compiled, &reference] {
+            let s = fit.summary("z").unwrap();
+            assert!((s.mean - 2.0 / 3.0).abs() < 0.05, "{}", s.mean);
+        }
+        let advi = program
+            .session(&coin_data())
+            .unwrap()
+            .seed(9)
+            .run(Method::Advi(AdviConfig {
+                steps: 800,
+                ..Default::default()
+            }))
+            .unwrap();
+        let s = advi.summary("z").unwrap();
+        assert!((s.mean - 2.0 / 3.0).abs() < 0.15, "{}", s.mean);
+    }
+
+    #[test]
+    fn importance_sampling_weights_the_prior() {
+        let program = DeepStan::compile(COIN).unwrap();
+        let fit = program
+            .session(&coin_data())
+            .unwrap()
+            .seed(5)
+            .scheme(Scheme::Generative)
+            .run(Method::Importance(ImportanceSettings { particles: 4000 }))
+            .unwrap();
+        assert_eq!(fit.method, FitMethod::Importance);
+        let s = fit.summary("z").unwrap();
+        assert!((s.mean - 2.0 / 3.0).abs() < 0.05, "{}", s.mean);
+        assert!(fit.importance_ess().unwrap() > 100.0);
+        let w = fit.weights.as_ref().unwrap();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sessions_rebind_on_scheme_change_and_cache_otherwise() {
+        let program = DeepStan::compile(COIN).unwrap();
+        let mut session = program.session(&coin_data()).unwrap().seed(1);
+        let settings = NutsSettings {
+            warmup: 100,
+            samples: 100,
+            ..Default::default()
+        };
+        let a = session.run(Method::Nuts(settings.clone())).unwrap();
+        let b = session
+            .run(Method::Importance(ImportanceSettings { particles: 200 }))
+            .unwrap();
+        assert_eq!(a.names, b.names);
+        let mut session = session.scheme(Scheme::Comprehensive);
+        let c = session.run(Method::Nuts(settings)).unwrap();
+        assert_eq!(c.names, a.names);
+    }
+
+    #[test]
+    fn svi_without_a_guide_is_a_usage_error() {
+        let program = DeepStan::compile(COIN).unwrap();
+        let err = program
+            .session(&coin_data())
+            .unwrap()
+            .run(Method::Svi(SviSettings::default()))
+            .unwrap_err();
+        assert!(matches!(err, InferenceError::Usage(_)));
+    }
+}

@@ -172,6 +172,7 @@ impl CompiledProgram {
 
         let model_body = program.body.clone();
         let functions = program.functions.clone();
+        let fn_table = gprob::eval::FnTable::new(&functions);
         let specs: Vec<MlpSpec> = networks.to_vec();
         let guide_params_meta = program.guide_params.clone();
 
@@ -201,11 +202,7 @@ impl CompiledProgram {
                 }
             }
 
-            let ctx = EvalCtx {
-                funcs: functions.iter().map(|f| (f.name.clone(), f)).collect(),
-                externals: &registry,
-                rng: None,
-            };
+            let ctx = EvalCtx::with_table(&functions, &fn_table).externals(&registry);
 
             // 1. Run the guide with reparameterized sampling: score = log q.
             let seed: u64 = rand::Rng::gen(rng);
@@ -298,15 +295,7 @@ impl CompiledProgram {
             registry.set_learnable(name.clone(), values.clone());
         }
 
-        let ctx = EvalCtx {
-            funcs: program
-                .functions
-                .iter()
-                .map(|f| (f.name.clone(), f))
-                .collect(),
-            externals: &registry,
-            rng: None,
-        };
+        let ctx = EvalCtx::with_functions(&program.functions).externals(&registry);
         let rng = Rc::new(RefCell::new(StdRng::seed_from_u64(seed)));
 
         // Component names follow the model's parameter layout.
@@ -328,12 +317,12 @@ impl CompiledProgram {
             let run = interp.run(&guide_body, &mut env)?;
             let mut flat = Vec::new();
             for slot in gmodel.slots() {
-                let value = run
-                    .trace
-                    .get(&slot.name)
-                    .cloned()
-                    .unwrap_or(Value::Real(f64::NAN));
-                flat.extend(value.as_real_vec()?);
+                // A site the guide did not sample contributes `slot.size`
+                // NaNs so the flat row stays aligned with the names.
+                match run.trace.get(&slot.name) {
+                    Some(value) => flat.extend(value.as_real_vec()?),
+                    None => flat.extend(std::iter::repeat_n(f64::NAN, slot.size)),
+                }
             }
             draws.push(flat);
         }

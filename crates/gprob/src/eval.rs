@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use minidiff::{special, Real};
-use probdist::dist::{dist_from_name, DistArg};
+use probdist::dist::{dist_from_kind, dist_from_name, DistArg, DistKind};
 use rand::rngs::StdRng;
 use stan_frontend::ast::*;
 
@@ -124,16 +124,37 @@ impl<T: Real> ProbHandler<T> for TargetAccumulator<T> {
 ///
 /// Arguments are accepted through [`std::borrow::Borrow`] so the
 /// slot-resolved runtime can pass values borrowed straight from its frame.
+/// Hot paths that resolved the distribution name at compile time should call
+/// [`tilde_lpdf_kind`] directly.
 pub fn tilde_lpdf<T: Real, V: std::borrow::Borrow<Value<T>>>(
     lhs: &Value<T>,
     dist: &str,
     args: &[V],
 ) -> Result<T, RuntimeError> {
+    let kind = DistKind::from_name(dist).ok_or_else(|| {
+        RuntimeError::from(probdist::DistError::new(format!(
+            "unknown distribution '{dist}'"
+        )))
+    })?;
+    tilde_lpdf_kind(lhs, kind, args)
+}
+
+/// [`tilde_lpdf`] with the distribution family already resolved to a
+/// [`DistKind`] — the scoring path of the slot-resolved runtime, which never
+/// re-matches a distribution name during density evaluation.
+///
+/// # Errors
+/// Same as [`tilde_lpdf`], minus the unknown-name case.
+pub fn tilde_lpdf_kind<T: Real, V: std::borrow::Borrow<Value<T>>>(
+    lhs: &Value<T>,
+    kind: DistKind,
+    args: &[V],
+) -> Result<T, RuntimeError> {
     // Distributions whose outcome is a vector, and distributions whose
     // parameter is legitimately a vector (so a vector argument must not be
     // broadcast element-wise).
-    let multivariate = matches!(dist, "dirichlet" | "multi_normal" | "multi_normal_diag");
-    let vector_param = matches!(dist, "categorical" | "categorical_logit");
+    let multivariate = kind.is_multivariate();
+    let vector_param = kind.has_vector_param();
 
     // Built lazily: the element-wise broadcast branch never needs it.
     let dist_args = || -> Result<Vec<DistArg<T>>, RuntimeError> {
@@ -169,7 +190,8 @@ pub fn tilde_lpdf<T: Real, V: std::borrow::Borrow<Value<T>>>(
                     let v = a.as_real_vec()?;
                     if v.len() != n {
                         return Err(RuntimeError::new(format!(
-                            "broadcast length mismatch in {dist}: {} vs {n}",
+                            "broadcast length mismatch in {}: {} vs {n}",
+                            kind.name(),
                             v.len()
                         )));
                     }
@@ -188,20 +210,78 @@ pub fn tilde_lpdf<T: Real, V: std::borrow::Borrow<Value<T>>>(
                         Bcast::PerElem(v) => v[i],
                     }));
                 }
-                let di = dist_from_name(dist, &elem_args)?;
+                let di = dist_from_kind(kind, &elem_args)?;
                 acc = acc + di.lpdf(xs[i])?;
             }
             Ok(acc)
         } else {
-            let d = dist_from_name(dist, &dist_args()?)?;
+            let d = dist_from_kind(kind, &dist_args()?)?;
             Ok(d.lpdf_vec(&xs)?)
         }
     } else if multivariate {
-        let d = dist_from_name(dist, &dist_args()?)?;
+        let d = dist_from_kind(kind, &dist_args()?)?;
         Ok(d.lpdf_vec(&lhs.as_real_vec()?)?)
     } else {
-        let d = dist_from_name(dist, &dist_args()?)?;
+        let d = dist_from_kind(kind, &dist_args()?)?;
         Ok(d.lpdf(lhs.as_real()?)?)
+    }
+}
+
+/// A user-function dispatch table: name → index into a `[FunDecl]` list.
+///
+/// The table owns no references, so it can be built once (e.g. by
+/// `gprob::resolved::resolve_program` or `GModel::new`) and shared by every
+/// density evaluation — the evaluators historically rebuilt a
+/// `HashMap<String, &FunDecl>` (cloning every function name) on each
+/// evaluation.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct FnTable {
+    index: HashMap<String, u32>,
+}
+
+impl FnTable {
+    /// Builds the table over a function list. As with the old per-evaluation
+    /// map, the last definition of a name wins.
+    pub fn new(functions: &[FunDecl]) -> Self {
+        FnTable {
+            index: functions
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (f.name.clone(), i as u32))
+                .collect(),
+        }
+    }
+
+    /// Index of the function bound to `name`, if any.
+    pub fn index_of(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Looks up `name` in the function list this table was built over.
+    pub fn get<'f>(&self, functions: &'f [FunDecl], name: &str) -> Option<&'f FunDecl> {
+        self.index
+            .get(name)
+            .and_then(|&i| functions.get(i as usize))
+    }
+}
+
+/// The function table of an [`EvalCtx`]: built on the fly for one-off
+/// contexts, or borrowed from a long-lived owner (e.g. a bound model) so the
+/// density hot path never rebuilds it.
+pub enum FnTableRef<'a> {
+    /// A table owned by this context.
+    Owned(FnTable),
+    /// A table hoisted into a longer-lived owner.
+    Shared(&'a FnTable),
+}
+
+impl FnTableRef<'_> {
+    /// The underlying table.
+    pub fn table(&self) -> &FnTable {
+        match self {
+            FnTableRef::Owned(t) => t,
+            FnTableRef::Shared(t) => t,
+        }
     }
 }
 
@@ -209,7 +289,9 @@ pub fn tilde_lpdf<T: Real, V: std::borrow::Borrow<Value<T>>>(
 /// (neural networks), and an optional RNG for `_rng` builtins.
 pub struct EvalCtx<'a, T: Real> {
     /// User-defined functions from the `functions` block.
-    pub funcs: HashMap<String, &'a FunDecl>,
+    pub functions: &'a [FunDecl],
+    /// Dispatch table over `functions` (owned or hoisted).
+    pub fn_table: FnTableRef<'a>,
     /// External function hook (DeepStan networks).
     pub externals: &'a dyn ExternalFns<T>,
     /// RNG used by `_rng` builtins (generated quantities); absent during
@@ -222,19 +304,50 @@ impl<'a, T: Real> EvalCtx<'a, T> {
     pub fn empty() -> Self {
         const NO_EXTERNALS: NoExternals = NoExternals;
         EvalCtx {
-            funcs: HashMap::new(),
+            functions: &[],
+            fn_table: FnTableRef::Owned(FnTable::default()),
             externals: &NO_EXTERNALS,
             rng: None,
         }
     }
 
-    /// Creates a context exposing the given user-defined functions.
+    /// Creates a context exposing the given user-defined functions, building
+    /// a fresh dispatch table (use [`EvalCtx::with_table`] on hot paths).
     pub fn with_functions(funcs: &'a [FunDecl]) -> Self {
         EvalCtx {
-            funcs: funcs.iter().map(|f| (f.name.clone(), f)).collect(),
+            functions: funcs,
+            fn_table: FnTableRef::Owned(FnTable::new(funcs)),
             externals: &NoExternals,
             rng: None,
         }
+    }
+
+    /// Creates a context over a pre-built (hoisted) dispatch table; no
+    /// allocation happens per context.
+    pub fn with_table(funcs: &'a [FunDecl], table: &'a FnTable) -> Self {
+        EvalCtx {
+            functions: funcs,
+            fn_table: FnTableRef::Shared(table),
+            externals: &NoExternals,
+            rng: None,
+        }
+    }
+
+    /// Replaces the external-function hook (builder style).
+    pub fn externals(mut self, externals: &'a dyn ExternalFns<T>) -> Self {
+        self.externals = externals;
+        self
+    }
+
+    /// Attaches an RNG for `_rng` builtins (builder style).
+    pub fn rng(mut self, rng: Rc<RefCell<StdRng>>) -> Self {
+        self.rng = Some(rng);
+        self
+    }
+
+    /// Looks up a user-defined function by name.
+    pub fn lookup_fn(&self, name: &str) -> Option<&'a FunDecl> {
+        self.fn_table.table().get(self.functions, name)
     }
 }
 
@@ -332,7 +445,7 @@ pub fn eval_expr<T: Real>(
                 return result;
             }
             // 2. User-defined functions.
-            if let Some(fun) = ctx.funcs.get(name.as_str()).copied() {
+            if let Some(fun) = ctx.lookup_fn(name.as_str()) {
                 return call_user_function(fun, &vals, env, ctx);
             }
             // 3. Built-ins.

@@ -22,6 +22,12 @@
 //! * [`model`] — [`model::GModel`], a compiled program instantiated with
 //!   data, exposing the unconstrained log-density interface consumed by the
 //!   `inference` crate (NUTS, SVI, importance sampling).
+//! * [`workspace`] — pooled per-chain scratch state
+//!   ([`workspace::DensityWorkspace`] / [`workspace::GradWorkspace`]):
+//!   `GModel::log_density_with` reuses the lifted data frame, the trace
+//!   frame and the tape-leaf buffer across evaluations, resetting only the
+//!   slots the body can write. One workspace per chain is what makes
+//!   multi-chain samplers shardable over threads.
 //!
 //! # Architecture: compile-time resolution
 //!
@@ -66,6 +72,14 @@
 //! * **Baseline retained.** [`model::GModel::log_density_baseline`] runs the
 //!   pre-resolution path for differential tests and benchmarks
 //!   (`benches/density_eval.rs` reports both).
+//! * **No per-evaluation setup.** Resolution also hoists everything the
+//!   evaluator used to rebuild per density call: the user-function dispatch
+//!   table lives in [`resolved::ResolvedProgram::fn_table`] (no `String`
+//!   keys cloned per evaluation), every `sample`/`observe` site carries its
+//!   [`probdist::DistKind`] (no distribution-name matching per score), and
+//!   [`resolved::ResolvedProgram::written_slots`] lets a pooled
+//!   [`workspace::DensityWorkspace`] skip re-cloning data between
+//!   evaluations.
 //!
 //! # Example
 //!
@@ -131,8 +145,10 @@ pub mod model;
 pub mod resolved;
 pub mod reval;
 pub mod value;
+pub mod workspace;
 
 pub use ir::{DistCall, GExpr, GProbProgram, ParamInfo};
 pub use model::GModel;
 pub use resolved::{resolve_program, Frame, ResolvedProgram};
 pub use value::{Env, EnvView, RuntimeError, Value};
+pub use workspace::{DensityWorkspace, GradWorkspace};

@@ -8,7 +8,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use minidiff::{grad, tape, Real, Var};
+use minidiff::{grad_into, tape, Real, Var};
 use probdist::Constraint;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -21,6 +21,7 @@ use crate::ir::GProbProgram;
 use crate::resolved::{resolve_program, Frame, ResolvedProgram};
 use crate::reval::{RCtx, RInterp, RMode};
 use crate::value::{lift_env, Env, RuntimeError, Value};
+use crate::workspace::{DensityWorkspace, GradWorkspace};
 
 /// The flat layout of one parameter in the unconstrained vector.
 #[derive(Debug, Clone)]
@@ -177,6 +178,13 @@ impl GModel {
         &self.slots
     }
 
+    /// Frame slot of each parameter, parallel to [`GModel::slots`] — for
+    /// reading parameter values straight out of a trace [`Frame`] without
+    /// going through the string-keyed environment.
+    pub fn param_frame_slots(&self) -> &[u32] {
+        &self.param_frame_slots
+    }
+
     /// Flat component names (`mu`, `theta[1]`, `theta[2]`, ...).
     pub fn component_names(&self) -> Vec<String> {
         self.slots
@@ -220,6 +228,21 @@ impl GModel {
     /// # Errors
     /// Fails if `theta_u` has the wrong length.
     pub fn constrain_frame<T: Real>(&self, theta_u: &[T]) -> Result<(Frame<T>, T), RuntimeError> {
+        let mut trace = self.resolved.frame();
+        let log_jac = self.constrain_frame_into(theta_u, &mut trace)?;
+        Ok((trace, log_jac))
+    }
+
+    /// [`GModel::constrain_frame`] writing into an existing trace frame
+    /// (every parameter slot is overwritten), returning the log-Jacobian.
+    ///
+    /// # Errors
+    /// Fails if `theta_u` has the wrong length.
+    pub fn constrain_frame_into<T: Real>(
+        &self,
+        theta_u: &[T],
+        trace: &mut Frame<T>,
+    ) -> Result<T, RuntimeError> {
         if theta_u.len() != self.dim {
             return Err(RuntimeError::new(format!(
                 "expected {} unconstrained values, got {}",
@@ -227,7 +250,6 @@ impl GModel {
                 theta_u.len()
             )));
         }
-        let mut trace = self.resolved.frame();
         let mut log_jac = T::from_f64(0.0);
         for (slot, &frame_slot) in self.slots.iter().zip(&self.param_frame_slots) {
             let mut comps = Vec::with_capacity(slot.size);
@@ -238,14 +260,32 @@ impl GModel {
             }
             trace.set(frame_slot, shape_param(&comps, &slot.dims));
         }
-        Ok((trace, log_jac))
+        Ok(log_jac)
+    }
+
+    /// Builds a pooled scratch workspace for this model. One workspace
+    /// serves one chain: create one per sampler thread and pass it to
+    /// [`GModel::log_density_with`] on every evaluation.
+    pub fn workspace<T: Real>(&self) -> DensityWorkspace<T> {
+        DensityWorkspace::new(&self.data_frame, self.resolved.n_slots)
+    }
+
+    /// Builds a pooled workspace for gradient evaluations
+    /// ([`GModel::log_density_and_grad_with`]).
+    pub fn grad_workspace(&self) -> GradWorkspace {
+        GradWorkspace {
+            inner: self.workspace(),
+            vars: Vec::with_capacity(self.dim),
+        }
     }
 
     /// Log-density (up to a constant) of the unconstrained parameter vector,
     /// including the Jacobian correction, evaluated with any scalar type.
     ///
     /// Runs on the slot-resolved program: every variable access is a frame
-    /// index, so NUTS gradient evaluations never hash a string.
+    /// index, so NUTS gradient evaluations never hash a string. Allocates
+    /// fresh scratch frames per call; chains should hold a workspace and use
+    /// [`GModel::log_density_with`] instead.
     ///
     /// # Errors
     /// Propagates runtime evaluation errors.
@@ -262,12 +302,46 @@ impl GModel {
         Ok(result.score + log_jac)
     }
 
+    /// [`GModel::log_density`] running in a pooled [`DensityWorkspace`]: no
+    /// frame is allocated and no data value is cloned per evaluation — the
+    /// workspace only resets the slots the body can write
+    /// ([`ResolvedProgram::written_slots`]) between calls.
+    ///
+    /// # Errors
+    /// Propagates runtime evaluation errors.
+    pub fn log_density_with<T: Real>(
+        &self,
+        ws: &mut DensityWorkspace<T>,
+        theta_u: &[T],
+        externals: &dyn ExternalFns<T>,
+    ) -> Result<T, RuntimeError> {
+        let log_jac = self.constrain_frame_into(theta_u, &mut ws.trace)?;
+        ws.reset(&self.resolved.written_slots);
+        let ctx = RCtx::new(&self.resolved, &self.program.functions, externals);
+        let mut interp = RInterp::new(&ctx, RMode::Trace(&ws.trace));
+        let result = interp.run(&self.resolved.body, &mut ws.frame)?;
+        Ok(result.score + log_jac)
+    }
+
     /// Plain `f64` log-density (no gradient).
     ///
     /// # Errors
     /// Propagates runtime evaluation errors.
     pub fn log_density_f64(&self, theta_u: &[f64]) -> Result<f64, RuntimeError> {
         self.log_density(theta_u, &NoExternals)
+    }
+
+    /// Plain `f64` log-density in a pooled workspace (the non-generic form
+    /// of [`GModel::log_density_with`], monomorphized here once).
+    ///
+    /// # Errors
+    /// Propagates runtime evaluation errors.
+    pub fn log_density_f64_with(
+        &self,
+        ws: &mut DensityWorkspace<f64>,
+        theta_u: &[f64],
+    ) -> Result<f64, RuntimeError> {
+        self.log_density_with(ws, theta_u, &NoExternals)
     }
 
     /// The string-keyed (pre-resolution) density path, retained as the
@@ -282,16 +356,7 @@ impl GModel {
         externals: &dyn ExternalFns<T>,
     ) -> Result<T, RuntimeError> {
         let (trace, log_jac) = self.constrain(theta_u)?;
-        let ctx = EvalCtx {
-            funcs: self
-                .program
-                .functions
-                .iter()
-                .map(|f| (f.name.clone(), f))
-                .collect(),
-            externals,
-            rng: None,
-        };
+        let ctx = EvalCtx::with_functions(&self.program.functions).externals(externals);
         let mut env: Env<T> = lift_env(&self.data);
         let mut interp = Interp::new(&ctx, Mode::Trace(&trace));
         let result = interp.run(&self.program.body, &mut env)?;
@@ -307,16 +372,46 @@ impl GModel {
     }
 
     /// Log-density and its gradient with respect to the unconstrained vector,
-    /// via the reverse-mode tape.
+    /// via the reverse-mode tape. Allocates per call; chains should hold a
+    /// [`GradWorkspace`] and use [`GModel::log_density_and_grad_with`].
     ///
     /// # Errors
     /// Propagates runtime evaluation errors.
     pub fn log_density_and_grad(&self, theta_u: &[f64]) -> Result<(f64, Vec<f64>), RuntimeError> {
+        let mut ws = self.grad_workspace();
+        let mut g = vec![0.0; theta_u.len()];
+        let lp = self.log_density_and_grad_with(&mut ws, theta_u, &mut g)?;
+        Ok((lp, g))
+    }
+
+    /// [`GModel::log_density_and_grad`] in a pooled [`GradWorkspace`]: the
+    /// gradient is written into `grad_out` and every scratch buffer (input
+    /// leaves, working frame, trace frame) is reused across calls. This is
+    /// the evaluation each NUTS leapfrog step performs.
+    ///
+    /// The workspace's lifted data values are tape *constants*, so they stay
+    /// valid across the `tape::reset` this method issues.
+    ///
+    /// # Errors
+    /// Propagates runtime evaluation errors.
+    ///
+    /// # Panics
+    /// Panics if `grad_out` is shorter than `theta_u`.
+    pub fn log_density_and_grad_with(
+        &self,
+        ws: &mut GradWorkspace,
+        theta_u: &[f64],
+        grad_out: &mut [f64],
+    ) -> Result<f64, RuntimeError> {
         tape::reset();
-        let vars: Vec<Var> = theta_u.iter().map(|&x| Var::new(x)).collect();
-        let lp = self.log_density(&vars, &NoExternals)?;
-        let g = grad(lp, &vars);
-        Ok((lp.value(), g))
+        ws.vars.clear();
+        ws.vars.extend(theta_u.iter().map(|&x| Var::new(x)));
+        // Split the borrow: the inner workspace and the input buffer are
+        // disjoint fields.
+        let GradWorkspace { inner, vars } = ws;
+        let lp = self.log_density_with(inner, vars, &NoExternals)?;
+        grad_into(lp, vars, grad_out);
+        Ok(lp.value())
     }
 
     /// Draws a starting point: uniform in `[-2, 2]` on the unconstrained
@@ -345,6 +440,27 @@ impl GModel {
         })
     }
 
+    /// Runs the program generatively and returns the sampled trace *frame*
+    /// together with the observation log-likelihood (the total score minus
+    /// the sample-site score) — exactly the log importance weight of the
+    /// run when the prior is the proposal (likelihood weighting). Read
+    /// parameter values out of the frame with
+    /// [`GModel::param_frame_slots`]; convert to a string-keyed
+    /// environment with `Frame::to_env` only at API boundaries.
+    ///
+    /// # Errors
+    /// Propagates runtime evaluation errors.
+    pub fn run_prior_weighted(
+        &self,
+        rng: Rc<RefCell<StdRng>>,
+    ) -> Result<(Frame<f64>, f64), RuntimeError> {
+        let ctx = RCtx::new(&self.resolved, &self.program.functions, &NoExternals);
+        let mut frame = self.data_frame.clone();
+        let mut interp = RInterp::new(&ctx, RMode::Prior(rng));
+        let run = interp.run(&self.resolved.body, &mut frame)?;
+        Ok((run.trace, run.score - run.site_score))
+    }
+
     /// Evaluates the `generated quantities` block for one posterior draw,
     /// returning the values of the variables it declares.
     ///
@@ -363,16 +479,7 @@ impl GModel {
         for (k, v) in trace {
             env.insert(k, v);
         }
-        let ctx = EvalCtx {
-            funcs: self
-                .program
-                .functions
-                .iter()
-                .map(|f| (f.name.clone(), f))
-                .collect(),
-            externals: &NoExternals,
-            rng: Some(rng),
-        };
+        let ctx = EvalCtx::with_table(&self.program.functions, &self.resolved.fn_table).rng(rng);
         let mut handler = DeterministicOnly;
         let declared: Vec<String> = gq
             .stmts

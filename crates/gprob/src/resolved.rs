@@ -22,9 +22,11 @@
 //! baseline to 1e-12 across the whole model corpus.
 
 use minidiff::Real;
+use probdist::DistKind;
 use stan_frontend::ast::{BaseType, Decl, Expr, FunDecl, UnOp};
 use stan_frontend::symbols::Interner;
 
+use crate::eval::FnTable;
 use crate::ir::{DistCall, GExpr, GProbProgram, LoopKind, ParamInfo};
 use crate::value::{Env, EnvView, Value};
 
@@ -85,6 +87,23 @@ impl<T: Real> Frame<T> {
                 .iter()
                 .map(|s| s.as_ref().map(Value::lift))
                 .collect(),
+        }
+    }
+
+    /// Restores the listed slots to their state in `template` — the reset
+    /// step of a pooled density workspace. Slots that are unbound in the
+    /// template (parameters, locals) are simply cleared, so data values are
+    /// only re-cloned when the model actually shadowed them.
+    pub fn reset_slots_from(&mut self, template: &Frame<T>, slots: &[u32]) {
+        for &slot in slots {
+            let i = slot as usize;
+            match &template.slots[i] {
+                Some(v) => match &mut self.slots[i] {
+                    Some(dst) => dst.clone_from(v),
+                    dst @ None => *dst = Some(v.clone()),
+                },
+                None => self.slots[i] = None,
+            }
         }
     }
 
@@ -152,7 +171,7 @@ pub enum RExpr {
     Binary(stan_frontend::ast::BinOp, Box<RExpr>, Box<RExpr>),
     /// Unary operation.
     Unary(UnOp, Box<RExpr>),
-    /// Indexing; range indices become [`RIndex::Range`].
+    /// Indexing; range indices become [`RIndex::Slice`].
     Index(Box<RExpr>, Vec<RIndex>),
     /// Array literal.
     ArrayLit(Vec<RExpr>),
@@ -178,6 +197,10 @@ pub enum RIndex {
 pub struct RDistCall {
     /// Distribution name (Stan spelling).
     pub name: String,
+    /// The distribution family, resolved once here so density evaluation
+    /// never string-matches the name. `None` for unknown families, which
+    /// keep erroring at evaluation time with the original name.
+    pub kind: Option<DistKind>,
     /// Argument expressions.
     pub args: Vec<RExpr>,
     /// Shape expressions of the sampled value.
@@ -346,6 +369,15 @@ pub struct ResolvedProgram {
     pub params: Vec<RParamInfo>,
     /// The resolved model body.
     pub body: RGExpr,
+    /// The user-function dispatch table, hoisted here so evaluation contexts
+    /// never rebuild (and re-clone the `String` keys of) the per-evaluation
+    /// `HashMap` the evaluators historically used.
+    pub fn_table: FnTable,
+    /// Every slot the body can write (sorted, deduplicated): `let` targets,
+    /// sample sites, indexed assignments and loop variables. A pooled
+    /// density workspace only needs to reset these between evaluations —
+    /// data slots outside this set are never dirtied.
+    pub written_slots: Vec<u32>,
 }
 
 impl ResolvedProgram {
@@ -403,11 +435,60 @@ pub fn resolve_program(program: &GProbProgram) -> ResolvedProgram {
 
     let body = r.resolve_gexpr(&program.body);
 
+    let mut written_slots = Vec::new();
+    collect_written_slots(&body, &mut written_slots);
+    written_slots.sort_unstable();
+    written_slots.dedup();
+
     ResolvedProgram {
         n_slots: r.interner.len(),
         interner: r.interner,
         params,
         body,
+        fn_table: FnTable::new(&program.functions),
+        written_slots,
+    }
+}
+
+/// Collects every frame slot a resolved body can write.
+fn collect_written_slots(e: &RGExpr, out: &mut Vec<u32>) {
+    match e {
+        RGExpr::Unit | RGExpr::Return(_) => {}
+        RGExpr::LetDecl { decl, body } => {
+            out.push(decl.slot);
+            collect_written_slots(body, out);
+        }
+        RGExpr::LetDet { slot, body, .. }
+        | RGExpr::LetIndexed { slot, body, .. }
+        | RGExpr::LetSample { slot, body, .. } => {
+            out.push(*slot);
+            collect_written_slots(body, out);
+        }
+        RGExpr::Observe { body, .. } | RGExpr::Factor { body, .. } => {
+            collect_written_slots(body, out);
+        }
+        RGExpr::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_written_slots(then_branch, out);
+            collect_written_slots(else_branch, out);
+        }
+        RGExpr::LetLoop {
+            kind,
+            loop_body,
+            body,
+        } => {
+            match kind {
+                RLoopKind::Range { slot, .. } | RLoopKind::ForEach { slot, .. } => {
+                    out.push(*slot);
+                }
+                RLoopKind::While { .. } => {}
+            }
+            collect_written_slots(loop_body, out);
+            collect_written_slots(body, out);
+        }
     }
 }
 
@@ -498,6 +579,7 @@ impl Resolver<'_> {
 
     fn resolve_dist(&mut self, d: &DistCall) -> RDistCall {
         RDistCall {
+            kind: DistKind::from_name(&d.name),
             name: d.name.clone(),
             args: d.args.iter().map(|a| self.resolve_expr(a)).collect(),
             shape: d.shape.iter().map(|s| self.resolve_expr(s)).collect(),

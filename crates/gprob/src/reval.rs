@@ -44,7 +44,10 @@ pub struct RCtx<'a, T: Real> {
 }
 
 impl<'a, T: Real> RCtx<'a, T> {
-    /// Builds a context over a resolved program and its function table.
+    /// Builds a context over a resolved program and its function table. The
+    /// user-function dispatch table is borrowed from the resolved program —
+    /// contexts are free to construct, so the density hot path can build one
+    /// per evaluation without cloning a single `String`.
     pub fn new(
         resolved: &'a ResolvedProgram,
         functions: &'a [FunDecl],
@@ -53,11 +56,7 @@ impl<'a, T: Real> RCtx<'a, T> {
         RCtx {
             resolved,
             functions,
-            eval: EvalCtx {
-                funcs: functions.iter().map(|f| (f.name.clone(), f)).collect(),
-                externals,
-                rng: None,
-            },
+            eval: EvalCtx::with_table(functions, &resolved.fn_table).externals(externals),
         }
     }
 
@@ -277,11 +276,30 @@ pub enum RMode<'a, T: Real> {
     Reparam(Rc<RefCell<StdRng>>),
 }
 
+/// Scores `value ~ dist(args)` through the kind resolved at compile time,
+/// falling back to the name-matching path (and its "unknown distribution"
+/// error) only for unresolved families.
+fn score_tilde<T: Real, V: std::borrow::Borrow<Value<T>>>(
+    dist: &RDistCall,
+    value: &Value<T>,
+    args: &[V],
+) -> Result<T, RuntimeError> {
+    match dist.kind {
+        Some(kind) => crate::eval::tilde_lpdf_kind(value, kind, args),
+        None => crate::eval::tilde_lpdf(value, &dist.name, args),
+    }
+}
+
 /// The result of running a resolved GProb body.
 #[derive(Debug, Clone)]
 pub struct RRunResult<T: Real> {
     /// Accumulated log-score.
     pub score: T,
+    /// The part of `score` contributed by `sample` sites alone (the prior
+    /// log-density of the drawn values). `score - site_score` is therefore
+    /// the observation log-likelihood — the importance weight when the run
+    /// itself was the proposal.
+    pub site_score: T,
     /// Values of all `sample` sites, keyed by their frame slot. Populated
     /// only in the sampling modes ([`RMode::Prior`] / [`RMode::Reparam`]);
     /// in [`RMode::Trace`] the caller already owns the trace, so collecting
@@ -296,6 +314,7 @@ pub struct RInterp<'a, T: Real> {
     ctx: &'a RCtx<'a, T>,
     mode: RMode<'a, T>,
     score: T,
+    site_score: T,
     trace: Frame<T>,
 }
 
@@ -310,6 +329,7 @@ impl<'a, T: Real> RInterp<'a, T> {
         RInterp {
             mode,
             score: T::from_f64(0.0),
+            site_score: T::from_f64(0.0),
             trace,
             ctx,
         }
@@ -328,6 +348,7 @@ impl<'a, T: Real> RInterp<'a, T> {
         let value = self.eval(body, frame)?;
         Ok(RRunResult {
             score: self.score,
+            site_score: self.site_score,
             trace: std::mem::replace(&mut self.trace, Frame::new(0)),
             value,
         })
@@ -381,7 +402,7 @@ impl<'a, T: Real> RInterp<'a, T> {
                 let score = {
                     let observed = reval_ref(value, frame, self.ctx)?;
                     let args = self.eval_dist_args(dist, frame)?;
-                    crate::eval::tilde_lpdf(observed.as_value(), &dist.name, &args)?
+                    score_tilde(dist, observed.as_value(), &args)?
                 };
                 self.score = self.score + score;
                 self.eval(body, frame)
@@ -474,8 +495,9 @@ impl<'a, T: Real> RInterp<'a, T> {
                     ))
                 })?;
                 let args = self.eval_dist_args(dist, frame)?;
-                let score = crate::eval::tilde_lpdf(value, &dist.name, &args)?;
+                let score = score_tilde(dist, value, &args)?;
                 self.score = self.score + score;
+                self.site_score = self.site_score + score;
                 // The clone binds the traced value into the frame; the trace
                 // itself stays untouched.
                 Ok(value.clone())
@@ -492,7 +514,9 @@ impl<'a, T: Real> RInterp<'a, T> {
                     dims.push(reval_expr(s, frame, self.ctx)?.as_int()?);
                 }
                 let value = draw_site(&dist.name, &args, &dims, rng, reparam)?;
-                self.score = self.score + crate::eval::tilde_lpdf(&value, &dist.name, &args)?;
+                let score = score_tilde(dist, &value, &args)?;
+                self.score = self.score + score;
+                self.site_score = self.site_score + score;
                 Ok(value)
             }
         }

@@ -1,0 +1,67 @@
+//! Pooled per-chain scratch state for density evaluation.
+//!
+//! Every `GModel::log_density` call historically paid two allocations before
+//! a single statement ran: `Frame::lift` cloned the whole data frame into a
+//! fresh working frame, and `constrain_frame` allocated a fresh trace frame
+//! (plus, before the function table was hoisted into
+//! [`crate::resolved::ResolvedProgram`], a `HashMap<String, &FunDecl>` of
+//! cloned function names). A [`DensityWorkspace`] amortizes all of that
+//! across a chain: the lifted data frame is built once, the working frame is
+//! *reset* — only the slots the body can write
+//! ([`crate::resolved::ResolvedProgram::written_slots`]) are restored — and
+//! the trace frame is reused, its parameter slots simply overwritten by the
+//! next [`GModel::constrain`]-equivalent pass.
+//!
+//! Workspaces are per-chain: each sampler thread owns one, which is what
+//! makes multi-chain NUTS shardable over `std::thread::scope` (the model is
+//! shared immutably; all mutable scratch lives here). The `T = Var` variant
+//! is sound across `tape::reset` calls because lifted data values are tape
+//! *constants* (`Var::constant`), which never reference tape nodes.
+//!
+//! [`GModel::log_density`]: crate::model::GModel::log_density
+//! [`GModel::constrain`]: crate::model::GModel::constrain
+
+use minidiff::{Real, Var};
+
+use crate::resolved::Frame;
+
+/// Reusable scratch frames for one chain's density evaluations. Build one
+/// with [`GModel::workspace`](crate::model::GModel::workspace) and pass it to
+/// [`GModel::log_density_with`](crate::model::GModel::log_density_with).
+pub struct DensityWorkspace<T: Real> {
+    /// The lifted data frame; never mutated after construction.
+    pub(crate) template: Frame<T>,
+    /// The working frame the interpreter runs in.
+    pub(crate) frame: Frame<T>,
+    /// The constrained-parameter trace frame.
+    pub(crate) trace: Frame<T>,
+}
+
+impl<T: Real> DensityWorkspace<T> {
+    /// Builds a workspace from a model's `f64` data frame.
+    pub(crate) fn new(data_frame: &Frame<f64>, n_slots: usize) -> Self {
+        let template: Frame<T> = Frame::lift(data_frame);
+        DensityWorkspace {
+            frame: template.clone(),
+            template,
+            trace: Frame::new(n_slots),
+        }
+    }
+
+    /// Restores the working frame for the next evaluation, touching only the
+    /// slots the body can write.
+    pub(crate) fn reset(&mut self, written_slots: &[u32]) {
+        self.frame.reset_slots_from(&self.template, written_slots);
+    }
+}
+
+/// A [`DensityWorkspace`] over tape [`Var`]s plus the input-variable buffer,
+/// for gradient evaluations that reuse every allocation across leapfrog
+/// steps. Build one with
+/// [`GModel::grad_workspace`](crate::model::GModel::grad_workspace).
+pub struct GradWorkspace {
+    /// Scratch frames over tracked scalars.
+    pub(crate) inner: DensityWorkspace<Var>,
+    /// Buffer of tape leaves for the unconstrained inputs.
+    pub(crate) vars: Vec<Var>,
+}

@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::svi::{Adam, AdamConfig};
-use crate::target::GradTarget;
+use crate::target::{GradTarget, GradTargetMut};
 
 /// ADVI configuration.
 #[derive(Debug, Clone)]
@@ -53,8 +53,21 @@ pub struct AdviResult {
     pub elbo_trace: Vec<f64>,
 }
 
-/// Fits mean-field ADVI to a `(log p, ∇ log p)` target.
+/// Fits mean-field ADVI to a `(log p, ∇ log p)` target. Stateful targets
+/// should use [`advi_fit_mut`], which this function delegates to.
 pub fn advi_fit<T: GradTarget + ?Sized>(target: &T, dim: usize, config: &AdviConfig) -> AdviResult {
+    let mut adapter = target;
+    advi_fit_mut(&mut adapter, dim, config)
+}
+
+/// [`advi_fit`] over the buffer-reusing [`GradTargetMut`] interface: the
+/// model-gradient buffer is allocated once and reused across every ELBO
+/// sample.
+pub fn advi_fit_mut<T: GradTargetMut + ?Sized>(
+    target: &mut T,
+    dim: usize,
+    config: &AdviConfig,
+) -> AdviResult {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut mu = vec![0.0f64; dim];
     let mut omega = vec![-1.0f64; dim];
@@ -68,14 +81,20 @@ pub fn advi_fit<T: GradTarget + ?Sized>(target: &T, dim: usize, config: &AdviCon
     let mut elbo_trace = Vec::new();
     let report_every = (config.steps / 50).max(1);
     let mut running = 0.0;
+    let mut g = vec![0.0; dim];
+    let mut eps = vec![0.0; dim];
+    let mut z = vec![0.0; dim];
+    let mut grad = vec![0.0; 2 * dim];
 
     for step in 0..config.steps {
-        let mut grad = vec![0.0; 2 * dim];
+        grad.fill(0.0);
         let mut elbo = 0.0;
         for _ in 0..config.grad_samples {
-            let eps: Vec<f64> = (0..dim).map(|_| standard_normal(&mut rng)).collect();
-            let z: Vec<f64> = (0..dim).map(|i| mu[i] + omega[i].exp() * eps[i]).collect();
-            let (lp, g) = target.logp_grad(&z);
+            for i in 0..dim {
+                eps[i] = standard_normal(&mut rng);
+                z[i] = mu[i] + omega[i].exp() * eps[i];
+            }
+            let lp = target.logp_grad_into(&z, &mut g);
             let lp = if lp.is_finite() { lp } else { -1e10 };
             elbo += lp;
             for i in 0..dim {

@@ -56,14 +56,30 @@ pub fn mean_relative_error(means: &[f64], ref_means: &[f64], ref_stddevs: &[f64]
     total / means.len().max(1) as f64
 }
 
-/// Split-R̂ for one component: the chain is split in half and the classic
-/// potential-scale-reduction statistic is computed over the two halves.
+/// Split-R̂ for one component of a single chain: the chain is split in half
+/// and the classic potential-scale-reduction statistic is computed over the
+/// two halves. Delegates to [`multi_split_rhat`].
 pub fn split_rhat(chain: &[f64]) -> f64 {
-    let n = chain.len() / 2;
+    multi_split_rhat(&[chain])
+}
+
+/// Cross-chain split-R̂ (Gelman et al.): every chain is split in half and
+/// the potential-scale-reduction statistic is computed over all `2m`
+/// half-sequences, so both between-chain disagreement and within-chain
+/// drift inflate the statistic. Chains are truncated to the shortest
+/// half-length. This is the convergence diagnostic `deepstan`'s multi-chain
+/// `Fit` reports.
+pub fn multi_split_rhat(chains: &[&[f64]]) -> f64 {
+    let n = chains.iter().map(|c| c.len() / 2).min().unwrap_or(0);
     if n < 2 {
         return f64::NAN;
     }
-    let halves = [&chain[..n], &chain[n..2 * n]];
+    let mut halves: Vec<&[f64]> = Vec::with_capacity(2 * chains.len());
+    for c in chains {
+        halves.push(&c[..n]);
+        halves.push(&c[n..2 * n]);
+    }
+    let m = halves.len() as f64;
     let means: Vec<f64> = halves
         .iter()
         .map(|h| h.iter().sum::<f64>() / n as f64)
@@ -71,18 +87,26 @@ pub fn split_rhat(chain: &[f64]) -> f64 {
     let vars: Vec<f64> = halves
         .iter()
         .zip(&means)
-        .map(|(h, m)| h.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n as f64 - 1.0))
+        .map(|(h, mu)| h.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / (n as f64 - 1.0))
         .collect();
-    let mean_all = (means[0] + means[1]) / 2.0;
-    let b = n as f64 * ((means[0] - mean_all).powi(2) + (means[1] - mean_all).powi(2));
-    let w = (vars[0] + vars[1]) / 2.0;
+    let mean_all = means.iter().sum::<f64>() / m;
+    let b = n as f64 * means.iter().map(|mu| (mu - mean_all).powi(2)).sum::<f64>() / (m - 1.0);
+    let w = vars.iter().sum::<f64>() / m;
     if w <= 0.0 {
-        // Zero within-half variance: either the chain is constant (converged
-        // trivially) or the halves sit at different values (not converged).
+        // Zero within-half variance: either every half is constant at the
+        // same value (converged trivially) or the halves disagree (not
+        // converged).
         return if b > 0.0 { f64::INFINITY } else { 1.0 };
     }
     let var_plus = (n as f64 - 1.0) / n as f64 * w + b / n as f64;
     (var_plus / w).sqrt()
+}
+
+/// Effective sample size pooled over chains: the per-chain
+/// autocorrelation-based estimate, summed (independent chains contribute
+/// independent information).
+pub fn multi_ess(chains: &[&[f64]]) -> f64 {
+    chains.iter().map(|c| ess(c)).sum()
 }
 
 /// Effective sample size from the initial-monotone-sequence estimator over
@@ -166,6 +190,33 @@ mod tests {
         assert!((split_rhat(&iid) - 1.0).abs() < 0.1);
         let drift: Vec<f64> = (0..1000).map(|i| if i < 500 { 0.0 } else { 5.0 }).collect();
         assert!(split_rhat(&drift) > 2.0);
+    }
+
+    #[test]
+    fn multi_chain_rhat_detects_chain_disagreement() {
+        let a: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
+        let b: Vec<f64> = (0..500).map(|i| ((i * 53) % 97) as f64 / 97.0).collect();
+        // Two chains exploring the same distribution: near 1.
+        let same = multi_split_rhat(&[&a, &b]);
+        assert!((same - 1.0).abs() < 0.1, "{same}");
+        // A chain stuck in a different mode blows the statistic up.
+        let stuck: Vec<f64> = (0..500)
+            .map(|i| 10.0 + ((i * 37) % 101) as f64 / 101.0)
+            .collect();
+        let far = multi_split_rhat(&[&a, &stuck]);
+        assert!(far > 3.0, "{far}");
+        // Degenerate inputs stay defined.
+        assert!(multi_split_rhat(&[]).is_nan());
+        assert!(multi_split_rhat(&[&[1.0, 2.0][..]]).is_nan());
+    }
+
+    #[test]
+    fn multi_chain_ess_pools_independent_chains() {
+        let a: Vec<f64> = (0..1000)
+            .map(|i| (((i * 2654435761_u64) % 1000) as f64) / 1000.0)
+            .collect();
+        let pooled = multi_ess(&[&a, &a, &a, &a]);
+        assert!((pooled - 4.0 * ess(&a)).abs() < 1e-9);
     }
 
     #[test]

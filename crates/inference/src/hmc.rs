@@ -6,7 +6,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::target::GradTarget;
+use crate::target::{GradTarget, GradTargetMut};
 
 /// Configuration for static HMC.
 #[derive(Debug, Clone)]
@@ -47,16 +47,32 @@ pub struct HmcResult {
     pub step_size: f64,
 }
 
-/// Runs static HMC on a `(log p, ∇ log p)` target.
+/// Runs static HMC on a `(log p, ∇ log p)` target. Stateful targets should
+/// use [`hmc_sample_mut`], which this function delegates to.
 pub fn hmc_sample<T: GradTarget + ?Sized>(
     target: &T,
+    init: Vec<f64>,
+    config: &HmcConfig,
+) -> HmcResult {
+    let mut adapter = target;
+    hmc_sample_mut(&mut adapter, init, config)
+}
+
+/// [`hmc_sample`] over the buffer-reusing [`GradTargetMut`] interface.
+pub fn hmc_sample_mut<T: GradTargetMut + ?Sized>(
+    target: &mut T,
     init: Vec<f64>,
     config: &HmcConfig,
 ) -> HmcResult {
     let dim = init.len();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut q = init;
-    let (mut logp, mut grad) = target.logp_grad(&q);
+    let mut grad = vec![0.0; dim];
+    let mut logp = target.logp_grad_into(&q, &mut grad);
+    if logp.is_nan() {
+        logp = f64::NEG_INFINITY;
+        grad.fill(0.0);
+    }
     let mut step = config.step_size;
     let mut draws = Vec::with_capacity(config.samples);
     let mut accepted_post = 0usize;
@@ -76,9 +92,8 @@ pub fn hmc_sample<T: GradTarget + ?Sized>(
             for i in 0..dim {
                 q_new[i] += step * p[i];
             }
-            let (lp, g) = target.logp_grad(&q_new);
+            let lp = target.logp_grad_into(&q_new, &mut grad_new);
             logp_new = if lp.is_nan() { f64::NEG_INFINITY } else { lp };
-            grad_new = g;
             let last = l + 1 == config.leapfrog_steps;
             let factor = if last { 0.5 } else { 1.0 };
             for i in 0..dim {

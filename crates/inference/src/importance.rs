@@ -57,7 +57,25 @@ pub fn importance_sample(
         let d = propose(&mut rng);
         let lw = log_weight(&d);
         draws.push(d);
-        log_weights.push(if lw.is_nan() { f64::NEG_INFINITY } else { lw });
+        log_weights.push(lw);
+    }
+    weight_draws(draws, log_weights)
+}
+
+/// Normalizes raw log weights over a set of draws into an
+/// [`ImportanceResult`] — the single implementation of the numerically
+/// delicate max-shift / normalize / ESS arithmetic, shared by
+/// [`importance_sample`] and callers (e.g. `deepstan`'s `Session`) that
+/// compute the log weights themselves. NaN log weights are treated as
+/// `-inf`; if *every* weight is `-inf` the normalized weights are NaN and
+/// `log_evidence` is `-inf` (callers can use that to reject degenerate
+/// runs).
+pub fn weight_draws(draws: Vec<Vec<f64>>, mut log_weights: Vec<f64>) -> ImportanceResult {
+    let n = draws.len().max(1);
+    for lw in &mut log_weights {
+        if lw.is_nan() {
+            *lw = f64::NEG_INFINITY;
+        }
     }
     let max_lw = log_weights
         .iter()

@@ -18,10 +18,15 @@
 //!   and the paper's accuracy criterion
 //!   `|mean(θ) − mean(θ_ref)| < 0.3 · stddev(θ_ref)`.
 //!
-//! All samplers are generic over the target: they only need a closure
-//! returning the log-density and its gradient, which both the GProb runtime
-//! (`gprob::GModel::log_density_and_grad`) and the baseline Stan interpreter
-//! provide.
+//! All samplers are generic over the target. The hot loops drive the
+//! buffer-reusing [`target::GradTargetMut`] interface (`logp_grad_into`
+//! writes the gradient into a caller-owned slice, so workspace-backed models
+//! evaluate without per-step allocation); plain closures returning
+//! `(log p, ∇ log p)` still work everywhere through [`target::GradTarget`]
+//! and its adapter. One target instance is one chain — multi-chain runs
+//! (e.g. `deepstan`'s `Session`) give each thread its own target. Cross-chain
+//! convergence is assessed with [`diagnostics::multi_split_rhat`] /
+//! [`diagnostics::multi_ess`].
 //!
 //! # Example
 //!
@@ -43,8 +48,10 @@ pub mod nuts;
 pub mod svi;
 pub mod target;
 
-pub use advi::{advi_fit, AdviConfig, AdviResult};
-pub use diagnostics::{accuracy_pass, ess, split_rhat, summarize, Summary};
-pub use nuts::{nuts_sample, NutsConfig, NutsResult};
+pub use advi::{advi_fit, advi_fit_mut, AdviConfig, AdviResult};
+pub use diagnostics::{
+    accuracy_pass, ess, multi_ess, multi_split_rhat, split_rhat, summarize, Summary,
+};
+pub use nuts::{nuts_sample, nuts_sample_mut, NutsConfig, NutsResult};
 pub use svi::{Adam, AdamConfig};
-pub use target::GradTarget;
+pub use target::{GradTarget, GradTargetMut};

@@ -8,7 +8,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::target::GradTarget;
+use crate::target::{GradTarget, GradTargetMut};
 
 /// NUTS configuration.
 #[derive(Debug, Clone)]
@@ -108,8 +108,8 @@ impl DualAveraging {
 }
 
 /// Runs NUTS on a [`GradTarget`] — any model exposing `(log p, ∇ log p)` on
-/// the unconstrained scale (closures implement the trait, as does the
-/// slot-resolved `gprob::GModel` through `deepstan`'s adapter).
+/// the unconstrained scale. Stateful targets (e.g. workspace-backed models)
+/// should use [`nuts_sample_mut`], which this function delegates to.
 ///
 /// Constrained models should wrap their density with the appropriate
 /// transform (as `gprob::GModel` does).
@@ -118,21 +118,44 @@ pub fn nuts_sample<T: GradTarget + ?Sized>(
     init: Vec<f64>,
     config: &NutsConfig,
 ) -> NutsResult {
+    let mut adapter = target;
+    nuts_sample_mut(&mut adapter, init, config)
+}
+
+/// Evaluates the target with NaN-to-`-inf` sanitization, counting gradient
+/// evaluations. The gradient lands in `grad` (zeroed on a NaN density).
+fn eval_target<T: GradTargetMut + ?Sized>(
+    target: &mut T,
+    q: &[f64],
+    grad: &mut [f64],
+    count: &mut usize,
+) -> f64 {
+    *count += 1;
+    let lp = target.logp_grad_into(q, grad);
+    if lp.is_nan() {
+        grad.fill(0.0);
+        f64::NEG_INFINITY
+    } else {
+        lp
+    }
+}
+
+/// Runs NUTS on a [`GradTargetMut`] — the buffer-reusing interface. Every
+/// gradient evaluation writes into pre-allocated buffers, so a
+/// workspace-backed target makes the whole chain allocation-free outside the
+/// model evaluation itself. One target instance is one chain.
+pub fn nuts_sample_mut<T: GradTargetMut + ?Sized>(
+    target: &mut T,
+    init: Vec<f64>,
+    config: &NutsConfig,
+) -> NutsResult {
     let dim = init.len();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut n_grad_evals = 0usize;
-    let eval = |q: &[f64], count: &mut usize| -> (f64, Vec<f64>) {
-        *count += 1;
-        let (lp, g) = target.logp_grad(q);
-        if lp.is_nan() {
-            (f64::NEG_INFINITY, vec![0.0; q.len()])
-        } else {
-            (lp, g)
-        }
-    };
 
     let mut q = init;
-    let (mut logp, mut grad) = eval(&q, &mut n_grad_evals);
+    let mut grad = vec![0.0; dim];
+    let mut logp = eval_target(target, &q, &mut grad, &mut n_grad_evals);
 
     // Diagonal inverse mass matrix (variances of q), estimated during warmup.
     let mut inv_mass = vec![1.0; dim];
@@ -305,8 +328,8 @@ pub fn nuts_sample<T: GradTarget + ?Sized>(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn build_tree<T: GradTarget + ?Sized>(
-    target: &T,
+fn build_tree<T: GradTargetMut + ?Sized>(
+    target: &mut T,
     edge: &mut State,
     go_right: bool,
     depth: usize,
@@ -314,9 +337,9 @@ fn build_tree<T: GradTarget + ?Sized>(
     joint0: f64,
     inv_mass: &[f64],
     log_sum_weight: &mut f64,
-    q_prop: &mut Vec<f64>,
+    q_prop: &mut [f64],
     logp_prop: &mut f64,
-    grad_prop: &mut Vec<f64>,
+    grad_prop: &mut [f64],
     sum_accept: &mut f64,
     n_leapfrog: &mut usize,
     rng: &mut StdRng,
@@ -340,16 +363,16 @@ fn build_tree<T: GradTarget + ?Sized>(
         // Progressive sampling within the new subtree: select this point with
         // probability proportional to its weight among new points.
         if rng.gen::<f64>() < (delta - *log_sum_weight).exp() * n_kept.max(1.0) / n_kept {
-            *q_prop = edge.q.clone();
+            q_prop.copy_from_slice(&edge.q);
             *logp_prop = edge.logp;
-            *grad_prop = edge.grad.clone();
+            grad_prop.copy_from_slice(&edge.grad);
         }
     }
     true
 }
 
-fn leapfrog<T: GradTarget + ?Sized>(
-    target: &T,
+fn leapfrog<T: GradTargetMut + ?Sized>(
+    target: &mut T,
     s: &mut State,
     eps: f64,
     inv_mass: &[f64],
@@ -362,9 +385,8 @@ fn leapfrog<T: GradTarget + ?Sized>(
         *q += eps * im * p;
     }
     *n_grad_evals += 1;
-    let (lp, g) = target.logp_grad(&s.q);
+    let lp = target.logp_grad_into(&s.q, &mut s.grad);
     s.logp = if lp.is_nan() { f64::NEG_INFINITY } else { lp };
-    s.grad = g;
     for (p, g) in s.p.iter_mut().zip(&s.grad) {
         *p += 0.5 * eps * g;
     }
@@ -396,8 +418,8 @@ fn uturn(minus: &State, plus: &State, inv_mass: &[f64]) -> bool {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn find_initial_step_size<T: GradTarget + ?Sized>(
-    target: &T,
+fn find_initial_step_size<T: GradTargetMut + ?Sized>(
+    target: &mut T,
     q: &[f64],
     logp: f64,
     grad: &[f64],

@@ -1,11 +1,20 @@
 //! The target-density interface shared by all gradient-based samplers.
 //!
-//! Samplers used to take `&dyn Fn(&[f64]) -> (f64, Vec<f64>)`, forcing a
-//! virtual call per gradient evaluation and a closure allocation at every
-//! call site. [`GradTarget`] makes the samplers generic: model-backed targets
-//! (e.g. `gprob::GModel` behind `deepstan`'s adapter) are dispatched
-//! statically, while every existing closure keeps working through the
-//! blanket implementation.
+//! Two tiers:
+//!
+//! * [`GradTarget`] — the simple, stateless interface: `(log p, ∇ log p)` as
+//!   a fresh `Vec` per call. Closures implement it via the blanket impl, so
+//!   quick experiments and tests stay one-liners.
+//! * [`GradTargetMut`] — the buffer-reusing interface the samplers actually
+//!   drive: `logp_grad_into` writes the gradient into a caller-owned slice
+//!   and may mutate internal scratch state (a `gprob::DensityWorkspace`,
+//!   pooled tape leaves, ...). One target instance is one chain; multi-chain
+//!   runs give each thread its own target, which is exactly the sharding
+//!   model of `deepstan`'s `Session`.
+//!
+//! Every [`GradTarget`] is automatically a [`GradTargetMut`] (with one
+//! `Vec` allocation per call), so existing closures keep working with the
+//! rewritten samplers.
 
 /// A log-density with gradient, evaluated on the unconstrained scale.
 pub trait GradTarget {
@@ -16,6 +25,25 @@ pub trait GradTarget {
 impl<F: Fn(&[f64]) -> (f64, Vec<f64>)> GradTarget for F {
     fn logp_grad(&self, q: &[f64]) -> (f64, Vec<f64>) {
         self(q)
+    }
+}
+
+/// A log-density with gradient that may reuse internal scratch state and
+/// writes the gradient into a caller-provided buffer — the interface the
+/// samplers' hot loops call.
+pub trait GradTargetMut {
+    /// Writes `∇ log p(q)` into `grad` (which has length `q.len()`) and
+    /// returns `log p(q)`.
+    fn logp_grad_into(&mut self, q: &[f64], grad: &mut [f64]) -> f64;
+}
+
+/// Stateless targets are trivially buffer-reusing (at the cost of the `Vec`
+/// each [`GradTarget::logp_grad`] call allocates).
+impl<T: GradTarget + ?Sized> GradTargetMut for &T {
+    fn logp_grad_into(&mut self, q: &[f64], grad: &mut [f64]) -> f64 {
+        let (lp, g) = self.logp_grad(q);
+        grad.copy_from_slice(&g);
+        lp
     }
 }
 
@@ -36,5 +64,14 @@ mod tests {
         let (lp_c, g_c) = closure.logp_grad(&[2.0]);
         let (lp_s, g_s) = Quadratic.logp_grad(&[2.0]);
         assert_eq!((lp_c, g_c), (lp_s, g_s));
+    }
+
+    #[test]
+    fn grad_targets_adapt_to_the_buffered_interface() {
+        let mut adapted = &Quadratic;
+        let mut buf = [0.0];
+        let lp = adapted.logp_grad_into(&[2.0], &mut buf);
+        assert_eq!(lp, -2.0);
+        assert_eq!(buf[0], -2.0);
     }
 }

@@ -35,7 +35,7 @@ pub mod tape;
 pub mod var;
 
 pub use real::Real;
-pub use tape::{grad, tape_len, Tape};
+pub use tape::{grad, grad_into, tape_len, Tape};
 pub use var::Var;
 
 #[cfg(test)]

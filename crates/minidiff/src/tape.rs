@@ -1,6 +1,6 @@
 //! The thread-local Wengert list (tape) recording computations on [`Var`].
 //!
-//! Each arithmetic operation on tracked variables pushes one [`Node`] holding
+//! Each arithmetic operation on tracked variables pushes one `Node` holding
 //! the indices of its (at most two) parents and the local partial derivative
 //! with respect to each parent. [`grad`] then performs a single reverse sweep
 //! to obtain adjoints.
@@ -26,7 +26,7 @@ pub(crate) struct Node {
 
 /// A growable record of all operations performed on tracked variables.
 ///
-/// Users normally interact with the thread-local tape through [`tape::reset`],
+/// Users normally interact with the thread-local tape through [`reset`],
 /// [`Var::new`], and [`grad`], but an explicit `Tape` is exposed for tests and
 /// for tooling that wants to inspect tape growth.
 #[derive(Debug, Default)]
@@ -140,19 +140,29 @@ pub(crate) fn with_tape<R>(f: impl FnOnce(&mut Tape) -> R) -> R {
 /// assert_eq!(g, vec![5.0, 3.0]);
 /// ```
 pub fn grad(output: Var, wrt: &[Var]) -> Vec<f64> {
+    let mut out = vec![0.0; wrt.len()];
+    grad_into(output, wrt, &mut out);
+    out
+}
+
+/// [`grad`] writing into a caller-provided buffer — the allocation-free form
+/// used by samplers that evaluate gradients in a tight loop.
+///
+/// # Panics
+/// Panics if `out` is shorter than `wrt`.
+pub fn grad_into(output: Var, wrt: &[Var], out: &mut [f64]) {
+    assert!(out.len() >= wrt.len(), "gradient buffer too short");
     TAPE.with(|t| {
         let tape = t.borrow();
         let adj = tape.adjoints(output);
-        wrt.iter()
-            .map(|v| {
-                let i = v.index();
-                if i == NO_PARENT || (i as usize) >= adj.len() {
-                    0.0
-                } else {
-                    adj[i as usize]
-                }
-            })
-            .collect()
+        for (o, v) in out.iter_mut().zip(wrt) {
+            let i = v.index();
+            *o = if i == NO_PARENT || (i as usize) >= adj.len() {
+                0.0
+            } else {
+                adj[i as usize]
+            };
+        }
     })
 }
 

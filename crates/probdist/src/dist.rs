@@ -558,16 +558,152 @@ impl<T: Real> Dist<T> {
     }
 }
 
+/// Identity of a distribution family, resolved from its Stan name.
+///
+/// Resolution passes (e.g. `gprob::resolved`) translate the name of every
+/// `sample` / `observe` site to a `DistKind` once at compile time, so the
+/// density hot path dispatches on a `Copy` enum instead of re-matching the
+/// name string on every evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistKind {
+    /// `normal(mu, sigma)`
+    Normal,
+    /// `lognormal(mu, sigma)`
+    LogNormal,
+    /// `uniform(lo, hi)`
+    Uniform,
+    /// `improper_uniform(lo?, hi?)`
+    ImproperUniform,
+    /// `beta(a, b)`
+    Beta,
+    /// `gamma(shape, rate)`
+    Gamma,
+    /// `inv_gamma(shape, scale)`
+    InvGamma,
+    /// `exponential(rate)`
+    Exponential,
+    /// `cauchy(loc, scale)`
+    Cauchy,
+    /// `student_t(nu, loc, scale)`
+    StudentT,
+    /// `double_exponential(loc, scale)`
+    DoubleExponential,
+    /// `chi_square(nu)`
+    ChiSquare,
+    /// `bernoulli(p)`
+    Bernoulli,
+    /// `bernoulli_logit(logit)`
+    BernoulliLogit,
+    /// `binomial(n, p)`
+    Binomial,
+    /// `poisson(rate)`
+    Poisson,
+    /// `poisson_log(log_rate)`
+    PoissonLog,
+    /// `categorical(probs)`
+    Categorical,
+    /// `categorical_logit(logits)`
+    CategoricalLogit,
+    /// `dirichlet(alpha)`
+    Dirichlet,
+    /// `multi_normal(mu, sigma)` / `multi_normal_diag(mu, sigma)`
+    MultiNormalDiag,
+}
+
+impl DistKind {
+    /// Resolves a Stan distribution name, or `None` for unknown families.
+    pub fn from_name(name: &str) -> Option<DistKind> {
+        Some(match name {
+            "normal" => DistKind::Normal,
+            "lognormal" => DistKind::LogNormal,
+            "uniform" => DistKind::Uniform,
+            "improper_uniform" => DistKind::ImproperUniform,
+            "beta" => DistKind::Beta,
+            "gamma" => DistKind::Gamma,
+            "inv_gamma" => DistKind::InvGamma,
+            "exponential" => DistKind::Exponential,
+            "cauchy" => DistKind::Cauchy,
+            "student_t" => DistKind::StudentT,
+            "double_exponential" => DistKind::DoubleExponential,
+            "chi_square" => DistKind::ChiSquare,
+            "bernoulli" => DistKind::Bernoulli,
+            "bernoulli_logit" => DistKind::BernoulliLogit,
+            "binomial" => DistKind::Binomial,
+            "poisson" => DistKind::Poisson,
+            "poisson_log" => DistKind::PoissonLog,
+            "categorical" => DistKind::Categorical,
+            "categorical_logit" => DistKind::CategoricalLogit,
+            "dirichlet" => DistKind::Dirichlet,
+            "multi_normal" | "multi_normal_diag" => DistKind::MultiNormalDiag,
+            _ => return None,
+        })
+    }
+
+    /// The canonical Stan spelling (used in error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            DistKind::Normal => "normal",
+            DistKind::LogNormal => "lognormal",
+            DistKind::Uniform => "uniform",
+            DistKind::ImproperUniform => "improper_uniform",
+            DistKind::Beta => "beta",
+            DistKind::Gamma => "gamma",
+            DistKind::InvGamma => "inv_gamma",
+            DistKind::Exponential => "exponential",
+            DistKind::Cauchy => "cauchy",
+            DistKind::StudentT => "student_t",
+            DistKind::DoubleExponential => "double_exponential",
+            DistKind::ChiSquare => "chi_square",
+            DistKind::Bernoulli => "bernoulli",
+            DistKind::BernoulliLogit => "bernoulli_logit",
+            DistKind::Binomial => "binomial",
+            DistKind::Poisson => "poisson",
+            DistKind::PoissonLog => "poisson_log",
+            DistKind::Categorical => "categorical",
+            DistKind::CategoricalLogit => "categorical_logit",
+            DistKind::Dirichlet => "dirichlet",
+            DistKind::MultiNormalDiag => "multi_normal_diag",
+        }
+    }
+
+    /// Whether the outcome of the distribution is a vector (so a container
+    /// left-hand side must not be broadcast element-wise).
+    pub fn is_multivariate(self) -> bool {
+        matches!(self, DistKind::Dirichlet | DistKind::MultiNormalDiag)
+    }
+
+    /// Whether the distribution is legitimately parameterized by a vector
+    /// (so a vector argument does not imply element-wise broadcasting).
+    pub fn has_vector_param(self) -> bool {
+        matches!(self, DistKind::Categorical | DistKind::CategoricalLogit)
+    }
+}
+
 /// Constructs a distribution by its Stan name from real-valued arguments.
 ///
 /// This is the dynamic entry point used by both interpreters when evaluating
 /// `x ~ dist(args...)` statements. Vector arguments are accepted where the
 /// distribution is parameterized by a vector (categorical, dirichlet,
-/// multi_normal) or where Stan broadcasts (handled by the caller).
+/// multi_normal) or where Stan broadcasts (handled by the caller). Hot paths
+/// that already resolved the name should call [`dist_from_kind`] instead.
 ///
 /// # Errors
 /// Returns an error for unknown distribution names or wrong arity.
 pub fn dist_from_name<T: Real>(name: &str, args: &[DistArg<T>]) -> Result<Dist<T>, DistError> {
+    let kind = DistKind::from_name(name)
+        .ok_or_else(|| DistError::new(format!("unknown distribution '{name}'")))?;
+    dist_from_kind(kind, args)
+}
+
+/// Constructs a distribution from its pre-resolved [`DistKind`] — the
+/// dispatch used by the slot-resolved runtime, which resolves every site's
+/// name exactly once at compile time.
+///
+/// # Errors
+/// Returns an error on wrong arity or a vector argument where a scalar is
+/// required.
+pub fn dist_from_kind<T: Real>(kind: DistKind, args: &[DistArg<T>]) -> Result<Dist<T>, DistError> {
+    let name = kind.name();
     let scalar = |i: usize| -> Result<T, DistError> {
         match args.get(i) {
             Some(DistArg::Scalar(x)) => Ok(*x),
@@ -584,68 +720,67 @@ pub fn dist_from_name<T: Real>(name: &str, args: &[DistArg<T>]) -> Result<Dist<T
             None => Err(DistError::new(format!("{name}: missing argument {i}"))),
         }
     };
-    match name {
-        "normal" => Ok(Dist::Normal {
+    match kind {
+        DistKind::Normal => Ok(Dist::Normal {
             mu: scalar(0)?,
             sigma: scalar(1)?,
         }),
-        "lognormal" => Ok(Dist::LogNormal {
+        DistKind::LogNormal => Ok(Dist::LogNormal {
             mu: scalar(0)?,
             sigma: scalar(1)?,
         }),
-        "uniform" => Ok(Dist::Uniform {
+        DistKind::Uniform => Ok(Dist::Uniform {
             lo: scalar(0)?,
             hi: scalar(1)?,
         }),
-        "improper_uniform" => Ok(Dist::ImproperUniform {
+        DistKind::ImproperUniform => Ok(Dist::ImproperUniform {
             lo: scalar(0).map(|x| x.value()).unwrap_or(f64::NEG_INFINITY),
             hi: scalar(1).map(|x| x.value()).unwrap_or(f64::INFINITY),
         }),
-        "beta" => Ok(Dist::Beta {
+        DistKind::Beta => Ok(Dist::Beta {
             a: scalar(0)?,
             b: scalar(1)?,
         }),
-        "gamma" => Ok(Dist::Gamma {
+        DistKind::Gamma => Ok(Dist::Gamma {
             shape: scalar(0)?,
             rate: scalar(1)?,
         }),
-        "inv_gamma" => Ok(Dist::InvGamma {
+        DistKind::InvGamma => Ok(Dist::InvGamma {
             shape: scalar(0)?,
             scale: scalar(1)?,
         }),
-        "exponential" => Ok(Dist::Exponential { rate: scalar(0)? }),
-        "cauchy" => Ok(Dist::Cauchy {
+        DistKind::Exponential => Ok(Dist::Exponential { rate: scalar(0)? }),
+        DistKind::Cauchy => Ok(Dist::Cauchy {
             loc: scalar(0)?,
             scale: scalar(1)?,
         }),
-        "student_t" => Ok(Dist::StudentT {
+        DistKind::StudentT => Ok(Dist::StudentT {
             nu: scalar(0)?,
             loc: scalar(1)?,
             scale: scalar(2)?,
         }),
-        "double_exponential" => Ok(Dist::DoubleExponential {
+        DistKind::DoubleExponential => Ok(Dist::DoubleExponential {
             loc: scalar(0)?,
             scale: scalar(1)?,
         }),
-        "chi_square" => Ok(Dist::ChiSquare { nu: scalar(0)? }),
-        "bernoulli" => Ok(Dist::Bernoulli { p: scalar(0)? }),
-        "bernoulli_logit" => Ok(Dist::BernoulliLogit { logit: scalar(0)? }),
-        "binomial" => Ok(Dist::Binomial {
+        DistKind::ChiSquare => Ok(Dist::ChiSquare { nu: scalar(0)? }),
+        DistKind::Bernoulli => Ok(Dist::Bernoulli { p: scalar(0)? }),
+        DistKind::BernoulliLogit => Ok(Dist::BernoulliLogit { logit: scalar(0)? }),
+        DistKind::Binomial => Ok(Dist::Binomial {
             n: scalar(0)?.value().round() as i64,
             p: scalar(1)?,
         }),
-        "poisson" => Ok(Dist::Poisson { rate: scalar(0)? }),
-        "poisson_log" => Ok(Dist::PoissonLog {
+        DistKind::Poisson => Ok(Dist::Poisson { rate: scalar(0)? }),
+        DistKind::PoissonLog => Ok(Dist::PoissonLog {
             log_rate: scalar(0)?,
         }),
-        "categorical" => Ok(Dist::Categorical { probs: vector(0)? }),
-        "categorical_logit" => Ok(Dist::CategoricalLogit { logits: vector(0)? }),
-        "dirichlet" => Ok(Dist::Dirichlet { alpha: vector(0)? }),
-        "multi_normal" | "multi_normal_diag" => Ok(Dist::MultiNormalDiag {
+        DistKind::Categorical => Ok(Dist::Categorical { probs: vector(0)? }),
+        DistKind::CategoricalLogit => Ok(Dist::CategoricalLogit { logits: vector(0)? }),
+        DistKind::Dirichlet => Ok(Dist::Dirichlet { alpha: vector(0)? }),
+        DistKind::MultiNormalDiag => Ok(Dist::MultiNormalDiag {
             mu: vector(0)?,
             sigma: vector(1)?,
         }),
-        _ => Err(DistError::new(format!("unknown distribution '{name}'"))),
     }
 }
 

@@ -28,5 +28,5 @@ pub mod dist;
 pub mod sampling;
 pub mod transform;
 
-pub use dist::{Dist, DistError, SampleValue, Support};
+pub use dist::{dist_from_kind, dist_from_name, Dist, DistError, DistKind, SampleValue, Support};
 pub use transform::Constraint;

@@ -243,16 +243,7 @@ impl StanModel {
         for (k, v) in params {
             env.insert(k, v);
         }
-        let ctx = EvalCtx {
-            funcs: self
-                .program
-                .functions
-                .iter()
-                .map(|f| (f.name.clone(), f))
-                .collect(),
-            externals: &gprob::eval::NoExternals,
-            rng: Some(rng),
-        };
+        let ctx = EvalCtx::with_functions(&self.program.functions).rng(rng);
         let mut handler = DeterministicOnly;
         if let Some(tp) = &self.program.transformed_parameters {
             for stmt in &tp.stmts {

@@ -6,7 +6,7 @@
 //! cargo run --release --example bayesian_mlp
 //! ```
 
-use deepstan::{Activation, DeepStan, MlpSpec, SviSettings};
+use deepstan::{Activation, DeepStan, Method, MlpSpec, SviSettings};
 use gprob::value::Value;
 use model_zoo::{synthetic_digits, BAYESIAN_MLP_SOURCE};
 
@@ -31,15 +31,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     println!("training a {nx}-{nh}-{ny} Bayesian MLP with SVI...");
-    let fit = program.svi(
-        &data,
-        std::slice::from_ref(&mlp),
-        &SviSettings {
+    let session_fit = program
+        .session(&data)?
+        .networks(std::slice::from_ref(&mlp))
+        .seed(1)
+        .guide_draws(20)
+        .run(Method::Svi(SviSettings {
             steps: 200,
             lr: 0.02,
-            seed: 1,
-        },
-    )?;
+            ..Default::default()
+        }))?;
+    let fit = session_fit.variational.as_ref().expect("fitted guide");
     println!(
         "fitted {} guide parameter tensors (posterior means and log-scales of every weight)",
         fit.guide_params.len()

@@ -1,12 +1,13 @@
 //! The classic eight-schools hierarchical model, run through every backend
-//! and compilation scheme, with the paper's accuracy criterion applied
-//! against the reference interpreter.
+//! and compilation scheme with 4 parallel chains, with the paper's accuracy
+//! criterion and cross-chain convergence diagnostics applied against the
+//! reference interpreter.
 //!
 //! ```bash
 //! cargo run --release --example eight_schools
 //! ```
 
-use deepstan::{DeepStan, NutsSettings};
+use deepstan::{DeepStan, Method, NutsSettings};
 use gprob::value::Value;
 use inference::diagnostics::accuracy_pass;
 use stan2gprob::Scheme;
@@ -18,15 +19,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data_refs: Vec<(&str, Value<f64>)> =
         data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
 
-    let reference = program.nuts_reference(
-        &data_refs,
-        &NutsSettings {
+    let reference = program
+        .session(&data_refs)?
+        .reference(true)
+        .seed(99)
+        .run(Method::Nuts(NutsSettings {
             warmup: 800,
             samples: 1600,
-            seed: 99,
             ..Default::default()
-        },
-    )?;
+        }))?;
     println!("reference (Stan semantics interpreter + NUTS):");
     for (name, s) in reference.summaries().iter().take(4) {
         println!(
@@ -36,26 +37,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     for scheme in [Scheme::Comprehensive, Scheme::Mixed] {
-        let posterior = program.nuts_with(
-            scheme,
-            &data_refs,
-            &NutsSettings {
+        let fit = program
+            .session(&data_refs)?
+            .scheme(scheme)
+            .chains(4)
+            .seed(7)
+            .run(Method::Nuts(NutsSettings {
                 warmup: 400,
                 samples: 800,
-                seed: 7,
                 ..Default::default()
-            },
-        )?;
-        let mu = posterior.summary("mu").unwrap();
+            }))?;
+        let mu = fit.summary("mu").unwrap();
         let mu_ref = reference.summary("mu").unwrap();
         let pass = accuracy_pass(mu.mean, mu_ref.mean, mu_ref.stddev);
         println!(
-            "{} scheme: mu mean = {:.3} (reference {:.3}) -> {} [{:.2}s]",
+            "{} scheme ({} chains): mu mean = {:.3} (reference {:.3}) -> {}  \
+             R-hat(mu) = {:.3}, ESS(mu) = {:.0}, divergences = {} [{:.2}s]",
             scheme.name(),
+            fit.n_chains(),
             mu.mean,
             mu_ref.mean,
             if pass { "matches" } else { "MISMATCH" },
-            posterior.wall_time
+            fit.split_rhat("mu").unwrap_or(f64::NAN),
+            fit.ess("mu").unwrap_or(f64::NAN),
+            fit.divergences(),
+            fit.wall_time
         );
     }
     Ok(())

@@ -1,12 +1,13 @@
 //! The multimodal example of Figure 10: NUTS cannot represent the relative
 //! mass of the two modes, mean-field ADVI collapses to one mode, and
 //! variational inference with the explicit DeepStan guide recovers both.
+//! All four runs go through the same `Session::run(Method::..)` pipeline.
 //!
 //! ```bash
 //! cargo run --release --example multimodal_vi
 //! ```
 
-use deepstan::{DeepStan, NutsSettings, SviSettings};
+use deepstan::{DeepStan, ImportanceSettings, Method, NutsSettings, SviSettings};
 use inference::advi::AdviConfig;
 
 fn mode_masses(theta: &[f64]) -> (usize, usize) {
@@ -19,45 +20,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let entry = model_zoo::find("multimodal_guide").expect("corpus model");
     let program = DeepStan::compile_named(entry.name, entry.source)?;
 
-    let nuts = program.nuts(
-        &[],
-        &NutsSettings {
+    let nuts = program
+        .session(&[])?
+        .seed(1)
+        .run(Method::Nuts(NutsSettings {
             warmup: 400,
             samples: 1000,
-            seed: 1,
             ..Default::default()
-        },
-    )?;
+        }))?;
     let (z, t) = mode_masses(&nuts.component("theta").unwrap());
     println!("DeepStan NUTS:          {z} draws near 0, {t} near 20");
 
-    let advi = program.advi(
-        &[],
-        &AdviConfig {
-            steps: 2000,
-            output_samples: 1000,
-            seed: 2,
-            ..Default::default()
-        },
-    )?;
+    let advi = program.session(&[])?.seed(2).run(Method::Advi(AdviConfig {
+        steps: 2000,
+        output_samples: 1000,
+        ..Default::default()
+    }))?;
     let (z, t) = mode_masses(&advi.component("theta").unwrap());
     println!("Stan ADVI (mean-field): {z} draws near 0, {t} near 20");
 
-    let fit = program.svi(
-        &[],
-        &[],
-        &SviSettings {
-            steps: 3000,
-            lr: 0.05,
-            seed: 3,
-        },
-    )?;
-    let guided = program.sample_guide(&[], &fit, &[], 1000, 4)?;
-    let (z, t) = mode_masses(&guided.component("theta").unwrap());
+    let svi = program.session(&[])?.seed(3).run(Method::Svi(SviSettings {
+        steps: 3000,
+        lr: 0.05,
+        ..Default::default()
+    }))?;
+    let guide = svi.variational.as_ref().expect("fitted guide");
+    let (z, t) = mode_masses(&svi.component("theta").unwrap());
     println!(
         "DeepStan VI (guide):    {z} draws near 0, {t} near 20   (m1 = {:.2}, m2 = {:.2})",
-        fit.guide_params["m1"][0], fit.guide_params["m2"][0]
+        guide.guide_params["m1"][0], guide.guide_params["m2"][0]
     );
+
+    // Importance sampling from the prior, for comparison: the prior mass of
+    // the two branches is what likelihood weighting preserves.
+    let importance = program
+        .session(&[])?
+        .seed(4)
+        .run(Method::Importance(ImportanceSettings { particles: 4000 }))?;
+    let (z, t) = mode_masses(&importance.component("theta").unwrap());
+    println!(
+        "Importance (prior):     {z} draws near 0, {t} near 20   (weight ESS = {:.0})",
+        importance.importance_ess().unwrap_or(f64::NAN)
+    );
+
     println!("\nExpected: only the custom guide puts substantial mass on both modes.");
     Ok(())
 }

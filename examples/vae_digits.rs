@@ -5,7 +5,7 @@
 //! cargo run --release --example vae_digits
 //! ```
 
-use deepstan::{Activation, DeepStan, MlpSpec, SviSettings};
+use deepstan::{Activation, DeepStan, Method, MlpSpec, SviSettings};
 use gprob::value::Value;
 use model_zoo::{synthetic_digits, VAE_SOURCE};
 
@@ -32,15 +32,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Value::IntArray(img.iter().map(|&p| p as i64).collect()),
         ),
     ];
-    let fit = program.svi(
-        &data,
-        &networks,
-        &SviSettings {
+    let session_fit = program
+        .session(&data)?
+        .networks(&networks)
+        .seed(1)
+        .guide_draws(50)
+        .run(Method::Svi(SviSettings {
             steps: 300,
             lr: 0.01,
-            seed: 1,
-        },
-    )?;
+            ..Default::default()
+        }))?;
+    let fit = session_fit.variational.as_ref().expect("fitted guide");
     println!(
         "trained {} network parameter tensors; final smoothed ELBO: {:.1}",
         fit.network_params.len(),

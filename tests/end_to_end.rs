@@ -1,8 +1,8 @@
 //! End-to-end posterior checks on conjugate / analytically tractable models,
-//! exercising the whole pipeline (frontend → compiler → runtime → NUTS →
-//! diagnostics) through the public API only.
+//! exercising the whole pipeline (frontend → compiler → runtime → Session →
+//! NUTS → diagnostics) through the public chain-first API only.
 
-use deepstan::{DeepStan, NutsSettings};
+use deepstan::{DeepStan, Method, NutsSettings};
 use gprob::value::Value;
 use inference::diagnostics::{accuracy_pass, ess, split_rhat};
 use stan2gprob::Scheme;
@@ -29,10 +29,19 @@ fn conjugate_normal_posterior_is_recovered_by_both_runtimes() {
         ..Default::default()
     };
 
-    let compiled = program.nuts(&data, &settings).unwrap();
-    let reference = program.nuts_reference(&data, &settings).unwrap();
-    for (label, posterior) in [("gprob", &compiled), ("stan_ref", &reference)] {
-        let s = posterior.summary("mu").unwrap();
+    let compiled = program
+        .session(&data)
+        .unwrap()
+        .run(Method::Nuts(settings.clone()))
+        .unwrap();
+    let reference = program
+        .session(&data)
+        .unwrap()
+        .reference(true)
+        .run(Method::Nuts(settings))
+        .unwrap();
+    for (label, fit) in [("gprob", &compiled), ("stan_ref", &reference)] {
+        let s = fit.summary("mu").unwrap();
         assert!(
             accuracy_pass(s.mean, post_mean, post_sd),
             "{label}: mean {} vs analytic {post_mean}",
@@ -43,9 +52,11 @@ fn conjugate_normal_posterior_is_recovered_by_both_runtimes() {
             "{label}: sd {}",
             s.stddev
         );
-        let chain = posterior.component("mu").unwrap();
+        let chain = fit.component("mu").unwrap();
         assert!(split_rhat(&chain) < 1.1, "{label}: rhat");
         assert!(ess(&chain) > 50.0, "{label}: ess");
+        // The Fit's own cross-chain diagnostics agree on a single chain.
+        assert!(fit.split_rhat("mu").unwrap() < 1.1, "{label}: fit rhat");
     }
 }
 
@@ -56,19 +67,22 @@ fn constrained_scale_parameter_stays_positive_and_matches_reference() {
     let data = entry.dataset(1);
     let data_refs: Vec<(&str, Value<f64>)> =
         data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
-    let settings = NutsSettings {
-        warmup: 300,
-        samples: 600,
-        seed: 2,
-        ..Default::default()
-    };
-    let posterior = program.nuts(&data_refs, &settings).unwrap();
-    let sigma = posterior.component("sigma").unwrap();
+    let fit = program
+        .session(&data_refs)
+        .unwrap()
+        .seed(2)
+        .run(Method::Nuts(NutsSettings {
+            warmup: 300,
+            samples: 600,
+            ..Default::default()
+        }))
+        .unwrap();
+    let sigma = fit.component("sigma").unwrap();
     assert!(sigma.iter().all(|&s| s > 0.0), "sigma must stay positive");
     // The data was generated with sigma = 1 and beta = 2.
-    let beta = posterior.summary("beta").unwrap();
+    let beta = fit.summary("beta").unwrap();
     assert!((beta.mean - 2.0).abs() < 0.5, "beta {}", beta.mean);
-    let sig = posterior.summary("sigma").unwrap();
+    let sig = fit.summary("sigma").unwrap();
     assert!((sig.mean - 1.0).abs() < 0.4, "sigma {}", sig.mean);
 }
 
@@ -87,8 +101,13 @@ fn all_three_schemes_agree_on_a_generative_model() {
     };
     let mut means = Vec::new();
     for scheme in [Scheme::Comprehensive, Scheme::Mixed, Scheme::Generative] {
-        let posterior = program.nuts_with(scheme, &data_refs, &settings).unwrap();
-        means.push(posterior.summary("b1").unwrap());
+        let fit = program
+            .session(&data_refs)
+            .unwrap()
+            .scheme(scheme)
+            .run(Method::Nuts(settings.clone()))
+            .unwrap();
+        means.push(fit.summary("b1").unwrap());
     }
     for pair in means.windows(2) {
         assert!(
@@ -110,23 +129,23 @@ fn left_expression_model_constrains_the_sum() {
     let data = entry.dataset(6);
     let data_refs: Vec<(&str, Value<f64>)> =
         data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
-    let settings = NutsSettings {
-        warmup: 300,
-        samples: 600,
-        seed: 3,
-        ..Default::default()
-    };
-    let posterior = program.nuts(&data_refs, &settings).unwrap();
-    let names: Vec<String> = posterior
+    let fit = program
+        .session(&data_refs)
+        .unwrap()
+        .seed(3)
+        .run(Method::Nuts(NutsSettings {
+            warmup: 300,
+            samples: 600,
+            ..Default::default()
+        }))
+        .unwrap();
+    let names: Vec<String> = fit
         .names
         .iter()
         .filter(|n| n.starts_with("phi"))
         .cloned()
         .collect();
-    let mean_sum: f64 = names
-        .iter()
-        .map(|n| posterior.summary(n).unwrap().mean)
-        .sum();
+    let mean_sum: f64 = names.iter().map(|n| fit.summary(n).unwrap().mean).sum();
     assert!(
         mean_sum.abs() < 0.2,
         "posterior sum {mean_sum} should be ~0"
@@ -145,14 +164,14 @@ fn expected_failures_fail_loudly_not_silently() {
     let data = entry.dataset(1);
     let data_refs: Vec<(&str, Value<f64>)> =
         data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
-    let result = program.nuts(
-        &data_refs,
-        &NutsSettings {
+    let result = program
+        .session(&data_refs)
+        .unwrap()
+        .seed(1)
+        .run(Method::Nuts(NutsSettings {
             warmup: 10,
             samples: 10,
-            seed: 1,
             ..Default::default()
-        },
-    );
+        }));
     assert!(result.is_err(), "lccdf model should fail at runtime");
 }

@@ -1,0 +1,178 @@
+//! Differential and convergence suite for the chain-first Session API and
+//! its pooled density workspaces:
+//!
+//! * the pooled `GModel::log_density_with` path must agree with the
+//!   string-keyed `log_density_baseline` to 1e-12 across the corpus, with
+//!   repeated calls on ONE workspace (so stale scratch state from a previous
+//!   point would be caught);
+//! * the pooled gradient path must match the allocating gradient path;
+//! * 4-chain NUTS on eight-schools must converge (cross-chain split-R̂
+//!   below 1.05 on every component).
+
+use deepstan::{DeepStan, Method, NutsSettings};
+use gprob::eval::NoExternals;
+use gprob::value::Value;
+use stan2gprob::Scheme;
+
+fn probe_points(dim: usize) -> Vec<Vec<f64>> {
+    let seeds = [
+        vec![0.1, -0.3, 0.7],
+        vec![0.5, 0.2, -0.1],
+        vec![-0.8, 1.1, 0.4],
+        vec![1.5, -1.5, 0.0],
+        vec![0.0, 0.0, 0.0],
+    ];
+    seeds
+        .iter()
+        .map(|p| (0..dim).map(|i| p[i % p.len()]).collect())
+        .collect()
+}
+
+#[test]
+fn pooled_workspace_density_matches_string_baseline_on_the_whole_corpus() {
+    let mut checked_models = 0;
+    let mut checked_points = 0;
+    for entry in model_zoo::corpus() {
+        if !entry.should_run() {
+            continue;
+        }
+        let Ok(program) = DeepStan::compile_named(entry.name, entry.source) else {
+            continue;
+        };
+        let data = entry.dataset(3);
+        let data_refs: Vec<(&str, Value<f64>)> =
+            data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        let mut model_checked = false;
+        for scheme in [Scheme::Comprehensive, Scheme::Mixed, Scheme::Generative] {
+            let Ok(model) = program.bind_with(scheme, &data_refs) else {
+                continue;
+            };
+            // ONE workspace, reused across every probe point — a reset bug
+            // (stale locals, dirty data slots) shows up as a point-to-point
+            // discrepancy.
+            let mut ws = model.workspace::<f64>();
+            for theta in probe_points(model.dim()) {
+                let pooled = model.log_density_with(&mut ws, &theta, &NoExternals);
+                let baseline = model.log_density_f64_baseline(&theta);
+                match (pooled, baseline) {
+                    (Ok(a), Ok(b)) => {
+                        if a.is_finite() || b.is_finite() {
+                            assert!(
+                                (a - b).abs() < 1e-12,
+                                "{} ({scheme:?}) at {theta:?}: pooled {a} vs baseline {b}",
+                                entry.name
+                            );
+                        }
+                        model_checked = true;
+                        checked_points += 1;
+                    }
+                    (Err(_ea), Err(_eb)) => {
+                        // Both paths must fail together (e.g. missing stdlib).
+                    }
+                    (a, b) => panic!(
+                        "{} ({scheme:?}): paths diverge: pooled {a:?} vs baseline {b:?}",
+                        entry.name
+                    ),
+                }
+            }
+            // Evaluate the first point again after the whole sweep: the
+            // workspace must be stateless across calls.
+            if let Some(theta) = probe_points(model.dim()).first() {
+                let again = model.log_density_with(&mut ws, theta, &NoExternals);
+                let fresh = model.log_density_f64(theta);
+                match (again, fresh) {
+                    (Ok(a), Ok(b)) => {
+                        if a.is_finite() || b.is_finite() {
+                            assert!(
+                                (a - b).abs() < 1e-12,
+                                "{} ({scheme:?}): workspace retained state: {a} vs {b}",
+                                entry.name
+                            );
+                        }
+                    }
+                    (Err(_), Err(_)) => {}
+                    (a, b) => panic!("{}: repeat diverges: {a:?} vs {b:?}", entry.name),
+                }
+            }
+        }
+        if model_checked {
+            checked_models += 1;
+        }
+    }
+    assert!(
+        checked_models >= 10,
+        "only {checked_models} corpus models were comparable"
+    );
+    assert!(
+        checked_points >= 100,
+        "only {checked_points} points checked"
+    );
+}
+
+#[test]
+fn pooled_gradients_match_the_allocating_path() {
+    for name in ["coin", "eight_schools_centered", "kidscore_momhs", "arK"] {
+        let entry = model_zoo::find(name).unwrap();
+        let program = DeepStan::compile_named(name, entry.source).unwrap();
+        let data = entry.dataset(5);
+        let data_refs: Vec<(&str, Value<f64>)> =
+            data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        let model = program.bind(&data_refs).unwrap();
+        let mut ws = model.grad_workspace();
+        let mut g = vec![0.0; model.dim()];
+        for theta in probe_points(model.dim()) {
+            let lp_pooled = model
+                .log_density_and_grad_with(&mut ws, &theta, &mut g)
+                .unwrap();
+            let (lp_alloc, g_alloc) = model.log_density_and_grad(&theta).unwrap();
+            assert!(
+                (lp_pooled - lp_alloc).abs() < 1e-12,
+                "{name}: {lp_pooled} vs {lp_alloc}"
+            );
+            for (i, (a, b)) in g.iter().zip(&g_alloc).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-10,
+                    "{name}: gradient component {i} differs: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn four_chain_nuts_converges_on_eight_schools() {
+    let entry = model_zoo::find("eight_schools_noncentered").unwrap();
+    let program = DeepStan::compile_named(entry.name, entry.source).unwrap();
+    let data = entry.dataset(0);
+    let data_refs: Vec<(&str, Value<f64>)> =
+        data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+    let fit = program
+        .session(&data_refs)
+        .unwrap()
+        // The mixed scheme cannot order this model's transformed-parameters
+        // block after its sample sites (pre-existing limitation), so run the
+        // comprehensive translation.
+        .scheme(Scheme::Comprehensive)
+        .chains(4)
+        .seed(42)
+        .run(Method::Nuts(NutsSettings {
+            warmup: 500,
+            samples: 500,
+            ..Default::default()
+        }))
+        .unwrap();
+    assert_eq!(fit.n_chains(), 4);
+    for chain in &fit.chains {
+        assert_eq!(chain.draws.len(), 500);
+        assert!(chain.n_grad_evals > 0);
+    }
+    let worst = fit.max_split_rhat();
+    assert!(
+        worst < 1.05,
+        "cross-chain split-R-hat {worst} >= 1.05 on eight-schools"
+    );
+    // Chains are genuinely distinct samples, and the pooled ESS reflects
+    // four chains' worth of information.
+    assert_ne!(fit.chains[0].draws[0], fit.chains[1].draws[0]);
+    assert!(fit.ess("mu").unwrap() > 200.0, "{}", fit.ess("mu").unwrap());
+}

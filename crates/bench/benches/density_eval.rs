@@ -7,25 +7,36 @@
 //! evaluation path on the *same* compiled program, isolating the speedup of
 //! compile-time name resolution. The `gprob_*_workspace` rows evaluate
 //! through a pooled `DensityWorkspace` / `GradWorkspace` — the per-chain
-//! configuration `Session` samplers run in — isolating the win of dropping
-//! the per-evaluation `Frame::lift` allocation and per-site dist dispatch.
+//! configuration `Session` samplers run in. Since the sweep-lowering pass,
+//! the workspace rows score element-wise observation loops and vectorized
+//! `~` statements through the fused batch kernels; the
+//! `gprob_*_scalar_workspace` rows bind the same program *without* lowering
+//! (`bind_scalar_with`), isolating the sweep win over the element-by-element
+//! configuration those rows used to measure.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepstan::DeepStan;
 use gprob::eval::NoExternals;
 use gprob::value::Value;
 use minidiff::{grad, tape, Var};
+use stan2gprob::Scheme;
 
 fn bench_density(c: &mut Criterion) {
     let mut group = c.benchmark_group("density_eval");
     group.sample_size(20);
-    for name in ["kidscore_momhs", "eight_schools_centered", "arK"] {
+    for name in [
+        "kidscore_momhs",
+        "eight_schools_centered",
+        "arK",
+        "nes_logit",
+    ] {
         let entry = model_zoo::find(name).unwrap();
         let program = DeepStan::compile_named(name, entry.source).unwrap();
         let data = entry.dataset(5);
         let data_refs: Vec<(&str, Value<f64>)> =
             data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
         let gmodel = program.bind(&data_refs).unwrap();
+        let scalar_model = program.bind_scalar_with(Scheme::Mixed, &data_refs).unwrap();
         let smodel = program.bind_reference(&data_refs).unwrap();
         let theta = vec![0.1; gmodel.dim()];
 
@@ -52,6 +63,15 @@ fn bench_density(c: &mut Criterion) {
                     .unwrap()
             })
         });
+        group.bench_function(format!("{name}/gprob_grad_scalar_workspace"), |b| {
+            let mut ws = scalar_model.grad_workspace();
+            let mut g = vec![0.0; scalar_model.dim()];
+            b.iter(|| {
+                scalar_model
+                    .log_density_and_grad_with(&mut ws, std::hint::black_box(&theta), &mut g)
+                    .unwrap()
+            })
+        });
         group.bench_function(format!("{name}/gprob_grad_string_baseline"), |b| {
             b.iter(|| {
                 tape::reset();
@@ -74,6 +94,14 @@ fn bench_density(c: &mut Criterion) {
             let mut ws = gmodel.workspace::<f64>();
             b.iter(|| {
                 gmodel
+                    .log_density_f64_with(&mut ws, std::hint::black_box(&theta))
+                    .unwrap()
+            })
+        });
+        group.bench_function(format!("{name}/gprob_value_scalar_workspace"), |b| {
+            let mut ws = scalar_model.workspace::<f64>();
+            b.iter(|| {
+                scalar_model
                     .log_density_f64_with(&mut ws, std::hint::black_box(&theta))
                     .unwrap()
             })

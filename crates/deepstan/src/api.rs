@@ -185,6 +185,32 @@ impl CompiledProgram {
         Ok(GModel::new(program, env_of(data))?)
     }
 
+    /// Binds data to the translation under a specific scheme *without*
+    /// sweep lowering or batched scoring ([`GModel::new_scalar`]): every
+    /// observation evaluates element by element. This is the comparison
+    /// configuration used by the sweep differential suite and the
+    /// `sweep-vs-scalar` benchmark rows; inference should use
+    /// [`CompiledProgram::bind_with`].
+    ///
+    /// # Errors
+    /// Same as [`CompiledProgram::bind_with`].
+    pub fn bind_scalar_with(
+        &self,
+        scheme: Scheme,
+        data: &[(&str, Value<f64>)],
+    ) -> Result<GModel, InferenceError> {
+        let program = self
+            .scheme(scheme)
+            .ok_or_else(|| {
+                InferenceError::Usage(format!(
+                    "the {} scheme is unavailable for this model",
+                    scheme.name()
+                ))
+            })?
+            .clone();
+        Ok(GModel::new_scalar(program, env_of(data))?)
+    }
+
     /// Binds data to the baseline Stan-semantics interpreter.
     ///
     /// # Errors

@@ -30,7 +30,9 @@ use gprob::model::ParamSlot;
 use gprob::value::Value;
 use gprob::GModel;
 use inference::advi::{advi_fit_mut, AdviConfig};
-use inference::diagnostics::{multi_ess, multi_split_rhat, summarize, Summary};
+use inference::diagnostics::{
+    multi_ess, multi_split_rhat, rank_normalized_split_rhat, summarize, tail_ess, Summary,
+};
 use inference::importance::{resample_indices, weight_draws};
 use inference::nuts::{nuts_sample_mut, NutsConfig, NutsResult};
 use inference::target::GradTargetMut;
@@ -671,6 +673,33 @@ impl Fit {
         let chains = self.component_chains(name)?;
         let views: Vec<&[f64]> = chains.iter().map(|c| c.as_slice()).collect();
         Some(multi_ess(&views))
+    }
+
+    /// Rank-normalized split-R̂ of one component (Vehtari et al. 2021): the
+    /// maximum of the bulk and folded rank-normalized statistics, robust to
+    /// heavy tails and non-normal marginals. Recommended threshold: 1.01.
+    pub fn rank_normalized_split_rhat(&self, name: &str) -> Option<f64> {
+        let chains = self.component_chains(name)?;
+        let views: Vec<&[f64]> = chains.iter().map(|c| c.as_slice()).collect();
+        Some(rank_normalized_split_rhat(&views))
+    }
+
+    /// The worst (largest) rank-normalized split-R̂ over all components.
+    pub fn max_rank_normalized_split_rhat(&self) -> f64 {
+        self.names
+            .iter()
+            .filter_map(|n| self.rank_normalized_split_rhat(n))
+            .fold(f64::NAN, f64::max)
+    }
+
+    /// Tail effective sample size of one component (Vehtari et al. 2021):
+    /// the minimum ESS of the 5% and 95% quantile estimates. Low values
+    /// flag unreliable credible-interval endpoints even when the bulk ESS
+    /// looks healthy.
+    pub fn tail_ess(&self, name: &str) -> Option<f64> {
+        let chains = self.component_chains(name)?;
+        let views: Vec<&[f64]> = chains.iter().map(|c| c.as_slice()).collect();
+        Some(tail_ess(&views))
     }
 
     /// Per-component posterior summaries over the pooled draws.

@@ -227,6 +227,67 @@ pub fn tilde_lpdf_kind<T: Real, V: std::borrow::Borrow<Value<T>>>(
     }
 }
 
+/// [`tilde_lpdf_kind`] with the batched fast path: when the observed value
+/// is a flat container, the family has a sweep kernel
+/// ([`probdist::supports_sweep`]), and every argument is a scalar or a flat
+/// container of matching length, the whole statement is scored through
+/// [`probdist::lpdf_sweep`] — slices borrowed straight from the values, one
+/// fused tape node on the gradient path. Everything else (nested arrays,
+/// length-1 vector arguments, broadcast mismatches, unsupported families)
+/// falls back to the element-wise scalar path, which also owns every error
+/// message, so the two paths cannot disagree even on failures.
+///
+/// This is the scoring routine of the slot-resolved runtime; the string
+/// baseline keeps calling the element-wise [`tilde_lpdf`] so differential
+/// suites pin the batched path against unbatched evaluation.
+///
+/// # Errors
+/// Same as [`tilde_lpdf_kind`].
+pub fn tilde_lpdf_kind_batched<T: Real, V: std::borrow::Borrow<Value<T>>>(
+    lhs: &Value<T>,
+    kind: DistKind,
+    args: &[V],
+) -> Result<T, RuntimeError> {
+    use probdist::sweep::{lpdf_sweep, supports_sweep, SweepArg, SweepVals};
+    if supports_sweep(kind) {
+        let xs = match lhs {
+            Value::Vector(v) => Some(SweepVals::Reals(v.as_slice())),
+            Value::IntArray(v) => Some(SweepVals::Ints(v.as_slice())),
+            _ => None,
+        };
+        if let Some(xs) = xs {
+            let n = xs.len();
+            let mut sargs: Vec<SweepArg<T>> = Vec::with_capacity(args.len());
+            let mut batchable = true;
+            for a in args {
+                match a.borrow() {
+                    Value::Real(x) => sargs.push(SweepArg::Scalar(*x)),
+                    Value::Int(k) => sargs.push(SweepArg::Scalar(T::from_f64(*k as f64))),
+                    // The scalar path treats containers of length 1 (and
+                    // mismatched lengths) as errors for these scalar-argument
+                    // families; route them back to it.
+                    Value::Vector(v) if v.len() == n && n > 1 => {
+                        sargs.push(SweepArg::Reals(v.as_slice()))
+                    }
+                    Value::IntArray(v) if v.len() == n && n > 1 => {
+                        sargs.push(SweepArg::Ints(v.as_slice()))
+                    }
+                    _ => {
+                        batchable = false;
+                        break;
+                    }
+                }
+            }
+            if batchable {
+                if let Ok(total) = lpdf_sweep(kind, xs, &sargs) {
+                    return Ok(total);
+                }
+            }
+        }
+    }
+    tilde_lpdf_kind(lhs, kind, args)
+}
+
 /// A user-function dispatch table: name → index into a `[FunDecl]` list.
 ///
 /// The table owns no references, so it can be built once (e.g. by

@@ -80,6 +80,19 @@
 //!   [`resolved::ResolvedProgram::written_slots`] lets a pooled
 //!   [`workspace::DensityWorkspace`] skip re-cloning data between
 //!   evaluations.
+//! * **Vectorized observe sweeps.** Resolution lowers counted element-wise
+//!   observation loops (`for (i in 1:N) y[i] ~ normal(mu + b * x[i], s)`)
+//!   into batched [`resolved::RSweep`] sites: density evaluation borrows
+//!   the observed window as one contiguous slice and scores it through
+//!   [`probdist::lpdf_sweep`], whose analytic reverse rule records a single
+//!   fused multi-parent tape node per sweep instead of several nodes per
+//!   element. Whole-container `~` statements take the same kernels through
+//!   [`eval::tilde_lpdf_kind_batched`]. Non-matching loops (indirect
+//!   indices, multi-statement bodies, recurrences) keep the scalar path,
+//!   and every lowered sweep retains its original loop as a runtime
+//!   fallback, so errors and out-of-pattern shapes behave identically;
+//!   [`resolved::resolve_program_scalar`] / [`model::GModel::new_scalar`]
+//!   expose the unlowered configuration for differential testing.
 //!
 //! # Example
 //!
@@ -149,6 +162,6 @@ pub mod workspace;
 
 pub use ir::{DistCall, GExpr, GProbProgram, ParamInfo};
 pub use model::GModel;
-pub use resolved::{resolve_program, Frame, ResolvedProgram};
+pub use resolved::{count_sweeps, resolve_program, resolve_program_scalar, Frame, ResolvedProgram};
 pub use value::{Env, EnvView, RuntimeError, Value};
 pub use workspace::{DensityWorkspace, GradWorkspace};

@@ -18,7 +18,9 @@ use crate::eval::{
 };
 use crate::interp::{Interp, Mode, RunResult};
 use crate::ir::GProbProgram;
-use crate::resolved::{resolve_program, Frame, ResolvedProgram};
+use crate::resolved::{
+    resolve_program, resolve_program_scalar as gprob_resolve_scalar, Frame, ResolvedProgram,
+};
 use crate::reval::{RCtx, RInterp, RMode};
 use crate::value::{lift_env, Env, RuntimeError, Value};
 use crate::workspace::{DensityWorkspace, GradWorkspace};
@@ -87,10 +89,35 @@ impl GModel {
     /// Instantiates a compiled program with data: runs the `transformed data`
     /// block once and lays out the unconstrained parameter vector.
     ///
+    /// Resolution lowers element-wise observation loops into batched sweep
+    /// sites (`gprob::resolved::RSweep`) and scores vectorized statements
+    /// through the fused kernels; use [`GModel::new_scalar`] for the
+    /// element-by-element configuration.
+    ///
     /// # Errors
     /// Fails if the transformed-data block fails or a parameter shape /
     /// constraint bound cannot be evaluated from the data.
-    pub fn new(program: GProbProgram, mut data: Env<f64>) -> Result<Self, RuntimeError> {
+    pub fn new(program: GProbProgram, data: Env<f64>) -> Result<Self, RuntimeError> {
+        Self::with_resolution(program, data, true)
+    }
+
+    /// [`GModel::new`] without sweep lowering or batched scoring — every
+    /// observation evaluates element by element. This is the comparison
+    /// configuration for the sweep differential suite and the
+    /// `sweep-vs-scalar` benchmark rows; inference should use
+    /// [`GModel::new`].
+    ///
+    /// # Errors
+    /// Same as [`GModel::new`].
+    pub fn new_scalar(program: GProbProgram, data: Env<f64>) -> Result<Self, RuntimeError> {
+        Self::with_resolution(program, data, false)
+    }
+
+    fn with_resolution(
+        program: GProbProgram,
+        mut data: Env<f64>,
+        fused: bool,
+    ) -> Result<Self, RuntimeError> {
         let ctx: EvalCtx<f64> = EvalCtx::with_functions(&program.functions);
         // Pre-processing: transformed data runs once (Section 3.3).
         if let Some(td) = &program.transformed_data {
@@ -138,7 +165,11 @@ impl GModel {
 
         // Compile-time name resolution: one dense slot per variable, so the
         // density hot path below never hashes a string.
-        let resolved = resolve_program(&program);
+        let resolved = if fused {
+            resolve_program(&program)
+        } else {
+            gprob_resolve_scalar(&program)
+        };
         let data_frame = resolved.frame_from_env(&data);
         let param_frame_slots = resolved.params.iter().map(|p| p.slot).collect();
 

@@ -262,6 +262,59 @@ pub enum RLoopKind {
     },
 }
 
+/// A batched element access `base[v + offset]`, where `v` ranges over the
+/// sweep's loop counter. The base expression is loop-invariant, so the
+/// runtime evaluates it once and borrows the window `[lo+offset, hi+offset]`
+/// as one contiguous slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAccess {
+    /// Loop-invariant container expression (after stripping the final,
+    /// affine index).
+    pub base: RExpr,
+    /// Constant offset of the affine index `loop_var + offset`.
+    pub offset: i64,
+}
+
+/// How one distribution argument of an [`RSweep`] is evaluated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepArgSpec {
+    /// Loop-invariant: evaluated once per sweep, broadcast as a scalar.
+    Invariant(RExpr),
+    /// A direct affine element read `base[v + offset]`: the runtime borrows
+    /// the whole window as a slice (no per-element evaluation at all).
+    Indexed(SweepAccess),
+    /// An expression that mentions the loop variable only inside affine
+    /// element reads (e.g. `alpha + beta * x[i]`): evaluated once per
+    /// element into a scratch vector, then scored by the batch kernel. The
+    /// per-element *density* work is still fused; only the argument
+    /// expression itself is interpreted per element.
+    Elementwise(RExpr),
+}
+
+/// A lowered observation sweep: the counted loop
+/// `for (v in lo:hi) target[v + offset] ~ kind(args...)` collapsed into one
+/// batched observe site. Produced by the sweep-lowering pass of
+/// [`resolve_program`]; scored by `crate::reval` through
+/// [`probdist::lpdf_sweep`], so density evaluation runs one fused kernel
+/// (and, on the gradient path, records one fused tape node) instead of one
+/// scalar site per element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RSweep {
+    /// The loop-variable slot. Cleared when the sweep completes, exactly as
+    /// the scalar loop clears it on exit.
+    pub loop_slot: u32,
+    /// Loop lower bound (loop-invariant).
+    pub lo: RExpr,
+    /// Loop upper bound (loop-invariant).
+    pub hi: RExpr,
+    /// The observed container window.
+    pub target: SweepAccess,
+    /// Distribution family (always one of the sweep-kernel families).
+    pub kind: DistKind,
+    /// Distribution arguments.
+    pub args: Vec<SweepArgSpec>,
+}
+
 /// A slot-resolved GProb expression in continuation-passing form, mirroring
 /// [`GExpr`].
 #[derive(Debug, Clone, PartialEq)]
@@ -340,6 +393,20 @@ pub enum RGExpr {
         /// Continuation after the loop.
         body: Box<RGExpr>,
     },
+    /// A lowered element-wise observation loop (see [`RSweep`]). The
+    /// original scalar loop is retained as `fallback`: if the runtime shapes
+    /// don't admit slice borrowing (non-vector base, out-of-window bounds,
+    /// non-scalar invariant argument), evaluation re-runs the loop
+    /// element-by-element, which also reproduces the scalar path's exact
+    /// errors.
+    ObserveSweep {
+        /// The batched site.
+        sweep: RSweep,
+        /// The original scalar loop (continuation truncated to `Unit`).
+        fallback: Box<RGExpr>,
+        /// Continuation after the sweep.
+        body: Box<RGExpr>,
+    },
 }
 
 /// Parameter metadata with resolved shape / bound expressions.
@@ -378,6 +445,12 @@ pub struct ResolvedProgram {
     /// density workspace only needs to reset these between evaluations —
     /// data slots outside this set are never dirtied.
     pub written_slots: Vec<u32>,
+    /// Whether this program was resolved with batched scoring: element-wise
+    /// observation loops lowered to [`RGExpr::ObserveSweep`] sites and
+    /// vectorized `~` statements scored through the fused sweep kernels.
+    /// `false` for [`resolve_program_scalar`], the element-by-element
+    /// configuration kept for differential testing and benchmarking.
+    pub fused: bool,
 }
 
 impl ResolvedProgram {
@@ -409,10 +482,24 @@ impl ResolvedProgram {
 }
 
 /// The resolution pass: walks a compiled [`GProbProgram`] and produces its
-/// slot-annotated [`ResolvedProgram`]. Never fails — unbound names resolve
-/// to (initially empty) slots, preserving the runtime's "unbound variable"
+/// slot-annotated [`ResolvedProgram`], then lowers counted element-wise
+/// observation loops into batched [`RGExpr::ObserveSweep`] sites (see
+/// [`RSweep`] for the pattern). Never fails — unbound names resolve to
+/// (initially empty) slots, preserving the runtime's "unbound variable"
 /// errors with the original names.
 pub fn resolve_program(program: &GProbProgram) -> ResolvedProgram {
+    resolve_program_with(program, true)
+}
+
+/// [`resolve_program`] without sweep lowering or batched scoring: every
+/// observation is evaluated element by element, exactly as before the
+/// batching pass existed. This is the comparison configuration used by the
+/// sweep differential suite and the `sweep-vs-scalar` benchmark rows.
+pub fn resolve_program_scalar(program: &GProbProgram) -> ResolvedProgram {
+    resolve_program_with(program, false)
+}
+
+fn resolve_program_with(program: &GProbProgram, fused: bool) -> ResolvedProgram {
     let mut r = Resolver {
         interner: Interner::new(),
         functions: &program.functions,
@@ -434,6 +521,7 @@ pub fn resolve_program(program: &GProbProgram) -> ResolvedProgram {
     let params: Vec<RParamInfo> = program.params.iter().map(|p| r.resolve_param(p)).collect();
 
     let body = r.resolve_gexpr(&program.body);
+    let body = if fused { lower_sweeps(body) } else { body };
 
     let mut written_slots = Vec::new();
     collect_written_slots(&body, &mut written_slots);
@@ -447,6 +535,7 @@ pub fn resolve_program(program: &GProbProgram) -> ResolvedProgram {
         body,
         fn_table: FnTable::new(&program.functions),
         written_slots,
+        fused,
     }
 }
 
@@ -489,6 +578,276 @@ fn collect_written_slots(e: &RGExpr, out: &mut Vec<u32>) {
             collect_written_slots(loop_body, out);
             collect_written_slots(body, out);
         }
+        RGExpr::ObserveSweep {
+            sweep,
+            fallback,
+            body,
+        } => {
+            out.push(sweep.loop_slot);
+            collect_written_slots(fallback, out);
+            collect_written_slots(body, out);
+        }
+    }
+}
+
+/// Number of [`RGExpr::ObserveSweep`] sites in a resolved body — used by
+/// tests and benchmarks to assert which loop shapes lowered and which
+/// declined.
+pub fn count_sweeps(e: &RGExpr) -> usize {
+    match e {
+        RGExpr::Unit | RGExpr::Return(_) => 0,
+        RGExpr::LetDecl { body, .. }
+        | RGExpr::LetDet { body, .. }
+        | RGExpr::LetIndexed { body, .. }
+        | RGExpr::LetSample { body, .. }
+        | RGExpr::Observe { body, .. }
+        | RGExpr::Factor { body, .. } => count_sweeps(body),
+        RGExpr::If {
+            then_branch,
+            else_branch,
+            ..
+        } => count_sweeps(then_branch) + count_sweeps(else_branch),
+        RGExpr::LetLoop {
+            loop_body, body, ..
+        } => count_sweeps(loop_body) + count_sweeps(body),
+        RGExpr::ObserveSweep { body, .. } => 1 + count_sweeps(body),
+    }
+}
+
+/// Whether an expression reads the given slot anywhere.
+fn mentions_slot(e: &RExpr, slot: u32) -> bool {
+    match e {
+        RExpr::IntLit(_) | RExpr::RealLit(_) | RExpr::StringLit(_) => false,
+        RExpr::Slot(s) => *s == slot,
+        RExpr::Call(_, _, args) => args.iter().any(|a| mentions_slot(a, slot)),
+        RExpr::Binary(_, a, b) | RExpr::Range(a, b) => {
+            mentions_slot(a, slot) || mentions_slot(b, slot)
+        }
+        RExpr::Unary(_, a) => mentions_slot(a, slot),
+        RExpr::Index(base, indices) => {
+            mentions_slot(base, slot)
+                || indices.iter().any(|i| match i {
+                    RIndex::One(e) => mentions_slot(e, slot),
+                    RIndex::Slice(a, b) => mentions_slot(a, slot) || mentions_slot(b, slot),
+                })
+        }
+        RExpr::ArrayLit(items) | RExpr::VectorLit(items) => {
+            items.iter().any(|i| mentions_slot(i, slot))
+        }
+        RExpr::Ternary(c, a, b) => {
+            mentions_slot(c, slot) || mentions_slot(a, slot) || mentions_slot(b, slot)
+        }
+    }
+}
+
+/// Parses an index expression affine in the loop variable with unit stride:
+/// `v`, `v + c`, `c + v`, or `v - c`, returning the constant offset.
+fn affine_offset(e: &RExpr, slot: u32) -> Option<i64> {
+    use stan_frontend::ast::BinOp;
+    match e {
+        RExpr::Slot(s) if *s == slot => Some(0),
+        RExpr::Binary(BinOp::Add, a, b) => match (&**a, &**b) {
+            (RExpr::Slot(s), RExpr::IntLit(c)) if *s == slot => Some(*c),
+            (RExpr::IntLit(c), RExpr::Slot(s)) if *s == slot => Some(*c),
+            _ => None,
+        },
+        RExpr::Binary(BinOp::Sub, a, b) => match (&**a, &**b) {
+            (RExpr::Slot(s), RExpr::IntLit(c)) if *s == slot => Some(-*c),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Splits `base[..., v + c]` into a loop-invariant base plus the affine
+/// offset: the final index must be affine in the loop variable and every
+/// earlier index (and the base itself) loop-invariant.
+fn split_access(e: &RExpr, slot: u32) -> Option<SweepAccess> {
+    let RExpr::Index(base, indices) = e else {
+        return None;
+    };
+    if mentions_slot(base, slot) {
+        return None;
+    }
+    let (last, earlier) = indices.split_last()?;
+    let RIndex::One(last) = last else {
+        return None;
+    };
+    let offset = affine_offset(last, slot)?;
+    let invariant = |i: &RIndex| match i {
+        RIndex::One(e) => !mentions_slot(e, slot),
+        RIndex::Slice(a, b) => !mentions_slot(a, slot) && !mentions_slot(b, slot),
+    };
+    if !earlier.iter().all(invariant) {
+        return None;
+    }
+    let base = if earlier.is_empty() {
+        (**base).clone()
+    } else {
+        RExpr::Index(base.clone(), earlier.to_vec())
+    };
+    Some(SweepAccess { base, offset })
+}
+
+/// Whether every occurrence of the loop variable inside `e` is as a
+/// unit-stride affine element index (so per-element evaluation of `e` over
+/// the counter range is a pure map over the indexed containers).
+fn affine_only(e: &RExpr, slot: u32) -> bool {
+    match e {
+        RExpr::IntLit(_) | RExpr::RealLit(_) | RExpr::StringLit(_) => true,
+        RExpr::Slot(s) => *s != slot,
+        RExpr::Call(_, _, args) => args.iter().all(|a| affine_only(a, slot)),
+        RExpr::Binary(_, a, b) | RExpr::Range(a, b) => affine_only(a, slot) && affine_only(b, slot),
+        RExpr::Unary(_, a) => affine_only(a, slot),
+        RExpr::Index(base, indices) => {
+            affine_only(base, slot)
+                && indices.iter().all(|i| match i {
+                    RIndex::One(ix) => affine_offset(ix, slot).is_some() || affine_only(ix, slot),
+                    RIndex::Slice(a, b) => !mentions_slot(a, slot) && !mentions_slot(b, slot),
+                })
+        }
+        RExpr::ArrayLit(items) | RExpr::VectorLit(items) => {
+            items.iter().all(|i| affine_only(i, slot))
+        }
+        RExpr::Ternary(c, a, b) => {
+            affine_only(c, slot) && affine_only(a, slot) && affine_only(b, slot)
+        }
+    }
+}
+
+fn classify_arg(e: &RExpr, slot: u32) -> Option<SweepArgSpec> {
+    if !mentions_slot(e, slot) {
+        return Some(SweepArgSpec::Invariant(e.clone()));
+    }
+    if let Some(access) = split_access(e, slot) {
+        return Some(SweepArgSpec::Indexed(access));
+    }
+    if affine_only(e, slot) {
+        return Some(SweepArgSpec::Elementwise(e.clone()));
+    }
+    None
+}
+
+/// Matches the lowerable loop pattern: a counted `for` whose body is a
+/// single scalar `observe` of an affine element of a loop-invariant
+/// container, from a sweep-kernel family, with arguments that are
+/// loop-invariant, directly affine-indexed, or affine-only expressions.
+fn match_sweep(kind: &RLoopKind, loop_body: &RGExpr) -> Option<RSweep> {
+    let RLoopKind::Range { slot, lo, hi } = kind else {
+        return None;
+    };
+    if mentions_slot(lo, *slot) || mentions_slot(hi, *slot) {
+        return None;
+    }
+    let RGExpr::Observe { dist, value, body } = loop_body else {
+        return None;
+    };
+    if !matches!(**body, RGExpr::Unit) {
+        return None;
+    }
+    let dist_kind = dist.kind?;
+    if !probdist::supports_sweep(dist_kind) || !dist.shape.is_empty() {
+        return None;
+    }
+    // Every sweep kernel takes at most 3 arguments; declining longer
+    // (malformed) argument lists here lets the runtime evaluate sweeps into
+    // fixed-size buffers, and leaves their error reporting to the scalar
+    // path.
+    if dist.args.len() > 3 {
+        return None;
+    }
+    let target = split_access(value, *slot)?;
+    let args: Vec<SweepArgSpec> = dist
+        .args
+        .iter()
+        .map(|a| classify_arg(a, *slot))
+        .collect::<Option<_>>()?;
+    Some(RSweep {
+        loop_slot: *slot,
+        lo: lo.clone(),
+        hi: hi.clone(),
+        target,
+        kind: dist_kind,
+        args,
+    })
+}
+
+/// The sweep-lowering pass: rewrites every matching counted observation loop
+/// (anywhere in the body, including inside outer loops and branches) into an
+/// [`RGExpr::ObserveSweep`], keeping the original loop as the runtime
+/// fallback. Non-matching loops are left untouched.
+fn lower_sweeps(e: RGExpr) -> RGExpr {
+    match e {
+        RGExpr::Unit | RGExpr::Return(_) => e,
+        RGExpr::LetDecl { decl, body } => RGExpr::LetDecl {
+            decl,
+            body: Box::new(lower_sweeps(*body)),
+        },
+        RGExpr::LetDet { slot, value, body } => RGExpr::LetDet {
+            slot,
+            value,
+            body: Box::new(lower_sweeps(*body)),
+        },
+        RGExpr::LetIndexed {
+            slot,
+            indices,
+            value,
+            body,
+        } => RGExpr::LetIndexed {
+            slot,
+            indices,
+            value,
+            body: Box::new(lower_sweeps(*body)),
+        },
+        RGExpr::LetSample { slot, dist, body } => RGExpr::LetSample {
+            slot,
+            dist,
+            body: Box::new(lower_sweeps(*body)),
+        },
+        RGExpr::Observe { dist, value, body } => RGExpr::Observe {
+            dist,
+            value,
+            body: Box::new(lower_sweeps(*body)),
+        },
+        RGExpr::Factor { value, body } => RGExpr::Factor {
+            value,
+            body: Box::new(lower_sweeps(*body)),
+        },
+        RGExpr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => RGExpr::If {
+            cond,
+            then_branch: Box::new(lower_sweeps(*then_branch)),
+            else_branch: Box::new(lower_sweeps(*else_branch)),
+        },
+        RGExpr::LetLoop {
+            kind,
+            loop_body,
+            body,
+        } => {
+            let loop_body = Box::new(lower_sweeps(*loop_body));
+            let body = Box::new(lower_sweeps(*body));
+            match match_sweep(&kind, &loop_body) {
+                Some(sweep) => RGExpr::ObserveSweep {
+                    sweep,
+                    fallback: Box::new(RGExpr::LetLoop {
+                        kind,
+                        loop_body,
+                        body: Box::new(RGExpr::Unit),
+                    }),
+                    body,
+                },
+                None => RGExpr::LetLoop {
+                    kind,
+                    loop_body,
+                    body,
+                },
+            }
+        }
+        // Lowering runs on freshly resolved bodies; sweeps don't pre-exist.
+        RGExpr::ObserveSweep { .. } => e,
     }
 }
 
@@ -753,6 +1112,148 @@ mod tests {
         };
         assert_eq!(view.get_var("x"), Some(&Value::Int(1)));
         assert_eq!(view.get_var("nope"), None);
+    }
+
+    /// `for (i in 1:N) x[i] ~ bernoulli(z)` as a compiled loop.
+    fn observe_loop(target: Expr, args: Vec<Expr>, dist: &str) -> GExpr {
+        GExpr::LetLoop {
+            kind: crate::ir::LoopKind::Range {
+                var: "i".into(),
+                lo: Expr::IntLit(1),
+                hi: Expr::var("N"),
+            },
+            state: vec![],
+            loop_body: Box::new(GExpr::Observe {
+                dist: DistCall::new(dist, args),
+                value: target,
+                body: Box::new(GExpr::Unit),
+            }),
+            body: Box::new(GExpr::Unit),
+        }
+    }
+
+    fn idx(base: &str, index: Expr) -> Expr {
+        Expr::Index(Box::new(Expr::var(base)), vec![index])
+    }
+
+    #[test]
+    fn affine_observe_loops_lower_to_sweeps() {
+        // Direct index, invariant argument.
+        let program = GProbProgram {
+            body: observe_loop(idx("x", Expr::var("i")), vec![Expr::var("z")], "bernoulli"),
+            ..Default::default()
+        };
+        let resolved = resolve_program(&program);
+        assert_eq!(count_sweeps(&resolved.body), 1);
+        match &resolved.body {
+            RGExpr::ObserveSweep {
+                sweep, fallback, ..
+            } => {
+                assert_eq!(sweep.kind, DistKind::Bernoulli);
+                assert_eq!(sweep.target.offset, 0);
+                assert_eq!(sweep.loop_slot, resolved.slot_of("i").unwrap());
+                assert!(matches!(sweep.args[0], SweepArgSpec::Invariant(_)));
+                // The scalar loop is retained for runtime fallback.
+                assert!(matches!(**fallback, RGExpr::LetLoop { .. }));
+            }
+            other => panic!("expected sweep, got {other:?}"),
+        }
+        // The scalar configuration keeps the loop.
+        let scalar = resolve_program_scalar(&program);
+        assert_eq!(count_sweeps(&scalar.body), 0);
+        assert!(!scalar.fused);
+        // Lagged (offset) reads inside a compound argument lower too.
+        let lag = Expr::Binary(
+            stan_frontend::ast::BinOp::Add,
+            Box::new(Expr::var("alpha")),
+            Box::new(idx(
+                "y",
+                Expr::Binary(
+                    stan_frontend::ast::BinOp::Sub,
+                    Box::new(Expr::var("i")),
+                    Box::new(Expr::IntLit(1)),
+                ),
+            )),
+        );
+        let program = GProbProgram {
+            body: observe_loop(
+                idx("y", Expr::var("i")),
+                vec![lag, Expr::var("s")],
+                "normal",
+            ),
+            ..Default::default()
+        };
+        let resolved = resolve_program(&program);
+        assert_eq!(count_sweeps(&resolved.body), 1);
+        match &resolved.body {
+            RGExpr::ObserveSweep { sweep, .. } => {
+                assert!(matches!(sweep.args[0], SweepArgSpec::Elementwise(_)));
+                assert!(matches!(sweep.args[1], SweepArgSpec::Invariant(_)));
+            }
+            other => panic!("expected sweep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_matching_loops_decline_to_lower() {
+        // Non-affine (indirect) target index: x[idx[i]].
+        let indirect = GProbProgram {
+            body: observe_loop(
+                idx("x", idx("idx", Expr::var("i"))),
+                vec![Expr::var("z")],
+                "bernoulli",
+            ),
+            ..Default::default()
+        };
+        assert_eq!(count_sweeps(&resolve_program(&indirect).body), 0);
+        // Loop variable used as a value (not an index) in an argument.
+        let value_use = GProbProgram {
+            body: observe_loop(idx("x", Expr::var("i")), vec![Expr::var("i")], "poisson"),
+            ..Default::default()
+        };
+        assert_eq!(count_sweeps(&resolve_program(&value_use).body), 0);
+        // Unsupported family.
+        let unsupported = GProbProgram {
+            body: observe_loop(
+                idx("x", Expr::var("i")),
+                vec![Expr::RealLit(1.0), Expr::RealLit(1.0)],
+                "beta",
+            ),
+            ..Default::default()
+        };
+        assert_eq!(count_sweeps(&resolve_program(&unsupported).body), 0);
+        // Multi-statement body (assignment before the observe).
+        let multi = GProbProgram {
+            body: GExpr::LetLoop {
+                kind: crate::ir::LoopKind::Range {
+                    var: "i".into(),
+                    lo: Expr::IntLit(1),
+                    hi: Expr::var("N"),
+                },
+                state: vec!["m".into()],
+                loop_body: Box::new(GExpr::LetDet {
+                    name: "m".into(),
+                    value: Expr::var("i"),
+                    body: Box::new(GExpr::Observe {
+                        dist: DistCall::new("normal", vec![Expr::var("m"), Expr::RealLit(1.0)]),
+                        value: idx("x", Expr::var("i")),
+                        body: Box::new(GExpr::Unit),
+                    }),
+                }),
+                body: Box::new(GExpr::Unit),
+            },
+            ..Default::default()
+        };
+        assert_eq!(count_sweeps(&resolve_program(&multi).body), 0);
+        // The loop variable's slot is still a written slot after lowering
+        // (sweeps clear it on completion, like the loop they replace).
+        let program = GProbProgram {
+            body: observe_loop(idx("x", Expr::var("i")), vec![Expr::var("z")], "bernoulli"),
+            ..Default::default()
+        };
+        let resolved = resolve_program(&program);
+        let i = resolved.slot_of("i").unwrap();
+        assert!(resolved.written_slots.contains(&i));
     }
 
     #[test]

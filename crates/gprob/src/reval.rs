@@ -18,15 +18,17 @@ use minidiff::Real;
 use rand::rngs::StdRng;
 use stan_frontend::ast::FunDecl;
 
+use probdist::sweep::{lpdf_sweep, SweepArg, SweepVals};
+
 use crate::eval::{
-    call_builtin, call_user_function, eval_binary, eval_unary, set_nested, slice_value, EvalCtx,
-    ExternalFns,
+    call_builtin, call_user_function, eval_binary, eval_unary, set_nested, slice_value,
+    tilde_lpdf_kind_batched, EvalCtx, ExternalFns,
 };
 
 use crate::interp::draw_site;
 use crate::resolved::{
     CallTarget, Frame, FrameView, RDecl, RDeclKind, RDistCall, RExpr, RGExpr, RIndex, RLoopKind,
-    ResolvedProgram,
+    RSweep, ResolvedProgram, SweepArgSpec,
 };
 use crate::value::{RuntimeError, Value};
 
@@ -278,15 +280,38 @@ pub enum RMode<'a, T: Real> {
 
 /// Scores `value ~ dist(args)` through the kind resolved at compile time,
 /// falling back to the name-matching path (and its "unknown distribution"
-/// error) only for unresolved families.
+/// error) only for unresolved families. When the program was resolved with
+/// batching (`fused`), vectorized statements go through the sweep kernels
+/// ([`tilde_lpdf_kind_batched`]); the scalar configuration keeps the
+/// element-wise path for differential comparison.
 fn score_tilde<T: Real, V: std::borrow::Borrow<Value<T>>>(
     dist: &RDistCall,
     value: &Value<T>,
     args: &[V],
+    fused: bool,
 ) -> Result<T, RuntimeError> {
     match dist.kind {
+        Some(kind) if fused => tilde_lpdf_kind_batched(value, kind, args),
         Some(kind) => crate::eval::tilde_lpdf_kind(value, kind, args),
         None => crate::eval::tilde_lpdf(value, &dist.name, args),
+    }
+}
+
+/// Borrows the 1-based inclusive window `[lo+offset, hi+offset]` of a flat
+/// container as a contiguous slice, or `None` when the value is not a flat
+/// container or the window is out of bounds (the scalar fallback then owns
+/// the error reporting).
+fn slice_window<T: Real>(v: &Value<T>, lo: i64, hi: i64, offset: i64) -> Option<SweepVals<'_, T>> {
+    let start = lo + offset;
+    let end = hi + offset;
+    if start < 1 {
+        return None;
+    }
+    let (s, e) = ((start - 1) as usize, end as usize);
+    match v {
+        Value::Vector(x) if e <= x.len() => Some(SweepVals::Reals(&x[s..e])),
+        Value::IntArray(x) if e <= x.len() => Some(SweepVals::Ints(&x[s..e])),
+        _ => None,
     }
 }
 
@@ -402,9 +427,30 @@ impl<'a, T: Real> RInterp<'a, T> {
                 let score = {
                     let observed = reval_ref(value, frame, self.ctx)?;
                     let args = self.eval_dist_args(dist, frame)?;
-                    score_tilde(dist, observed.as_value(), &args)?
+                    score_tilde(dist, observed.as_value(), &args, self.fused())?
                 };
                 self.score = self.score + score;
+                self.eval(body, frame)
+            }
+            RGExpr::ObserveSweep {
+                sweep,
+                fallback,
+                body,
+            } => {
+                match self.try_sweep(sweep, frame) {
+                    Some(score) => {
+                        self.score = self.score + score;
+                        // The scalar loop clears its loop variable on exit;
+                        // the lowered sweep preserves that.
+                        frame.clear(sweep.loop_slot);
+                    }
+                    // Shapes (or an evaluation error) didn't admit the
+                    // batched path: run the original loop, which reproduces
+                    // the scalar result or error exactly.
+                    None => {
+                        self.eval(fallback, frame)?;
+                    }
+                }
                 self.eval(body, frame)
             }
             RGExpr::Factor { value, body } => {
@@ -480,6 +526,104 @@ impl<'a, T: Real> RInterp<'a, T> {
             .collect()
     }
 
+    fn fused(&self) -> bool {
+        self.ctx.resolved.fused
+    }
+
+    /// Attempts the batched evaluation of a lowered observation sweep.
+    ///
+    /// Returns the sweep's total log score, or `None` when the runtime
+    /// shapes don't admit slice borrowing — a non-vector target, an
+    /// out-of-window affine index, a non-scalar invariant argument, or any
+    /// evaluation error — in which case the caller re-runs the retained
+    /// scalar loop (which reproduces the exact scalar result or error).
+    ///
+    /// Evaluation order differs from the scalar loop only in grouping (all
+    /// elements of one argument before the next); every evaluated expression
+    /// is pure, so the observable semantics are identical.
+    fn try_sweep(&self, sweep: &RSweep, frame: &mut Frame<T>) -> Option<T> {
+        let lo = reval_expr(&sweep.lo, frame, self.ctx).ok()?.as_int().ok()?;
+        let hi = reval_expr(&sweep.hi, frame, self.ctx).ok()?.as_int().ok()?;
+        if hi < lo {
+            // Empty range: the scalar loop scores nothing (and still clears
+            // the loop variable, which our caller does).
+            return Some(T::from_f64(0.0));
+        }
+        let n = (hi - lo + 1) as usize;
+
+        // 1. Materialize invariant and element-wise arguments. Element-wise
+        //    evaluation binds the loop slot per element, exactly like the
+        //    scalar loop body would.
+        enum OwnedArg<T: Real> {
+            Scalar(T),
+            Elems(Vec<T>),
+            Indexed,
+        }
+        // The lowering pass only builds sweeps with <= 3 arguments (the
+        // widest kernel arity), so everything below the per-element scratch
+        // fits fixed-size buffers — no per-evaluation Vec for the argument
+        // bookkeeping itself.
+        let k = sweep.args.len();
+        debug_assert!(k <= 3, "lowering admits at most 3 sweep arguments");
+        if k > 3 {
+            return None;
+        }
+        let mut owned: [OwnedArg<T>; 3] = [OwnedArg::Indexed, OwnedArg::Indexed, OwnedArg::Indexed];
+        for (spec, slot) in sweep.args.iter().zip(owned.iter_mut()) {
+            match spec {
+                SweepArgSpec::Invariant(e) => {
+                    match reval_expr(e, frame, self.ctx).ok()? {
+                        Value::Real(x) => *slot = OwnedArg::Scalar(x),
+                        Value::Int(i) => *slot = OwnedArg::Scalar(T::from_f64(i as f64)),
+                        // Container-valued invariant arguments error on the
+                        // scalar path for these families; let it report.
+                        _ => return None,
+                    }
+                }
+                SweepArgSpec::Elementwise(e) => {
+                    let mut buf = Vec::with_capacity(n);
+                    for v in lo..=hi {
+                        frame.set(sweep.loop_slot, Value::Int(v));
+                        buf.push(reval_expr(e, frame, self.ctx).ok()?.as_real().ok()?);
+                    }
+                    *slot = OwnedArg::Elems(buf);
+                }
+                SweepArgSpec::Indexed(_) => {}
+            }
+        }
+
+        // 2. Borrow the target window and the directly indexed argument
+        //    windows as contiguous slices (no per-element RefValue
+        //    indexing). The frame is read-only from here on.
+        let frame_ro: &Frame<T> = frame;
+        let target_base = reval_ref(&sweep.target.base, frame_ro, self.ctx).ok()?;
+        let xs = slice_window(target_base.as_value(), lo, hi, sweep.target.offset)?;
+        let mut indexed: [Option<RefValue<T>>; 3] = [None, None, None];
+        for (spec, slot) in sweep.args.iter().zip(indexed.iter_mut()) {
+            if let SweepArgSpec::Indexed(access) = spec {
+                *slot = Some(reval_ref(&access.base, frame_ro, self.ctx).ok()?);
+            }
+        }
+        let zero = T::from_f64(0.0);
+        let mut args: [SweepArg<T>; 3] = [SweepArg::Scalar(zero); 3];
+        for (j, spec) in sweep.args.iter().enumerate() {
+            args[j] = match (spec, &owned[j], &indexed[j]) {
+                (_, OwnedArg::Scalar(x), _) => SweepArg::Scalar(*x),
+                (_, OwnedArg::Elems(buf), _) => SweepArg::Reals(buf),
+                (SweepArgSpec::Indexed(access), OwnedArg::Indexed, Some(base)) => {
+                    match slice_window(base.as_value(), lo, hi, access.offset)? {
+                        SweepVals::Reals(v) => SweepArg::Reals(v),
+                        SweepVals::Ints(v) => SweepArg::Ints(v),
+                    }
+                }
+                _ => return None,
+            };
+        }
+
+        // 3. One fused kernel call for the whole sweep.
+        lpdf_sweep(sweep.kind, xs, &args[..k]).ok()
+    }
+
     fn handle_sample(
         &mut self,
         slot: u32,
@@ -495,7 +639,7 @@ impl<'a, T: Real> RInterp<'a, T> {
                     ))
                 })?;
                 let args = self.eval_dist_args(dist, frame)?;
-                let score = score_tilde(dist, value, &args)?;
+                let score = score_tilde(dist, value, &args, self.fused())?;
                 self.score = self.score + score;
                 self.site_score = self.site_score + score;
                 // The clone binds the traced value into the frame; the trace
@@ -514,7 +658,7 @@ impl<'a, T: Real> RInterp<'a, T> {
                     dims.push(reval_expr(s, frame, self.ctx)?.as_int()?);
                 }
                 let value = draw_site(&dist.name, &args, &dims, rng, reparam)?;
-                let score = score_tilde(dist, &value, &args)?;
+                let score = score_tilde(dist, &value, &args, self.fused())?;
                 self.score = self.score + score;
                 self.site_score = self.site_score + score;
                 Ok(value)
@@ -610,6 +754,58 @@ mod tests {
             assert!((0.0..=1.0).contains(&z));
             assert!(run.score.is_finite());
         }
+    }
+
+    #[test]
+    fn lowered_sweeps_match_the_scalar_loop_and_fall_back_on_bad_windows() {
+        let program = coin_program();
+        let fused = resolve_program(&program);
+        let scalar = crate::resolved::resolve_program_scalar(&program);
+        assert_eq!(crate::resolved::count_sweeps(&fused.body), 1);
+        assert_eq!(crate::resolved::count_sweeps(&scalar.body), 0);
+        let mut data: Env<f64> = Env::new();
+        data.insert("N".into(), Value::Int(4));
+        data.insert("x".into(), Value::IntArray(vec![1, 0, 1, 1]));
+        let run_on = |resolved: &crate::resolved::ResolvedProgram| {
+            let mut frame = resolved.frame_from_env(&data);
+            let mut trace = resolved.frame::<f64>();
+            trace.set(resolved.slot_of("z").unwrap(), Value::Real(0.7));
+            let ctx = RCtx::new(resolved, &[], &crate::eval::NoExternals);
+            let mut interp = RInterp::new(&ctx, RMode::Trace(&trace));
+            let run = interp.run(&resolved.body, &mut frame).unwrap();
+            // Loop variable cleared on both paths.
+            assert!(frame.get(resolved.slot_of("i").unwrap()).is_none());
+            run.score
+        };
+        let a = run_on(&fused);
+        let b = run_on(&scalar);
+        assert!((a - b).abs() < 1e-15, "{a} vs {b}");
+        // Out-of-window bounds (N larger than the data vector): the sweep
+        // falls back to the scalar loop, which reports the scalar error.
+        data.insert("N".into(), Value::Int(9));
+        let err_fused = {
+            let mut frame = fused.frame_from_env(&data);
+            let mut trace = fused.frame::<f64>();
+            trace.set(fused.slot_of("z").unwrap(), Value::Real(0.7));
+            let ctx = RCtx::new(&fused, &[], &crate::eval::NoExternals);
+            let mut interp = RInterp::new(&ctx, RMode::Trace(&trace));
+            interp.run(&fused.body, &mut frame).unwrap_err()
+        };
+        assert!(
+            err_fused.message().contains("out of bounds"),
+            "{}",
+            err_fused.message()
+        );
+        // Empty ranges score nothing and still clear the loop slot.
+        data.insert("N".into(), Value::Int(0));
+        let mut frame = fused.frame_from_env(&data);
+        let mut trace = fused.frame::<f64>();
+        trace.set(fused.slot_of("z").unwrap(), Value::Real(0.7));
+        let ctx = RCtx::new(&fused, &[], &crate::eval::NoExternals);
+        let mut interp = RInterp::new(&ctx, RMode::Trace(&trace));
+        let run = interp.run(&fused.body, &mut frame).unwrap();
+        assert!(run.score.is_finite());
+        assert!(frame.get(fused.slot_of("i").unwrap()).is_none());
     }
 
     #[test]

@@ -109,6 +109,106 @@ pub fn multi_ess(chains: &[&[f64]]) -> f64 {
     chains.iter().map(|c| ess(c)).sum()
 }
 
+/// Rank-normalizes draws pooled across chains (Vehtari et al. 2021, "Rank-
+/// normalization, folding, and localization"): each draw is replaced by
+/// `Φ⁻¹((r − 3/8) / (S + 1/4))` where `r` is its average rank among all `S`
+/// pooled draws (ties share their average rank). The transform makes the
+/// classic diagnostics robust to heavy tails and non-normal marginals.
+pub fn rank_normalize(chains: &[&[f64]]) -> Vec<Vec<f64>> {
+    let total: usize = chains.iter().map(|c| c.len()).sum();
+    // Sort (value, chain, position) triples to assign pooled ranks.
+    let mut order: Vec<(f64, usize, usize)> = Vec::with_capacity(total);
+    for (ci, c) in chains.iter().enumerate() {
+        for (ti, &x) in c.iter().enumerate() {
+            order.push((x, ci, ti));
+        }
+    }
+    order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out: Vec<Vec<f64>> = chains.iter().map(|c| vec![0.0; c.len()]).collect();
+    let s = total as f64;
+    let mut i = 0;
+    while i < order.len() {
+        // Average rank over the tie run [i, j).
+        let mut j = i + 1;
+        while j < order.len() && order[j].0 == order[i].0 {
+            j += 1;
+        }
+        // 1-based ranks i+1 ..= j averaged.
+        let rank = (i + 1 + j) as f64 / 2.0;
+        let z = minidiff::special::inv_std_normal_cdf((rank - 0.375) / (s + 0.25));
+        for &(_, ci, ti) in &order[i..j] {
+            out[ci][ti] = z;
+        }
+        i = j;
+    }
+    out
+}
+
+/// Rank-normalized split-R̂ (Vehtari et al. 2021): the maximum of the
+/// classic split-R̂ computed on rank-normalized draws (bulk) and on
+/// rank-normalized *folded* draws `|x − median|` (tails). Reported next to
+/// the classic statistic on `Fit`; the recommended convergence threshold is
+/// 1.01.
+pub fn rank_normalized_split_rhat(chains: &[&[f64]]) -> f64 {
+    let bulk = {
+        let z = rank_normalize(chains);
+        let views: Vec<&[f64]> = z.iter().map(|c| c.as_slice()).collect();
+        multi_split_rhat(&views)
+    };
+    let folded = {
+        let med = pooled_quantile(chains, 0.5);
+        let folded: Vec<Vec<f64>> = chains
+            .iter()
+            .map(|c| c.iter().map(|x| (x - med).abs()).collect())
+            .collect();
+        let fviews: Vec<&[f64]> = folded.iter().map(|c| c.as_slice()).collect();
+        let z = rank_normalize(&fviews);
+        let views: Vec<&[f64]> = z.iter().map(|c| c.as_slice()).collect();
+        multi_split_rhat(&views)
+    };
+    bulk.max(folded)
+}
+
+/// Tail effective sample size (Vehtari et al. 2021): the minimum of the
+/// effective sample sizes of the 5% and 95% quantile estimates, each
+/// computed from the indicator chains `I(x ≤ q̂)`. Low tail-ESS flags
+/// unreliable credible-interval endpoints even when the bulk mixes well.
+pub fn tail_ess(chains: &[&[f64]]) -> f64 {
+    // Degenerate draws (a stuck sampler, or all chains frozen at one value)
+    // carry no tail information at all: report NaN rather than letting the
+    // constant indicator chains hit `ess`'s var<=0 branch and certify the
+    // most pathological run as maximally healthy.
+    let lo = pooled_quantile(chains, 0.0);
+    let hi = pooled_quantile(chains, 1.0);
+    if lo >= hi || lo.is_nan() || hi.is_nan() {
+        return f64::NAN;
+    }
+    let mut worst = f64::INFINITY;
+    for q in [0.05, 0.95] {
+        let cut = pooled_quantile(chains, q);
+        let indicators: Vec<Vec<f64>> = chains
+            .iter()
+            .map(|c| c.iter().map(|&x| f64::from(x <= cut)).collect())
+            .collect();
+        let views: Vec<&[f64]> = indicators.iter().map(|c| c.as_slice()).collect();
+        worst = worst.min(multi_ess(&views));
+    }
+    worst
+}
+
+/// Empirical quantile of the pooled draws (linear interpolation).
+fn pooled_quantile(chains: &[&[f64]], q: f64) -> f64 {
+    let mut pooled: Vec<f64> = chains.iter().flat_map(|c| c.iter().copied()).collect();
+    if pooled.is_empty() {
+        return f64::NAN;
+    }
+    pooled.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q * (pooled.len() - 1) as f64;
+    let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
+    let frac = pos - lo as f64;
+    pooled[lo] * (1.0 - frac) + pooled[hi] * frac
+}
+
 /// Effective sample size from the initial-monotone-sequence estimator over
 /// lag-autocorrelations (a simplified version of Stan's ESS).
 pub fn ess(chain: &[f64]) -> f64 {
@@ -208,6 +308,82 @@ mod tests {
         // Degenerate inputs stay defined.
         assert!(multi_split_rhat(&[]).is_nan());
         assert!(multi_split_rhat(&[&[1.0, 2.0][..]]).is_nan());
+    }
+
+    #[test]
+    fn rank_normalization_is_monotone_and_standardized() {
+        let a: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64).collect();
+        let b: Vec<f64> = (0..500).map(|i| ((i * 53) % 97) as f64).collect();
+        let z = rank_normalize(&[&a, &b]);
+        assert_eq!(z.len(), 2);
+        assert_eq!(z[0].len(), 500);
+        // Order preserved within a chain.
+        for i in 1..500 {
+            assert_eq!(a[i] > a[i - 1], z[0][i] > z[0][i - 1] || a[i] == a[i - 1]);
+        }
+        // Pooled transform is roughly standard normal.
+        let pooled: Vec<f64> = z.iter().flatten().copied().collect();
+        let mean = pooled.iter().sum::<f64>() / pooled.len() as f64;
+        let var = pooled.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / pooled.len() as f64;
+        assert!(mean.abs() < 1e-3, "{mean}");
+        assert!((var - 1.0).abs() < 0.05, "{var}");
+        // Ties share a rank: identical inputs map to identical z-scores.
+        let t = [1.0, 2.0, 2.0, 3.0];
+        let zt = rank_normalize(&[&t]);
+        assert_eq!(zt[0][1], zt[0][2]);
+    }
+
+    #[test]
+    fn rank_normalized_rhat_detects_disagreement_and_survives_heavy_tails() {
+        let a: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
+        let b: Vec<f64> = (0..500).map(|i| ((i * 53) % 97) as f64 / 97.0).collect();
+        let same = rank_normalized_split_rhat(&[&a, &b]);
+        assert!((same - 1.0).abs() < 0.1, "{same}");
+        // Disjoint chains: the rank transform caps how far apart they can
+        // look (all mass in opposite tails), but the statistic is still far
+        // above the 1.01 convergence threshold.
+        let stuck: Vec<f64> = a.iter().map(|x| x + 10.0).collect();
+        assert!(rank_normalized_split_rhat(&[&a, &stuck]) > 1.5);
+        // A Cauchy-tailed transform keeps the statistic finite and near 1
+        // for well-mixed chains (the rank transform absorbs the tails).
+        let heavy_a: Vec<f64> = a
+            .iter()
+            .map(|u| ((u - 0.5) * std::f64::consts::PI * 0.98).tan())
+            .collect();
+        let heavy_b: Vec<f64> = b
+            .iter()
+            .map(|u| ((u - 0.5) * std::f64::consts::PI * 0.98).tan())
+            .collect();
+        let r = rank_normalized_split_rhat(&[&heavy_a, &heavy_b]);
+        assert!(r.is_finite() && (r - 1.0).abs() < 0.15, "{r}");
+    }
+
+    #[test]
+    fn tail_ess_flags_sticky_tails() {
+        let iid: Vec<f64> = (0..2000)
+            .map(|i| (((i * 2654435761_u64) % 1000) as f64) / 1000.0)
+            .collect();
+        let healthy = tail_ess(&[&iid]);
+        assert!(healthy > 500.0, "{healthy}");
+        // A chain that visits its lower tail in one long excursion (150
+        // consecutive draws pinned at the minimum) has a strongly
+        // autocorrelated tail indicator and a much lower tail-ESS, even
+        // though the bulk is the same iid stream.
+        let sticky: Vec<f64> = (0..2000)
+            .map(|i| {
+                if i < 150 {
+                    0.0
+                } else {
+                    0.1 + 0.9 * (((i * 2654435761_u64) % 1000) as f64) / 1000.0
+                }
+            })
+            .collect();
+        assert!(tail_ess(&[&sticky]) < healthy / 2.0);
+        // A fully stuck sampler (constant draws) has no tail information:
+        // NaN, not a glowing full-length ESS.
+        let stuck = vec![1.5; 400];
+        assert!(tail_ess(&[&stuck, &stuck]).is_nan());
+        assert!(tail_ess(&[]).is_nan());
     }
 
     #[test]

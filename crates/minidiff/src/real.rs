@@ -32,10 +32,22 @@ pub trait Real:
     + Div<Output = Self>
     + Neg<Output = Self>
 {
+    /// Whether this scalar type records reverse-mode gradients at all
+    /// (`true` for [`Var`], `false` for `f64`). Batched kernels use this to
+    /// skip partial-derivative bookkeeping entirely on the plain path.
+    const TRACKED: bool;
     /// Lifts an untracked constant into the scalar type.
     fn from_f64(v: f64) -> Self;
     /// The current primal value.
     fn value(self) -> f64;
+    /// Whether *this value* participates in gradient tracking (`false` for
+    /// `f64` and for [`Var`] constants).
+    fn is_tracked_value(&self) -> bool;
+    /// Builds a scalar from a precomputed primal `value` and analytic
+    /// partial derivatives with respect to `parents` — the fused
+    /// multi-parent reverse-mode node ([`Var::fused`]). The `f64`
+    /// implementation ignores the parents and returns `value`.
+    fn fused(value: f64, parents: &[Self], partials: &[f64]) -> Self;
     /// Natural logarithm.
     fn ln(self) -> Self;
     /// `ln(1 + x)`.
@@ -69,11 +81,18 @@ pub trait Real:
 }
 
 impl Real for f64 {
+    const TRACKED: bool = false;
     fn from_f64(v: f64) -> Self {
         v
     }
     fn value(self) -> f64 {
         self
+    }
+    fn is_tracked_value(&self) -> bool {
+        false
+    }
+    fn fused(value: f64, _parents: &[Self], _partials: &[f64]) -> Self {
+        value
     }
     fn ln(self) -> Self {
         f64::ln(self)
@@ -123,11 +142,18 @@ impl Real for f64 {
 }
 
 impl Real for Var {
+    const TRACKED: bool = true;
     fn from_f64(v: f64) -> Self {
         Var::constant(v)
     }
     fn value(self) -> f64 {
         Var::value(self)
+    }
+    fn is_tracked_value(&self) -> bool {
+        self.is_tracked()
+    }
+    fn fused(value: f64, parents: &[Self], partials: &[f64]) -> Self {
+        Var::fused(value, parents, partials)
     }
     fn ln(self) -> Self {
         Var::ln(self)

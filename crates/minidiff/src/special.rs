@@ -106,6 +106,64 @@ pub fn std_normal_cdf(x: f64) -> f64 {
     0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
 }
 
+/// Inverse of the standard normal CDF (the probit function Φ⁻¹), via
+/// Acklam's rational approximation (|relative err| < 1.15e-9), used by the
+/// rank-normalization step of the Vehtari et al. (2021) convergence
+/// diagnostics.
+pub fn inv_std_normal_cdf(p: f64) -> f64 {
+    if !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p > 1.0 - P_LOW {
+        -inv_std_normal_cdf(1.0 - p)
+    } else {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +198,22 @@ mod tests {
         let v = log_sum_exp(&[1000.0, 1000.0]);
         assert!((v - (1000.0 + 2f64.ln())).abs() < 1e-9);
         assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn inv_std_normal_cdf_matches_known_quantiles() {
+        assert!((inv_std_normal_cdf(0.5)).abs() < 1e-9);
+        assert!((inv_std_normal_cdf(0.975) - 1.959_963_984_540_054).abs() < 1e-8);
+        assert!((inv_std_normal_cdf(0.025) + 1.959_963_984_540_054).abs() < 1e-8);
+        assert!((inv_std_normal_cdf(0.001) + 3.090_232_306_167_813).abs() < 1e-8);
+        assert_eq!(inv_std_normal_cdf(0.0), f64::NEG_INFINITY);
+        assert_eq!(inv_std_normal_cdf(1.0), f64::INFINITY);
+        assert!(inv_std_normal_cdf(-0.1).is_nan());
+        // Round trip through the (approximate) forward CDF.
+        for &p in &[0.01, 0.2, 0.5, 0.8, 0.99] {
+            let z = inv_std_normal_cdf(p);
+            assert!((std_normal_cdf(z) - p).abs() < 1e-6, "p={p}");
+        }
     }
 
     #[test]

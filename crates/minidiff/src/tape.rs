@@ -17,11 +17,25 @@ use crate::var::Var;
 /// Sentinel parent index meaning "no parent / constant".
 pub(crate) const NO_PARENT: u32 = u32::MAX;
 
+/// Sentinel in `parents[0]` marking a *wide* node: `parents[1]` is then an
+/// index into [`Tape::wide_spans`], whose segment of `(parent, partial)`
+/// pairs replaces the inline two-parent storage. Wide nodes are what batched
+/// density kernels push: one node per `observe` sweep with one entry per
+/// tracked input, instead of O(elements × operations) ordinary nodes.
+pub(crate) const WIDE: u32 = u32::MAX - 1;
+
 /// One recorded operation: parent indices and ∂output/∂parent.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Node {
     pub parents: [u32; 2],
     pub partials: [f64; 2],
+}
+
+/// A `(start, len)` window into the wide parent/partial side tables.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WideSpan {
+    start: u32,
+    len: u32,
 }
 
 /// A growable record of all operations performed on tracked variables.
@@ -32,12 +46,19 @@ pub(crate) struct Node {
 #[derive(Debug, Default)]
 pub struct Tape {
     pub(crate) nodes: Vec<Node>,
+    /// Spans of the wide (fused multi-parent) nodes.
+    wide_spans: Vec<WideSpan>,
+    /// Flattened parent indices of all wide nodes.
+    wide_parents: Vec<u32>,
+    /// Flattened ∂output/∂parent of all wide nodes, parallel to
+    /// `wide_parents`.
+    wide_partials: Vec<f64>,
 }
 
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Tape { nodes: Vec::new() }
+        Tape::default()
     }
 
     /// Number of recorded nodes.
@@ -77,6 +98,34 @@ impl Tape {
         idx
     }
 
+    /// Pushes a fused multi-parent node: the node's adjoint flows to each
+    /// `(parent, partial)` pair in the iterator. One sweep of N batched
+    /// observations costs one node plus one span entry per tracked input,
+    /// where the scalar path costs several nodes per element.
+    pub(crate) fn push_wide(&mut self, pairs: impl Iterator<Item = (u32, f64)>) -> u32 {
+        let start = self.wide_parents.len() as u32;
+        for (p, d) in pairs {
+            self.wide_parents.push(p);
+            self.wide_partials.push(d);
+        }
+        let len = self.wide_parents.len() as u32 - start;
+        let span_idx = self.wide_spans.len() as u32;
+        self.wide_spans.push(WideSpan { start, len });
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            parents: [WIDE, span_idx],
+            partials: [0.0, 0.0],
+        });
+        idx
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.nodes.clear();
+        self.wide_spans.clear();
+        self.wide_parents.clear();
+        self.wide_partials.clear();
+    }
+
     /// Reverse sweep from `output`, returning adjoints for every node.
     pub(crate) fn adjoints(&self, output: Var) -> Vec<f64> {
         let mut adj = vec![0.0; self.nodes.len()];
@@ -94,6 +143,17 @@ impl Tape {
                 continue;
             }
             let node = self.nodes[i];
+            if node.parents[0] == WIDE {
+                let span = self.wide_spans[node.parents[1] as usize];
+                let (s, e) = (span.start as usize, (span.start + span.len) as usize);
+                for (p, d) in self.wide_parents[s..e]
+                    .iter()
+                    .zip(&self.wide_partials[s..e])
+                {
+                    adj[*p as usize] += d * a;
+                }
+                continue;
+            }
             for k in 0..2 {
                 let p = node.parents[k];
                 if p != NO_PARENT {
@@ -112,7 +172,7 @@ thread_local! {
 /// Clears the thread-local tape. Call before starting a fresh gradient
 /// computation; all previously created [`Var`] handles become invalid.
 pub fn reset() {
-    TAPE.with(|t| t.borrow_mut().nodes.clear());
+    TAPE.with(|t| t.borrow_mut().clear());
 }
 
 /// Number of nodes currently recorded on the thread-local tape.
@@ -188,6 +248,36 @@ mod tests {
         let g = grad(y, &[a, b]);
         assert_eq!(g[1], 0.0);
         assert!((g[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_nodes_backpropagate_their_analytic_partials() {
+        reset();
+        let a = Var::new(2.0);
+        let b = Var::new(3.0);
+        let c = Var::constant(5.0);
+        // y = a*b + c computed out-of-band; analytic partials [b, a, 1].
+        let y = Var::fused(2.0 * 3.0 + 5.0, &[a, b, c], &[3.0, 2.0, 1.0]);
+        assert_eq!(y.value(), 11.0);
+        // One wide node on top of the two leaves — not one node per op.
+        assert_eq!(tape_len(), 3);
+        let g = grad(y, &[a, b]);
+        assert_eq!(g, vec![3.0, 2.0]);
+        // Wide nodes compose with ordinary arithmetic.
+        let z = y * a;
+        let g = grad(z, &[a, b]);
+        assert!((g[0] - (3.0 * 2.0 + 11.0)).abs() < 1e-12);
+        assert!((g[1] - 2.0 * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_constant_fused_nodes_stay_off_the_tape() {
+        reset();
+        let c = Var::constant(1.0);
+        let y = Var::fused(4.0, &[c], &[9.0]);
+        assert_eq!(y.value(), 4.0);
+        assert_eq!(tape_len(), 0);
+        assert_eq!(grad(y, &[c]), vec![0.0]);
     }
 
     #[test]

@@ -52,6 +52,45 @@ impl Var {
         self.val
     }
 
+    /// Whether this handle refers to a tape node (constants do not).
+    pub fn is_tracked(self) -> bool {
+        self.idx != NO_PARENT
+    }
+
+    /// Builds a tracked scalar from a precomputed primal `value` and
+    /// *analytic* partial derivatives with respect to `parents` — a fused
+    /// multi-parent tape node.
+    ///
+    /// This is the reverse-mode primitive batched density kernels use: the
+    /// whole batched computation is evaluated in plain `f64`, its reverse
+    /// rule is written analytically, and the tape records a single node with
+    /// one `(parent, partial)` entry per tracked input instead of one node
+    /// per scalar operation. Constant parents are skipped; if no parent is
+    /// tracked the result is a constant (no tape growth).
+    ///
+    /// # Panics
+    /// Panics if `parents` and `partials` have different lengths.
+    pub fn fused(value: f64, parents: &[Var], partials: &[f64]) -> Var {
+        assert_eq!(
+            parents.len(),
+            partials.len(),
+            "fused node parents/partials length mismatch"
+        );
+        if !parents.iter().any(|p| p.idx != NO_PARENT) {
+            return Var::constant(value);
+        }
+        let idx = with_tape(|t| {
+            t.push_wide(
+                parents
+                    .iter()
+                    .zip(partials)
+                    .filter(|(p, _)| p.idx != NO_PARENT)
+                    .map(|(p, d)| (p.idx, *d)),
+            )
+        });
+        Var { idx, val: value }
+    }
+
     /// Tape node index (`u32::MAX` for constants).
     pub(crate) fn index(self) -> u32 {
         self.idx

@@ -26,7 +26,9 @@
 
 pub mod dist;
 pub mod sampling;
+pub mod sweep;
 pub mod transform;
 
 pub use dist::{dist_from_kind, dist_from_name, Dist, DistError, DistKind, SampleValue, Support};
+pub use sweep::{lpdf_sweep, supports_sweep, SweepArg, SweepVals};
 pub use transform::Constraint;

@@ -476,12 +476,22 @@ fn constraint_bounds(p: &ParamInfo) -> Option<(f64, f64)> {
 
 /// The mixed-scheme optimization (Section 4): when a parameter's first and
 /// only probabilistic use is an `observe(D, param)` whose support matches the
-/// parameter's declared domain, and the parameter is not read before that
-/// observation, drop the uniform initialization and replace the observation
-/// with `sample(D)`.
+/// parameter's declared domain, drop the uniform initialization and turn the
+/// observation into `sample(D)`.
+///
+/// Placement: if the parameter is not read between its initialization and
+/// the observation, the sample site replaces the observation in place. If it
+/// *is* read earlier (the `transformed parameters` block of a non-centered
+/// model reads `theta_trans` before `theta_trans ~ normal(0, 1)` appears),
+/// the merged sample site is instead *hoisted* to the position of the
+/// dropped initialization — legal exactly when the observation's arguments
+/// are evaluable there, i.e. reference only data and earlier parameters,
+/// nothing assigned inside the body. Otherwise the parameter keeps its
+/// comprehensive-scheme translation.
 fn merge_sample_observe(body: GExpr, params: &[ParamInfo]) -> GExpr {
     let mut result = body;
-    for p in params {
+    let assigned = assigned_names(&result);
+    for (p_idx, p) in params.iter().enumerate() {
         let Some(cstr) = constraint_bounds(p) else {
             continue;
         };
@@ -489,6 +499,7 @@ fn merge_sample_observe(body: GExpr, params: &[ParamInfo]) -> GExpr {
         // continuation chain and make sure there is exactly one.
         let mut top_level_obs = 0usize;
         let mut any_obs = 0usize;
+        let mut obs_dist: Option<DistCall> = None;
         result.visit(&mut |e| {
             if let GExpr::Observe { value, .. } = e {
                 if matches!(value, Expr::Var(n) if n == &p.name) {
@@ -503,14 +514,138 @@ fn merge_sample_observe(body: GExpr, params: &[ParamInfo]) -> GExpr {
                     && !dist.args.iter().any(|a| a.variables().contains(&p.name))
                 {
                     top_level_obs += 1;
+                    obs_dist = Some(dist.clone());
                 }
             }
         });
-        if any_obs == 1 && top_level_obs == 1 && !read_before_observe(&result, &p.name) {
+        if any_obs != 1 || top_level_obs != 1 {
+            continue;
+        }
+        if !read_before_observe(&result, &p.name) {
             result = apply_merge(result, p);
+        } else if let Some(dist) = obs_dist {
+            // The parameter is read before its observation. The sample site
+            // can still be hoisted to the initialization position when its
+            // arguments are evaluable there: only data or parameters sampled
+            // earlier, never a name assigned in the body (transformed
+            // parameters, loop variables) or a later parameter.
+            let arg_vars: Vec<String> = dist.args.iter().flat_map(|a| a.variables()).collect();
+            let hoistable = arg_vars.iter().all(|v| {
+                !assigned.contains(v)
+                    && params
+                        .iter()
+                        .position(|q| &q.name == v)
+                        .is_none_or(|j| j < p_idx)
+            });
+            if hoistable {
+                result = apply_merge_hoisted(result, p, &dist);
+            }
         }
     }
     result
+}
+
+/// Every name the body assigns (deterministic lets, indexed updates, local
+/// declarations and loop variables) — names whose value at the top of the
+/// chain differs from their value later, so hoisted sample sites must not
+/// reference them.
+fn assigned_names(body: &GExpr) -> Vec<String> {
+    let mut out = Vec::new();
+    body.visit(&mut |e| {
+        let name = match e {
+            GExpr::LetDecl { decl, .. } => Some(decl.name.clone()),
+            GExpr::LetDet { name, .. } | GExpr::LetIndexed { name, .. } => Some(name.clone()),
+            GExpr::LetLoop { kind, .. } => match kind {
+                LoopKind::Range { var, .. } | LoopKind::ForEach { var, .. } => Some(var.clone()),
+                LoopKind::While { .. } => None,
+            },
+            _ => None,
+        };
+        if let Some(n) = name {
+            if !out.contains(&n) {
+                out.push(n);
+            }
+        }
+    });
+    out
+}
+
+/// Replaces the parameter's prior-initialization sample site with
+/// `sample(dist)` (shape-annotated) and removes its observation — the
+/// hoisting variant of [`apply_merge`], used when the parameter is read
+/// between the two sites.
+fn apply_merge_hoisted(e: GExpr, p: &ParamInfo, dist: &DistCall) -> GExpr {
+    match e {
+        GExpr::LetSample {
+            name,
+            dist: _,
+            body,
+        } if name == p.name => GExpr::LetSample {
+            name,
+            dist: DistCall::with_shape(dist.name.clone(), dist.args.clone(), p.shape.clone()),
+            body: Box::new(apply_merge_hoisted(*body, p, dist)),
+        },
+        GExpr::Observe {
+            dist: obs,
+            value,
+            body,
+        } => {
+            if matches!(&value, Expr::Var(n) if n == &p.name) {
+                apply_merge_hoisted(*body, p, dist)
+            } else {
+                GExpr::Observe {
+                    dist: obs,
+                    value,
+                    body: Box::new(apply_merge_hoisted(*body, p, dist)),
+                }
+            }
+        }
+        GExpr::LetDecl { decl, body } => GExpr::LetDecl {
+            decl,
+            body: Box::new(apply_merge_hoisted(*body, p, dist)),
+        },
+        GExpr::LetDet { name, value, body } => GExpr::LetDet {
+            name,
+            value,
+            body: Box::new(apply_merge_hoisted(*body, p, dist)),
+        },
+        GExpr::LetIndexed {
+            name,
+            indices,
+            value,
+            body,
+        } => GExpr::LetIndexed {
+            name,
+            indices,
+            value,
+            body: Box::new(apply_merge_hoisted(*body, p, dist)),
+        },
+        GExpr::LetSample {
+            name,
+            dist: d,
+            body,
+        } => GExpr::LetSample {
+            name,
+            dist: d,
+            body: Box::new(apply_merge_hoisted(*body, p, dist)),
+        },
+        GExpr::Factor { value, body } => GExpr::Factor {
+            value,
+            body: Box::new(apply_merge_hoisted(*body, p, dist)),
+        },
+        GExpr::LetLoop {
+            kind,
+            state,
+            loop_body,
+            body,
+        } => GExpr::LetLoop {
+            kind,
+            state,
+            loop_body,
+            body: Box::new(apply_merge_hoisted(*body, p, dist)),
+        },
+        other @ (GExpr::If { .. } | GExpr::Return(_) | GExpr::Unit) => other,
+    }
 }
 
 /// Walks only the spine of the continuation chain (no loop bodies or
@@ -597,10 +732,28 @@ fn read_before_observe(e: &GExpr, param: &str) -> bool {
                             v.push(value);
                             v
                         }
-                        GExpr::Factor { value, .. } => vec![value],
-                        GExpr::LetDet { value, .. } => vec![value],
+                        GExpr::Factor { value, .. } | GExpr::LetDet { value, .. } => vec![value],
+                        GExpr::LetIndexed { value, indices, .. } => {
+                            let mut v: Vec<&Expr> = indices.iter().collect();
+                            v.push(value);
+                            v
+                        }
+                        GExpr::LetDecl { decl, .. } => {
+                            let mut v: Vec<&Expr> = decl.dims.iter().collect();
+                            v.extend(decl.init.as_ref());
+                            v
+                        }
                         GExpr::LetSample { dist, .. } => dist.args.iter().collect(),
-                        _ => vec![],
+                        GExpr::If { cond, .. } => vec![cond],
+                        GExpr::Return(e) => vec![e],
+                        // Nested loop *headers* read too (bodies are reached
+                        // by the visit recursion itself).
+                        GExpr::LetLoop { kind, .. } => match kind {
+                            LoopKind::Range { lo, hi, .. } => vec![lo, hi],
+                            LoopKind::ForEach { collection, .. } => vec![collection],
+                            LoopKind::While { cond } => vec![cond],
+                        },
+                        GExpr::Unit => vec![],
                     };
                     if exprs.iter().any(|ex| uses(ex, param)) {
                         used = true;
@@ -883,6 +1036,118 @@ mod tests {
             other => panic!("expected sample in guide, got {other:?}"),
         }
         assert_eq!(p.guide_params.len(), 2);
+    }
+
+    #[test]
+    fn mixed_hoists_merges_read_by_transformed_parameters() {
+        // Non-centered parameterization: the transformed-parameters loop
+        // reads mu, tau and theta_trans BEFORE their ~ statements appear in
+        // the model block. The merged sample sites must be hoisted to the
+        // initialization position (not left at the observation position,
+        // which historically produced "unbound variable" at density time).
+        let src = r#"
+            data { int J; real y[J]; real<lower=0> sigma[J]; }
+            parameters { real mu; real<lower=0> tau; real theta_trans[J]; }
+            transformed parameters {
+              real theta[J];
+              for (j in 1:J) theta[j] = theta_trans[j] * tau + mu;
+            }
+            model {
+              mu ~ normal(0, 5);
+              tau ~ cauchy(0, 5);
+              theta_trans ~ normal(0, 1);
+              y ~ normal(theta, sigma);
+            }
+        "#;
+        let p = compile_src(src, Scheme::Mixed).unwrap();
+        // mu (R ~ normal) and theta_trans (R^J ~ normal) merge and hoist;
+        // tau cannot merge (cauchy support R vs constraint R+). Sites:
+        // sample mu, sample tau (improper), sample theta_trans = 3 samples;
+        // observes: tau ~ cauchy and y ~ normal = 2.
+        assert_eq!(p.body.count_samples(), 3);
+        assert_eq!(p.body.count_observes(), 2);
+        // The hoisted sites sit BEFORE the transformed-parameters loop: the
+        // spine must start sample(mu, normal), sample(tau, improper),
+        // sample(theta_trans, normal).
+        match &p.body {
+            GExpr::LetSample { name, dist, body } => {
+                assert_eq!(name, "mu");
+                assert_eq!(dist.name, "normal");
+                match &**body {
+                    GExpr::LetSample { name, dist, body } => {
+                        assert_eq!(name, "tau");
+                        assert_eq!(dist.name, "improper_uniform");
+                        match &**body {
+                            GExpr::LetSample { name, dist, .. } => {
+                                assert_eq!(name, "theta_trans");
+                                assert_eq!(dist.name, "normal");
+                                assert_eq!(dist.shape.len(), 1);
+                            }
+                            other => panic!("expected theta_trans sample, got {other:?}"),
+                        }
+                    }
+                    other => panic!("expected tau sample, got {other:?}"),
+                }
+            }
+            other => panic!("expected mu sample first, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reads_in_nested_loop_headers_block_the_in_place_merge() {
+        // alpha is read only by a `while` HEADER nested inside a `for` body.
+        // The read-before check must see it (and hoist the merge to the top
+        // instead of relocating alpha's sample site after the read).
+        let src = r#"
+            data { real y; }
+            parameters { real alpha; }
+            transformed parameters {
+              real acc;
+              acc = 0;
+              for (j in 1:2) { while (acc < alpha) acc = acc + 1; }
+            }
+            model {
+              alpha ~ normal(0, 1);
+              y ~ normal(acc, 1);
+            }
+        "#;
+        let p = compile_src(src, Scheme::Mixed).unwrap();
+        match &p.body {
+            GExpr::LetSample { name, dist, .. } => {
+                assert_eq!(name, "alpha");
+                assert_eq!(dist.name, "normal");
+            }
+            other => panic!("expected hoisted alpha sample first, got {other:?}"),
+        }
+        assert_eq!(p.body.count_samples(), 1);
+        assert_eq!(p.body.count_observes(), 1);
+    }
+
+    #[test]
+    fn merges_whose_args_read_transformed_values_stay_comprehensive() {
+        // alpha's observation argument reads a transformed value computed
+        // after alpha is read — neither in-place merge (read-before) nor
+        // hoisting (argument not evaluable at the top) is legal.
+        let src = r#"
+            data { real y; }
+            parameters { real alpha; }
+            transformed parameters { real m; m = alpha * 2; }
+            model {
+              real c;
+              c = m + 1;
+              alpha ~ normal(c, 1);
+              y ~ normal(alpha, 1);
+            }
+        "#;
+        let p = compile_src(src, Scheme::Mixed).unwrap();
+        match &p.body {
+            GExpr::LetSample { name, dist, .. } => {
+                assert_eq!(name, "alpha");
+                assert_eq!(dist.name, "improper_uniform");
+            }
+            other => panic!("expected improper prior retained, got {other:?}"),
+        }
+        assert_eq!(p.body.count_observes(), 2);
     }
 
     #[test]

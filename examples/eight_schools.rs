@@ -42,9 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .scheme(scheme)
             .chains(4)
             .seed(7)
+            // The centered parameterization is a funnel: give warmup
+            // enough adaptation that the accuracy verdict reflects the
+            // posterior rather than the seed.
             .run(Method::Nuts(NutsSettings {
-                warmup: 400,
-                samples: 800,
+                warmup: 1000,
+                samples: 1600,
                 ..Default::default()
             }))?;
         let mu = fit.summary("mu").unwrap();

@@ -1,0 +1,265 @@
+//! Differential suite for the vectorized observe sweeps (sweep lowering +
+//! fused batch kernels):
+//!
+//! * across the whole corpus and every scheme, the sweep-lowered density
+//!   path (`GModel::new`) must agree with the scalar resolved path
+//!   (`GModel::new_scalar`) *and* the string baseline to 1e-12, densities
+//!   and gradients alike;
+//! * the lowering pass must lower the loop shapes it claims to (corpus
+//!   element-wise likelihood loops) and decline the ones it cannot
+//!   (indirect indices, multi-statement bodies, recurrences);
+//! * lowered sweeps whose runtime window is out of bounds must fall back to
+//!   the scalar loop and reproduce its exact error;
+//! * a proptest over randomly generated affine / non-affine loop bodies
+//!   confirms lowering (or declining) never changes the density.
+
+use gprob::count_sweeps;
+use gprob::value::{Env, Value};
+use gprob::GModel;
+use proptest::prelude::*;
+use stan2gprob::{compile, Scheme};
+use stan_frontend::parse_program;
+
+fn probe_points(dim: usize) -> Vec<Vec<f64>> {
+    let seeds = [
+        vec![0.1, -0.3, 0.7],
+        vec![0.5, 0.2, -0.1],
+        vec![-0.8, 1.1, 0.4],
+        vec![1.5, -1.5, 0.0],
+    ];
+    seeds
+        .iter()
+        .map(|p| (0..dim).map(|i| p[i % p.len()]).collect())
+        .collect()
+}
+
+fn env_of(data: &[(String, Value<f64>)]) -> Env<f64> {
+    data.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+}
+
+/// Builds the sweep-lowered and scalar-resolved models for one source +
+/// scheme, or `None` if the scheme rejects the model.
+fn bind_both(source: &str, scheme: Scheme, data: &Env<f64>) -> Option<(GModel, GModel)> {
+    let ast = parse_program(source).ok()?;
+    let compiled = compile(&ast, scheme).ok()?;
+    let fused = GModel::new(compiled.clone(), data.clone()).ok()?;
+    let scalar = GModel::new_scalar(compiled, data.clone()).ok()?;
+    Some((fused, scalar))
+}
+
+#[test]
+fn sweep_densities_and_gradients_match_scalar_and_baseline_on_the_corpus() {
+    let mut checked_models = 0;
+    let mut checked_points = 0;
+    let mut lowered_models = 0;
+    for entry in model_zoo::corpus() {
+        if !entry.should_run() {
+            continue;
+        }
+        let data = env_of(&entry.dataset(3));
+        let mut model_checked = false;
+        for scheme in [Scheme::Comprehensive, Scheme::Mixed, Scheme::Generative] {
+            let Some((fused, scalar)) = bind_both(entry.source, scheme, &data) else {
+                continue;
+            };
+            assert_eq!(count_sweeps(&scalar.resolved().body), 0, "{}", entry.name);
+            if count_sweeps(&fused.resolved().body) > 0 {
+                lowered_models += 1;
+            }
+            let mut g_fused = vec![0.0; fused.dim()];
+            let mut g_scalar = vec![0.0; scalar.dim()];
+            let mut ws_fused = fused.grad_workspace();
+            let mut ws_scalar = scalar.grad_workspace();
+            for theta in probe_points(fused.dim()) {
+                let a = fused.log_density_f64(&theta);
+                let b = scalar.log_density_f64(&theta);
+                let c = fused.log_density_f64_baseline(&theta);
+                match (a, b, c) {
+                    (Ok(a), Ok(b), Ok(c)) => {
+                        if a.is_finite() || b.is_finite() || c.is_finite() {
+                            assert!(
+                                (a - b).abs() < 1e-12,
+                                "{} ({scheme:?}) at {theta:?}: sweep {a} vs scalar {b}",
+                                entry.name
+                            );
+                            assert!(
+                                (a - c).abs() < 1e-12,
+                                "{} ({scheme:?}) at {theta:?}: sweep {a} vs baseline {c}",
+                                entry.name
+                            );
+                        }
+                        model_checked = true;
+                        checked_points += 1;
+                    }
+                    (Err(_), Err(_), Err(_)) => {
+                        // All paths must fail together (e.g. missing stdlib).
+                    }
+                    (a, b, c) => panic!(
+                        "{} ({scheme:?}): paths diverge: sweep {a:?} vs scalar {b:?} vs baseline {c:?}",
+                        entry.name
+                    ),
+                }
+                // Gradients through the fused tape node vs the scalar tape.
+                let lp_f = fused.log_density_and_grad_with(&mut ws_fused, &theta, &mut g_fused);
+                let lp_s = scalar.log_density_and_grad_with(&mut ws_scalar, &theta, &mut g_scalar);
+                match (lp_f, lp_s) {
+                    (Ok(lf), Ok(ls)) => {
+                        if lf.is_finite() || ls.is_finite() {
+                            assert!(
+                                (lf - ls).abs() < 1e-12,
+                                "{} ({scheme:?}): grad-path lp {lf} vs {ls}",
+                                entry.name
+                            );
+                        }
+                        for (i, (x, y)) in g_fused.iter().zip(&g_scalar).enumerate() {
+                            assert!(
+                                (x - y).abs() < 1e-10,
+                                "{} ({scheme:?}) grad[{i}]: sweep {x} vs scalar {y}",
+                                entry.name
+                            );
+                        }
+                    }
+                    (Err(_), Err(_)) => {}
+                    (a, b) => panic!("{}: gradient paths diverge: {a:?} vs {b:?}", entry.name),
+                }
+            }
+        }
+        if model_checked {
+            checked_models += 1;
+        }
+    }
+    assert!(checked_models >= 10, "only {checked_models} models checked");
+    assert!(
+        checked_points >= 100,
+        "only {checked_points} points checked"
+    );
+    assert!(
+        lowered_models >= 5,
+        "only {lowered_models} model/scheme pairs actually lowered a sweep"
+    );
+}
+
+#[test]
+fn corpus_loop_shapes_lower_or_decline_as_documented() {
+    let sweeps_of = |name: &str, scheme: Scheme| -> usize {
+        let entry = model_zoo::find(name).unwrap();
+        let ast = parse_program(entry.source).unwrap();
+        let compiled = compile(&ast, scheme).unwrap();
+        count_sweeps(&gprob::resolve_program(&compiled).body)
+    };
+    // Element-wise likelihood loops lower.
+    assert_eq!(sweeps_of("coin", Scheme::Comprehensive), 1);
+    assert_eq!(sweeps_of("kidscore_momhs", Scheme::Comprehensive), 1);
+    assert_eq!(sweeps_of("nes_logit", Scheme::Comprehensive), 1);
+    // arK's lagged regression is affine (y[t-1], y[t-2]) and lowers.
+    assert_eq!(sweeps_of("arK", Scheme::Comprehensive), 1);
+    // radon: the inner loop `y[j, i] ~ normal(mu[j], sigma)` lowers (its
+    // target base `y[j]` is invariant in i); the outer j-loop's body holds
+    // two statements (observe + inner loop) so the outer observe declines.
+    assert_eq!(sweeps_of("radon_hierarchical", Scheme::Comprehensive), 1);
+    // garch11 (multi-statement loop body: recurrence + observe) and arma11
+    // (scalar recurrence observe, no indexed target) must decline.
+    assert_eq!(sweeps_of("garch11", Scheme::Comprehensive), 0);
+    assert_eq!(sweeps_of("arma11", Scheme::Comprehensive), 0);
+    // low_dim_gauss_mix's loop body is a target+= (Factor), not an observe.
+    assert_eq!(sweeps_of("low_dim_gauss_mix", Scheme::Comprehensive), 0);
+}
+
+#[test]
+fn out_of_window_sweeps_fall_back_to_the_scalar_error() {
+    // The loop runs to N+2, two past the end of y: the lowered sweep cannot
+    // borrow the window and must re-run the scalar loop, whose
+    // out-of-bounds error is the observable behavior on every path.
+    let src = r#"
+        data { int N; real y[N]; }
+        parameters { real mu; }
+        model {
+          mu ~ normal(0, 1);
+          for (i in 1:N + 2) y[i] ~ normal(mu, 1);
+        }
+    "#;
+    let mut data: Env<f64> = Env::new();
+    data.insert("N".into(), Value::Int(4));
+    data.insert("y".into(), Value::Vector(vec![0.1, 0.2, 0.3, 0.4]));
+    let (fused, scalar) = bind_both(src, Scheme::Comprehensive, &data).unwrap();
+    assert_eq!(count_sweeps(&fused.resolved().body), 1);
+    let ef = fused.log_density_f64(&[0.3]).unwrap_err();
+    let es = scalar.log_density_f64(&[0.3]).unwrap_err();
+    assert_eq!(ef, es, "fallback must reproduce the scalar error");
+    assert!(ef.message().contains("out of bounds"), "{}", ef.message());
+    // Indirect indexing stays on the scalar path entirely and works.
+    let src_indirect = r#"
+        data { int N; int idx[N]; real y[N]; }
+        parameters { real mu; }
+        model {
+          mu ~ normal(0, 1);
+          for (i in 1:N) y[idx[i]] ~ normal(mu, 1);
+        }
+    "#;
+    let mut data: Env<f64> = Env::new();
+    data.insert("N".into(), Value::Int(4));
+    data.insert("idx".into(), Value::IntArray(vec![4, 3, 2, 1]));
+    data.insert("y".into(), Value::Vector(vec![0.1, 0.2, 0.3, 0.4]));
+    let (fused, scalar) = bind_both(src_indirect, Scheme::Comprehensive, &data).unwrap();
+    assert_eq!(count_sweeps(&fused.resolved().body), 0);
+    let a = fused.log_density_f64(&[0.3]).unwrap();
+    let b = scalar.log_density_f64(&[0.3]).unwrap();
+    let c = fused.log_density_f64_baseline(&[0.3]).unwrap();
+    assert!((a - b).abs() < 1e-12 && (a - c).abs() < 1e-12);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn prop_random_loop_bodies_lower_or_decline_without_changing_density(
+        n in 2i64..9,
+        offset in 0i64..3,
+        shape in 0i64..4,
+        u1 in -2.0f64..2.0,
+        u2 in -2.0f64..2.0,
+    ) {
+        // Four loop-body shapes: direct affine target with invariant arg,
+        // affine target with lagged compound arg, affine target with offset,
+        // and a non-affine (multiplied) index that must decline to lower.
+        let (stmt, lowers) = match shape {
+            0 => ("y[i] ~ normal(mu, 1)", true),
+            1 => ("y[i + 1] ~ normal(mu + 0.5 * y[i], 1)", true),
+            2 => ("y[i + OFF] ~ normal(mu, 1)", true),
+            _ => ("y[i * 1] ~ normal(mu, 1)", false),
+        };
+        let stmt = stmt.replace("OFF", &offset.to_string());
+        // Size y so every shape stays in bounds: max index is n + max(1, OFF).
+        let len = (n + offset.max(1)) as usize;
+        let src = format!(
+            r#"
+            data {{ int N; real y[{len}]; }}
+            parameters {{ real mu; }}
+            model {{
+              mu ~ normal(0, 1);
+              for (i in 1:N) {stmt};
+            }}
+            "#
+        );
+        let mut data: Env<f64> = Env::new();
+        data.insert("N".into(), Value::Int(n));
+        data.insert(
+            "y".into(),
+            Value::Vector((0..len).map(|i| (i as f64) * 0.37 - 1.0).collect()),
+        );
+        let (fused, scalar) = bind_both(&src, Scheme::Comprehensive, &data).unwrap();
+        prop_assert_eq!(count_sweeps(&fused.resolved().body), usize::from(lowers));
+        prop_assert_eq!(count_sweeps(&scalar.resolved().body), 0);
+        for theta in [[u1], [u2]] {
+            let a = fused.log_density_f64(&theta).unwrap();
+            let b = scalar.log_density_f64(&theta).unwrap();
+            let c = fused.log_density_f64_baseline(&theta).unwrap();
+            prop_assert!((a - b).abs() < 1e-12, "sweep {} vs scalar {}", a, b);
+            prop_assert!((a - c).abs() < 1e-12, "sweep {} vs baseline {}", a, c);
+            let (ga, gb) = (
+                fused.log_density_and_grad(&theta).unwrap(),
+                scalar.log_density_and_grad(&theta).unwrap(),
+            );
+            prop_assert!((ga.1[0] - gb.1[0]).abs() < 1e-10, "grad {} vs {}", ga.1[0], gb.1[0]);
+        }
+    }
+}

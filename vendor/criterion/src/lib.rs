@@ -45,9 +45,15 @@ struct Stats {
 }
 
 impl BenchmarkGroup {
-    /// Number of timing samples collected per benchmark.
+    /// Number of timing samples collected per benchmark. The
+    /// `BENCH_SAMPLE_SIZE` environment variable overrides the requested
+    /// size (CI uses `BENCH_SAMPLE_SIZE=1` as a compile-and-run smoke).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(3);
+        let n = std::env::var("BENCH_SAMPLE_SIZE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(n);
+        self.sample_size = n.max(1);
         self
     }
 

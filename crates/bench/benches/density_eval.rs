@@ -14,11 +14,16 @@
 //! (`bind_scalar_with`), isolating the sweep win over the element-by-element
 //! configuration those rows used to measure.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepstan::DeepStan;
 use gprob::eval::NoExternals;
 use gprob::value::Value;
 use minidiff::{grad, tape, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use stan2gprob::Scheme;
 
 fn bench_density(c: &mut Criterion) {
@@ -117,5 +122,73 @@ fn bench_density(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_density);
+/// Generated-quantities throughput, per posterior draw: the slot-resolved
+/// streaming path (`gq_resolved`, pooled `GqWorkspace`, sweep-lowered rows)
+/// vs the same program without lowering (`gq_resolved_scalar`) vs the
+/// retained string-keyed statement interpreter (`gq_string_baseline`, which
+/// clones the data environment per draw). Acceptance for the predictive
+/// engine is `gq_resolved` ≥ 1.5x `gq_string_baseline`.
+fn bench_gq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gq_eval");
+    group.sample_size(20);
+    for name in ["kidscore_momhs", "eight_schools_centered", "seeds_binomial"] {
+        let entry = model_zoo::find(name).unwrap();
+        let program = DeepStan::compile_named(name, entry.source).unwrap();
+        let data = entry.dataset(5);
+        let data_refs: Vec<(&str, Value<f64>)> =
+            data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        let gmodel = program.bind(&data_refs).unwrap();
+        let scalar_model = program.bind_scalar_with(Scheme::Mixed, &data_refs).unwrap();
+        let theta = vec![0.1; gmodel.dim()];
+
+        group.bench_function(format!("{name}/gq_resolved"), |b| {
+            let mut ws = gmodel.gq_workspace().unwrap();
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                gmodel
+                    .generated_quantities_into(
+                        &mut ws,
+                        std::hint::black_box(&theta),
+                        false,
+                        7,
+                        &mut out,
+                    )
+                    .unwrap();
+                out.len()
+            })
+        });
+        group.bench_function(format!("{name}/gq_resolved_scalar"), |b| {
+            let mut ws = scalar_model.gq_workspace().unwrap();
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                scalar_model
+                    .generated_quantities_into(
+                        &mut ws,
+                        std::hint::black_box(&theta),
+                        false,
+                        7,
+                        &mut out,
+                    )
+                    .unwrap();
+                out.len()
+            })
+        });
+        group.bench_function(format!("{name}/gq_string_baseline"), |b| {
+            b.iter(|| {
+                gmodel
+                    .generated_quantities(
+                        std::hint::black_box(&theta),
+                        Rc::new(RefCell::new(StdRng::seed_from_u64(7))),
+                    )
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_density, bench_gq);
 criterion_main!(benches);

@@ -62,6 +62,7 @@ pub use api::{CompiledProgram, DeepStan, InferenceError, NutsSettings, Posterior
 pub use networks::NetworkRegistry;
 pub use nn::{Activation, LayerSpec, MlpSpec};
 pub use session::{
-    ChainResult, Fit, FitMethod, ImportanceSettings, Init, Method, Session, WorkspaceTarget,
+    compare_by_loo, ChainResult, Fit, FitMethod, ImportanceSettings, Init, Method, Session,
+    WorkspaceTarget,
 };
 pub use svi::{SviSettings, VariationalFit};

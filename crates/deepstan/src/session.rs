@@ -34,7 +34,9 @@ use inference::diagnostics::{
     multi_ess, multi_split_rhat, rank_normalized_split_rhat, summarize, tail_ess, Summary,
 };
 use inference::importance::{resample_indices, weight_draws};
+use inference::loo::{loo_compare, psis_loo, waic, CompareRow, ElpdEstimate};
 use inference::nuts::{nuts_sample_mut, NutsConfig, NutsResult};
+use inference::predictive::{draw_seed, stream_chains, GqTable};
 use inference::target::GradTargetMut;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -323,6 +325,7 @@ impl Session<'_> {
             wall_time: 0.0,
             variational: Some(variational),
             weights: None,
+            gq: None,
         })
     }
 
@@ -341,18 +344,7 @@ impl Session<'_> {
         let mut log_weights = Vec::with_capacity(n);
         for _ in 0..n {
             let (trace, lw) = model.run_prior_weighted(rng.clone())?;
-            // Read each parameter straight out of the trace frame by its
-            // slot — no string-keyed environment on this path. A slot a
-            // data-dependent branch skipped contributes `slot.size` NaNs so
-            // the flat row stays aligned with `names`.
-            let mut flat = Vec::new();
-            for (slot, &frame_slot) in model.slots().iter().zip(model.param_frame_slots()) {
-                match trace.get(frame_slot) {
-                    Some(value) => flat.extend(value.as_real_vec()?),
-                    None => flat.extend(std::iter::repeat_n(f64::NAN, slot.size)),
-                }
-            }
-            draws.push(flat);
+            draws.push(flatten_trace(model, &trace)?);
             log_weights.push(lw);
         }
         let weighted = weight_draws(draws, log_weights);
@@ -377,8 +369,188 @@ impl Session<'_> {
             wall_time: 0.0,
             variational: None,
             weights: Some(weighted.weights),
+            gq: None,
         })
     }
+
+    /// Streams every retained draw of a [`Fit`] through the program's
+    /// resolved `generated quantities` block and merges the resulting
+    /// [`GqTable`] into the fit (no-op if already attached).
+    ///
+    /// Chains shard over threads, each with its own pooled
+    /// [`gprob::GqWorkspace`]; `_rng` statements run on deterministic
+    /// per-(chain, draw) streams derived from the session seed, so results
+    /// are reproducible regardless of chain scheduling order.
+    ///
+    /// # Errors
+    /// [`InferenceError::Usage`] when the program has no block or the fit
+    /// has no draws; runtime errors from GQ evaluation otherwise.
+    pub fn generated_quantities(&mut self, fit: &mut Fit) -> Result<(), InferenceError> {
+        if fit.gq.is_some() {
+            return Ok(());
+        }
+        let seed = self.seed.unwrap_or(0);
+        let model = self.model()?;
+        if model.resolved_gq().is_none() {
+            return Err(InferenceError::Usage(
+                "the program has no generated quantities block".to_string(),
+            ));
+        }
+        let first_draw = fit
+            .chains
+            .iter()
+            .enumerate()
+            .find_map(|(c, chain)| chain.draws.first().map(|d| (c, d)));
+        let Some((name_chain, name_draw)) = first_draw else {
+            return Err(InferenceError::Usage(
+                "the fit has no draws to evaluate generated quantities on".to_string(),
+            ));
+        };
+        let chains: Vec<&[Vec<f64>]> = fit.chains.iter().map(|c| c.draws.as_slice()).collect();
+        let rows = stream_chains(&chains, seed, |_chain| {
+            let mut ws = model.gq_workspace().expect("block checked above");
+            move |_draw: usize, draw_rng_seed: u64, row: &[f64]| -> Result<Vec<f64>, String> {
+                let mut out = Vec::new();
+                model
+                    .generated_quantities_into(&mut ws, row, true, draw_rng_seed, &mut out)
+                    .map_err(|e| e.message().to_string())?;
+                Ok(out)
+            }
+        })
+        .map_err(|e| InferenceError::Runtime(gprob::RuntimeError::new(e.to_string())))?;
+        // Column names come from the shapes one evaluated draw binds.
+        let mut ws = model.gq_workspace().expect("block checked above");
+        let mut sink = Vec::new();
+        model.generated_quantities_into(
+            &mut ws,
+            name_draw,
+            true,
+            draw_seed(seed, name_chain as u64, 0),
+            &mut sink,
+        )?;
+        let names = model.gq_component_names(&ws)?;
+        fit.gq = Some(GqTable {
+            names,
+            chains: rows,
+        });
+        Ok(())
+    }
+
+    /// Pooled posterior-predictive draws of one generated quantity: ensures
+    /// the GQ table is attached to the fit, then returns the draws ×
+    /// components matrix of every `name[...]` column (or the scalar
+    /// `name`).
+    ///
+    /// # Errors
+    /// Usage errors when the program has no block or no such quantity.
+    pub fn posterior_predictive(
+        &mut self,
+        fit: &mut Fit,
+        name: &str,
+    ) -> Result<Vec<Vec<f64>>, InferenceError> {
+        self.generated_quantities(fit)?;
+        fit.posterior_predictive(name)
+            .ok_or_else(|| InferenceError::Usage(format!("no generated quantity named `{name}`")))
+    }
+
+    /// The pooled pointwise log-likelihood matrix (draws × observations)
+    /// from the fit's `log_lik` generated quantity, attaching the GQ table
+    /// first if needed.
+    ///
+    /// # Errors
+    /// Usage errors when the program's block defines no `log_lik`.
+    pub fn log_lik(&mut self, fit: &mut Fit) -> Result<Vec<Vec<f64>>, InferenceError> {
+        self.generated_quantities(fit)?;
+        fit.log_lik().ok_or_else(|| {
+            InferenceError::Usage("the generated quantities block defines no `log_lik`".to_string())
+        })
+    }
+
+    /// PSIS-LOO model criticism over the fit's `log_lik` matrix (attaching
+    /// generated quantities first if needed).
+    ///
+    /// # Errors
+    /// Same as [`Session::log_lik`].
+    pub fn loo(&mut self, fit: &mut Fit) -> Result<ElpdEstimate, InferenceError> {
+        self.generated_quantities(fit)?;
+        fit.loo()
+    }
+
+    /// WAIC over the fit's `log_lik` matrix (attaching generated quantities
+    /// first if needed).
+    ///
+    /// # Errors
+    /// Same as [`Session::log_lik`].
+    pub fn waic(&mut self, fit: &mut Fit) -> Result<ElpdEstimate, InferenceError> {
+        self.generated_quantities(fit)?;
+        fit.waic()
+    }
+
+    /// Prior-predictive simulation: draws `draws` parameter sets from the
+    /// program prior and streams each through the `generated quantities`
+    /// block, returning the resulting table (one chain). Seeded by the
+    /// session seed.
+    ///
+    /// # Errors
+    /// Usage errors when the program has no block; runtime errors from the
+    /// prior run or GQ evaluation.
+    pub fn prior_predictive(&mut self, draws: usize) -> Result<GqTable, InferenceError> {
+        let seed = self.seed.unwrap_or(0);
+        let draws = draws.max(1);
+        let model = self.model()?;
+        let Some(_) = model.resolved_gq() else {
+            return Err(InferenceError::Usage(
+                "the program has no generated quantities block".to_string(),
+            ));
+        };
+        let rng = Rc::new(RefCell::new(StdRng::seed_from_u64(seed)));
+        let mut ws = model.gq_workspace().expect("block checked above");
+        let mut rows = Vec::with_capacity(draws);
+        for d in 0..draws {
+            let (trace, _) = model.run_prior_weighted(rng.clone())?;
+            let flat = flatten_trace(model, &trace)?;
+            let mut out = Vec::new();
+            model.generated_quantities_into(
+                &mut ws,
+                &flat,
+                true,
+                draw_seed(seed, 0, d as u64),
+                &mut out,
+            )?;
+            rows.push(out);
+        }
+        let names = model.gq_component_names(&ws)?;
+        Ok(GqTable {
+            names,
+            chains: vec![rows],
+        })
+    }
+}
+
+/// Ranks named PSIS-LOO estimates (best first) with paired difference
+/// standard errors — re-exported convenience over
+/// [`inference::loo::loo_compare`].
+pub fn compare_by_loo(models: &[(&str, &ElpdEstimate)]) -> Vec<CompareRow> {
+    loo_compare(models)
+}
+
+/// Flattens a prior-run trace frame into the constrained flat-row layout of
+/// [`GModel::component_names`]: each parameter read straight out of the
+/// frame by its slot (no string-keyed environment). A slot a data-dependent
+/// branch skipped contributes `slot.size` NaNs so the row stays aligned with
+/// the component names.
+fn flatten_trace(
+    model: &GModel,
+    trace: &gprob::Frame<f64>,
+) -> Result<Vec<f64>, gprob::RuntimeError> {
+    let mut flat = Vec::new();
+    for (slot, &frame_slot) in model.slots().iter().zip(model.param_frame_slots()) {
+        match trace.get(frame_slot) {
+            Some(value) => flat.extend(value.as_real_vec()?),
+            None => flat.extend(std::iter::repeat_n(f64::NAN, slot.size)),
+        }
+    }
+    Ok(flat)
 }
 
 fn init_point(init: &Init, rng: &mut StdRng, dim: usize) -> Vec<f64> {
@@ -531,6 +703,7 @@ fn collect_nuts_fit(names: Vec<String>, slots: &[ParamSlot], runs: Vec<(NutsResu
         wall_time: 0.0,
         variational: None,
         weights: None,
+        gq: None,
     }
 }
 
@@ -555,6 +728,7 @@ fn collect_advi_fit(
         wall_time: 0.0,
         variational: None,
         weights: None,
+        gq: None,
     }
 }
 
@@ -603,6 +777,10 @@ pub struct Fit {
     /// Normalized importance weights of the pre-resampling proposals
     /// (importance sampling only).
     pub weights: Option<Vec<f64>>,
+    /// The generated-quantities table, attached by
+    /// [`Session::generated_quantities`] (posterior-predictive draws,
+    /// pointwise log-likelihoods, ...).
+    pub gq: Option<GqTable>,
 }
 
 impl Fit {
@@ -763,6 +941,64 @@ impl Fit {
         )
     }
 
+    /// The attached generated-quantities table, if
+    /// [`Session::generated_quantities`] has run on this fit.
+    pub fn gq(&self) -> Option<&GqTable> {
+        self.gq.as_ref()
+    }
+
+    /// Pooled posterior-predictive draws of one generated quantity: the
+    /// draws × components matrix of every `name[...]` column (or the scalar
+    /// `name`). `None` until the GQ table is attached or when no column
+    /// matches.
+    pub fn posterior_predictive(&self, name: &str) -> Option<Vec<Vec<f64>>> {
+        self.gq.as_ref()?.matrix(name)
+    }
+
+    /// The pooled pointwise log-likelihood matrix (draws × observations)
+    /// from the `log_lik` generated quantity, by the Stan convention.
+    /// `None` until the GQ table is attached or when the block defines no
+    /// `log_lik`.
+    pub fn log_lik(&self) -> Option<Vec<Vec<f64>>> {
+        self.gq.as_ref()?.matrix("log_lik")
+    }
+
+    /// PSIS-LOO over the attached `log_lik` matrix: `elpd_loo`, its
+    /// standard error, `p_loo`, and per-observation Pareto-`k̂`
+    /// diagnostics.
+    ///
+    /// # Errors
+    /// [`InferenceError::Usage`] when no GQ table is attached (run
+    /// [`Session::generated_quantities`] or [`Session::loo`]) or the block
+    /// defines no `log_lik`.
+    pub fn loo(&self) -> Result<ElpdEstimate, InferenceError> {
+        Ok(psis_loo(&self.require_log_lik()?))
+    }
+
+    /// WAIC over the attached `log_lik` matrix.
+    ///
+    /// # Errors
+    /// Same as [`Fit::loo`].
+    pub fn waic(&self) -> Result<ElpdEstimate, InferenceError> {
+        Ok(waic(&self.require_log_lik()?))
+    }
+
+    fn require_log_lik(&self) -> Result<Vec<Vec<f64>>, InferenceError> {
+        let ll = self.log_lik().ok_or_else(|| {
+            InferenceError::Usage(
+                "no pointwise log-likelihood: attach generated quantities and define `log_lik` \
+                 in the generated quantities block"
+                    .to_string(),
+            )
+        })?;
+        if ll.is_empty() {
+            return Err(InferenceError::Usage(
+                "the fit has no draws to criticize".to_string(),
+            ));
+        }
+        Ok(ll)
+    }
+
     /// Flattens the fit into the legacy [`Posterior`] shape (pooled draws,
     /// total divergences) for reporting code that predates chain-first
     /// fits.
@@ -892,6 +1128,149 @@ mod tests {
         let mut session = session.scheme(Scheme::Comprehensive);
         let c = session.run(Method::Nuts(settings)).unwrap();
         assert_eq!(c.names, a.names);
+    }
+
+    const COIN_GQ: &str = r#"
+        data { int N; int<lower=0,upper=1> x[N]; }
+        parameters { real<lower=0,upper=1> z; }
+        model { z ~ beta(1, 1); for (i in 1:N) x[i] ~ bernoulli(z); }
+        generated quantities {
+          vector[N] log_lik;
+          int x_rep[N];
+          for (i in 1:N) log_lik[i] = bernoulli_lpmf(x[i] | z);
+          for (i in 1:N) x_rep[i] = bernoulli_rng(z);
+        }
+    "#;
+
+    #[test]
+    fn generated_quantities_stream_over_the_fit_and_support_loo() {
+        let program = DeepStan::compile(COIN_GQ).unwrap();
+        let mut session = program.session(&coin_data()).unwrap().chains(2).seed(4);
+        let mut fit = session
+            .run(Method::Nuts(NutsSettings {
+                warmup: 150,
+                samples: 200,
+                ..Default::default()
+            }))
+            .unwrap();
+        session.generated_quantities(&mut fit).unwrap();
+        let gq = fit.gq().unwrap();
+        assert_eq!(gq.chains.len(), 2);
+        assert_eq!(gq.n_draws(), 400);
+        assert!(gq.names.contains(&"log_lik[1]".to_string()));
+        assert!(gq.names.contains(&"x_rep[10]".to_string()));
+        // Posterior-predictive draws are 0/1 coin flips whose mean tracks z.
+        let x_rep = fit.posterior_predictive("x_rep").unwrap();
+        assert_eq!(x_rep.len(), 400);
+        let flat_mean: f64 = x_rep.iter().flat_map(|row| row.iter()).sum::<f64>()
+            / (x_rep.len() * x_rep[0].len()) as f64;
+        assert!((flat_mean - 2.0 / 3.0).abs() < 0.1, "{flat_mean}");
+        // log_lik matches the analytic bernoulli pointwise terms.
+        let ll = fit.log_lik().unwrap();
+        assert_eq!(ll[0].len(), 10);
+        // LOO and WAIC agree with the analytic leave-one-out posterior
+        // predictive: p(x_i = 1 | x_{-i}) = (heads_{-i} + 1) / (N - 1 + 2).
+        let xs = [1.0, 1.0, 1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0];
+        let heads: f64 = xs.iter().sum();
+        let exact: f64 = xs
+            .iter()
+            .map(|&x| {
+                let p1 = (heads - x + 1.0) / 11.0;
+                if x == 1.0 {
+                    p1.ln()
+                } else {
+                    (1.0 - p1).ln()
+                }
+            })
+            .sum();
+        let loo = fit.loo().unwrap();
+        let w = fit.waic().unwrap();
+        assert!((loo.elpd - exact).abs() < 0.35, "{} vs {exact}", loo.elpd);
+        assert!((w.elpd - exact).abs() < 0.35, "{} vs {exact}", w.elpd);
+        assert!(loo.max_khat() < 0.7, "khat {}", loo.max_khat());
+        assert!(loo.p_eff > 0.0 && loo.se > 0.0);
+    }
+
+    #[test]
+    fn gq_streams_are_reproducible_per_chain_and_draw() {
+        let program = DeepStan::compile(COIN_GQ).unwrap();
+        let settings = NutsSettings {
+            warmup: 100,
+            samples: 80,
+            ..Default::default()
+        };
+        let mut s1 = program.session(&coin_data()).unwrap().chains(2).seed(9);
+        let mut fit1 = s1.run(Method::Nuts(settings.clone())).unwrap();
+        s1.generated_quantities(&mut fit1).unwrap();
+        // A fresh session with the same seed reproduces the table exactly.
+        let mut s2 = program.session(&coin_data()).unwrap().chains(2).seed(9);
+        let mut fit2 = s2.run(Method::Nuts(settings)).unwrap();
+        s2.generated_quantities(&mut fit2).unwrap();
+        assert_eq!(fit1.gq, fit2.gq);
+        // Re-evaluating chain 1's draws alone (chain coordinate preserved in
+        // the driver's seeding) gives the same rows as the sharded run: the
+        // per-(chain,draw) streams are independent of scheduling.
+        let model = program.bind(&coin_data()).unwrap();
+        let mut ws = model.gq_workspace().unwrap();
+        let mut row = Vec::new();
+        model
+            .generated_quantities_into(
+                &mut ws,
+                &fit1.chains[1].draws[5],
+                true,
+                inference::predictive::draw_seed(9, 1, 5),
+                &mut row,
+            )
+            .unwrap();
+        assert_eq!(row, fit1.gq.as_ref().unwrap().chains[1][5]);
+    }
+
+    #[test]
+    fn prior_predictive_simulates_from_the_prior() {
+        let program = DeepStan::compile(COIN_GQ).unwrap();
+        let mut session = program.session(&coin_data()).unwrap().seed(11);
+        let table = session.prior_predictive(200).unwrap();
+        assert_eq!(table.chains.len(), 1);
+        assert_eq!(table.n_draws(), 200);
+        // Under the uniform prior on z, replicated flips are fair on
+        // average.
+        let m = table.matrix("x_rep").unwrap();
+        let mean: f64 = m.iter().flat_map(|r| r.iter()).sum::<f64>() / (m.len() as f64 * 10.0);
+        assert!((mean - 0.5).abs() < 0.1, "{mean}");
+    }
+
+    #[test]
+    fn predictive_api_misuse_reports_usage_errors() {
+        // No GQ block.
+        let program = DeepStan::compile(COIN).unwrap();
+        let mut session = program.session(&coin_data()).unwrap().seed(1);
+        let mut fit = session
+            .run(Method::Importance(ImportanceSettings { particles: 50 }))
+            .unwrap();
+        assert!(matches!(
+            session.generated_quantities(&mut fit),
+            Err(InferenceError::Usage(_))
+        ));
+        assert!(matches!(fit.loo(), Err(InferenceError::Usage(_))));
+        // GQ block without log_lik: posterior predictive works, loo does
+        // not.
+        let src = r#"
+            data { int N; int<lower=0,upper=1> x[N]; }
+            parameters { real<lower=0,upper=1> z; }
+            model { z ~ beta(1, 1); for (i in 1:N) x[i] ~ bernoulli(z); }
+            generated quantities { real odds; odds = z / (1 - z); }
+        "#;
+        let program = DeepStan::compile(src).unwrap();
+        let mut session = program.session(&coin_data()).unwrap().seed(1);
+        let mut fit = session
+            .run(Method::Importance(ImportanceSettings { particles: 50 }))
+            .unwrap();
+        let odds = session.posterior_predictive(&mut fit, "odds").unwrap();
+        assert_eq!(odds.len(), 50);
+        assert!(matches!(
+            session.loo(&mut fit),
+            Err(InferenceError::Usage(_))
+        ));
     }
 
     #[test]

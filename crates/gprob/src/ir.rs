@@ -269,6 +269,12 @@ pub struct GProbProgram {
     /// The `generated quantities` block (with `transformed parameters`
     /// inlined), run per posterior draw.
     pub generated_quantities: Option<BlockBody>,
+    /// Names declared by the *source* `generated quantities` block (without
+    /// the inlined transformed-parameters prefix) — the output columns of
+    /// per-draw generated-quantities evaluation. Empty when the compiler did
+    /// not record them (hand-built programs); consumers then fall back to
+    /// every declaration in the combined block.
+    pub gq_outputs: Vec<String>,
     /// Guide parameter declarations (DeepStan `guide parameters`).
     pub guide_params: Vec<Decl>,
     /// Compiled guide body (DeepStan `guide`), generated with the generative

@@ -152,6 +152,7 @@
 //! ```
 
 pub mod eval;
+pub mod gq;
 pub mod interp;
 pub mod ir;
 pub mod model;
@@ -160,6 +161,7 @@ pub mod reval;
 pub mod value;
 pub mod workspace;
 
+pub use gq::{count_gq_sweeps, resolve_gq, resolve_gq_scalar, GqWorkspace, ResolvedGq};
 pub use ir::{DistCall, GExpr, GProbProgram, ParamInfo};
 pub use model::GModel;
 pub use resolved::{count_sweeps, resolve_program, resolve_program_scalar, Frame, ResolvedProgram};

@@ -75,6 +75,9 @@ impl ParamSlot {
 pub struct GModel {
     program: GProbProgram,
     resolved: ResolvedProgram,
+    /// The slot-resolved `generated quantities` program (own frame layout),
+    /// when the program has the block.
+    resolved_gq: Option<crate::gq::ResolvedGq>,
     data: Env<f64>,
     /// The post-`transformed data` environment as a frame, cloned (and
     /// lifted) once per density evaluation.
@@ -170,12 +173,18 @@ impl GModel {
         } else {
             gprob_resolve_scalar(&program)
         };
+        let resolved_gq = if fused {
+            crate::gq::resolve_gq(&program)
+        } else {
+            crate::gq::resolve_gq_scalar(&program)
+        };
         let data_frame = resolved.frame_from_env(&data);
         let param_frame_slots = resolved.params.iter().map(|p| p.slot).collect();
 
         Ok(GModel {
             program,
             resolved,
+            resolved_gq,
             data,
             data_frame,
             slots,
@@ -349,7 +358,8 @@ impl GModel {
         let log_jac = self.constrain_frame_into(theta_u, &mut ws.trace)?;
         ws.reset(&self.resolved.written_slots);
         let ctx = RCtx::new(&self.resolved, &self.program.functions, externals);
-        let mut interp = RInterp::new(&ctx, RMode::Trace(&ws.trace));
+        let mut interp =
+            RInterp::new(&ctx, RMode::Trace(&ws.trace)).with_scratch(&mut ws.sweep_scratch);
         let result = interp.run(&self.resolved.body, &mut ws.frame)?;
         Ok(result.score + log_jac)
     }
@@ -492,8 +502,14 @@ impl GModel {
         Ok((run.trace, run.score - run.site_score))
     }
 
-    /// Evaluates the `generated quantities` block for one posterior draw,
-    /// returning the values of the variables it declares.
+    /// Evaluates the `generated quantities` block for one posterior draw
+    /// through the legacy string-keyed statement interpreter, returning the
+    /// values of the variables the source block declares.
+    ///
+    /// This is the retained differential-testing and benchmarking baseline;
+    /// streaming evaluation should use the slot-resolved path
+    /// ([`GModel::generated_quantities_resolved`] or, per draw without
+    /// allocation, [`GModel::generated_quantities_into`]).
     ///
     /// # Errors
     /// Propagates runtime evaluation errors.
@@ -512,14 +528,7 @@ impl GModel {
         }
         let ctx = EvalCtx::with_table(&self.program.functions, &self.resolved.fn_table).rng(rng);
         let mut handler = DeterministicOnly;
-        let declared: Vec<String> = gq
-            .stmts
-            .iter()
-            .filter_map(|s| match s {
-                stan_frontend::ast::Stmt::LocalDecl(d) => Some(d.name.clone()),
-                _ => None,
-            })
-            .collect();
+        let declared = crate::gq::gq_output_names(&self.program);
         for stmt in &gq.stmts {
             exec_stmt(stmt, &mut env, &ctx, &mut handler)?;
         }
@@ -527,6 +536,143 @@ impl GModel {
             .into_iter()
             .filter(|(k, _)| declared.contains(k))
             .collect())
+    }
+
+    /// The slot-resolved `generated quantities` program, when the model has
+    /// the block.
+    pub fn resolved_gq(&self) -> Option<&crate::gq::ResolvedGq> {
+        self.resolved_gq.as_ref()
+    }
+
+    /// Builds a pooled workspace for streaming posterior draws through the
+    /// resolved `generated quantities` program. One workspace serves one
+    /// chain worker; pass it to [`GModel::generated_quantities_into`] on
+    /// every draw. Returns `None` when the program has no block.
+    pub fn gq_workspace(&self) -> Option<crate::gq::GqWorkspace> {
+        let gq = self.resolved_gq.as_ref()?;
+        Some(crate::gq::GqWorkspace::new(
+            gq.core.frame_from_env(&self.data),
+        ))
+    }
+
+    /// Streams one posterior draw through the resolved `generated
+    /// quantities` program, appending the flattened outputs (declaration
+    /// order, row-major components) to `out`.
+    ///
+    /// `row` is one draw of the parameter vector: the *constrained*
+    /// flat components when `row_is_constrained` (the layout of
+    /// [`GModel::component_names`], as `Fit` chains store them), otherwise
+    /// the unconstrained vector (mapped through the constraint transforms
+    /// here). The `_rng` stream is seeded with `seed`, making every draw's
+    /// evaluation independent of scheduling order.
+    ///
+    /// After the first call on a workspace, evaluation reuses every frame,
+    /// parameter container and scratch buffer — nothing is allocated per
+    /// draw.
+    ///
+    /// # Errors
+    /// Fails when the program has no block, the row has the wrong length, or
+    /// evaluation fails.
+    pub fn generated_quantities_into(
+        &self,
+        ws: &mut crate::gq::GqWorkspace,
+        row: &[f64],
+        row_is_constrained: bool,
+        seed: u64,
+        out: &mut Vec<f64>,
+    ) -> Result<(), RuntimeError> {
+        let gq = self
+            .resolved_gq
+            .as_ref()
+            .ok_or_else(|| RuntimeError::new("the program has no generated quantities block"))?;
+        if row.len() != self.dim {
+            return Err(RuntimeError::new(format!(
+                "expected {} parameter components, got {}",
+                self.dim,
+                row.len()
+            )));
+        }
+        ws.reset(&gq.core.written_slots, seed);
+        for (slot, rp) in self.slots.iter().zip(&gq.core.params) {
+            let comps = &row[slot.offset..slot.offset + slot.size];
+            if row_is_constrained {
+                crate::gq::write_param_into(&mut ws.frame, rp.slot, comps, &slot.dims);
+            } else {
+                ws.param_buf.clear();
+                ws.param_buf
+                    .extend(comps.iter().map(|&u| slot.constraint.to_constrained(u)));
+                // Split borrow: the staging buffer and the frame are
+                // disjoint workspace fields.
+                let crate::gq::GqWorkspace {
+                    frame, param_buf, ..
+                } = ws;
+                crate::gq::write_param_into(frame, rp.slot, param_buf, &slot.dims);
+            }
+        }
+        let rng = ws.rng.clone();
+        let crate::gq::GqWorkspace { frame, scratch, .. } = ws;
+        crate::gq::run_gq_stmts(gq, &self.program.functions, frame, rng, scratch)?;
+        for output in &gq.outputs {
+            let v = ws.frame.get(output.slot).ok_or_else(|| {
+                RuntimeError::new(format!(
+                    "generated quantity `{}` was never assigned",
+                    output.name
+                ))
+            })?;
+            crate::gq::flatten_into(v, out)?;
+        }
+        Ok(())
+    }
+
+    /// Flat output column names of the resolved `generated quantities`
+    /// program (`y_rep[1]`, ..., in declaration order), read from the shapes
+    /// bound in a workspace after a [`GModel::generated_quantities_into`]
+    /// run.
+    ///
+    /// # Errors
+    /// Fails if an output was never assigned (no run has happened).
+    pub fn gq_component_names(
+        &self,
+        ws: &crate::gq::GqWorkspace,
+    ) -> Result<Vec<String>, RuntimeError> {
+        let gq = self
+            .resolved_gq
+            .as_ref()
+            .ok_or_else(|| RuntimeError::new("the program has no generated quantities block"))?;
+        let mut names = Vec::new();
+        for output in &gq.outputs {
+            let v = ws.frame.get(output.slot).ok_or_else(|| {
+                RuntimeError::new(format!(
+                    "generated quantity `{}` was never assigned",
+                    output.name
+                ))
+            })?;
+            names.extend(crate::gq::flat_names(&output.name, v));
+        }
+        Ok(names)
+    }
+
+    /// One-shot resolved evaluation of the block for an unconstrained draw,
+    /// returned as a string-keyed environment — the API-boundary mirror of
+    /// [`GModel::generated_quantities`], used by the differential suite.
+    ///
+    /// # Errors
+    /// Propagates evaluation errors; programs without the block return an
+    /// empty environment.
+    pub fn generated_quantities_resolved(
+        &self,
+        theta_u: &[f64],
+        seed: u64,
+    ) -> Result<Env<f64>, RuntimeError> {
+        let Some(gq) = self.resolved_gq.as_ref() else {
+            return Ok(Env::new());
+        };
+        let mut ws = self
+            .gq_workspace()
+            .expect("block present implies workspace");
+        let mut sink = Vec::new();
+        self.generated_quantities_into(&mut ws, theta_u, false, seed, &mut sink)?;
+        Ok(crate::gq::outputs_to_env(gq, &ws))
     }
 }
 

@@ -500,10 +500,7 @@ pub fn resolve_program_scalar(program: &GProbProgram) -> ResolvedProgram {
 }
 
 fn resolve_program_with(program: &GProbProgram, fused: bool) -> ResolvedProgram {
-    let mut r = Resolver {
-        interner: Interner::new(),
-        functions: &program.functions,
-    };
+    let mut r = Resolver::new(&program.functions);
 
     // Data declarations, transformed-data locals, and function/argument
     // names are interned first so every variable the data environment can
@@ -615,7 +612,7 @@ pub fn count_sweeps(e: &RGExpr) -> usize {
 }
 
 /// Whether an expression reads the given slot anywhere.
-fn mentions_slot(e: &RExpr, slot: u32) -> bool {
+pub(crate) fn mentions_slot(e: &RExpr, slot: u32) -> bool {
     match e {
         RExpr::IntLit(_) | RExpr::RealLit(_) | RExpr::StringLit(_) => false,
         RExpr::Slot(s) => *s == slot,
@@ -642,7 +639,7 @@ fn mentions_slot(e: &RExpr, slot: u32) -> bool {
 
 /// Parses an index expression affine in the loop variable with unit stride:
 /// `v`, `v + c`, `c + v`, or `v - c`, returning the constant offset.
-fn affine_offset(e: &RExpr, slot: u32) -> Option<i64> {
+pub(crate) fn affine_offset(e: &RExpr, slot: u32) -> Option<i64> {
     use stan_frontend::ast::BinOp;
     match e {
         RExpr::Slot(s) if *s == slot => Some(0),
@@ -662,7 +659,7 @@ fn affine_offset(e: &RExpr, slot: u32) -> Option<i64> {
 /// Splits `base[..., v + c]` into a loop-invariant base plus the affine
 /// offset: the final index must be affine in the loop variable and every
 /// earlier index (and the base itself) loop-invariant.
-fn split_access(e: &RExpr, slot: u32) -> Option<SweepAccess> {
+pub(crate) fn split_access(e: &RExpr, slot: u32) -> Option<SweepAccess> {
     let RExpr::Index(base, indices) = e else {
         return None;
     };
@@ -715,7 +712,7 @@ fn affine_only(e: &RExpr, slot: u32) -> bool {
     }
 }
 
-fn classify_arg(e: &RExpr, slot: u32) -> Option<SweepArgSpec> {
+pub(crate) fn classify_arg(e: &RExpr, slot: u32) -> Option<SweepArgSpec> {
     if !mentions_slot(e, slot) {
         return Some(SweepArgSpec::Invariant(e.clone()));
     }
@@ -851,27 +848,38 @@ fn lower_sweeps(e: RGExpr) -> RGExpr {
     }
 }
 
-struct Resolver<'a> {
-    interner: Interner,
-    functions: &'a [FunDecl],
+/// The name-to-slot resolution state, shared by the model-body resolution
+/// pass above and the generated-quantities resolution pass
+/// ([`crate::gq::resolve_gq`]).
+pub(crate) struct Resolver<'a> {
+    pub(crate) interner: Interner,
+    pub(crate) functions: &'a [FunDecl],
 }
 
-impl Resolver<'_> {
+impl<'a> Resolver<'a> {
+    /// A fresh resolver over a program's user-function list.
+    pub(crate) fn new(functions: &'a [FunDecl]) -> Self {
+        Resolver {
+            interner: Interner::new(),
+            functions,
+        }
+    }
+
     /// Interns `name` and returns its frame slot. The runtime environment is
     /// a flat namespace (one location per name), so the symbol index *is*
     /// the slot index; `stan_frontend::symbols::ScopeStack` stays available
     /// for the planned lexical resolution of user-function bodies.
-    fn slot_for(&mut self, name: &str) -> u32 {
+    pub(crate) fn slot_for(&mut self, name: &str) -> u32 {
         self.interner.intern(name).index() as u32
     }
 
     /// Interns every name bound by a statement block (transformed data),
     /// reusing the frontend's single statement walker.
-    fn intern_stmts(&mut self, stmts: &[stan_frontend::ast::Stmt]) {
+    pub(crate) fn intern_stmts(&mut self, stmts: &[stan_frontend::ast::Stmt]) {
         stan_frontend::symbols::intern_stmt_names(&mut self.interner, stmts);
     }
 
-    fn resolve_param(&mut self, p: &ParamInfo) -> RParamInfo {
+    pub(crate) fn resolve_param(&mut self, p: &ParamInfo) -> RParamInfo {
         RParamInfo {
             slot: self.slot_for(&p.name),
             name: p.name.clone(),
@@ -881,7 +889,7 @@ impl Resolver<'_> {
         }
     }
 
-    fn resolve_expr(&mut self, e: &Expr) -> RExpr {
+    pub(crate) fn resolve_expr(&mut self, e: &Expr) -> RExpr {
         match e {
             Expr::IntLit(v) => RExpr::IntLit(*v),
             Expr::RealLit(v) => RExpr::RealLit(*v),
@@ -945,7 +953,7 @@ impl Resolver<'_> {
         }
     }
 
-    fn resolve_decl(&mut self, d: &Decl) -> RDecl {
+    pub(crate) fn resolve_decl(&mut self, d: &Decl) -> RDecl {
         let kind = match &d.ty {
             BaseType::Int => RDeclKind::Int,
             BaseType::Real => RDeclKind::Real,
@@ -1216,12 +1224,23 @@ mod tests {
         let unsupported = GProbProgram {
             body: observe_loop(
                 idx("x", Expr::var("i")),
+                vec![Expr::RealLit(0.0), Expr::RealLit(1.0)],
+                "uniform",
+            ),
+            ..Default::default()
+        };
+        assert_eq!(count_sweeps(&resolve_program(&unsupported).body), 0);
+        // Families added to the kernel set later (beta, gamma, binomial)
+        // lower like any other supported family.
+        let beta = GProbProgram {
+            body: observe_loop(
+                idx("x", Expr::var("i")),
                 vec![Expr::RealLit(1.0), Expr::RealLit(1.0)],
                 "beta",
             ),
             ..Default::default()
         };
-        assert_eq!(count_sweeps(&resolve_program(&unsupported).body), 0);
+        assert_eq!(count_sweeps(&resolve_program(&beta).body), 1);
         // Multi-statement body (assignment before the observe).
         let multi = GProbProgram {
             body: GExpr::LetLoop {

@@ -300,8 +300,14 @@ fn score_tilde<T: Real, V: std::borrow::Borrow<Value<T>>>(
 /// Borrows the 1-based inclusive window `[lo+offset, hi+offset]` of a flat
 /// container as a contiguous slice, or `None` when the value is not a flat
 /// container or the window is out of bounds (the scalar fallback then owns
-/// the error reporting).
-fn slice_window<T: Real>(v: &Value<T>, lo: i64, hi: i64, offset: i64) -> Option<SweepVals<'_, T>> {
+/// the error reporting). Shared with the generated-quantities sweeps
+/// ([`crate::gq`]).
+pub(crate) fn slice_window<T: Real>(
+    v: &Value<T>,
+    lo: i64,
+    hi: i64,
+    offset: i64,
+) -> Option<SweepVals<'_, T>> {
     let start = lo + offset;
     let end = hi + offset;
     if start < 1 {
@@ -341,6 +347,10 @@ pub struct RInterp<'a, T: Real> {
     score: T,
     site_score: T,
     trace: Frame<T>,
+    /// Pooled scratch for `Elementwise` sweep arguments, lent by a
+    /// [`crate::workspace::DensityWorkspace`]; interpreters without one fall
+    /// back to per-sweep local buffers.
+    scratch: Option<&'a mut [Vec<T>; 3]>,
 }
 
 impl<'a, T: Real> RInterp<'a, T> {
@@ -357,7 +367,17 @@ impl<'a, T: Real> RInterp<'a, T> {
             site_score: T::from_f64(0.0),
             trace,
             ctx,
+            scratch: None,
         }
+    }
+
+    /// Attaches a pooled scratch-buffer set for `Elementwise` sweep
+    /// arguments (builder style) — workspace-backed density evaluations pass
+    /// their [`crate::workspace::DensityWorkspace`] buffers here so compound
+    /// sweep arguments stop allocating per evaluation.
+    pub fn with_scratch(mut self, scratch: &'a mut [Vec<T>; 3]) -> Self {
+        self.scratch = Some(scratch);
+        self
     }
 
     /// Runs a resolved body in the given frame.
@@ -541,7 +561,7 @@ impl<'a, T: Real> RInterp<'a, T> {
     /// Evaluation order differs from the scalar loop only in grouping (all
     /// elements of one argument before the next); every evaluated expression
     /// is pure, so the observable semantics are identical.
-    fn try_sweep(&self, sweep: &RSweep, frame: &mut Frame<T>) -> Option<T> {
+    fn try_sweep(&mut self, sweep: &RSweep, frame: &mut Frame<T>) -> Option<T> {
         let lo = reval_expr(&sweep.lo, frame, self.ctx).ok()?.as_int().ok()?;
         let hi = reval_expr(&sweep.hi, frame, self.ctx).ok()?.as_int().ok()?;
         if hi < lo {
@@ -553,10 +573,12 @@ impl<'a, T: Real> RInterp<'a, T> {
 
         // 1. Materialize invariant and element-wise arguments. Element-wise
         //    evaluation binds the loop slot per element, exactly like the
-        //    scalar loop body would.
+        //    scalar loop body would, writing into the workspace's pooled
+        //    scratch buffers (or per-sweep locals when no workspace is
+        //    attached).
         enum OwnedArg<T: Real> {
             Scalar(T),
-            Elems(Vec<T>),
+            Elems,
             Indexed,
         }
         // The lowering pass only builds sweeps with <= 3 arguments (the
@@ -568,11 +590,25 @@ impl<'a, T: Real> RInterp<'a, T> {
         if k > 3 {
             return None;
         }
+        let mut local: [Vec<T>; 3];
+        let scratch: &mut [Vec<T>; 3] = match &mut self.scratch {
+            Some(s) => s,
+            None => {
+                local = [Vec::new(), Vec::new(), Vec::new()];
+                &mut local
+            }
+        };
+        let ctx = self.ctx;
         let mut owned: [OwnedArg<T>; 3] = [OwnedArg::Indexed, OwnedArg::Indexed, OwnedArg::Indexed];
-        for (spec, slot) in sweep.args.iter().zip(owned.iter_mut()) {
+        for ((spec, slot), buf) in sweep
+            .args
+            .iter()
+            .zip(owned.iter_mut())
+            .zip(scratch.iter_mut())
+        {
             match spec {
                 SweepArgSpec::Invariant(e) => {
-                    match reval_expr(e, frame, self.ctx).ok()? {
+                    match reval_expr(e, frame, ctx).ok()? {
                         Value::Real(x) => *slot = OwnedArg::Scalar(x),
                         Value::Int(i) => *slot = OwnedArg::Scalar(T::from_f64(i as f64)),
                         // Container-valued invariant arguments error on the
@@ -581,27 +617,29 @@ impl<'a, T: Real> RInterp<'a, T> {
                     }
                 }
                 SweepArgSpec::Elementwise(e) => {
-                    let mut buf = Vec::with_capacity(n);
+                    buf.clear();
+                    buf.reserve(n);
                     for v in lo..=hi {
                         frame.set(sweep.loop_slot, Value::Int(v));
-                        buf.push(reval_expr(e, frame, self.ctx).ok()?.as_real().ok()?);
+                        buf.push(reval_expr(e, frame, ctx).ok()?.as_real().ok()?);
                     }
-                    *slot = OwnedArg::Elems(buf);
+                    *slot = OwnedArg::Elems;
                 }
                 SweepArgSpec::Indexed(_) => {}
             }
         }
+        let scratch: &[Vec<T>; 3] = scratch;
 
         // 2. Borrow the target window and the directly indexed argument
         //    windows as contiguous slices (no per-element RefValue
         //    indexing). The frame is read-only from here on.
         let frame_ro: &Frame<T> = frame;
-        let target_base = reval_ref(&sweep.target.base, frame_ro, self.ctx).ok()?;
+        let target_base = reval_ref(&sweep.target.base, frame_ro, ctx).ok()?;
         let xs = slice_window(target_base.as_value(), lo, hi, sweep.target.offset)?;
         let mut indexed: [Option<RefValue<T>>; 3] = [None, None, None];
         for (spec, slot) in sweep.args.iter().zip(indexed.iter_mut()) {
             if let SweepArgSpec::Indexed(access) = spec {
-                *slot = Some(reval_ref(&access.base, frame_ro, self.ctx).ok()?);
+                *slot = Some(reval_ref(&access.base, frame_ro, ctx).ok()?);
             }
         }
         let zero = T::from_f64(0.0);
@@ -609,7 +647,7 @@ impl<'a, T: Real> RInterp<'a, T> {
         for (j, spec) in sweep.args.iter().enumerate() {
             args[j] = match (spec, &owned[j], &indexed[j]) {
                 (_, OwnedArg::Scalar(x), _) => SweepArg::Scalar(*x),
-                (_, OwnedArg::Elems(buf), _) => SweepArg::Reals(buf),
+                (_, OwnedArg::Elems, _) => SweepArg::Reals(&scratch[j]),
                 (SweepArgSpec::Indexed(access), OwnedArg::Indexed, Some(base)) => {
                     match slice_window(base.as_value(), lo, hi, access.offset)? {
                         SweepVals::Reals(v) => SweepArg::Reals(v),

@@ -35,6 +35,12 @@ pub struct DensityWorkspace<T: Real> {
     pub(crate) frame: Frame<T>,
     /// The constrained-parameter trace frame.
     pub(crate) trace: Frame<T>,
+    /// Scratch buffers for `Elementwise` sweep arguments: one per possible
+    /// kernel argument, reused across evaluations so a sweep with a compound
+    /// argument (`alpha + beta * x[i]`) stops allocating a fresh `Vec` per
+    /// density call. Buffer capacity grows to the largest sweep seen and
+    /// then stays.
+    pub(crate) sweep_scratch: [Vec<T>; 3],
 }
 
 impl<T: Real> DensityWorkspace<T> {
@@ -45,6 +51,7 @@ impl<T: Real> DensityWorkspace<T> {
             frame: template.clone(),
             template,
             trace: Frame::new(n_slots),
+            sweep_scratch: [Vec::new(), Vec::new(), Vec::new()],
         }
     }
 

@@ -17,6 +17,11 @@
 //! * [`diagnostics`] — posterior summaries, split-R̂, effective sample size,
 //!   and the paper's accuracy criterion
 //!   `|mean(θ) − mean(θ_ref)| < 0.3 · stddev(θ_ref)`.
+//! * [`predictive`] — the chain-sharded streaming driver behind
+//!   `Fit`-level generated-quantities / posterior-predictive evaluation,
+//!   with deterministic per-(chain, draw) RNG streams.
+//! * [`loo`] — model criticism over pointwise log-likelihood matrices:
+//!   PSIS-LOO with Pareto-`k̂` diagnostics, WAIC, and `loo_compare`.
 //!
 //! All samplers are generic over the target. The hot loops drive the
 //! buffer-reusing [`target::GradTargetMut`] interface (`logp_grad_into`
@@ -44,7 +49,9 @@ pub mod advi;
 pub mod diagnostics;
 pub mod hmc;
 pub mod importance;
+pub mod loo;
 pub mod nuts;
+pub mod predictive;
 pub mod svi;
 pub mod target;
 
@@ -52,6 +59,8 @@ pub use advi::{advi_fit, advi_fit_mut, AdviConfig, AdviResult};
 pub use diagnostics::{
     accuracy_pass, ess, multi_ess, multi_split_rhat, split_rhat, summarize, Summary,
 };
+pub use loo::{loo_compare, psis_loo, waic, CompareRow, ElpdEstimate};
 pub use nuts::{nuts_sample, nuts_sample_mut, NutsConfig, NutsResult};
+pub use predictive::{draw_seed, stream_chains, GqTable, StreamError};
 pub use svi::{Adam, AdamConfig};
 pub use target::{GradTarget, GradTargetMut};

@@ -173,6 +173,24 @@ fn mixture_data(seed: u64) -> DataSet {
     vec![bind("N", Value::Int(n as i64)), bind("y", Value::Vector(y))]
 }
 
+fn binomial_trials_data(seed: u64) -> DataSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 40usize;
+    let p_true = 0.3;
+    let trials: Vec<i64> = (0..n)
+        .map(|_| 5 + (probdist::sampling::gamma(&mut rng, 4.0, 0.5).round() as i64).clamp(0, 20))
+        .collect();
+    let y: Vec<i64> = trials
+        .iter()
+        .map(|&t| probdist::sampling::binomial(&mut rng, t, p_true))
+        .collect();
+    vec![
+        bind("N", Value::Int(n as i64)),
+        bind("n", Value::IntArray(trials)),
+        bind("y", Value::IntArray(y)),
+    ]
+}
+
 fn sum_to_zero_data(seed: u64) -> DataSet {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = 12usize;
@@ -193,6 +211,12 @@ pub fn corpus() -> Vec<ModelEntry> {
                 data { int N; int<lower=0,upper=1> x[N]; }
                 parameters { real<lower=0,upper=1> z; }
                 model { z ~ beta(1, 1); for (i in 1:N) x[i] ~ bernoulli(z); }
+                generated quantities {
+                  vector[N] log_lik;
+                  int x_rep[N];
+                  for (i in 1:N) log_lik[i] = bernoulli_lpmf(x[i] | z);
+                  for (i in 1:N) x_rep[i] = bernoulli_rng(z);
+                }
             "#,
             data: coin_data,
             expected_failure: None,
@@ -208,6 +232,10 @@ pub fn corpus() -> Vec<ModelEntry> {
                   tau ~ cauchy(0, 5);
                   theta ~ normal(mu, tau);
                   y ~ normal(theta, sigma);
+                }
+                generated quantities {
+                  vector[J] log_lik;
+                  for (j in 1:J) log_lik[j] = normal_lpdf(y[j] | theta[j], sigma[j]);
                 }
             "#,
             data: eight_schools_data,
@@ -229,6 +257,10 @@ pub fn corpus() -> Vec<ModelEntry> {
                   theta_trans ~ normal(0, 1);
                   y ~ normal(theta, sigma);
                 }
+                generated quantities {
+                  vector[J] log_lik;
+                  for (j in 1:J) log_lik[j] = normal_lpdf(y[j] | theta[j], sigma[j]);
+                }
             "#,
             data: eight_schools_data,
             expected_failure: None,
@@ -245,6 +277,12 @@ pub fn corpus() -> Vec<ModelEntry> {
                   sigma ~ cauchy(0, 5);
                   for (i in 1:N) y[i] ~ normal(alpha + beta * x[i], sigma);
                 }
+                generated quantities {
+                  vector[N] log_lik;
+                  vector[N] y_rep;
+                  for (i in 1:N) log_lik[i] = normal_lpdf(y[i] | alpha + beta * x[i], sigma);
+                  for (i in 1:N) y_rep[i] = normal_rng(alpha + beta * x[i], sigma);
+                }
             "#,
             data: regression_1cov,
             expected_failure: None,
@@ -257,6 +295,10 @@ pub fn corpus() -> Vec<ModelEntry> {
                 parameters { real alpha; real beta; real<lower=0> sigma; }
                 model {
                   y ~ normal(alpha + beta * to_vector(x), sigma);
+                }
+                generated quantities {
+                  vector[N] log_lik;
+                  for (i in 1:N) log_lik[i] = normal_lpdf(y[i] | alpha + beta * x[i], sigma);
                 }
             "#,
             data: regression_1cov,
@@ -302,6 +344,12 @@ pub fn corpus() -> Vec<ModelEntry> {
                   b2 ~ normal(0, 5);
                   sigma ~ lognormal(0, 1);
                   y ~ normal(alpha + b1 * to_vector(x1) + b2 * to_vector(x2), sigma);
+                }
+                generated quantities {
+                  vector[N] log_lik;
+                  vector[N] y_rep;
+                  for (i in 1:N) log_lik[i] = normal_lpdf(y[i] | alpha + b1 * x1[i] + b2 * x2[i], sigma);
+                  for (i in 1:N) y_rep[i] = normal_rng(alpha + b1 * x1[i] + b2 * x2[i], sigma);
                 }
             "#,
             data: regression_2cov,
@@ -543,6 +591,26 @@ pub fn corpus() -> Vec<ModelEntry> {
             data: grouped_data,
             expected_failure: None,
             cost: 3,
+        },
+        ModelEntry {
+            name: "seeds_binomial",
+            source: r#"
+                data { int N; int n[N]; int y[N]; }
+                parameters { real<lower=0,upper=1> p; }
+                model {
+                  p ~ beta(1, 1);
+                  for (i in 1:N) y[i] ~ binomial(n[i], p);
+                }
+                generated quantities {
+                  vector[N] log_lik;
+                  int y_rep[N];
+                  for (i in 1:N) log_lik[i] = binomial_lpmf(y[i] | n[i], p);
+                  for (i in 1:N) y_rep[i] = binomial_rng(n[i], p);
+                }
+            "#,
+            data: binomial_trials_data,
+            expected_failure: None,
+            cost: 2,
         },
         // --- models exercising the non-generative features of Table 1 ---
         ModelEntry {

@@ -135,6 +135,8 @@ pub enum Dist<T: Real> {
     BernoulliLogit { logit: T },
     /// Binomial with number of trials and success probability.
     Binomial { n: i64, p: T },
+    /// Binomial parameterized by number of trials and log-odds.
+    BinomialLogit { n: i64, logit: T },
     /// Poisson with rate.
     Poisson { rate: T },
     /// Poisson parameterized by log-rate.
@@ -193,6 +195,7 @@ impl<T: Real> Dist<T> {
             Dist::Bernoulli { .. } => "bernoulli",
             Dist::BernoulliLogit { .. } => "bernoulli_logit",
             Dist::Binomial { .. } => "binomial",
+            Dist::BinomialLogit { .. } => "binomial_logit",
             Dist::Poisson { .. } => "poisson",
             Dist::PoissonLog { .. } => "poisson_log",
             Dist::Categorical { .. } => "categorical",
@@ -228,7 +231,7 @@ impl<T: Real> Dist<T> {
             }
             Dist::Beta { .. } => Support::UnitInterval,
             Dist::Bernoulli { .. } | Dist::BernoulliLogit { .. } => Support::IntRange(0, 1),
-            Dist::Binomial { n, .. } => Support::IntRange(0, *n),
+            Dist::Binomial { n, .. } | Dist::BinomialLogit { n, .. } => Support::IntRange(0, *n),
             Dist::Poisson { .. } | Dist::PoissonLog { .. } => Support::NonNegativeInt,
             Dist::Categorical { probs } => Support::IntRange(1, probs.len() as i64),
             Dist::CategoricalLogit { logits } => Support::IntRange(1, logits.len() as i64),
@@ -375,6 +378,19 @@ impl<T: Real> Dist<T> {
                 Ok(T::from_f64(log_choose)
                     + T::from_f64(k) * p.ln()
                     + T::from_f64(*n as f64 - k) * (T::from_f64(1.0) - *p).ln())
+            }
+            Dist::BinomialLogit { n, logit } => {
+                let k = x.value().round();
+                if k < 0.0 || k > *n as f64 {
+                    return Ok(neg_inf);
+                }
+                let log_choose = special::lgamma(*n as f64 + 1.0)
+                    - special::lgamma(k + 1.0)
+                    - special::lgamma(*n as f64 - k + 1.0);
+                // k ln sigmoid(l) + (n-k) ln sigmoid(-l), in softplus form.
+                Ok(T::from_f64(log_choose)
+                    - T::from_f64(k) * (-*logit).softplus()
+                    - T::from_f64(*n as f64 - k) * logit.softplus())
             }
             Dist::Poisson { rate } => {
                 let k = x.value().round();
@@ -527,6 +543,11 @@ impl<T: Real> Dist<T> {
                 (rng.gen::<f64>() < special::sigmoid(logit.value())) as i64,
             )),
             Dist::Binomial { n, p } => Ok(SampleValue::Int(sampling::binomial(rng, *n, p.value()))),
+            Dist::BinomialLogit { n, logit } => Ok(SampleValue::Int(sampling::binomial(
+                rng,
+                *n,
+                special::sigmoid(logit.value()),
+            ))),
             Dist::Poisson { rate } => Ok(SampleValue::Int(sampling::poisson(rng, rate.value()))),
             Dist::PoissonLog { log_rate } => Ok(SampleValue::Int(sampling::poisson(
                 rng,
@@ -596,6 +617,8 @@ pub enum DistKind {
     BernoulliLogit,
     /// `binomial(n, p)`
     Binomial,
+    /// `binomial_logit(n, logit)`
+    BinomialLogit,
     /// `poisson(rate)`
     Poisson,
     /// `poisson_log(log_rate)`
@@ -629,6 +652,7 @@ impl DistKind {
             "bernoulli" => DistKind::Bernoulli,
             "bernoulli_logit" => DistKind::BernoulliLogit,
             "binomial" => DistKind::Binomial,
+            "binomial_logit" => DistKind::BinomialLogit,
             "poisson" => DistKind::Poisson,
             "poisson_log" => DistKind::PoissonLog,
             "categorical" => DistKind::Categorical,
@@ -657,6 +681,7 @@ impl DistKind {
             DistKind::Bernoulli => "bernoulli",
             DistKind::BernoulliLogit => "bernoulli_logit",
             DistKind::Binomial => "binomial",
+            DistKind::BinomialLogit => "binomial_logit",
             DistKind::Poisson => "poisson",
             DistKind::PoissonLog => "poisson_log",
             DistKind::Categorical => "categorical",
@@ -769,6 +794,10 @@ pub fn dist_from_kind<T: Real>(kind: DistKind, args: &[DistArg<T>]) -> Result<Di
         DistKind::Binomial => Ok(Dist::Binomial {
             n: scalar(0)?.value().round() as i64,
             p: scalar(1)?,
+        }),
+        DistKind::BinomialLogit => Ok(Dist::BinomialLogit {
+            n: scalar(0)?.value().round() as i64,
+            logit: scalar(1)?,
         }),
         DistKind::Poisson => Ok(Dist::Poisson { rate: scalar(0)? }),
         DistKind::PoissonLog => Ok(Dist::PoissonLog {

@@ -30,5 +30,5 @@ pub mod sweep;
 pub mod transform;
 
 pub use dist::{dist_from_kind, dist_from_name, Dist, DistError, DistKind, SampleValue, Support};
-pub use sweep::{lpdf_sweep, supports_sweep, SweepArg, SweepVals};
+pub use sweep::{lpdf_elems, lpdf_sweep, supports_sweep, SweepArg, SweepVals};
 pub use transform::Constraint;

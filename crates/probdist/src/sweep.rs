@@ -13,8 +13,16 @@
 //!
 //! Supported families (the corpus' element-wise likelihoods): normal,
 //! lognormal, bernoulli, bernoulli_logit, poisson, poisson_log, exponential,
-//! cauchy and student_t. Everything else reports `false` from
-//! [`supports_sweep`] and callers fall back to the scalar path.
+//! cauchy, student_t, beta, gamma, binomial and binomial_logit. Everything
+//! else reports `false` from [`supports_sweep`] and callers fall back to the
+//! scalar path.
+//!
+//! Besides the fused-sum kernel ([`lpdf_sweep`]), the module exposes the
+//! per-element form [`lpdf_elems`], which writes each element's log density
+//! into a caller-owned slice. That is the kernel behind pointwise
+//! log-likelihood collection (`generated quantities` rows feeding
+//! PSIS-LOO / WAIC), where the *vector* of log densities is the result and
+//! no gradient is ever needed.
 //!
 //! Broadcasting follows Stan's vectorized sampling statements: each argument
 //! is either one scalar shared by every element ([`SweepArg::Scalar`]) or a
@@ -113,13 +121,23 @@ pub fn supports_sweep(kind: DistKind) -> bool {
             | DistKind::Exponential
             | DistKind::Cauchy
             | DistKind::StudentT
+            | DistKind::Beta
+            | DistKind::Gamma
+            | DistKind::Binomial
+            | DistKind::BinomialLogit
     )
 }
 
 /// Number of distribution arguments the kernel consumes.
 fn sweep_arity(kind: DistKind) -> usize {
     match kind {
-        DistKind::Normal | DistKind::LogNormal | DistKind::Cauchy => 2,
+        DistKind::Normal
+        | DistKind::LogNormal
+        | DistKind::Cauchy
+        | DistKind::Beta
+        | DistKind::Gamma
+        | DistKind::Binomial
+        | DistKind::BinomialLogit => 2,
         DistKind::StudentT => 3,
         _ => 1,
     }
@@ -263,6 +281,76 @@ fn elem(kind: DistKind, x: f64, a: &[f64; 3], want: bool) -> (f64, f64, [f64; 3]
                 [dnu, -dx, (-1.0 + (nu + 1.0) * z * z / (nu * u)) / scale],
             )
         }
+        DistKind::Beta => {
+            let (a0, b0) = (a[0], a[1]);
+            if !(0.0..=1.0).contains(&x) {
+                return (neg_inf, zero.1, zero.2);
+            }
+            let log_beta = special::lgamma(a0) + special::lgamma(b0) - special::lgamma(a0 + b0);
+            let lp = (a0 - 1.0) * x.ln() + (b0 - 1.0) * (1.0 - x).ln() - log_beta;
+            if !want {
+                return (lp, 0.0, [0.0; 3]);
+            }
+            let dab = special::digamma(a0 + b0);
+            (
+                lp,
+                (a0 - 1.0) / x - (b0 - 1.0) / (1.0 - x),
+                [
+                    x.ln() - special::digamma(a0) + dab,
+                    (1.0 - x).ln() - special::digamma(b0) + dab,
+                    0.0,
+                ],
+            )
+        }
+        DistKind::Gamma => {
+            let (shape, rate) = (a[0], a[1]);
+            if x <= 0.0 {
+                return (neg_inf, zero.1, zero.2);
+            }
+            let lp = shape * rate.ln() - special::lgamma(shape) + (shape - 1.0) * x.ln() - rate * x;
+            if !want {
+                return (lp, 0.0, [0.0; 3]);
+            }
+            (
+                lp,
+                (shape - 1.0) / x - rate,
+                [
+                    rate.ln() - special::digamma(shape) + x.ln(),
+                    shape / rate - x,
+                    0.0,
+                ],
+            )
+        }
+        DistKind::Binomial => {
+            // n arrives through an untracked int (or rounded real) argument,
+            // matching `dist_from_kind`'s construction; its partial is zero.
+            let (n, p) = (a[0].round(), a[1]);
+            let k = x.round();
+            if k < 0.0 || k > n {
+                return (neg_inf, zero.1, zero.2);
+            }
+            let log_choose =
+                special::lgamma(n + 1.0) - special::lgamma(k + 1.0) - special::lgamma(n - k + 1.0);
+            let lp = log_choose + k * p.ln() + (n - k) * (1.0 - p).ln();
+            if !want {
+                return (lp, 0.0, [0.0; 3]);
+            }
+            (lp, 0.0, [0.0, k / p - (n - k) / (1.0 - p), 0.0])
+        }
+        DistKind::BinomialLogit => {
+            let (n, l) = (a[0].round(), a[1]);
+            let k = x.round();
+            if k < 0.0 || k > n {
+                return (neg_inf, zero.1, zero.2);
+            }
+            let log_choose =
+                special::lgamma(n + 1.0) - special::lgamma(k + 1.0) - special::lgamma(n - k + 1.0);
+            let lp = log_choose - k * special::softplus(-l) - (n - k) * special::softplus(l);
+            if !want {
+                return (lp, 0.0, [0.0; 3]);
+            }
+            (lp, 0.0, [0.0, k - n * special::sigmoid(l), 0.0])
+        }
         _ => (f64::NAN, 0.0, [0.0; 3]),
     }
 }
@@ -371,13 +459,74 @@ pub fn lpdf_sweep<T: Real>(
     Ok(T::fused(sum, &parents, &partials))
 }
 
+/// Per-element log densities of a batched site, written into `out` — the
+/// pointwise form of [`lpdf_sweep`], used to collect log-likelihood rows
+/// (`log_lik[i] = dist_lpdf(y[i] | ...)`) for model criticism without a
+/// per-element distribution construction or interpreter dispatch.
+///
+/// Evaluation is plain `f64` (generated quantities never carry gradients).
+/// Element `i` of `out` receives exactly the value the scalar path computes
+/// for `dist_lpdf(xs[i] | args[i])`.
+///
+/// # Errors
+/// Same argument validation as [`lpdf_sweep`], plus an error when `out` is
+/// not exactly the sweep length.
+pub fn lpdf_elems(
+    kind: DistKind,
+    xs: SweepVals<'_, f64>,
+    args: &[SweepArg<'_, f64>],
+    out: &mut [f64],
+) -> Result<(), DistError> {
+    if !supports_sweep(kind) {
+        return Err(DistError::new(format!(
+            "{}: no batched sweep kernel",
+            kind.name()
+        )));
+    }
+    let k = sweep_arity(kind);
+    if args.len() < k {
+        return Err(DistError::new(format!(
+            "{}: expected {k} arguments, got {}",
+            kind.name(),
+            args.len()
+        )));
+    }
+    let args = &args[..k];
+    let n = xs.len();
+    if out.len() != n {
+        return Err(DistError::new(format!(
+            "lpdf_elems output length mismatch: {} vs {n}",
+            out.len()
+        )));
+    }
+    for a in args {
+        if let Some(len) = a.slice_len() {
+            if len != n {
+                return Err(DistError::new(format!(
+                    "broadcast length mismatch in {}: {len} vs {n}",
+                    kind.name()
+                )));
+            }
+        }
+    }
+    let mut abuf = [0f64; 3];
+    for (i, slot) in out.iter_mut().enumerate() {
+        for (j, a) in args.iter().enumerate() {
+            abuf[j] = a.value(i);
+        }
+        let (lp, _, _) = elem(kind, xs.value(i), &abuf, false);
+        *slot = lp;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dist::{dist_from_kind, DistArg};
     use minidiff::{grad, tape, Var};
 
-    const KINDS: [DistKind; 9] = [
+    const KINDS: [DistKind; 13] = [
         DistKind::Normal,
         DistKind::LogNormal,
         DistKind::Bernoulli,
@@ -387,6 +536,10 @@ mod tests {
         DistKind::Exponential,
         DistKind::Cauchy,
         DistKind::StudentT,
+        DistKind::Beta,
+        DistKind::Gamma,
+        DistKind::Binomial,
+        DistKind::BinomialLogit,
     ];
 
     /// In-support observations and arguments for each kind.
@@ -401,6 +554,10 @@ mod tests {
             DistKind::Exponential => (vec![0.1, 2.2, 0.9, 4.0], vec![1.7]),
             DistKind::Cauchy => (vec![0.0, -3.0, 1.5, 9.0], vec![0.4, 2.1]),
             DistKind::StudentT => (vec![0.2, -1.0, 4.0, 0.9], vec![4.0, 0.5, 1.8]),
+            DistKind::Beta => (vec![0.2, 0.55, 0.9, 0.31], vec![2.0, 3.5]),
+            DistKind::Gamma => (vec![0.4, 2.2, 1.1, 5.0], vec![3.0, 2.0]),
+            DistKind::Binomial => (vec![3.0, 0.0, 7.0, 10.0], vec![10.0, 0.35]),
+            DistKind::BinomialLogit => (vec![2.0, 9.0, 5.0, 0.0], vec![10.0, -0.4]),
             other => panic!("no sweep test case for {}", other.name()),
         }
     }
@@ -534,13 +691,74 @@ mod tests {
         .unwrap_err();
         assert!(err.to_string().contains("length mismatch"));
         // Unsupported families are refused (callers guard with supports_sweep).
-        assert!(!supports_sweep(DistKind::Beta));
+        assert!(!supports_sweep(DistKind::Uniform));
         let err = lpdf_sweep(
-            DistKind::Beta,
+            DistKind::Uniform,
             SweepVals::Reals(&xs),
-            &[SweepArg::Scalar(1.0)],
+            &[SweepArg::Scalar(0.0), SweepArg::Scalar(1.0)],
         );
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn per_element_lpdfs_match_the_scalar_path() {
+        for kind in KINDS {
+            let (xs, a) = case(kind);
+            let sargs: Vec<SweepArg<f64>> = a.iter().map(|&v| SweepArg::Scalar(v)).collect();
+            let mut out = vec![0.0; xs.len()];
+            lpdf_elems(kind, SweepVals::Reals(&xs), &sargs, &mut out).unwrap();
+            let dargs: Vec<DistArg<f64>> = a.iter().map(|&v| DistArg::Scalar(v)).collect();
+            let d = dist_from_kind(kind, &dargs).unwrap();
+            for (i, (&x, &got)) in xs.iter().zip(&out).enumerate() {
+                let want = d.lpdf(x).unwrap();
+                assert!(
+                    (got - want).abs() < 1e-12,
+                    "{} elem {i}: {got} vs {want}",
+                    kind.name()
+                );
+            }
+            // Sum agrees with the fused kernel.
+            let total = lpdf_sweep(kind, SweepVals::Reals(&xs), &sargs).unwrap();
+            let sum: f64 = out.iter().sum();
+            assert!((total - sum).abs() < 1e-12);
+        }
+        // Output length is validated.
+        let xs = [0.1f64, 0.2];
+        let mut short = vec![0.0; 1];
+        let err = lpdf_elems(
+            DistKind::Exponential,
+            SweepVals::Reals(&xs),
+            &[SweepArg::Scalar(1.0)],
+            &mut short,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("length mismatch"));
+    }
+
+    #[test]
+    fn binomial_kernels_take_per_element_trial_counts() {
+        // y[i] ~ binomial(n[i], p): n as an int slice, p tracked.
+        let ns = [5i64, 9, 12, 7];
+        let ks = [2i64, 9, 4, 0];
+        tape::reset();
+        let p = Var::new(0.4);
+        let fused = lpdf_sweep(
+            DistKind::Binomial,
+            SweepVals::<Var>::Ints(&ks),
+            &[SweepArg::Ints(&ns), SweepArg::Scalar(p)],
+        )
+        .unwrap();
+        let fused_grad = grad(fused, &[p]);
+        tape::reset();
+        let p2 = Var::new(0.4);
+        let mut acc = Var::constant(0.0);
+        for (&n, &k) in ns.iter().zip(&ks) {
+            let d = crate::Dist::Binomial { n, p: p2 };
+            acc = acc + d.lpdf(Var::constant(k as f64)).unwrap();
+        }
+        let tape_grad = grad(acc, &[p2]);
+        assert!((fused.value() - acc.value()).abs() < 1e-12);
+        assert!((fused_grad[0] - tape_grad[0]).abs() < 1e-10);
     }
 
     #[test]

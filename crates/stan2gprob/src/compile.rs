@@ -127,6 +127,14 @@ pub fn compile(program: &Program, scheme: Scheme) -> Result<GProbProgram, Compil
         stmts.extend(gq.stmts.iter().cloned());
         BlockBody { stmts }
     });
+    // The output columns of per-draw GQ evaluation are the names the source
+    // block itself declares — the replayed transformed parameters are
+    // scaffolding, not outputs.
+    let gq_outputs: Vec<String> = program
+        .generated_quantities
+        .as_ref()
+        .map(|gq| gq.decls().iter().map(|d| d.name.clone()).collect())
+        .unwrap_or_default();
 
     // DeepStan guide: compiled with the generative scheme (the guide must be
     // directly sampleable, Section 5.1).
@@ -144,6 +152,7 @@ pub fn compile(program: &Program, scheme: Scheme) -> Result<GProbProgram, Compil
         transformed_data: program.transformed_data.clone(),
         body,
         generated_quantities,
+        gq_outputs,
         guide_params: program.guide_parameters.clone(),
         guide_body,
     })

@@ -6,13 +6,20 @@
 //! `gprob_*_string_baseline` rows run the retained `HashMap<String, _>`
 //! evaluation path on the *same* compiled program, isolating the speedup of
 //! compile-time name resolution. The `gprob_*_workspace` rows evaluate
-//! through a pooled `DensityWorkspace` / `GradWorkspace` — the per-chain
-//! configuration `Session` samplers run in. Since the sweep-lowering pass,
-//! the workspace rows score element-wise observation loops and vectorized
-//! `~` statements through the fused batch kernels; the
+//! through a pooled `DensityWorkspace` / `GradWorkspace` on the `Var`/tape
+//! interpreter path (pinned explicitly via `log_density_and_grad_tape_with`
+//! since the DProg backend landed). Since the sweep-lowering pass, the
+//! workspace rows score element-wise observation loops and vectorized `~`
+//! statements through the fused batch kernels; the
 //! `gprob_*_scalar_workspace` rows bind the same program *without* lowering
 //! (`bind_scalar_with`), isolating the sweep win over the element-by-element
 //! configuration those rows used to measure.
+//!
+//! The `gprob_{grad,value}_dprog` rows evaluate the same workspace
+//! configuration through the tape-free density program (`gprob::dprog`) —
+//! the route `Session` samplers actually take when the model compiles one.
+//! `gprob_grad_dprog` vs `gprob_grad_workspace` is therefore the
+//! tape-free-vs-tape ratio on identical programs.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -34,6 +41,7 @@ fn bench_density(c: &mut Criterion) {
         "eight_schools_centered",
         "arK",
         "nes_logit",
+        "garch11",
     ] {
         let entry = model_zoo::find(name).unwrap();
         let program = DeepStan::compile_named(name, entry.source).unwrap();
@@ -44,7 +52,28 @@ fn bench_density(c: &mut Criterion) {
         let scalar_model = program.bind_scalar_with(Scheme::Mixed, &data_refs).unwrap();
         let smodel = program.bind_reference(&data_refs).unwrap();
         let theta = vec![0.1; gmodel.dim()];
+        assert!(
+            gmodel.dprog().is_some(),
+            "{name}: expected a compiled density program"
+        );
 
+        group.bench_function(format!("{name}/gprob_grad_dprog"), |b| {
+            let mut ws = gmodel.grad_workspace();
+            let mut g = vec![0.0; gmodel.dim()];
+            b.iter(|| {
+                gmodel
+                    .log_density_and_grad_with(&mut ws, std::hint::black_box(&theta), &mut g)
+                    .unwrap()
+            })
+        });
+        group.bench_function(format!("{name}/gprob_value_dprog"), |b| {
+            let mut ws = gmodel.workspace::<f64>();
+            b.iter(|| {
+                gmodel
+                    .log_density_f64_with(&mut ws, std::hint::black_box(&theta))
+                    .unwrap()
+            })
+        });
         group.bench_function(format!("{name}/stan_ref_grad"), |b| {
             b.iter(|| {
                 smodel
@@ -64,7 +93,7 @@ fn bench_density(c: &mut Criterion) {
             let mut g = vec![0.0; gmodel.dim()];
             b.iter(|| {
                 gmodel
-                    .log_density_and_grad_with(&mut ws, std::hint::black_box(&theta), &mut g)
+                    .log_density_and_grad_tape_with(&mut ws, std::hint::black_box(&theta), &mut g)
                     .unwrap()
             })
         });
@@ -73,7 +102,7 @@ fn bench_density(c: &mut Criterion) {
             let mut g = vec![0.0; scalar_model.dim()];
             b.iter(|| {
                 scalar_model
-                    .log_density_and_grad_with(&mut ws, std::hint::black_box(&theta), &mut g)
+                    .log_density_and_grad_tape_with(&mut ws, std::hint::black_box(&theta), &mut g)
                     .unwrap()
             })
         });
@@ -99,7 +128,7 @@ fn bench_density(c: &mut Criterion) {
             let mut ws = gmodel.workspace::<f64>();
             b.iter(|| {
                 gmodel
-                    .log_density_f64_with(&mut ws, std::hint::black_box(&theta))
+                    .log_density_with(&mut ws, std::hint::black_box(&theta), &NoExternals)
                     .unwrap()
             })
         });
@@ -107,7 +136,7 @@ fn bench_density(c: &mut Criterion) {
             let mut ws = scalar_model.workspace::<f64>();
             b.iter(|| {
                 scalar_model
-                    .log_density_f64_with(&mut ws, std::hint::black_box(&theta))
+                    .log_density_with(&mut ws, std::hint::black_box(&theta), &NoExternals)
                     .unwrap()
             })
         });

@@ -28,7 +28,12 @@ fn bench_nuts(c: &mut Criterion) {
         seed: 1,
         max_depth: 8,
     };
-    for name in ["coin", "kidscore_momhs", "eight_schools_centered"] {
+    for name in [
+        "coin",
+        "kidscore_momhs",
+        "eight_schools_centered",
+        "garch11",
+    ] {
         let entry = model_zoo::find(name).unwrap();
         let program = DeepStan::compile_named(name, entry.source).unwrap();
         let data = entry.dataset(5);
@@ -51,6 +56,45 @@ fn bench_nuts(c: &mut Criterion) {
                     .unwrap()
                     .run(Method::Nuts(settings.clone()))
                     .unwrap()
+            })
+        });
+        // The same single-chain NUTS run driven through the retained
+        // `Var`/tape gradient path: `gprob_mixed` vs this row is the
+        // end-to-end effect of the tape-free density programs within one
+        // capture.
+        group.bench_function(format!("{name}/gprob_tape_target"), |b| {
+            b.iter(|| {
+                let model = program.bind(&data_refs).unwrap();
+                let mut rng = StdRng::seed_from_u64(settings.seed);
+                let init = model.initial_unconstrained(&mut rng);
+                let mut ws = model.grad_workspace();
+                struct TapeTarget<'m> {
+                    model: &'m gprob::GModel,
+                    ws: &'m mut gprob::GradWorkspace,
+                }
+                impl inference::GradTargetMut for TapeTarget<'_> {
+                    fn logp_grad_into(&mut self, q: &[f64], grad: &mut [f64]) -> f64 {
+                        match self.model.log_density_and_grad_tape_with(self.ws, q, grad) {
+                            Ok(lp) => lp,
+                            Err(_) => {
+                                grad.fill(0.0);
+                                f64::NEG_INFINITY
+                            }
+                        }
+                    }
+                }
+                let config = NutsConfig {
+                    warmup: settings.warmup,
+                    samples: settings.samples,
+                    seed: settings.seed,
+                    max_depth: settings.max_depth,
+                    ..Default::default()
+                };
+                let mut target = TapeTarget {
+                    model: &model,
+                    ws: &mut ws,
+                };
+                inference::nuts::nuts_sample_mut(&mut target, init, &config)
             })
         });
         group.bench_function(format!("{name}/gprob_mixed_4chain_parallel"), |b| {

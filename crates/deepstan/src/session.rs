@@ -21,6 +21,14 @@
 //! draws for NUTS/ADVI/importance, plus the fitted guide
 //! ([`crate::svi::VariationalFit`]) for SVI — so downstream diagnostics and
 //! reporting code is method-agnostic too.
+//!
+//! Since the tape-free density programs landed ([`gprob::dprog`]), binding a
+//! model also lowers its density to a flat register program when the body
+//! admits one; every chain's [`WorkspaceTarget`] then evaluates gradients
+//! with no tape at all (NUTS, HMC and ADVI all drive the same
+//! `log_density_and_grad_with` route). Models that decline — with a reason
+//! readable via `GModel::dprog_decline` — keep the recorded-tape path,
+//! byte-identical to the previous behavior.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -570,9 +578,13 @@ fn init_point(init: &Init, rng: &mut StdRng, dim: usize) -> Vec<f64> {
 }
 
 /// A [`GradTargetMut`] over a compiled model with a pooled per-chain
-/// workspace: each gradient evaluation reuses the chain's scratch frames and
-/// tape-leaf buffer. Evaluation errors surface as `-inf` plateaus, exactly
-/// as the closure-based wiring did.
+/// workspace: each gradient evaluation reuses the chain's scratch state.
+/// When the model compiled a tape-free density program (`GModel::dprog`),
+/// this is the target that runs it — one forward pass over the op array and
+/// one analytic reverse sweep per leapfrog step, no tape recording;
+/// declined models evaluate through the recorded tape exactly as before.
+/// Evaluation errors surface as `-inf` plateaus, exactly as the
+/// closure-based wiring did.
 pub struct WorkspaceTarget<'m> {
     model: &'m GModel,
     ws: gprob::GradWorkspace,

@@ -119,6 +119,19 @@ impl<T: Real> ProbHandler<T> for TargetAccumulator<T> {
     }
 }
 
+/// Strips the log-density builtin suffix (`_lpdf`, `_lpmf`, `_lupdf`,
+/// `_lupmf`, `_log`) from a function name, returning the distribution name.
+/// The single matcher shared by the builtin library, the GQ row lowering and
+/// the tape-free density compiler, so the recognized spellings cannot drift
+/// between paths.
+pub(crate) fn strip_lpdf_suffix(name: &str) -> Option<&str> {
+    name.strip_suffix("_lpdf")
+        .or_else(|| name.strip_suffix("_lpmf"))
+        .or_else(|| name.strip_suffix("_lupdf"))
+        .or_else(|| name.strip_suffix("_lupmf"))
+        .or_else(|| name.strip_suffix("_log"))
+}
+
 /// Log density of `lhs ~ dist(args)`, vectorizing over `lhs` when it is a
 /// container (Stan's vectorized sampling statements).
 ///
@@ -1136,13 +1149,7 @@ pub fn call_builtin<T: Real>(
         "row" => arg(0)?.index(arg(1)?.as_int()?),
         // ---- distribution log densities and RNGs ----
         _ => {
-            if let Some(dist_name) = name
-                .strip_suffix("_lpdf")
-                .or_else(|| name.strip_suffix("_lpmf"))
-                .or_else(|| name.strip_suffix("_lupdf"))
-                .or_else(|| name.strip_suffix("_lupmf"))
-                .or_else(|| name.strip_suffix("_log"))
-            {
+            if let Some(dist_name) = strip_lpdf_suffix(name) {
                 let lhs = arg(0)?;
                 return Ok(Value::Real(tilde_lpdf(lhs, dist_name, &args[1..])?));
             }

@@ -152,6 +152,23 @@ pub enum RStmt {
         /// The original scalar loop, re-run when runtime shapes decline.
         fallback: Box<RStmt>,
     },
+    /// A lowered whole-container pointwise-lpdf assignment
+    /// `s = dist_lpdf(x | args...)` with a container-valued `x`: the row of
+    /// element log densities is filled by one [`probdist::lpdf_elems`] call
+    /// and summed in element order. The statement's value is unchanged
+    /// (`dist_lpdf` of a container is the *summed* log density, exactly as
+    /// the generic expression path computes it); the lowering skips the
+    /// per-element distribution construction and interpreter dispatch.
+    LpdfAssign {
+        /// Target slot (plain, unindexed assignment).
+        slot: u32,
+        /// Distribution family.
+        kind: DistKind,
+        /// Observed container expression followed by distribution arguments.
+        args: Vec<RExpr>,
+        /// The original assignment, re-run when runtime shapes decline.
+        fallback: Box<RStmt>,
+    },
 }
 
 /// A lowered generated-quantities row: the counted loop writing
@@ -212,7 +229,7 @@ pub struct ResolvedGq {
 pub fn count_gq_sweeps(stmts: &[RStmt]) -> usize {
     fn count(s: &RStmt) -> usize {
         match s {
-            RStmt::LpdfSweep { .. } | RStmt::RngSweep { .. } => 1,
+            RStmt::LpdfSweep { .. } | RStmt::RngSweep { .. } | RStmt::LpdfAssign { .. } => 1,
             RStmt::Block(ss) => ss.iter().map(count).sum(),
             RStmt::If {
                 then_branch,
@@ -418,6 +435,10 @@ fn collect_stmt_written(s: &RStmt, out: &mut Vec<u32>) {
             out.push(sweep.target_slot);
             collect_stmt_written(fallback, out);
         }
+        RStmt::LpdfAssign { slot, fallback, .. } => {
+            out.push(*slot);
+            collect_stmt_written(fallback, out);
+        }
         RStmt::Skip
         | RStmt::TargetPlus(_)
         | RStmt::Tilde { .. }
@@ -495,8 +516,51 @@ fn lower_stmt(s: RStmt) -> RStmt {
             cond,
             body: Box::new(lower_stmt(*body)),
         },
+        RStmt::Assign {
+            slot,
+            indices,
+            op: AssignOp::Assign,
+            value,
+        } if indices.is_empty() => match match_lpdf_assign(&value) {
+            Some((kind, args)) => RStmt::LpdfAssign {
+                slot,
+                kind,
+                args,
+                fallback: Box::new(RStmt::Assign {
+                    slot,
+                    indices,
+                    op: AssignOp::Assign,
+                    value,
+                }),
+            },
+            None => RStmt::Assign {
+                slot,
+                indices,
+                op: AssignOp::Assign,
+                value,
+            },
+        },
         other => other,
     }
+}
+
+/// Matches the whole-container row pattern: a plain assignment whose RHS is
+/// a sweep-family `_lpdf` / `_lpmf` / `_log` builtin call with 1–3
+/// distribution arguments, none of which may draw from the RNG (hoisting
+/// into the kernel must not reorder consumption).
+fn match_lpdf_assign(value: &RExpr) -> Option<(DistKind, Vec<RExpr>)> {
+    let RExpr::Call(name, _, call_args) = value else {
+        return None;
+    };
+    let dist_name = crate::eval::strip_lpdf_suffix(name)?;
+    let kind = DistKind::from_name(dist_name)?;
+    if !supports_sweep(kind) || kind.is_multivariate() || kind.has_vector_param() {
+        return None;
+    }
+    if call_args.is_empty() || call_args.len() > 4 || call_args.iter().any(contains_rng) {
+        return None;
+    }
+    Some((kind, call_args.clone()))
 }
 
 /// Matches the lowerable row pattern: a counted loop whose body is one plain
@@ -562,12 +626,7 @@ fn match_gq_sweep(loop_slot: u32, lo: &RExpr, hi: &RExpr, body: &RStmt) -> Optio
         ));
     }
 
-    let dist_name = name
-        .strip_suffix("_lpdf")
-        .or_else(|| name.strip_suffix("_lpmf"))
-        .or_else(|| name.strip_suffix("_lupdf"))
-        .or_else(|| name.strip_suffix("_lupmf"))
-        .or_else(|| name.strip_suffix("_log"))?;
+    let dist_name = crate::eval::strip_lpdf_suffix(name)?;
     let kind = DistKind::from_name(dist_name)?;
     if !supports_sweep(kind) {
         return None;
@@ -888,7 +947,68 @@ impl GqEval<'_, '_> {
                 }
                 false => self.exec(fallback, frame),
             },
+            RStmt::LpdfAssign {
+                slot,
+                kind,
+                args,
+                fallback,
+            } => match self.try_lpdf_assign(*slot, *kind, args, frame)? {
+                true => Ok(GqFlow::Normal),
+                false => self.exec(fallback, frame),
+            },
         }
+    }
+
+    /// Attempts the batched evaluation of a whole-container lpdf assignment:
+    /// one `lpdf_elems` row plus an in-order sum, preserving the statement's
+    /// scalar-sum value exactly. Returns `Ok(false)` (nothing mutated) when
+    /// the runtime shapes decline — scalar observations, nested containers,
+    /// broadcast mismatches — and the generic assignment re-runs.
+    fn try_lpdf_assign(
+        &mut self,
+        slot: u32,
+        kind: DistKind,
+        args: &[RExpr],
+        frame: &mut Frame<f64>,
+    ) -> Result<bool, RuntimeError> {
+        let frame_ro: &Frame<f64> = frame;
+        let Ok(observed) = reval_ref(&args[0], frame_ro, self.ctx) else {
+            return Ok(false);
+        };
+        let xs = match observed.as_value() {
+            Value::Vector(v) => SweepVals::Reals(v.as_slice()),
+            Value::IntArray(v) => SweepVals::Ints(v.as_slice()),
+            _ => return Ok(false),
+        };
+        let n = xs.len();
+        let mut borrowed: [Option<RefValue<f64>>; 3] = [None, None, None];
+        for (a, slot_ref) in args[1..].iter().zip(borrowed.iter_mut()) {
+            match reval_ref(a, frame_ro, self.ctx) {
+                Ok(v) => *slot_ref = Some(v),
+                Err(_) => return Ok(false),
+            }
+        }
+        let k = args.len() - 1;
+        let mut dist_args: [SweepArg<f64>; 3] = [SweepArg::Scalar(0.0); 3];
+        for j in 0..k {
+            dist_args[j] = match borrowed[j].as_ref().expect("evaluated above").as_value() {
+                Value::Real(x) => SweepArg::Scalar(*x),
+                Value::Int(i) => SweepArg::Scalar(*i as f64),
+                Value::Vector(v) if v.len() == n && n > 1 => SweepArg::Reals(v.as_slice()),
+                Value::IntArray(v) if v.len() == n && n > 1 => SweepArg::Ints(v.as_slice()),
+                _ => return Ok(false),
+            };
+        }
+        let out = &mut self.scratch.out;
+        out.clear();
+        out.resize(n, 0.0);
+        if lpdf_elems(kind, xs, &dist_args[..k], out).is_err() {
+            return Ok(false);
+        }
+        let total: f64 = out.iter().sum();
+        drop(borrowed);
+        frame.set(slot, Value::Real(total));
+        Ok(true)
     }
 
     fn unbound(&self, slot: u32) -> RuntimeError {
@@ -1426,6 +1546,98 @@ mod tests {
             .unwrap();
         assert_eq!(row1[..5], row3[..5]);
         assert_ne!(row1[5..], row3[5..]);
+    }
+
+    /// A GQ block with whole-container rows: a summed log-lik scalar from a
+    /// container observation (with a per-element argument), plus a decoy
+    /// compound assignment that must NOT lower.
+    fn whole_container_program() -> GProbProgram {
+        let stmts = vec![
+            Stmt::LocalDecl(decl(BaseType::Real, "total_ll", vec![])),
+            Stmt::Assign {
+                lhs: LValue {
+                    name: "total_ll".into(),
+                    indices: vec![],
+                },
+                op: AssignOp::Assign,
+                rhs: Expr::Call(
+                    "normal_lpdf".into(),
+                    vec![Expr::var("y"), Expr::var("mu"), Expr::RealLit(2.0)],
+                ),
+            },
+            Stmt::LocalDecl(decl(BaseType::Real, "twice", vec![])),
+            Stmt::Assign {
+                lhs: LValue {
+                    name: "twice".into(),
+                    indices: vec![],
+                },
+                op: AssignOp::Assign,
+                rhs: Expr::Call(
+                    "bernoulli_lpmf".into(),
+                    vec![Expr::var("k"), Expr::RealLit(0.3)],
+                ),
+            },
+        ];
+        GProbProgram {
+            data: vec![
+                decl(BaseType::Int, "N", vec![]),
+                decl(BaseType::Vector(Box::new(Expr::var("N"))), "y", vec![]),
+                decl(BaseType::Int, "k", vec![Expr::var("N")]),
+            ],
+            params: vec![ParamInfo::scalar("mu")],
+            generated_quantities: Some(BlockBody { stmts }),
+            gq_outputs: vec!["total_ll".into(), "twice".into()],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn whole_container_lpdf_assignments_lower_and_match_the_string_path() {
+        let program = whole_container_program();
+        let fused = resolve_gq(&program).unwrap();
+        // Both rows lower (vector observation and int-array observation).
+        assert_eq!(count_gq_sweeps(&fused.stmts), 2);
+        assert!(matches!(fused.stmts[1], RStmt::LpdfAssign { .. }));
+        assert!(matches!(fused.stmts[3], RStmt::LpdfAssign { .. }));
+        let scalar = resolve_gq_scalar(&program).unwrap();
+        assert_eq!(count_gq_sweeps(&scalar.stmts), 0);
+        // The scalar-sum value is pinned to the string path and to the
+        // unlowered configuration.
+        let mut env = Env::new();
+        env.insert("N".into(), Value::Int(4));
+        env.insert("y".into(), Value::Vector(vec![0.4, -1.2, 2.0, 0.7]));
+        env.insert("k".into(), Value::IntArray(vec![1, 0, 0, 1]));
+        let fused = GModel::new(program.clone(), env.clone()).unwrap();
+        let scalar = GModel::new_scalar(program, env).unwrap();
+        let want = fused
+            .generated_quantities(&[0.5], Rc::new(RefCell::new(StdRng::seed_from_u64(5))))
+            .unwrap();
+        let got = fused.generated_quantities_resolved(&[0.5], 5).unwrap();
+        let got_scalar = scalar.generated_quantities_resolved(&[0.5], 5).unwrap();
+        for key in ["total_ll", "twice"] {
+            let w = want.get(key).unwrap().as_real().unwrap();
+            let g = got.get(key).unwrap().as_real().unwrap();
+            let gs = got_scalar.get(key).unwrap().as_real().unwrap();
+            assert!((w - g).abs() < 1e-12, "{key}: {w} vs {g}");
+            assert!((w - gs).abs() < 1e-12, "{key}: {w} vs {gs}");
+        }
+        // A scalar observation declines at runtime and falls back to the
+        // generic assignment (same value).
+        let mut env2 = Env::new();
+        env2.insert("N".into(), Value::Int(1));
+        env2.insert("y".into(), Value::Real(0.4));
+        env2.insert("k".into(), Value::IntArray(vec![1]));
+        let m2 = GModel::new(whole_container_program(), env2).unwrap();
+        let a = m2.generated_quantities_resolved(&[0.5], 5).unwrap();
+        let b = m2
+            .generated_quantities(&[0.5], Rc::new(RefCell::new(StdRng::seed_from_u64(5))))
+            .unwrap();
+        assert!(
+            (a.get("total_ll").unwrap().as_real().unwrap()
+                - b.get("total_ll").unwrap().as_real().unwrap())
+            .abs()
+                < 1e-12
+        );
     }
 
     #[test]

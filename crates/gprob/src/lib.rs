@@ -28,6 +28,13 @@
 //!   frame and the tape-leaf buffer across evaluations, resetting only the
 //!   slots the body can write. One workspace per chain is what makes
 //!   multi-chain samplers shardable over threads.
+//! * [`dprog`] — tape-free density programs: at bind time the resolved body
+//!   is lowered to a flat register-addressed op list evaluated with one
+//!   forward `f64` pass and one analytic reverse sweep (no Wengert-list
+//!   re-recording per gradient). Bodies with parameter-dependent control
+//!   flow, user-function calls or unsupported builtins *decline* with a
+//!   stated reason and keep the `Var`/tape path, which also remains the
+//!   differential oracle (`tests/dprog_equivalence.rs`).
 //!
 //! # Architecture: compile-time resolution
 //!
@@ -151,6 +158,7 @@
 //! assert!((run.score - 0.25f64.ln()).abs() < 1e-12);
 //! ```
 
+pub mod dprog;
 pub mod eval;
 pub mod gq;
 pub mod interp;
@@ -161,6 +169,7 @@ pub mod reval;
 pub mod value;
 pub mod workspace;
 
+pub use dprog::{DProg, DProgWorkspace, Decline};
 pub use gq::{count_gq_sweeps, resolve_gq, resolve_gq_scalar, GqWorkspace, ResolvedGq};
 pub use ir::{DistCall, GExpr, GProbProgram, ParamInfo};
 pub use model::GModel;

@@ -86,6 +86,14 @@ pub struct GModel {
     /// Frame slot of each parameter, parallel to `slots`.
     param_frame_slots: Vec<u32>,
     dim: usize,
+    /// The tape-free density program compiled at bind time
+    /// ([`crate::dprog`]), when the body admits one. `f64` density and
+    /// gradient evaluations route here; the interpreted `Var`/tape path is
+    /// retained as the differential oracle and as the fallback for declined
+    /// programs.
+    dprog: Option<crate::dprog::DProg>,
+    /// Why the density program declined, when it did.
+    dprog_decline: Option<crate::dprog::Decline>,
 }
 
 impl GModel {
@@ -181,6 +189,14 @@ impl GModel {
         let data_frame = resolved.frame_from_env(&data);
         let param_frame_slots = resolved.params.iter().map(|p| p.slot).collect();
 
+        // Lower the density to its tape-free program; declined shapes keep
+        // the interpreted path (byte-identical to the pre-DProg behavior).
+        let (dprog, dprog_decline) =
+            match crate::dprog::compile(&program, &resolved, &data_frame, &slots) {
+                Ok(p) => (Some(p), None),
+                Err(d) => (None, Some(d)),
+            };
+
         Ok(GModel {
             program,
             resolved,
@@ -190,6 +206,8 @@ impl GModel {
             slots,
             param_frame_slots,
             dim: offset,
+            dprog,
+            dprog_decline,
         })
     }
 
@@ -303,11 +321,27 @@ impl GModel {
         Ok(log_jac)
     }
 
+    /// The compiled tape-free density program, when the body admitted one.
+    pub fn dprog(&self) -> Option<&crate::dprog::DProg> {
+        self.dprog.as_ref()
+    }
+
+    /// Why the density program declined to compile (`None` when it
+    /// compiled). Declined models keep the `Var`/tape gradient path,
+    /// byte-identical to the pre-DProg behavior.
+    pub fn dprog_decline(&self) -> Option<&crate::dprog::Decline> {
+        self.dprog_decline.as_ref()
+    }
+
     /// Builds a pooled scratch workspace for this model. One workspace
     /// serves one chain: create one per sampler thread and pass it to
     /// [`GModel::log_density_with`] on every evaluation.
     pub fn workspace<T: Real>(&self) -> DensityWorkspace<T> {
-        DensityWorkspace::new(&self.data_frame, self.resolved.n_slots)
+        DensityWorkspace::new(
+            &self.data_frame,
+            self.resolved.n_slots,
+            self.dprog.as_ref().map(|p| p.workspace()),
+        )
     }
 
     /// Builds a pooled workspace for gradient evaluations
@@ -373,7 +407,9 @@ impl GModel {
     }
 
     /// Plain `f64` log-density in a pooled workspace (the non-generic form
-    /// of [`GModel::log_density_with`], monomorphized here once).
+    /// of [`GModel::log_density_with`], monomorphized here once). Routes to
+    /// the tape-free density program when the model compiled one; declined
+    /// models evaluate through the frame interpreter exactly as before.
     ///
     /// # Errors
     /// Propagates runtime evaluation errors.
@@ -382,6 +418,9 @@ impl GModel {
         ws: &mut DensityWorkspace<f64>,
         theta_u: &[f64],
     ) -> Result<f64, RuntimeError> {
+        if let (Some(dp), Some(dpws)) = (&self.dprog, &mut ws.dprog) {
+            return dp.value(theta_u, dpws);
+        }
         self.log_density_with(ws, theta_u, &NoExternals)
     }
 
@@ -426,9 +465,37 @@ impl GModel {
     }
 
     /// [`GModel::log_density_and_grad`] in a pooled [`GradWorkspace`]: the
-    /// gradient is written into `grad_out` and every scratch buffer (input
-    /// leaves, working frame, trace frame) is reused across calls. This is
-    /// the evaluation each NUTS leapfrog step performs.
+    /// gradient is written into `grad_out` and every scratch buffer is
+    /// reused across calls. This is the evaluation each NUTS leapfrog step
+    /// performs.
+    ///
+    /// Models whose density compiled to a tape-free program
+    /// ([`GModel::dprog`]) evaluate it here — one forward `f64` pass and one
+    /// analytic reverse sweep, no tape recording at all. Declined models
+    /// take [`GModel::log_density_and_grad_tape_with`], byte-identical to
+    /// the pre-DProg behavior.
+    ///
+    /// # Errors
+    /// Propagates runtime evaluation errors.
+    ///
+    /// # Panics
+    /// Panics if `grad_out` is shorter than `theta_u`.
+    pub fn log_density_and_grad_with(
+        &self,
+        ws: &mut GradWorkspace,
+        theta_u: &[f64],
+        grad_out: &mut [f64],
+    ) -> Result<f64, RuntimeError> {
+        if let (Some(dp), Some(dpws)) = (&self.dprog, &mut ws.inner.dprog) {
+            return dp.value_and_grad(theta_u, grad_out, dpws);
+        }
+        self.log_density_and_grad_tape_with(ws, theta_u, grad_out)
+    }
+
+    /// The `Var`/tape gradient path: re-records the Wengert list on every
+    /// call. This is the differential oracle the tape-free programs are
+    /// pinned against (`tests/dprog_equivalence.rs`) and the evaluation
+    /// route for models whose density declined to compile.
     ///
     /// The workspace's lifted data values are tape *constants*, so they stay
     /// valid across the `tape::reset` this method issues.
@@ -438,7 +505,7 @@ impl GModel {
     ///
     /// # Panics
     /// Panics if `grad_out` is shorter than `theta_u`.
-    pub fn log_density_and_grad_with(
+    pub fn log_density_and_grad_tape_with(
         &self,
         ws: &mut GradWorkspace,
         theta_u: &[f64],

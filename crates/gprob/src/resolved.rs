@@ -1220,8 +1220,20 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(count_sweeps(&resolve_program(&value_use).body), 0);
-        // Unsupported family.
+        // Unsupported family (vector-parameter categorical).
         let unsupported = GProbProgram {
+            body: observe_loop(
+                idx("x", Expr::var("i")),
+                vec![Expr::var("probs")],
+                "categorical",
+            ),
+            ..Default::default()
+        };
+        assert_eq!(count_sweeps(&resolve_program(&unsupported).body), 0);
+        // Families added to the kernel set later (beta, gamma, binomial,
+        // uniform, double_exponential, inv_gamma, chi_square) lower like any
+        // other supported family.
+        let uniform = GProbProgram {
             body: observe_loop(
                 idx("x", Expr::var("i")),
                 vec![Expr::RealLit(0.0), Expr::RealLit(1.0)],
@@ -1229,9 +1241,7 @@ mod tests {
             ),
             ..Default::default()
         };
-        assert_eq!(count_sweeps(&resolve_program(&unsupported).body), 0);
-        // Families added to the kernel set later (beta, gamma, binomial)
-        // lower like any other supported family.
+        assert_eq!(count_sweeps(&resolve_program(&uniform).body), 1);
         let beta = GProbProgram {
             body: observe_loop(
                 idx("x", Expr::var("i")),

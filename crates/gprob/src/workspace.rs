@@ -23,6 +23,7 @@
 
 use minidiff::{Real, Var};
 
+use crate::dprog::DProgWorkspace;
 use crate::resolved::Frame;
 
 /// Reusable scratch frames for one chain's density evaluations. Build one
@@ -41,17 +42,26 @@ pub struct DensityWorkspace<T: Real> {
     /// density call. Buffer capacity grows to the largest sweep seen and
     /// then stays.
     pub(crate) sweep_scratch: [Vec<T>; 3],
+    /// Register file + adjoint buffer of the model's compiled tape-free
+    /// density program ([`crate::dprog::DProg`]); `None` when the model's
+    /// density declined to compile (it then keeps the interpreted path).
+    pub(crate) dprog: Option<DProgWorkspace>,
 }
 
 impl<T: Real> DensityWorkspace<T> {
     /// Builds a workspace from a model's `f64` data frame.
-    pub(crate) fn new(data_frame: &Frame<f64>, n_slots: usize) -> Self {
+    pub(crate) fn new(
+        data_frame: &Frame<f64>,
+        n_slots: usize,
+        dprog: Option<DProgWorkspace>,
+    ) -> Self {
         let template: Frame<T> = Frame::lift(data_frame);
         DensityWorkspace {
             frame: template.clone(),
             template,
             trace: Frame::new(n_slots),
             sweep_scratch: [Vec::new(), Vec::new(), Vec::new()],
+            dprog,
         }
     }
 

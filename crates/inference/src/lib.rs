@@ -33,6 +33,13 @@
 //! convergence is assessed with [`diagnostics::multi_split_rhat`] /
 //! [`diagnostics::multi_ess`].
 //!
+//! Because every sampler goes through `GradTargetMut`, NUTS, HMC and ADVI
+//! all pick up the tape-free density programs (`gprob::dprog`) transparently:
+//! a `gprob`-backed target routes `logp_grad_into` to the compiled register
+//! program when the model's density lowered at bind time, and to the
+//! recorded-tape interpreter when it declined. Nothing in this crate needs
+//! to know which backend ran.
+//!
 //! # Example
 //!
 //! ```

@@ -30,12 +30,14 @@
 //! ```
 
 pub mod real;
+pub mod rules;
 pub mod special;
 pub mod tape;
 pub mod var;
 
 pub use real::Real;
-pub use tape::{grad, grad_into, tape_len, Tape};
+pub use rules::{BinFn, UnFn};
+pub use tape::{grad, grad_into, tape_capacities, tape_len, Tape};
 pub use var::Var;
 
 #[cfg(test)]

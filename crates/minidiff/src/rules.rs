@@ -1,0 +1,248 @@
+//! Shared scalar differentiation rules: primal formulas and analytic local
+//! partial derivatives for the unary special functions the workspace
+//! differentiates.
+//!
+//! Historically each rule lived twice: once inside the corresponding [`Var`]
+//! method (tape recording) and once wherever an analytic reverse pass needed
+//! the same partial (batched density kernels, and now the tape-free density
+//! programs of `gprob::dprog`). This module is the single home: [`Var`]'s
+//! unary methods and every tape-free reverse sweep read the same
+//! [`UnFn::value`] / [`UnFn::partial`] tables, so the two backends cannot
+//! drift apart.
+//!
+//! [`Var`]: crate::Var
+
+use crate::special;
+
+/// A differentiable unary scalar function with an analytic derivative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UnFn {
+    /// Negation.
+    Neg,
+    /// Natural logarithm.
+    Ln,
+    /// `ln(1 + x)`.
+    Ln1p,
+    /// Exponential.
+    Exp,
+    /// Square root.
+    Sqrt,
+    /// Absolute value (sub-gradient 0 at 0).
+    Abs,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// `ln(1 + e^x)` (softplus).
+    Softplus,
+    /// Log-gamma.
+    Lgamma,
+    /// Reciprocal.
+    Recip,
+    /// Integer power with a constant exponent.
+    Powi(i32),
+    /// Real power with a constant exponent.
+    Powf(f64),
+}
+
+impl UnFn {
+    /// The primal value `f(x)`.
+    #[inline]
+    pub fn value(self, x: f64) -> f64 {
+        match self {
+            UnFn::Neg => -x,
+            UnFn::Ln => x.ln(),
+            UnFn::Ln1p => x.ln_1p(),
+            UnFn::Exp => x.exp(),
+            UnFn::Sqrt => x.sqrt(),
+            UnFn::Abs => x.abs(),
+            UnFn::Tanh => x.tanh(),
+            UnFn::Sin => x.sin(),
+            UnFn::Cos => x.cos(),
+            UnFn::Sigmoid => special::sigmoid(x),
+            UnFn::Softplus => special::softplus(x),
+            UnFn::Lgamma => special::lgamma(x),
+            UnFn::Recip => 1.0 / x,
+            UnFn::Powi(n) => x.powi(n),
+            UnFn::Powf(p) => x.powf(p),
+        }
+    }
+
+    /// The local partial `∂f/∂x` at `x`, given the already-computed primal
+    /// `fx = f(x)` (several rules reuse it: `exp`, `tanh`, `sqrt`, ...).
+    #[inline]
+    pub fn partial(self, x: f64, fx: f64) -> f64 {
+        match self {
+            UnFn::Neg => -1.0,
+            UnFn::Ln => 1.0 / x,
+            UnFn::Ln1p => 1.0 / (1.0 + x),
+            UnFn::Exp => fx,
+            UnFn::Sqrt => 0.5 / fx,
+            UnFn::Abs => {
+                if x > 0.0 {
+                    1.0
+                } else if x < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            UnFn::Tanh => 1.0 - fx * fx,
+            UnFn::Sin => x.cos(),
+            UnFn::Cos => -x.sin(),
+            UnFn::Sigmoid => fx * (1.0 - fx),
+            UnFn::Softplus => special::sigmoid(x),
+            UnFn::Lgamma => special::digamma(x),
+            UnFn::Recip => -1.0 / (x * x),
+            UnFn::Powi(n) => f64::from(n) * x.powi(n - 1),
+            UnFn::Powf(p) => p * x.powf(p - 1.0),
+        }
+    }
+}
+
+/// A differentiable binary scalar function with analytic partial
+/// derivatives. As with [`UnFn`], both the tape ([`crate::Var`]'s operator
+/// impls) and the tape-free reverse sweeps read this one table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BinFn {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Pairwise maximum; the sub-gradient follows the winner, ties favor
+    /// the left operand.
+    Max,
+    /// Pairwise minimum; ties favor the left operand.
+    Min,
+}
+
+impl BinFn {
+    /// The primal value `f(a, b)`.
+    #[inline]
+    pub fn value(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinFn::Add => a + b,
+            BinFn::Sub => a - b,
+            BinFn::Mul => a * b,
+            BinFn::Div => a / b,
+            BinFn::Max => {
+                if a >= b {
+                    a
+                } else {
+                    b
+                }
+            }
+            BinFn::Min => {
+                if a <= b {
+                    a
+                } else {
+                    b
+                }
+            }
+        }
+    }
+
+    /// The local partials `(∂f/∂a, ∂f/∂b)` at `(a, b)`.
+    #[inline]
+    pub fn partials(self, a: f64, b: f64) -> (f64, f64) {
+        match self {
+            BinFn::Add => (1.0, 1.0),
+            BinFn::Sub => (1.0, -1.0),
+            BinFn::Mul => (b, a),
+            BinFn::Div => (1.0 / b, -a / (b * b)),
+            BinFn::Max => {
+                if a >= b {
+                    (1.0, 0.0)
+                } else {
+                    (0.0, 1.0)
+                }
+            }
+            BinFn::Min => {
+                if a <= b {
+                    (1.0, 0.0)
+                } else {
+                    (0.0, 1.0)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_partials_match_finite_differences() {
+        for f in [
+            BinFn::Add,
+            BinFn::Sub,
+            BinFn::Mul,
+            BinFn::Div,
+            BinFn::Max,
+            BinFn::Min,
+        ] {
+            for &(a, b) in &[(0.7, 1.9), (2.2, 0.4), (-1.1, 0.8)] {
+                let h = 1e-6;
+                let (da, db) = f.partials(a, b);
+                let fa = (f.value(a + h, b) - f.value(a - h, b)) / (2.0 * h);
+                let fb = (f.value(a, b + h) - f.value(a, b - h)) / (2.0 * h);
+                assert!((da - fa).abs() < 1e-5, "{f:?} da at ({a},{b})");
+                assert!((db - fb).abs() < 1e-5, "{f:?} db at ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn max_min_ties_favor_the_left_operand() {
+        assert_eq!(BinFn::Max.partials(2.0, 2.0), (1.0, 0.0));
+        assert_eq!(BinFn::Min.partials(2.0, 2.0), (1.0, 0.0));
+    }
+
+    const FNS: [UnFn; 15] = [
+        UnFn::Neg,
+        UnFn::Ln,
+        UnFn::Ln1p,
+        UnFn::Exp,
+        UnFn::Sqrt,
+        UnFn::Abs,
+        UnFn::Tanh,
+        UnFn::Sin,
+        UnFn::Cos,
+        UnFn::Sigmoid,
+        UnFn::Softplus,
+        UnFn::Lgamma,
+        UnFn::Recip,
+        UnFn::Powi(3),
+        UnFn::Powf(1.7),
+    ];
+
+    #[test]
+    fn partials_match_finite_differences() {
+        for f in FNS {
+            for &x in &[0.3, 0.9, 2.1] {
+                let h = 1e-6;
+                let fd = (f.value(x + h) - f.value(x - h)) / (2.0 * h);
+                let fx = f.value(x);
+                let got = f.partial(x, fx);
+                assert!(
+                    (got - fd).abs() < 1e-5 * (1.0 + fd.abs()),
+                    "{f:?} at {x}: {got} vs {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn abs_subgradient_is_zero_at_zero() {
+        assert_eq!(UnFn::Abs.partial(0.0, 0.0), 0.0);
+    }
+}

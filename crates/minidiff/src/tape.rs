@@ -119,11 +119,29 @@ impl Tape {
         idx
     }
 
+    /// Clears all recorded nodes and wide side tables **without releasing
+    /// their capacity** (`Vec::clear` never shrinks). A chain that evaluates
+    /// the same-shaped density thousands of times therefore allocates tape
+    /// storage only until the high-water mark is reached, after which every
+    /// `reset` + re-record cycle is allocation-free.
     pub(crate) fn clear(&mut self) {
         self.nodes.clear();
         self.wide_spans.clear();
         self.wide_parents.clear();
         self.wide_partials.clear();
+    }
+
+    /// Current allocated capacities `(nodes, wide_spans, wide_parents,
+    /// wide_partials)` — exposed so tests can pin the
+    /// clear-preserves-capacity contract that keeps per-evaluation tape reuse
+    /// allocation-free.
+    pub fn capacities(&self) -> (usize, usize, usize, usize) {
+        (
+            self.nodes.capacity(),
+            self.wide_spans.capacity(),
+            self.wide_parents.capacity(),
+            self.wide_partials.capacity(),
+        )
     }
 
     /// Reverse sweep from `output`, returning adjoints for every node.
@@ -178,6 +196,11 @@ pub fn reset() {
 /// Number of nodes currently recorded on the thread-local tape.
 pub fn tape_len() -> usize {
     TAPE.with(|t| t.borrow().nodes.len())
+}
+
+/// Allocated capacities of the thread-local tape (see [`Tape::capacities`]).
+pub fn tape_capacities() -> (usize, usize, usize, usize) {
+    TAPE.with(|t| t.borrow().capacities())
 }
 
 pub(crate) fn with_tape<R>(f: impl FnOnce(&mut Tape) -> R) -> R {
@@ -237,6 +260,35 @@ mod tests {
         assert!(tape_len() >= 3);
         reset();
         assert_eq!(tape_len(), 0);
+    }
+
+    #[test]
+    fn reset_preserves_capacity_across_same_shape_evals() {
+        // One "evaluation shape": a few leaves, binary arithmetic, and a
+        // fused wide node — touching every tape storage vector.
+        let eval = || {
+            let a = Var::new(1.3);
+            let b = Var::new(0.4);
+            let y = (a * b + b).exp();
+            let w = Var::fused(2.0, &[a, b, y], &[0.5, -1.0, 2.0]);
+            grad(w, &[a, b])
+        };
+        reset();
+        eval();
+        let after_first = tape_capacities();
+        // Repeated same-shape evaluations must never reallocate: the
+        // capacities reached by the first evaluation are the high-water mark
+        // and `reset` (Vec::clear) must keep them.
+        for _ in 0..32 {
+            reset();
+            assert_eq!(tape_len(), 0);
+            eval();
+            assert_eq!(
+                tape_capacities(),
+                after_first,
+                "tape reallocated during a same-shape re-evaluation"
+            );
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
-use crate::special;
+use crate::rules::{BinFn, UnFn};
 use crate::tape::{with_tape, NO_PARENT};
 
 /// A scalar tracked by the reverse-mode tape.
@@ -104,6 +104,25 @@ impl Var {
         Var { idx, val }
     }
 
+    /// Applies a unary rule from the shared table ([`crate::rules`]): the
+    /// primal and the recorded local partial are exactly the formulas the
+    /// tape-free reverse sweeps use, so the two backends cannot drift.
+    #[inline]
+    pub fn apply_rule(self, f: UnFn) -> Var {
+        let v = f.value(self.val);
+        self.unary(v, f.partial(self.val, v))
+    }
+
+    /// Applies a binary rule from the shared table ([`crate::rules`]): the
+    /// primal and the recorded local partials are exactly the formulas the
+    /// tape-free reverse sweeps use.
+    #[inline]
+    pub fn apply_bin_rule(self, other: Var, f: BinFn) -> Var {
+        let v = f.value(self.val, other.val);
+        let (da, db) = f.partials(self.val, other.val);
+        self.binary(other, v, da, db)
+    }
+
     fn binary(self, other: Var, val: f64, dself: f64, dother: f64) -> Var {
         match (self.idx == NO_PARENT, other.idx == NO_PARENT) {
             (true, true) => Var::constant(val),
@@ -118,105 +137,82 @@ impl Var {
 
     /// Natural logarithm.
     pub fn ln(self) -> Var {
-        self.unary(self.val.ln(), 1.0 / self.val)
+        self.apply_rule(UnFn::Ln)
     }
 
     /// `ln(1 + x)`.
     pub fn ln_1p(self) -> Var {
-        self.unary(self.val.ln_1p(), 1.0 / (1.0 + self.val))
+        self.apply_rule(UnFn::Ln1p)
     }
 
     /// Exponential.
     pub fn exp(self) -> Var {
-        let e = self.val.exp();
-        self.unary(e, e)
+        self.apply_rule(UnFn::Exp)
     }
 
     /// Square root.
     pub fn sqrt(self) -> Var {
-        let s = self.val.sqrt();
-        self.unary(s, 0.5 / s)
+        self.apply_rule(UnFn::Sqrt)
     }
 
     /// Integer power.
     pub fn powi(self, n: i32) -> Var {
-        let v = self.val.powi(n);
-        self.unary(v, f64::from(n) * self.val.powi(n - 1))
+        self.apply_rule(UnFn::Powi(n))
     }
 
     /// Real power with a constant exponent.
     pub fn powf(self, p: f64) -> Var {
-        let v = self.val.powf(p);
-        self.unary(v, p * self.val.powf(p - 1.0))
+        self.apply_rule(UnFn::Powf(p))
     }
 
     /// Absolute value (sub-gradient 0 at 0).
     pub fn abs(self) -> Var {
-        let d = if self.val > 0.0 {
-            1.0
-        } else if self.val < 0.0 {
-            -1.0
-        } else {
-            0.0
-        };
-        self.unary(self.val.abs(), d)
+        self.apply_rule(UnFn::Abs)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(self) -> Var {
-        let t = self.val.tanh();
-        self.unary(t, 1.0 - t * t)
+        self.apply_rule(UnFn::Tanh)
     }
 
     /// Sine.
     pub fn sin(self) -> Var {
-        self.unary(self.val.sin(), self.val.cos())
+        self.apply_rule(UnFn::Sin)
     }
 
     /// Cosine.
     pub fn cos(self) -> Var {
-        self.unary(self.val.cos(), -self.val.sin())
+        self.apply_rule(UnFn::Cos)
     }
 
     /// Logistic sigmoid `1 / (1 + e^{-x})`.
     pub fn sigmoid(self) -> Var {
-        let s = 1.0 / (1.0 + (-self.val).exp());
-        self.unary(s, s * (1.0 - s))
+        self.apply_rule(UnFn::Sigmoid)
     }
 
     /// `ln(1 + e^x)`, numerically stable.
     pub fn softplus(self) -> Var {
-        let v = special::softplus(self.val);
-        let s = 1.0 / (1.0 + (-self.val).exp());
-        self.unary(v, s)
+        self.apply_rule(UnFn::Softplus)
     }
 
     /// Log-gamma function.
     pub fn lgamma(self) -> Var {
-        self.unary(special::lgamma(self.val), special::digamma(self.val))
+        self.apply_rule(UnFn::Lgamma)
     }
 
     /// Reciprocal.
     pub fn recip(self) -> Var {
-        self.unary(1.0 / self.val, -1.0 / (self.val * self.val))
+        self.apply_rule(UnFn::Recip)
     }
 
     /// Element-wise maximum (sub-gradient follows the larger argument).
     pub fn max_var(self, other: Var) -> Var {
-        if self.val >= other.val {
-            self.binary(other, self.val, 1.0, 0.0)
-        } else {
-            self.binary(other, other.val, 0.0, 1.0)
-        }
+        self.apply_bin_rule(other, BinFn::Max)
     }
 
     /// Element-wise minimum.
     pub fn min_var(self, other: Var) -> Var {
-        if self.val <= other.val {
-            self.binary(other, self.val, 1.0, 0.0)
-        } else {
-            self.binary(other, other.val, 0.0, 1.0)
-        }
+        self.apply_bin_rule(other, BinFn::Min)
     }
 }
 
@@ -235,33 +231,28 @@ impl PartialOrd for Var {
 impl Add for Var {
     type Output = Var;
     fn add(self, rhs: Var) -> Var {
-        self.binary(rhs, self.val + rhs.val, 1.0, 1.0)
+        self.apply_bin_rule(rhs, BinFn::Add)
     }
 }
 
 impl Sub for Var {
     type Output = Var;
     fn sub(self, rhs: Var) -> Var {
-        self.binary(rhs, self.val - rhs.val, 1.0, -1.0)
+        self.apply_bin_rule(rhs, BinFn::Sub)
     }
 }
 
 impl Mul for Var {
     type Output = Var;
     fn mul(self, rhs: Var) -> Var {
-        self.binary(rhs, self.val * rhs.val, rhs.val, self.val)
+        self.apply_bin_rule(rhs, BinFn::Mul)
     }
 }
 
 impl Div for Var {
     type Output = Var;
     fn div(self, rhs: Var) -> Var {
-        self.binary(
-            rhs,
-            self.val / rhs.val,
-            1.0 / rhs.val,
-            -self.val / (rhs.val * rhs.val),
-        )
+        self.apply_bin_rule(rhs, BinFn::Div)
     }
 }
 

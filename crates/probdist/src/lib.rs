@@ -30,5 +30,8 @@ pub mod sweep;
 pub mod transform;
 
 pub use dist::{dist_from_kind, dist_from_name, Dist, DistError, DistKind, SampleValue, Support};
-pub use sweep::{lpdf_elems, lpdf_sweep, supports_sweep, SweepArg, SweepVals};
+pub use sweep::{
+    lpdf_elem_partials, lpdf_elem_value, lpdf_elems, lpdf_sweep, lpdf_sweep_adjoint, supports_elem,
+    supports_sweep, sweep_arity, AdjSink, SweepArg, SweepVals,
+};
 pub use transform::Constraint;

@@ -125,11 +125,23 @@ pub fn supports_sweep(kind: DistKind) -> bool {
             | DistKind::Gamma
             | DistKind::Binomial
             | DistKind::BinomialLogit
+            | DistKind::Uniform
+            | DistKind::DoubleExponential
+            | DistKind::InvGamma
+            | DistKind::ChiSquare
     )
 }
 
+/// Whether [`lpdf_elem_partials`] has a scalar kernel for this family — the
+/// sweep set plus `improper_uniform` (the comprehensive scheme's synthetic
+/// prior, which never appears in a source observation loop but is scored by
+/// the tape-free density programs of `gprob::dprog`).
+pub fn supports_elem(kind: DistKind) -> bool {
+    supports_sweep(kind) || kind == DistKind::ImproperUniform
+}
+
 /// Number of distribution arguments the kernel consumes.
-fn sweep_arity(kind: DistKind) -> usize {
+pub fn sweep_arity(kind: DistKind) -> usize {
     match kind {
         DistKind::Normal
         | DistKind::LogNormal
@@ -137,7 +149,11 @@ fn sweep_arity(kind: DistKind) -> usize {
         | DistKind::Beta
         | DistKind::Gamma
         | DistKind::Binomial
-        | DistKind::BinomialLogit => 2,
+        | DistKind::BinomialLogit
+        | DistKind::Uniform
+        | DistKind::DoubleExponential
+        | DistKind::InvGamma
+        | DistKind::ImproperUniform => 2,
         DistKind::StudentT => 3,
         _ => 1,
     }
@@ -351,8 +367,202 @@ fn elem(kind: DistKind, x: f64, a: &[f64; 3], want: bool) -> (f64, f64, [f64; 3]
             }
             (lp, 0.0, [0.0, k - n * special::sigmoid(l), 0.0])
         }
+        DistKind::Uniform => {
+            let (lo, hi) = (a[0], a[1]);
+            if x < lo || x > hi {
+                return (neg_inf, zero.1, zero.2);
+            }
+            let lp = -((hi - lo).ln());
+            if !want {
+                return (lp, 0.0, [0.0; 3]);
+            }
+            let w = 1.0 / (hi - lo);
+            (lp, 0.0, [w, -w, 0.0])
+        }
+        DistKind::ImproperUniform => {
+            // Constant density on the (possibly unbounded) interval; the
+            // partials are identically zero, matching the scalar path where
+            // the 0 / -inf result is an untracked constant.
+            let (lo, hi) = (a[0], a[1]);
+            if x < lo || x > hi {
+                (neg_inf, zero.1, zero.2)
+            } else {
+                (0.0, 0.0, [0.0; 3])
+            }
+        }
+        DistKind::DoubleExponential => {
+            let (loc, scale) = (a[0], a[1]);
+            let lp = -(2.0 * scale).ln() - (x - loc).abs() / scale;
+            if !want {
+                return (lp, 0.0, [0.0; 3]);
+            }
+            // Sub-gradient 0 at x == loc, exactly as `Var::abs` records it.
+            let s = if x > loc {
+                1.0
+            } else if x < loc {
+                -1.0
+            } else {
+                0.0
+            };
+            (
+                lp,
+                -s / scale,
+                [
+                    s / scale,
+                    -1.0 / scale + (x - loc).abs() / (scale * scale),
+                    0.0,
+                ],
+            )
+        }
+        DistKind::InvGamma => {
+            let (shape, scale) = (a[0], a[1]);
+            if x <= 0.0 {
+                return (neg_inf, zero.1, zero.2);
+            }
+            let lp =
+                shape * scale.ln() - special::lgamma(shape) - (shape + 1.0) * x.ln() - scale / x;
+            if !want {
+                return (lp, 0.0, [0.0; 3]);
+            }
+            (
+                lp,
+                -(shape + 1.0) / x + scale / (x * x),
+                [
+                    scale.ln() - special::digamma(shape) - x.ln(),
+                    shape / scale - 1.0 / x,
+                    0.0,
+                ],
+            )
+        }
+        DistKind::ChiSquare => {
+            let nu = a[0];
+            if x <= 0.0 {
+                return (neg_inf, zero.1, zero.2);
+            }
+            let half_nu = nu * 0.5;
+            let lp = -half_nu * 2f64.ln() - special::lgamma(half_nu) + (half_nu - 1.0) * x.ln()
+                - 0.5 * x;
+            if !want {
+                return (lp, 0.0, [0.0; 3]);
+            }
+            (
+                lp,
+                (half_nu - 1.0) / x - 0.5,
+                [
+                    -0.5 * 2f64.ln() - 0.5 * special::digamma(half_nu) + 0.5 * x.ln(),
+                    0.0,
+                    0.0,
+                ],
+            )
+        }
         _ => (f64::NAN, 0.0, [0.0; 3]),
     }
+}
+
+/// One element's log density and analytic partials, public form: returns
+/// `(lpdf, ∂lpdf/∂x, [∂lpdf/∂argⱼ; 3])`, or `None` for families without a
+/// kernel ([`supports_elem`] is the guard). This is the scalar reverse rule
+/// shared by the fused tape nodes ([`lpdf_sweep`]) and the tape-free density
+/// programs of `gprob::dprog`, which evaluate value + gradient with no tape
+/// at all.
+#[inline]
+pub fn lpdf_elem_partials(kind: DistKind, x: f64, args: &[f64; 3]) -> Option<(f64, f64, [f64; 3])> {
+    if !supports_elem(kind) {
+        return None;
+    }
+    Some(elem(kind, x, args, true))
+}
+
+/// One element's log density only (no partials) — the forward half of
+/// [`lpdf_elem_partials`].
+#[inline]
+pub fn lpdf_elem_value(kind: DistKind, x: f64, args: &[f64; 3]) -> Option<f64> {
+    if !supports_elem(kind) {
+        return None;
+    }
+    Some(elem(kind, x, args, false).0)
+}
+
+/// An adjoint accumulation target for one operand of a batched sweep.
+pub enum AdjSink<'a> {
+    /// The operand needs no adjoint (untracked data).
+    Skip,
+    /// A scalar broadcast operand: partials sum over the sweep.
+    Scalar(&'a mut f64),
+    /// A per-element operand: one adjoint slot per element.
+    Elems(&'a mut [f64]),
+}
+
+impl AdjSink<'_> {
+    #[inline]
+    fn add(&mut self, i: usize, v: f64) {
+        match self {
+            AdjSink::Skip => {}
+            AdjSink::Scalar(s) => **s += v,
+            AdjSink::Elems(e) => e[i] += v,
+        }
+    }
+}
+
+/// The reverse rule of [`lpdf_sweep`] callable without any tape `Var`s: for
+/// every element, accumulates `seed · ∂lpdf/∂(operand)` into the caller's
+/// adjoint sinks (`+=`, so fan-in composes). `seed` is the adjoint of the
+/// sweep's summed log density (1.0 when the sweep feeds the log density
+/// directly).
+///
+/// The partials are exactly the ones [`lpdf_sweep`] records on its fused tape
+/// node — this entry point exists so backends that keep no tape (the
+/// `gprob::dprog` flat density programs) reuse the identical formulas.
+///
+/// # Errors
+/// Same argument validation as [`lpdf_sweep`] (plus `improper_uniform`,
+/// whose partials are identically zero).
+pub fn lpdf_sweep_adjoint(
+    kind: DistKind,
+    xs: SweepVals<'_, f64>,
+    args: &[SweepArg<'_, f64>],
+    seed: f64,
+    x_sink: &mut AdjSink<'_>,
+    arg_sinks: &mut [AdjSink<'_>; 3],
+) -> Result<(), DistError> {
+    if !supports_elem(kind) {
+        return Err(DistError::new(format!(
+            "{}: no batched sweep kernel",
+            kind.name()
+        )));
+    }
+    let k = sweep_arity(kind);
+    if args.len() < k {
+        return Err(DistError::new(format!(
+            "{}: expected {k} arguments, got {}",
+            kind.name(),
+            args.len()
+        )));
+    }
+    let args = &args[..k];
+    let n = xs.len();
+    for a in args {
+        if let Some(len) = a.slice_len() {
+            if len != n {
+                return Err(DistError::new(format!(
+                    "broadcast length mismatch in {}: {len} vs {n}",
+                    kind.name()
+                )));
+            }
+        }
+    }
+    let mut abuf = [0f64; 3];
+    for i in 0..n {
+        for (j, a) in args.iter().enumerate() {
+            abuf[j] = a.value(i);
+        }
+        let (_, dx, dp) = elem(kind, xs.value(i), &abuf, true);
+        x_sink.add(i, dx * seed);
+        for (j, sink) in arg_sinks.iter_mut().enumerate().take(k) {
+            sink.add(i, dp[j] * seed);
+        }
+    }
+    Ok(())
 }
 
 /// Sum of element-wise log densities of a batched observation site, with
@@ -526,7 +736,7 @@ mod tests {
     use crate::dist::{dist_from_kind, DistArg};
     use minidiff::{grad, tape, Var};
 
-    const KINDS: [DistKind; 13] = [
+    const KINDS: [DistKind; 17] = [
         DistKind::Normal,
         DistKind::LogNormal,
         DistKind::Bernoulli,
@@ -540,6 +750,10 @@ mod tests {
         DistKind::Gamma,
         DistKind::Binomial,
         DistKind::BinomialLogit,
+        DistKind::Uniform,
+        DistKind::DoubleExponential,
+        DistKind::InvGamma,
+        DistKind::ChiSquare,
     ];
 
     /// In-support observations and arguments for each kind.
@@ -558,6 +772,10 @@ mod tests {
             DistKind::Gamma => (vec![0.4, 2.2, 1.1, 5.0], vec![3.0, 2.0]),
             DistKind::Binomial => (vec![3.0, 0.0, 7.0, 10.0], vec![10.0, 0.35]),
             DistKind::BinomialLogit => (vec![2.0, 9.0, 5.0, 0.0], vec![10.0, -0.4]),
+            DistKind::Uniform => (vec![0.2, 1.9, 0.8, 1.1], vec![-0.5, 2.5]),
+            DistKind::DoubleExponential => (vec![0.3, -2.1, 1.4, 0.0], vec![0.2, 1.3]),
+            DistKind::InvGamma => (vec![0.6, 2.4, 1.0, 4.2], vec![3.0, 2.5]),
+            DistKind::ChiSquare => (vec![0.5, 2.0, 4.8, 1.3], vec![3.0]),
             other => panic!("no sweep test case for {}", other.name()),
         }
     }
@@ -691,13 +909,74 @@ mod tests {
         .unwrap_err();
         assert!(err.to_string().contains("length mismatch"));
         // Unsupported families are refused (callers guard with supports_sweep).
-        assert!(!supports_sweep(DistKind::Uniform));
+        assert!(!supports_sweep(DistKind::Categorical));
         let err = lpdf_sweep(
-            DistKind::Uniform,
+            DistKind::Categorical,
             SweepVals::Reals(&xs),
-            &[SweepArg::Scalar(0.0), SweepArg::Scalar(1.0)],
+            &[SweepArg::Scalar(0.5)],
         );
         assert!(err.is_err());
+        // improper_uniform has an elem kernel (for the tape-free density
+        // programs) but is not a sweep-lowering family.
+        assert!(supports_elem(DistKind::ImproperUniform));
+        assert!(!supports_sweep(DistKind::ImproperUniform));
+    }
+
+    #[test]
+    fn adjoint_entry_matches_the_fused_tape_gradients() {
+        // y[i] ~ normal(mu[i], sigma): compare lpdf_sweep_adjoint (no Var
+        // anywhere) against the fused tape node's gradients.
+        let ys = [0.5, -0.2, 1.7];
+        let mus = [0.0, 0.3, 1.0];
+        let sigma = 0.8;
+        tape::reset();
+        let yv: Vec<Var> = ys.iter().map(|&y| Var::new(y)).collect();
+        let muv: Vec<Var> = mus.iter().map(|&m| Var::new(m)).collect();
+        let sv = Var::new(sigma);
+        let fused = lpdf_sweep(
+            DistKind::Normal,
+            SweepVals::Reals(&yv),
+            &[SweepArg::Reals(&muv), SweepArg::Scalar(sv)],
+        )
+        .unwrap();
+        let mut wrt = yv.clone();
+        wrt.extend(&muv);
+        wrt.push(sv);
+        let tape_grad = grad(fused, &wrt);
+        // Tape-free reverse with a non-unit seed (adjoint composition).
+        let seed = 1.7;
+        let mut dx = [0.0f64; 3];
+        let mut dmu = [0.0f64; 3];
+        let mut dsigma = 0.0f64;
+        lpdf_sweep_adjoint(
+            DistKind::Normal,
+            SweepVals::Reals(&ys),
+            &[SweepArg::Reals(&mus), SweepArg::Scalar(sigma)],
+            seed,
+            &mut AdjSink::Elems(&mut dx),
+            &mut [
+                AdjSink::Elems(&mut dmu),
+                AdjSink::Scalar(&mut dsigma),
+                AdjSink::Skip,
+            ],
+        )
+        .unwrap();
+        for i in 0..3 {
+            assert!((dx[i] - seed * tape_grad[i]).abs() < 1e-12);
+            assert!((dmu[i] - seed * tape_grad[3 + i]).abs() < 1e-12);
+        }
+        assert!((dsigma - seed * tape_grad[6]).abs() < 1e-12);
+        // The public elem entry agrees with the sweep decomposition.
+        let (lp, d_x, d_args) =
+            lpdf_elem_partials(DistKind::Normal, ys[0], &[mus[0], sigma, 0.0]).unwrap();
+        assert!(
+            (lp - lpdf_elem_value(DistKind::Normal, ys[0], &[mus[0], sigma, 0.0]).unwrap()).abs()
+                < 1e-15
+        );
+        assert!((d_x * seed - dx[0]).abs() < 1e-12);
+        assert!((d_args[0] * seed - dmu[0]).abs() < 1e-12);
+        // Unsupported families report None.
+        assert!(lpdf_elem_partials(DistKind::Dirichlet, 0.5, &[1.0, 1.0, 0.0]).is_none());
     }
 
     #[test]

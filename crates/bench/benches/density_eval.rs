@@ -20,6 +20,16 @@
 //! the route `Session` samplers actually take when the model compiles one.
 //! `gprob_grad_dprog` vs `gprob_grad_workspace` is therefore the
 //! tape-free-vs-tape ratio on identical programs.
+//!
+//! The `gprob_grad_dprog_lanes{2,4,8}` rows score a batch of L distinct
+//! unconstrained points through the struct-of-arrays lane evaluator
+//! (`GModel::log_density_and_grad_batch_with`) in ONE forward + ONE reverse
+//! sweep. Each iteration evaluates the whole batch, so the per-state cost is
+//! the reported time divided by L; per-state throughput vs the single-lane
+//! `gprob_grad_dprog` row is the lane-scaling ratio the PR 6 acceptance
+//! gates on. The `advi_step_{batched,sequential}` rows run the same short
+//! ADVI fit through `advi_fit_batch` (all K Monte-Carlo guide draws per step
+//! in one multi-lane pass) vs the per-draw `advi_fit_mut` loop.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -66,6 +76,32 @@ fn bench_density(c: &mut Criterion) {
                     .unwrap()
             })
         });
+        for lanes in [2usize, 4, 8] {
+            group.bench_function(format!("{name}/gprob_grad_dprog_lanes{lanes}"), |b| {
+                let dim = gmodel.dim();
+                let mut ws = gmodel.grad_workspace();
+                // L distinct points spread around the probe point, so every
+                // lane does real (and slightly different) constraint work.
+                let mut thetas = Vec::with_capacity(lanes * dim);
+                for l in 0..lanes {
+                    for (i, &t) in theta.iter().enumerate() {
+                        thetas.push(t + 0.01 * ((l * 7 + i * 3) % 5) as f64);
+                    }
+                }
+                let mut values = vec![0.0; lanes];
+                let mut grads = vec![0.0; lanes * dim];
+                b.iter(|| {
+                    gmodel
+                        .log_density_and_grad_batch_with(
+                            &mut ws,
+                            std::hint::black_box(&thetas),
+                            &mut values,
+                            &mut grads,
+                        )
+                        .unwrap()
+                })
+            });
+        }
         group.bench_function(format!("{name}/gprob_value_dprog"), |b| {
             let mut ws = gmodel.workspace::<f64>();
             b.iter(|| {
@@ -147,8 +183,73 @@ fn bench_density(c: &mut Criterion) {
                     .unwrap()
             })
         });
+        // Short ADVI fits, identical config and RNG stream: the batched
+        // entry scores all `grad_samples` guide draws per step through one
+        // multi-lane pass, the sequential entry loops them one by one.
+        let advi_cfg = inference::AdviConfig {
+            steps: 25,
+            grad_samples: 8,
+            lr: 0.05,
+            output_samples: 4,
+            seed: 11,
+        };
+        group.bench_function(format!("{name}/advi_step_batched"), |b| {
+            let mut target = DProgTarget {
+                model: &gmodel,
+                ws: gmodel.grad_workspace(),
+            };
+            b.iter(|| {
+                inference::advi_fit_batch(
+                    &mut target,
+                    gmodel.dim(),
+                    std::hint::black_box(&advi_cfg),
+                )
+            })
+        });
+        group.bench_function(format!("{name}/advi_step_sequential"), |b| {
+            let mut target = DProgTarget {
+                model: &gmodel,
+                ws: gmodel.grad_workspace(),
+            };
+            b.iter(|| {
+                inference::advi_fit_mut(&mut target, gmodel.dim(), std::hint::black_box(&advi_cfg))
+            })
+        });
     }
     group.finish();
+}
+
+/// Minimal inference target over a bound [`gprob::GModel`] for the ADVI step
+/// rows: batched evaluation routes through the struct-of-arrays lane
+/// evaluator, sequential evaluation through the single-lane DProg entry.
+struct DProgTarget<'m> {
+    model: &'m gprob::GModel,
+    ws: gprob::GradWorkspace,
+}
+
+impl inference::GradTargetMut for DProgTarget<'_> {
+    fn logp_grad_into(&mut self, q: &[f64], grad: &mut [f64]) -> f64 {
+        match self.model.log_density_and_grad_with(&mut self.ws, q, grad) {
+            Ok(lp) => lp,
+            Err(_) => {
+                grad.fill(0.0);
+                f64::NEG_INFINITY
+            }
+        }
+    }
+}
+
+impl inference::GradTargetBatch for DProgTarget<'_> {
+    fn logp_grad_batch(&mut self, qs: &[f64], logps: &mut [f64], grads: &mut [f64]) {
+        if self
+            .model
+            .log_density_and_grad_batch_with(&mut self.ws, qs, logps, grads)
+            .is_err()
+        {
+            logps.fill(f64::NEG_INFINITY);
+            grads.fill(0.0);
+        }
+    }
 }
 
 /// Generated-quantities throughput, per posterior draw: the slot-resolved

@@ -262,6 +262,11 @@ impl GradTargetMut for StanModelTarget<'_> {
     }
 }
 
+/// No batched backend either: the default per-point loop keeps the
+/// reference interpreter usable from batch-driven samplers, bitwise
+/// identically to the single-point path.
+impl inference::target::GradTargetBatch for StanModelTarget<'_> {}
+
 /// Converts a data slice into an environment.
 pub fn env_of(data: &[(&str, Value<f64>)]) -> Env<f64> {
     data.iter()

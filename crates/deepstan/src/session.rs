@@ -29,6 +29,16 @@
 //! `log_density_and_grad_with` route). Models that decline — with a reason
 //! readable via `GModel::dprog_decline` — keep the recorded-tape path,
 //! byte-identical to the previous behavior.
+//!
+//! Compiled multi-chain NUTS runs take a different sharding: instead of one
+//! thread per chain, all chains advance in *lockstep*
+//! ([`inference::nuts::nuts_sample_lockstep`]) over one shared
+//! [`WorkspaceTarget`], and every round's pending leapfrog evaluations are
+//! scored together by the lane-widened density program — one
+//! struct-of-arrays sweep per group of up to 8 chains. ADVI likewise batches
+//! its per-step Monte-Carlo guide draws through the same surface. Per-chain
+//! draws are bitwise identical to the threaded path either way; declined
+//! models keep the thread-per-chain sharding.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -37,15 +47,15 @@ use std::time::Instant;
 use gprob::model::ParamSlot;
 use gprob::value::Value;
 use gprob::GModel;
-use inference::advi::{advi_fit_mut, AdviConfig};
+use inference::advi::{advi_fit_batch, AdviConfig};
 use inference::diagnostics::{
     multi_ess, multi_split_rhat, rank_normalized_split_rhat, summarize, tail_ess, Summary,
 };
 use inference::importance::{resample_indices, weight_draws};
 use inference::loo::{loo_compare, psis_loo, waic, CompareRow, ElpdEstimate};
-use inference::nuts::{nuts_sample_mut, NutsConfig, NutsResult};
+use inference::nuts::{nuts_sample_lockstep, nuts_sample_mut, NutsConfig, NutsResult};
 use inference::predictive::{draw_seed, stream_chains, GqTable};
-use inference::target::GradTargetMut;
+use inference::target::{GradTargetBatch, GradTargetMut};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use stan2gprob::Scheme;
@@ -260,14 +270,30 @@ impl Session<'_> {
             ));
         }
         let model = self.model()?;
-        let runs = run_nuts_chains(
-            chains,
-            seed,
-            &config,
-            &|| WorkspaceTarget::new(model),
-            &|rng| init_point(&init, rng, model.dim()),
-            &|theta| model.log_density_f64(theta).map(|_| ()),
-        )?;
+        // Multi-chain runs over a compiled density program advance all
+        // chains in lockstep so the lane-widened DProg scores every chain's
+        // leapfrog state in one batched sweep; declined models keep the
+        // one-thread-per-chain sharding. Both produce bitwise-identical
+        // per-chain draws.
+        let runs = if chains > 1 && model.dprog().is_some() {
+            run_nuts_chains_lockstep(
+                chains,
+                seed,
+                &config,
+                &|| WorkspaceTarget::new(model),
+                &|rng| init_point(&init, rng, model.dim()),
+                &|theta| model.log_density_f64(theta).map(|_| ()),
+            )?
+        } else {
+            run_nuts_chains(
+                chains,
+                seed,
+                &config,
+                &|| WorkspaceTarget::new(model),
+                &|rng| init_point(&init, rng, model.dim()),
+                &|theta| model.log_density_f64(theta).map(|_| ()),
+            )?
+        };
         Ok(collect_nuts_fit(
             model.component_names(),
             model.slots(),
@@ -612,6 +638,35 @@ impl GradTargetMut for WorkspaceTarget<'_> {
     }
 }
 
+/// Batched evaluation: models with a compiled density program score the
+/// whole batch in struct-of-arrays lane groups (one forward and one reverse
+/// sweep per group of up to 8 points); declined models loop the single-point
+/// entry, preserving the `Err` → `-inf` plateau mapping point by point. Both
+/// routes are bitwise identical per point to [`GradTargetMut::logp_grad_into`].
+impl GradTargetBatch for WorkspaceTarget<'_> {
+    fn logp_grad_batch(&mut self, qs: &[f64], logps: &mut [f64], grads: &mut [f64]) {
+        let n = logps.len();
+        if n == 0 {
+            return;
+        }
+        if self.model.dprog().is_some()
+            && self
+                .model
+                .log_density_and_grad_batch_with(&mut self.ws, qs, logps, grads)
+                .is_ok()
+        {
+            return;
+        }
+        let dim = qs.len() / n;
+        for (i, lp) in logps.iter_mut().enumerate() {
+            *lp = self.logp_grad_into(
+                &qs[i * dim..(i + 1) * dim],
+                &mut grads[i * dim..(i + 1) * dim],
+            );
+        }
+    }
+}
+
 /// Runs `chains` NUTS chains, in parallel threads beyond the first, each on
 /// its own freshly built target (one workspace per chain). Chain `c` uses
 /// seed `base_seed + c` for both its starting point and its sampler.
@@ -658,8 +713,52 @@ where
     })
 }
 
+/// [`run_nuts_chains`] in lockstep over a single shared batched target:
+/// every round, all chains' pending leapfrog evaluations go through one
+/// `logp_grad_batch` call, which a lane-widened density program scores with
+/// one struct-of-arrays sweep per lane group. Chain `c` still seeds its
+/// starting point and sampler from `base_seed + c` and consumes its RNG in
+/// sequential order, so its draws are bitwise identical to the threaded
+/// path. Wall time cannot be attributed per chain here, so each chain
+/// reports an equal share of the batch's elapsed time.
+fn run_nuts_chains_lockstep<T, F, G, C>(
+    chains: usize,
+    base_seed: u64,
+    config: &NutsConfig,
+    make_target: &F,
+    make_init: &G,
+    check: &C,
+) -> Result<Vec<(NutsResult, f64)>, InferenceError>
+where
+    T: GradTargetBatch,
+    F: Fn() -> T,
+    G: Fn(&mut StdRng) -> Vec<f64>,
+    C: Fn(&[f64]) -> Result<(), gprob::RuntimeError>,
+{
+    let mut configs = Vec::with_capacity(chains);
+    let mut inits = Vec::with_capacity(chains);
+    for c in 0..chains {
+        let mut chain_cfg = config.clone();
+        chain_cfg.seed = base_seed.wrapping_add(c as u64);
+        let mut rng = StdRng::seed_from_u64(chain_cfg.seed);
+        let init = make_init(&mut rng);
+        check(&init)?;
+        configs.push(chain_cfg);
+        inits.push(init);
+    }
+    let start = Instant::now();
+    let mut target = make_target();
+    let results = nuts_sample_lockstep(&mut target, inits, &configs);
+    let per_chain = start.elapsed().as_secs_f64() / chains.max(1) as f64;
+    Ok(results.into_iter().map(|r| (r, per_chain)).collect())
+}
+
 /// Runs `chains` independent ADVI restarts (seeded `base_seed + c`), in
-/// parallel threads beyond the first.
+/// parallel threads beyond the first. Each restart fits through
+/// [`advi_fit_batch`], so every optimization step's Monte-Carlo guide draws
+/// score in one batched call — one lane-widened sweep per step on compiled
+/// models, a plain per-draw loop (bitwise identical to `advi_fit_mut`)
+/// otherwise.
 fn run_advi_chains<T, F>(
     chains: usize,
     base_seed: u64,
@@ -668,7 +767,7 @@ fn run_advi_chains<T, F>(
     make_target: &F,
 ) -> Vec<(inference::advi::AdviResult, f64)>
 where
-    T: GradTargetMut,
+    T: GradTargetBatch,
     F: Fn() -> T + Sync,
 {
     let run_one = |c: usize| {
@@ -676,7 +775,7 @@ where
         chain_cfg.seed = base_seed.wrapping_add(c as u64);
         let start = Instant::now();
         let mut target = make_target();
-        let result = advi_fit_mut(&mut target, dim, &chain_cfg);
+        let result = advi_fit_batch(&mut target, dim, &chain_cfg);
         (result, start.elapsed().as_secs_f64())
     };
     if chains <= 1 {

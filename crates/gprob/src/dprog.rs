@@ -37,6 +37,38 @@
 //! (`y[t-1]` in a time series) fold to per-iteration constant tables
 //! indexed by `iter`.
 //!
+//! # Lane model
+//!
+//! [`DProg::value_and_grad_lanes`] scores L *independent* unconstrained
+//! points with **one** forward and **one** reverse sweep over the op array:
+//! op decode, dispatch, and table addressing are paid once per op instead of
+//! once per op per point. The same program runs against a struct-of-arrays
+//! register file where each register becomes a row of L lanes, stored
+//! contiguously in a 64-byte-aligned pool:
+//!
+//! ```text
+//!              lane 0   lane 1   ...  lane L-1
+//! reg 0      [ q0[0]  | q1[0]  | ... | qL-1[0]  ]   <- input region,
+//! reg 1      [ q0[1]  | q1[1]  | ... | qL-1[1]  ]      point l in lane l
+//! ...
+//! reg r      [  r·L   | r·L+1  | ... | r·L+L-1 ]   <- pool offset of reg r
+//! ```
+//!
+//! Every inner loop walks lanes `0..L` with a compile-time lane count
+//! (`L ∈ {2, 4, 8}`, monomorphized), so the plain-indexed f64 loops
+//! auto-vectorize on stable Rust — no nightly SIMD features, no intrinsics.
+//! Batched score sites go through the lane-widened elem kernels
+//! ([`probdist::lpdf_elem_value_lanes`] / `lpdf_elem_partials_lanes`).
+//!
+//! Lane evaluation is **not** a numerical variant: lane `l` executes exactly
+//! the op sequence, accumulation order, and reverse-sweep zero-guards of a
+//! single-point [`DProg::value_and_grad`] call on that point, so each lane's
+//! value and gradient are bitwise the single-lane results. A batch of n
+//! points is chunked greedily into lanes of 8, then 4, then 2; a ragged
+//! remainder point falls back to the single-lane entry itself. Decline rules
+//! are unchanged — lanes are a property of *evaluation*, not compilation,
+//! and declined models keep the `Var`/tape path byte-identical.
+//!
 //! # Opcode table
 //!
 //! | op | forward | reverse |
@@ -80,8 +112,9 @@ use std::collections::HashMap;
 
 use minidiff::rules::UnFn;
 use probdist::sweep::{
-    lpdf_elem_partials, lpdf_elem_value, lpdf_sweep, lpdf_sweep_adjoint, supports_elem,
-    supports_sweep, sweep_arity, AdjSink, SweepArg, SweepVals,
+    lpdf_elem_partials, lpdf_elem_partials_only_lanes, lpdf_elem_value, lpdf_elem_value_lanes,
+    lpdf_sweep, lpdf_sweep_adjoint, normal_lpdf_const, normal_lpdf_from_const,
+    normal_partials_only, supports_elem, supports_sweep, sweep_arity, AdjSink, SweepArg, SweepVals,
 };
 use probdist::{Constraint, DistKind};
 use stan_frontend::ast::{BinOp, FunDecl, UnOp};
@@ -257,6 +290,73 @@ impl BinF {
             None => (0.0, 0.0),
         }
     }
+
+    /// Lane-widened [`BinF::value`]: the function dispatch runs once per
+    /// lane row instead of once per lane, and the arithmetic arms are
+    /// straight-line loops the compiler can vectorize. Each lane computes
+    /// exactly the scalar formula (IEEE `+ - * /` are lane-wise identical).
+    #[inline]
+    fn value_lanes<const L: usize>(self, a: &[f64; L], b: &[f64; L]) -> [f64; L] {
+        let mut o = [0.0; L];
+        match self {
+            BinF::Add => {
+                for l in 0..L {
+                    o[l] = a[l] + b[l];
+                }
+            }
+            BinF::Sub => {
+                for l in 0..L {
+                    o[l] = a[l] - b[l];
+                }
+            }
+            BinF::Mul => {
+                for l in 0..L {
+                    o[l] = a[l] * b[l];
+                }
+            }
+            BinF::Div => {
+                for l in 0..L {
+                    o[l] = a[l] / b[l];
+                }
+            }
+            _ => {
+                for l in 0..L {
+                    o[l] = self.value(a[l], b[l]);
+                }
+            }
+        }
+        o
+    }
+
+    /// Lane-widened [`BinF::partials`] (same dispatch-once rationale as
+    /// [`BinF::value_lanes`]); formulas are the shared rule table's.
+    #[inline]
+    fn partials_lanes<const L: usize>(self, a: &[f64; L], b: &[f64; L]) -> ([f64; L], [f64; L]) {
+        match self {
+            BinF::Add => ([1.0; L], [1.0; L]),
+            BinF::Sub => ([1.0; L], [-1.0; L]),
+            BinF::Mul => (*b, *a),
+            BinF::Div => {
+                let mut pa = [0.0; L];
+                let mut pb = [0.0; L];
+                for l in 0..L {
+                    pa[l] = 1.0 / b[l];
+                    pb[l] = -a[l] / (b[l] * b[l]);
+                }
+                (pa, pb)
+            }
+            _ => {
+                let mut pa = [0.0; L];
+                let mut pb = [0.0; L];
+                for l in 0..L {
+                    let (x, y) = self.partials(a[l], b[l]);
+                    pa[l] = x;
+                    pb[l] = y;
+                }
+                (pa, pb)
+            }
+        }
+    }
 }
 
 /// Differentiable or value-only unary functions.
@@ -304,6 +404,69 @@ impl UF {
             UF::R(f) => f.partial(x, fx),
             _ => 0.0,
         }
+    }
+
+    /// Lane-widened [`UF::value`] with the dispatch hoisted out of the lane
+    /// loop; the specialized arms match [`minidiff::rules::UnFn::value`]
+    /// exactly (and `sqrt`/negation are IEEE lane-wise identical).
+    #[inline]
+    fn value_lanes<const L: usize>(self, x: &[f64; L]) -> [f64; L] {
+        let mut o = [0.0; L];
+        match self {
+            UF::R(UnFn::Neg) => {
+                for l in 0..L {
+                    o[l] = -x[l];
+                }
+            }
+            UF::R(UnFn::Sqrt) => {
+                for l in 0..L {
+                    o[l] = x[l].sqrt();
+                }
+            }
+            UF::R(UnFn::Recip) => {
+                for l in 0..L {
+                    o[l] = 1.0 / x[l];
+                }
+            }
+            _ => {
+                for l in 0..L {
+                    o[l] = self.value(x[l]);
+                }
+            }
+        }
+        o
+    }
+
+    /// Lane-widened [`UF::partial`]; the specialized arms are the shared
+    /// rule table's formulas verbatim.
+    #[inline]
+    fn partial_lanes<const L: usize>(self, x: &[f64; L], fx: &[f64; L]) -> [f64; L] {
+        let mut o = [0.0; L];
+        match self {
+            UF::R(UnFn::Neg) => return [-1.0; L],
+            UF::R(UnFn::Exp) => return *fx,
+            UF::R(UnFn::Ln) => {
+                for l in 0..L {
+                    o[l] = 1.0 / x[l];
+                }
+            }
+            UF::R(UnFn::Sqrt) => {
+                for l in 0..L {
+                    o[l] = 0.5 / fx[l];
+                }
+            }
+            UF::R(UnFn::Recip) => {
+                for l in 0..L {
+                    o[l] = -1.0 / (x[l] * x[l]);
+                }
+            }
+            _ => {
+                for l in 0..L {
+                    o[l] = self.partial(x[l], fx[l]);
+                }
+            }
+        }
+        o
     }
 }
 
@@ -405,13 +568,170 @@ pub struct DProg {
     tables_i: Vec<Vec<i64>>,
 }
 
+/// A fixed-length `f64` pool allocated at 64-byte alignment, so register
+/// rows start on cache-line boundaries and the lane loops vectorize without
+/// split loads (a `Vec<f64>` only guarantees 8 bytes). The length is fixed at
+/// construction — the pool is allocated exactly once per (workspace, shape)
+/// and never reallocated, which `capacities`-style regression tests pin.
+struct AlignedBuf {
+    ptr: std::ptr::NonNull<f64>,
+    len: usize,
+}
+
+impl AlignedBuf {
+    const ALIGN: usize = 64;
+
+    fn zeroed(len: usize) -> AlignedBuf {
+        if len == 0 {
+            return AlignedBuf {
+                ptr: std::ptr::NonNull::dangling(),
+                len: 0,
+            };
+        }
+        let layout = Self::layout(len);
+        let raw = unsafe { std::alloc::alloc_zeroed(layout) } as *mut f64;
+        let Some(ptr) = std::ptr::NonNull::new(raw) else {
+            std::alloc::handle_alloc_error(layout);
+        };
+        AlignedBuf { ptr, len }
+    }
+
+    fn layout(len: usize) -> std::alloc::Layout {
+        std::alloc::Layout::from_size_align(len * std::mem::size_of::<f64>(), Self::ALIGN)
+            .expect("register pool layout")
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            unsafe { std::alloc::dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.len)) };
+        }
+    }
+}
+
+// The buffer exclusively owns its allocation, exactly like Vec<f64>.
+unsafe impl Send for AlignedBuf {}
+unsafe impl Sync for AlignedBuf {}
+
+impl std::ops::Deref for AlignedBuf {
+    type Target = [f64];
+    #[inline]
+    fn deref(&self) -> &[f64] {
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl std::ops::DerefMut for AlignedBuf {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f64] {
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Clone for AlignedBuf {
+    fn clone(&self) -> AlignedBuf {
+        let mut out = AlignedBuf::zeroed(self.len);
+        out.copy_from_slice(self);
+        out
+    }
+}
+
+impl std::fmt::Debug for AlignedBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// One lane-widened register file: the struct-of-arrays image of the
+/// program's registers at a fixed lane count L, register `r` occupying
+/// `regs[r·L .. (r+1)·L]` (see the module-level lane layout diagram).
+#[derive(Debug, Clone)]
+struct LaneFile {
+    regs: AlignedBuf,
+    adj: AlignedBuf,
+}
+
 /// Pooled scratch for one chain's density-program evaluations: the register
-/// file (constants pre-written) and the adjoint buffer. Nothing is allocated
-/// per evaluation.
+/// file (constants pre-written) and the adjoint buffer, both carved from
+/// 64-byte-aligned pools, plus lane-widened register files grown lazily per
+/// lane width. Nothing is allocated per evaluation: every pool is sized by
+/// the program shape once and reused verbatim afterwards.
 #[derive(Debug, Clone)]
 pub struct DProgWorkspace {
-    regs: Vec<f64>,
-    adj: Vec<f64>,
+    regs: AlignedBuf,
+    adj: AlignedBuf,
+    /// Lane files for L = 2, 4, 8 (slot `lane_slot(L)`), built on first use
+    /// at that width and then reused for every batch.
+    lanes: [Option<LaneFile>; 3],
+}
+
+impl DProgWorkspace {
+    /// Total `f64` capacity of the pooled buffers:
+    /// `(single-lane registers, single-lane adjoints, lane-file f64s across
+    /// all prepared widths)`. Capacities never shrink and — for a fixed
+    /// program and set of lane widths — never grow after first use, which is
+    /// what the zero-reallocation regression tests pin.
+    pub fn capacities(&self) -> (usize, usize, usize) {
+        let lane_total = self
+            .lanes
+            .iter()
+            .flatten()
+            .map(|lf| lf.regs.len + lf.adj.len)
+            .sum();
+        (self.regs.len, self.adj.len, lane_total)
+    }
+}
+
+#[inline]
+fn lane_slot(l: usize) -> usize {
+    match l {
+        2 => 0,
+        4 => 1,
+        _ => 2,
+    }
+}
+
+/// Loads one register's lane row as a fixed-size array.
+#[inline]
+fn lane_row<const L: usize>(pool: &[f64], r: usize) -> [f64; L] {
+    let mut out = [0.0; L];
+    out.copy_from_slice(&pool[r * L..r * L + L]);
+    out
+}
+
+/// A sweep operand resolved **once per sweep** for the lane element loops:
+/// replaces the per-element `sweep_x_lanes` / `sweep_arg_lanes` operand
+/// matches with a pre-cut slice (or a pre-loaded fixed row), so the hot
+/// loops are branch-free loads. Element `i`'s lane row reads exactly the
+/// values the per-element resolution would load.
+#[derive(Clone, Copy)]
+enum LaneOp<'a, const L: usize> {
+    /// Contiguous lane rows in the register pool (a `Span` operand):
+    /// element `i` is `rows[i*L..][..L]`.
+    Rows(&'a [f64]),
+    /// A per-element real table, broadcast across lanes.
+    Table(&'a [f64]),
+    /// A per-element integer table, broadcast across lanes.
+    Ints(&'a [i64]),
+    /// A fixed lane row (scalar operand), constant over the sweep.
+    Fixed([f64; L]),
+}
+
+impl<const L: usize> LaneOp<'_, L> {
+    #[inline(always)]
+    fn row(&self, i: usize) -> [f64; L] {
+        match self {
+            LaneOp::Rows(rows) => {
+                let mut out = [0.0; L];
+                out.copy_from_slice(&rows[i * L..i * L + L]);
+                out
+            }
+            LaneOp::Table(t) => [t[i]; L],
+            LaneOp::Ints(t) => [t[i] as f64; L],
+            LaneOp::Fixed(v) => *v,
+        }
+    }
 }
 
 impl DProg {
@@ -441,14 +761,34 @@ impl DProg {
     /// Builds a pooled workspace: the register file with the constant
     /// region pre-written.
     pub fn workspace(&self) -> DProgWorkspace {
-        let mut regs = vec![0.0; self.n_regs];
+        let mut regs = AlignedBuf::zeroed(self.n_regs);
         for &(r, v) in &self.const_init {
             regs[r as usize] = v;
         }
         DProgWorkspace {
             regs,
-            adj: vec![0.0; self.n_regs],
+            adj: AlignedBuf::zeroed(self.n_regs),
+            lanes: [None, None, None],
         }
+    }
+
+    /// Returns the lane file for width L, building (and constant-initializing)
+    /// it on first use at that width. Constants are broadcast across lanes
+    /// once here; per-batch evaluation only rewrites the input region.
+    fn prepare_lanes<'w, const L: usize>(&self, ws: &'w mut DProgWorkspace) -> &'w mut LaneFile {
+        let slot = &mut ws.lanes[lane_slot(L)];
+        if slot.is_none() {
+            let mut regs = AlignedBuf::zeroed(self.n_regs * L);
+            for &(r, v) in &self.const_init {
+                let o = r as usize * L;
+                regs[o..o + L].fill(v);
+            }
+            *slot = Some(LaneFile {
+                regs,
+                adj: AlignedBuf::zeroed(self.n_regs * L),
+            });
+        }
+        slot.as_mut().expect("lane file just prepared")
     }
 
     fn check_len(&self, theta_u: &[f64]) -> Result<(), RuntimeError> {
@@ -500,6 +840,96 @@ impl DProg {
         self.reverse(&self.ops, &ws.regs, &mut ws.adj);
         grad_out[..self.n_inputs].copy_from_slice(&ws.adj[..self.n_inputs]);
         Ok(acc.score + acc.jac)
+    }
+
+    /// Log-densities and gradients of a batch of independent unconstrained
+    /// points, evaluated in lane groups: `values.len()` points packed
+    /// row-major in `thetas` (point `i` at `thetas[i·dim .. (i+1)·dim]`),
+    /// gradients written row-major into `grads` the same way.
+    ///
+    /// The batch is chunked greedily into lane groups of 8, 4, then 2 (see
+    /// the module-level lane model); a final odd point runs through
+    /// [`DProg::value_and_grad`] itself. Each point's value and gradient are
+    /// bitwise identical to a single-point evaluation.
+    ///
+    /// # Errors
+    /// Fails only when `thetas` is not `values.len() · n_inputs` long.
+    ///
+    /// # Panics
+    /// Panics if `grads` is shorter than `thetas` (matching the single-lane
+    /// gradient-buffer contract).
+    pub fn value_and_grad_lanes(
+        &self,
+        thetas: &[f64],
+        values: &mut [f64],
+        grads: &mut [f64],
+        ws: &mut DProgWorkspace,
+    ) -> Result<(), RuntimeError> {
+        let n = values.len();
+        let d = self.n_inputs;
+        if thetas.len() != n * d {
+            return Err(RuntimeError::new(format!(
+                "expected {} unconstrained values for {n} points, got {}",
+                n * d,
+                thetas.len()
+            )));
+        }
+        assert!(grads.len() >= n * d, "gradient buffer too short");
+        let mut done = 0usize;
+        while n - done >= 2 {
+            let l = match n - done {
+                rem if rem >= 8 => 8,
+                rem if rem >= 4 => 4,
+                _ => 2,
+            };
+            let t = &thetas[done * d..(done + l) * d];
+            let v = &mut values[done..done + l];
+            let g = &mut grads[done * d..(done + l) * d];
+            match l {
+                8 => self.eval_lane_chunk::<8>(t, v, g, ws),
+                4 => self.eval_lane_chunk::<4>(t, v, g, ws),
+                _ => self.eval_lane_chunk::<2>(t, v, g, ws),
+            }
+            done += l;
+        }
+        // Odd remainder: the single-lane entry itself (byte-identical path).
+        for i in done..n {
+            values[i] = self.value_and_grad(
+                &thetas[i * d..(i + 1) * d],
+                &mut grads[i * d..(i + 1) * d],
+                ws,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// One lane group: transpose L points into the SoA lane file, run the
+    /// lane-widened forward and reverse sweeps, scatter results back.
+    fn eval_lane_chunk<const L: usize>(
+        &self,
+        thetas: &[f64],
+        values: &mut [f64],
+        grads: &mut [f64],
+        ws: &mut DProgWorkspace,
+    ) {
+        let d = self.n_inputs;
+        let lf = self.prepare_lanes::<L>(ws);
+        for i in 0..d {
+            for l in 0..L {
+                lf.regs[i * L + l] = thetas[l * d + i];
+            }
+        }
+        let mut score = [0.0; L];
+        let mut jac = [0.0; L];
+        self.forward_lanes::<L>(&self.ops, &mut lf.regs, &mut score, &mut jac, 0);
+        lf.adj.fill(0.0);
+        self.reverse_lanes::<L>(&self.ops, &lf.regs, &mut lf.adj, 0);
+        for l in 0..L {
+            values[l] = score[l] + jac[l];
+            for i in 0..d {
+                grads[l * d + i] = lf.adj[i * L + l];
+            }
+        }
     }
 
     #[inline]
@@ -984,6 +1414,819 @@ impl DProg {
                 Op::Loop { trip, body } => {
                     for it in (0..*trip).rev() {
                         self.reverse_iter(body, regs, adj, it);
+                    }
+                }
+            }
+        }
+    }
+
+    // -- Lane-widened evaluation ------------------------------------------
+    //
+    // Each method below is the SoA mirror of its single-lane counterpart:
+    // identical op walk, identical per-lane formulas and accumulation order,
+    // identical reverse zero-guards (applied per lane), so lane l computes
+    // bitwise what a single-point evaluation of lane l's point would.
+
+    /// Loads a scalar operand's lane row (constants broadcast).
+    #[inline]
+    fn ra_l<const L: usize>(&self, a: A, regs: &[f64], iter: u32) -> [f64; L] {
+        match a {
+            A::Reg(r) => lane_row::<L>(regs, r.at(iter)),
+            A::Const(c) => [c; L],
+            A::Table(t) => [self.tables_f[t as usize][iter as usize]; L],
+        }
+    }
+
+    /// Loads element `i` of a vector operand's lane rows.
+    #[inline]
+    fn va_l<const L: usize>(&self, a: VA, regs: &[f64], i: usize) -> [f64; L] {
+        match a {
+            VA::Span(s) => lane_row::<L>(regs, s as usize + i),
+            VA::Table(t) => [self.tables_f[t as usize][i]; L],
+            VA::RegS(r) => lane_row::<L>(regs, r.at(0)),
+            VA::ConstS(c) => [c; L],
+        }
+    }
+
+    #[inline]
+    fn bump_l<const L: usize>(&self, a: A, adj: &mut [f64], iter: u32, v: &[f64; L]) {
+        if let A::Reg(r) = a {
+            let o = r.at(iter) * L;
+            for l in 0..L {
+                adj[o + l] += v[l];
+            }
+        }
+    }
+
+    #[inline]
+    fn vbump_l<const L: usize>(&self, a: VA, adj: &mut [f64], i: usize, v: &[f64; L]) {
+        match a {
+            VA::Span(s) => {
+                let o = (s as usize + i) * L;
+                for l in 0..L {
+                    adj[o + l] += v[l];
+                }
+            }
+            VA::RegS(r) => {
+                let o = r.at(0) * L;
+                for l in 0..L {
+                    adj[o + l] += v[l];
+                }
+            }
+            VA::Table(_) | VA::ConstS(_) => {}
+        }
+    }
+
+    /// Loads element `i` of a sweep's observed values as a lane row.
+    #[inline]
+    fn sweep_x_lanes<const L: usize>(&self, xs: VX, regs: &[f64], i: usize) -> [f64; L] {
+        match xs {
+            VX::Span(s) => lane_row::<L>(regs, s as usize + i),
+            VX::TableF(t) => [self.tables_f[t as usize][i]; L],
+            VX::TableI(t) => [self.tables_i[t as usize][i] as f64; L],
+        }
+    }
+
+    /// Resolves a sweep's observed values for the lane element loops (one
+    /// operand match per sweep — see [`LaneOp`]).
+    #[inline]
+    fn lane_x_op<'r, const L: usize>(&'r self, xs: VX, regs: &'r [f64], n: usize) -> LaneOp<'r, L> {
+        match xs {
+            VX::Span(s) => LaneOp::Rows(&regs[s as usize * L..(s as usize + n) * L]),
+            VX::TableF(t) => LaneOp::Table(&self.tables_f[t as usize][..n]),
+            VX::TableI(t) => LaneOp::Ints(&self.tables_i[t as usize][..n]),
+        }
+    }
+
+    /// Resolves one sweep argument for the lane element loops.
+    #[inline]
+    fn lane_arg_op<'r, const L: usize>(
+        &'r self,
+        a: SA,
+        regs: &'r [f64],
+        n: usize,
+    ) -> LaneOp<'r, L> {
+        match a {
+            SA::Sc(s) => LaneOp::Fixed(self.ra_l::<L>(s, regs, 0)),
+            SA::Span(s) => LaneOp::Rows(&regs[s as usize * L..(s as usize + n) * L]),
+            SA::TableF(t) => LaneOp::Table(&self.tables_f[t as usize][..n]),
+            SA::TableI(t) => LaneOp::Ints(&self.tables_i[t as usize][..n]),
+        }
+    }
+
+    /// Lane mirror of `sweep_sum`: per-lane sums in identical element order,
+    /// with the same ImproperUniform and unsupported-family handling.
+    fn sweep_sum_lanes<const L: usize>(
+        &self,
+        kind: DistKind,
+        xs: VX,
+        args: &[SA; 3],
+        k: u8,
+        len: u32,
+        regs: &[f64],
+    ) -> [f64; L] {
+        let n = len as usize;
+        let mut sum = [0.0; L];
+        if kind == DistKind::ImproperUniform {
+            let mut argv = [[0.0; L]; 3];
+            for j in 0..(k as usize).min(sweep_arity(kind)) {
+                if let SA::Sc(s) = args[j] {
+                    argv[j] = self.ra_l::<L>(s, regs, 0);
+                }
+            }
+            for i in 0..n {
+                let xv = self.sweep_x_lanes::<L>(xs, regs, i);
+                let lp = lpdf_elem_value_lanes::<L>(kind, &xv, &argv).unwrap_or([f64::NAN; L]);
+                for l in 0..L {
+                    sum[l] += lp[l];
+                }
+            }
+            return sum;
+        }
+        // `lpdf_sweep`'s guards surface as NaN exactly like the single-lane
+        // path (compile-time validation makes them unreachable in practice).
+        if !supports_sweep(kind) || (k as usize) < sweep_arity(kind) {
+            return [f64::NAN; L];
+        }
+        if kind == DistKind::Normal && k == 2 {
+            return self.normal_sweep_sum_lanes::<L>(xs, args, n, regs);
+        }
+        let xo = self.lane_x_op::<L>(xs, regs, n);
+        let mut aops = [LaneOp::Fixed([0.0; L]); 3];
+        for j in 0..k as usize {
+            aops[j] = self.lane_arg_op::<L>(args[j], regs, n);
+        }
+        for i in 0..n {
+            let xv = xo.row(i);
+            let argv = [aops[0].row(i), aops[1].row(i), aops[2].row(i)];
+            let lp = lpdf_elem_value_lanes::<L>(kind, &xv, &argv).unwrap_or([f64::NAN; L]);
+            for l in 0..L {
+                sum[l] += lp[l];
+            }
+        }
+        sum
+    }
+
+    /// Normal-sweep forward fast path: hoists the per-scale additive
+    /// constant `-½·ln(2π) - ln σ` out of the element loop — per lane for a
+    /// scalar-broadcast sigma, per element for a table sigma. Bitwise equal
+    /// to the generic walk because the shared kernel computes exactly
+    /// `normal_lpdf_from_const(normal_lpdf_const(σ), …)` per element, and
+    /// `normal_lpdf_const` is deterministic in σ.
+    fn normal_sweep_sum_lanes<const L: usize>(
+        &self,
+        xs: VX,
+        args: &[SA; 3],
+        n: usize,
+        regs: &[f64],
+    ) -> [f64; L] {
+        let xo = self.lane_x_op::<L>(xs, regs, n);
+        let mo = self.lane_arg_op::<L>(args[0], regs, n);
+        let mut sum = [0.0; L];
+        match self.lane_arg_op::<L>(args[1], regs, n) {
+            LaneOp::Fixed(sig) => {
+                let mut c = [0.0; L];
+                for l in 0..L {
+                    c[l] = normal_lpdf_const(sig[l]);
+                }
+                for i in 0..n {
+                    let x = xo.row(i);
+                    let mu = mo.row(i);
+                    for l in 0..L {
+                        sum[l] += normal_lpdf_from_const(c[l], x[l], mu[l], sig[l]);
+                    }
+                }
+            }
+            so @ (LaneOp::Table(_) | LaneOp::Ints(_)) => {
+                for i in 0..n {
+                    let sg = so.row(i);
+                    // One scale per element, shared by every lane.
+                    let ci = normal_lpdf_const(sg[0]);
+                    let x = xo.row(i);
+                    let mu = mo.row(i);
+                    for l in 0..L {
+                        sum[l] += normal_lpdf_from_const(ci, x[l], mu[l], sg[l]);
+                    }
+                }
+            }
+            so => {
+                // Lane-varying per-element sigma: nothing to hoist but the
+                // operand resolution and family dispatch.
+                for i in 0..n {
+                    let x = xo.row(i);
+                    let mu = mo.row(i);
+                    let sg = so.row(i);
+                    for l in 0..L {
+                        sum[l] +=
+                            normal_lpdf_from_const(normal_lpdf_const(sg[l]), x[l], mu[l], sg[l]);
+                    }
+                }
+            }
+        }
+        sum
+    }
+
+    /// Lane mirror of `sweep_reverse`, including the scalar-broadcast fast
+    /// path's accumulate-then-bump structure. Zero-seed lanes are masked the
+    /// way a zero seed skips the whole single-lane sweep.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_reverse_lanes<const L: usize>(
+        &self,
+        kind: DistKind,
+        xs: VX,
+        args: &[SA; 3],
+        k: u8,
+        len: u32,
+        seed: &[f64; L],
+        regs: &[f64],
+        adj: &mut [f64],
+    ) {
+        if seed.iter().all(|&s| s == 0.0) || kind == DistKind::ImproperUniform {
+            // Improper-uniform partials are identically zero.
+            return;
+        }
+        let n = len as usize;
+        if kind == DistKind::Normal && k == 2 {
+            return self.normal_sweep_reverse_lanes::<L>(xs, args, n, seed, regs, adj);
+        }
+        let all_scalar = (0..k as usize).all(|j| matches!(args[j], SA::Sc(_)));
+        let xo = self.lane_x_op::<L>(xs, regs, n);
+        let mut aops = [LaneOp::Fixed([0.0; L]); 3];
+        for j in 0..k as usize {
+            aops[j] = self.lane_arg_op::<L>(args[j], regs, n);
+        }
+        if !matches!(xs, VX::Span(_)) && all_scalar {
+            // Scalar-broadcast partials accumulate into per-argument lane
+            // totals, bumped once after the element walk.
+            let mut d = [[0.0; L]; 3];
+            for i in 0..n {
+                let xv = xo.row(i);
+                let argv = [aops[0].row(i), aops[1].row(i), aops[2].row(i)];
+                let Some((_dx, dp)) = lpdf_elem_partials_only_lanes::<L>(kind, &xv, &argv) else {
+                    continue;
+                };
+                for j in 0..k as usize {
+                    for l in 0..L {
+                        if seed[l] != 0.0 {
+                            d[j][l] += dp[j][l] * seed[l];
+                        }
+                    }
+                }
+            }
+            for j in 0..k as usize {
+                if let SA::Sc(a) = args[j] {
+                    self.bump_l::<L>(a, adj, 0, &d[j]);
+                }
+            }
+            return;
+        }
+        for i in 0..n {
+            let xv = xo.row(i);
+            let argv = [aops[0].row(i), aops[1].row(i), aops[2].row(i)];
+            let Some((dx, dp)) = lpdf_elem_partials_only_lanes::<L>(kind, &xv, &argv) else {
+                continue;
+            };
+            if let VX::Span(s) = xs {
+                let o = (s as usize + i) * L;
+                for l in 0..L {
+                    if seed[l] != 0.0 {
+                        adj[o + l] += dx[l] * seed[l];
+                    }
+                }
+            }
+            for j in 0..k as usize {
+                match args[j] {
+                    SA::Sc(a) => {
+                        let mut b = [0.0; L];
+                        for l in 0..L {
+                            if seed[l] != 0.0 {
+                                b[l] = dp[j][l] * seed[l];
+                            }
+                        }
+                        self.bump_l::<L>(a, adj, 0, &b);
+                    }
+                    SA::Span(s) => {
+                        let o = (s as usize + i) * L;
+                        for l in 0..L {
+                            if seed[l] != 0.0 {
+                                adj[o + l] += dp[j][l] * seed[l];
+                            }
+                        }
+                    }
+                    SA::TableF(_) | SA::TableI(_) => {}
+                }
+            }
+        }
+    }
+
+    /// Normal-sweep reverse fast path: partials via [`normal_partials_only`]
+    /// — no per-element `ln` at all (the log appears only in the density
+    /// value, which the reverse pass never consumes). The walk preserves the
+    /// generic structure exactly: the scalar-broadcast accumulate-then-bump
+    /// split, the element order, the x-then-args update order, and the
+    /// per-lane zero-seed guards.
+    fn normal_sweep_reverse_lanes<const L: usize>(
+        &self,
+        xs: VX,
+        args: &[SA; 3],
+        n: usize,
+        seed: &[f64; L],
+        regs: &[f64],
+        adj: &mut [f64],
+    ) {
+        let xo = self.lane_x_op::<L>(xs, regs, n);
+        let mo = self.lane_arg_op::<L>(args[0], regs, n);
+        let so = self.lane_arg_op::<L>(args[1], regs, n);
+        let all_scalar = matches!(args[0], SA::Sc(_)) && matches!(args[1], SA::Sc(_));
+        if !matches!(xs, VX::Span(_)) && all_scalar {
+            let mut dm = [0.0; L];
+            let mut ds = [0.0; L];
+            for i in 0..n {
+                let x = xo.row(i);
+                let mu = mo.row(i);
+                let sg = so.row(i);
+                for l in 0..L {
+                    if seed[l] != 0.0 {
+                        let (_, dmu, dsig) = normal_partials_only(x[l], mu[l], sg[l]);
+                        dm[l] += dmu * seed[l];
+                        ds[l] += dsig * seed[l];
+                    }
+                }
+            }
+            if let SA::Sc(a) = args[0] {
+                self.bump_l::<L>(a, adj, 0, &dm);
+            }
+            if let SA::Sc(a) = args[1] {
+                self.bump_l::<L>(a, adj, 0, &ds);
+            }
+            return;
+        }
+        for i in 0..n {
+            let x = xo.row(i);
+            let mu = mo.row(i);
+            let sg = so.row(i);
+            let mut dx = [0.0; L];
+            let mut dmu = [0.0; L];
+            let mut dsg = [0.0; L];
+            for l in 0..L {
+                let (a, b, c) = normal_partials_only(x[l], mu[l], sg[l]);
+                dx[l] = a;
+                dmu[l] = b;
+                dsg[l] = c;
+            }
+            if let VX::Span(s) = xs {
+                let o = (s as usize + i) * L;
+                for l in 0..L {
+                    if seed[l] != 0.0 {
+                        adj[o + l] += dx[l] * seed[l];
+                    }
+                }
+            }
+            for (j, dp) in [dmu, dsg].iter().enumerate() {
+                match args[j] {
+                    SA::Sc(a) => {
+                        let mut b = [0.0; L];
+                        for l in 0..L {
+                            if seed[l] != 0.0 {
+                                b[l] = dp[l] * seed[l];
+                            }
+                        }
+                        self.bump_l::<L>(a, adj, 0, &b);
+                    }
+                    SA::Span(s) => {
+                        let o = (s as usize + i) * L;
+                        for l in 0..L {
+                            if seed[l] != 0.0 {
+                                adj[o + l] += dp[l] * seed[l];
+                            }
+                        }
+                    }
+                    SA::TableF(_) | SA::TableI(_) => {}
+                }
+            }
+        }
+    }
+
+    /// Lane mirror of `forward_iter`.
+    fn forward_lanes<const L: usize>(
+        &self,
+        ops: &[Op],
+        regs: &mut [f64],
+        score: &mut [f64; L],
+        jac: &mut [f64; L],
+        iter: u32,
+    ) {
+        for op in ops {
+            match op {
+                Op::Bin { f, dst, a, b } => {
+                    let va = self.ra_l::<L>(*a, regs, iter);
+                    let vb = self.ra_l::<L>(*b, regs, iter);
+                    let o = dst.at(iter) * L;
+                    regs[o..o + L].copy_from_slice(&f.value_lanes::<L>(&va, &vb));
+                }
+                Op::Un { f, dst, a } => {
+                    let va = self.ra_l::<L>(*a, regs, iter);
+                    let o = dst.at(iter) * L;
+                    regs[o..o + L].copy_from_slice(&f.value_lanes::<L>(&va));
+                }
+                Op::Mov { dst, a } => {
+                    let va = self.ra_l::<L>(*a, regs, iter);
+                    let o = dst.at(iter) * L;
+                    regs[o..o + L].copy_from_slice(&va);
+                }
+                Op::VBin { f, dst, a, b, len } => {
+                    for i in 0..*len as usize {
+                        let va = self.va_l::<L>(*a, regs, i);
+                        let vb = self.va_l::<L>(*b, regs, i);
+                        let o = (*dst as usize + i) * L;
+                        regs[o..o + L].copy_from_slice(&f.value_lanes::<L>(&va, &vb));
+                    }
+                }
+                Op::VUn { f, dst, a, len } => {
+                    for i in 0..*len as usize {
+                        let va = self.va_l::<L>(*a, regs, i);
+                        let o = (*dst as usize + i) * L;
+                        regs[o..o + L].copy_from_slice(&f.value_lanes::<L>(&va));
+                    }
+                }
+                Op::Dot { dst, a, b, len } => {
+                    let mut s = [0.0; L];
+                    for i in 0..*len as usize {
+                        let va = self.va_l::<L>(*a, regs, i);
+                        let vb = self.va_l::<L>(*b, regs, i);
+                        for l in 0..L {
+                            s[l] += va[l] * vb[l];
+                        }
+                    }
+                    let o = *dst as usize * L;
+                    regs[o..o + L].copy_from_slice(&s);
+                }
+                Op::Sum { dst, a, len } => {
+                    let mut s = [0.0; L];
+                    for i in 0..*len as usize {
+                        let va = self.va_l::<L>(*a, regs, i);
+                        for l in 0..L {
+                            s[l] += va[l];
+                        }
+                    }
+                    let o = *dst as usize * L;
+                    regs[o..o + L].copy_from_slice(&s);
+                }
+                Op::MatVec {
+                    dst,
+                    mat,
+                    x,
+                    rows,
+                    cols,
+                } => {
+                    let cols_ = *cols as usize;
+                    for r in 0..*rows as usize {
+                        let mut s = [0.0; L];
+                        for c in 0..cols_ {
+                            let m = self.tables_f[*mat as usize][r * cols_ + c];
+                            let vx = self.va_l::<L>(*x, regs, c);
+                            for l in 0..L {
+                                s[l] += m * vx[l];
+                            }
+                        }
+                        let o = (*dst as usize + r) * L;
+                        regs[o..o + L].copy_from_slice(&s);
+                    }
+                }
+                Op::MaxVal { dst, a, len } => {
+                    let mut m = [f64::NEG_INFINITY; L];
+                    for i in 0..*len as usize {
+                        let va = self.va_l::<L>(*a, regs, i);
+                        for l in 0..L {
+                            m[l] = m[l].max(va[l]);
+                        }
+                    }
+                    let o = *dst as usize * L;
+                    regs[o..o + L].copy_from_slice(&m);
+                }
+                Op::Constrain {
+                    kind,
+                    src,
+                    dst,
+                    len,
+                } => {
+                    for c in 0..*len as usize {
+                        let so = (*src as usize + c) * L;
+                        let dof = (*dst as usize + c) * L;
+                        for l in 0..L {
+                            let u = regs[so + l];
+                            regs[dof + l] = kind.to_constrained(u);
+                            jac[l] += kind.log_jacobian(u);
+                        }
+                    }
+                }
+                Op::ScoreElem { kind, x, args, k } => {
+                    let mut argv = [[0.0; L]; 3];
+                    for j in 0..*k as usize {
+                        argv[j] = self.ra_l::<L>(args[j], regs, iter);
+                    }
+                    let xv = self.ra_l::<L>(*x, regs, iter);
+                    let lp = lpdf_elem_value_lanes::<L>(*kind, &xv, &argv).unwrap_or([f64::NAN; L]);
+                    for l in 0..L {
+                        score[l] += lp[l];
+                    }
+                }
+                Op::ScoreVal {
+                    kind,
+                    dst,
+                    x,
+                    args,
+                    k,
+                } => {
+                    let mut argv = [[0.0; L]; 3];
+                    for j in 0..*k as usize {
+                        argv[j] = self.ra_l::<L>(args[j], regs, iter);
+                    }
+                    let xv = self.ra_l::<L>(*x, regs, iter);
+                    let lp = lpdf_elem_value_lanes::<L>(*kind, &xv, &argv).unwrap_or([f64::NAN; L]);
+                    let o = dst.at(iter) * L;
+                    regs[o..o + L].copy_from_slice(&lp);
+                }
+                Op::ScoreSweep {
+                    kind,
+                    xs,
+                    args,
+                    k,
+                    len,
+                } => {
+                    let s = self.sweep_sum_lanes::<L>(*kind, *xs, args, *k, *len, regs);
+                    for l in 0..L {
+                        score[l] += s[l];
+                    }
+                }
+                Op::ScoreSweepVal {
+                    kind,
+                    dst,
+                    xs,
+                    args,
+                    k,
+                    len,
+                } => {
+                    let s = self.sweep_sum_lanes::<L>(*kind, *xs, args, *k, *len, regs);
+                    let o = *dst as usize * L;
+                    regs[o..o + L].copy_from_slice(&s);
+                }
+                Op::AddScore { a } => {
+                    let va = self.ra_l::<L>(*a, regs, iter);
+                    for l in 0..L {
+                        score[l] += va[l];
+                    }
+                }
+                Op::AddScoreSpan { a, len } => {
+                    for i in 0..*len as usize {
+                        let va = self.va_l::<L>(*a, regs, i);
+                        for l in 0..L {
+                            score[l] += va[l];
+                        }
+                    }
+                }
+                Op::Loop { trip, body } => {
+                    for it in 0..*trip {
+                        self.forward_lanes::<L>(body, regs, score, jac, it);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lane mirror of `reverse_iter`. The single-lane `g != 0.0` guards are
+    /// semantic (they keep `0 · ∞` from minting NaNs), so they apply **per
+    /// lane**: a zero-adjoint lane contributes exactly 0.0, never a masked
+    /// garbage product.
+    fn reverse_lanes<const L: usize>(&self, ops: &[Op], regs: &[f64], adj: &mut [f64], iter: u32) {
+        for op in ops.iter().rev() {
+            match op {
+                Op::Bin { f, dst, a, b } => {
+                    let g = lane_row::<L>(adj, dst.at(iter));
+                    if g.iter().any(|&x| x != 0.0) {
+                        let va = self.ra_l::<L>(*a, regs, iter);
+                        let vb = self.ra_l::<L>(*b, regs, iter);
+                        // Partials for every lane (dispatch-once); the g != 0
+                        // guard still gates the accumulation, so zero-adjoint
+                        // lanes contribute exactly 0.0 as before.
+                        let (pa, pb) = f.partials_lanes::<L>(&va, &vb);
+                        let mut ga = [0.0; L];
+                        let mut gb = [0.0; L];
+                        for l in 0..L {
+                            if g[l] != 0.0 {
+                                ga[l] = pa[l] * g[l];
+                                gb[l] = pb[l] * g[l];
+                            }
+                        }
+                        self.bump_l::<L>(*a, adj, iter, &ga);
+                        self.bump_l::<L>(*b, adj, iter, &gb);
+                    }
+                }
+                Op::Un { f, dst, a } => {
+                    let g = lane_row::<L>(adj, dst.at(iter));
+                    if g.iter().any(|&x| x != 0.0) {
+                        let va = self.ra_l::<L>(*a, regs, iter);
+                        let fx = lane_row::<L>(regs, dst.at(iter));
+                        let p = f.partial_lanes::<L>(&va, &fx);
+                        let mut ga = [0.0; L];
+                        for l in 0..L {
+                            if g[l] != 0.0 {
+                                ga[l] = p[l] * g[l];
+                            }
+                        }
+                        self.bump_l::<L>(*a, adj, iter, &ga);
+                    }
+                }
+                Op::Mov { dst, a } => {
+                    let g = lane_row::<L>(adj, dst.at(iter));
+                    if g.iter().any(|&x| x != 0.0) {
+                        self.bump_l::<L>(*a, adj, iter, &g);
+                    }
+                }
+                Op::VBin { f, dst, a, b, len } => {
+                    for i in 0..*len as usize {
+                        let g = lane_row::<L>(adj, *dst as usize + i);
+                        if g.iter().any(|&x| x != 0.0) {
+                            let va = self.va_l::<L>(*a, regs, i);
+                            let vb = self.va_l::<L>(*b, regs, i);
+                            let (pa, pb) = f.partials_lanes::<L>(&va, &vb);
+                            let mut ga = [0.0; L];
+                            let mut gb = [0.0; L];
+                            for l in 0..L {
+                                if g[l] != 0.0 {
+                                    ga[l] = pa[l] * g[l];
+                                    gb[l] = pb[l] * g[l];
+                                }
+                            }
+                            self.vbump_l::<L>(*a, adj, i, &ga);
+                            self.vbump_l::<L>(*b, adj, i, &gb);
+                        }
+                    }
+                }
+                Op::VUn { f, dst, a, len } => {
+                    for i in 0..*len as usize {
+                        let g = lane_row::<L>(adj, *dst as usize + i);
+                        if g.iter().any(|&x| x != 0.0) {
+                            let va = self.va_l::<L>(*a, regs, i);
+                            let fx = lane_row::<L>(regs, *dst as usize + i);
+                            let p = f.partial_lanes::<L>(&va, &fx);
+                            let mut ga = [0.0; L];
+                            for l in 0..L {
+                                if g[l] != 0.0 {
+                                    ga[l] = p[l] * g[l];
+                                }
+                            }
+                            self.vbump_l::<L>(*a, adj, i, &ga);
+                        }
+                    }
+                }
+                Op::Dot { dst, a, b, len } => {
+                    let g = lane_row::<L>(adj, *dst as usize);
+                    if g.iter().any(|&x| x != 0.0) {
+                        for i in 0..*len as usize {
+                            let va = self.va_l::<L>(*a, regs, i);
+                            let vb = self.va_l::<L>(*b, regs, i);
+                            let mut ba = [0.0; L];
+                            let mut bb = [0.0; L];
+                            for l in 0..L {
+                                if g[l] != 0.0 {
+                                    ba[l] = vb[l] * g[l];
+                                    bb[l] = va[l] * g[l];
+                                }
+                            }
+                            self.vbump_l::<L>(*a, adj, i, &ba);
+                            self.vbump_l::<L>(*b, adj, i, &bb);
+                        }
+                    }
+                }
+                Op::Sum { dst, a, len } => {
+                    let g = lane_row::<L>(adj, *dst as usize);
+                    if g.iter().any(|&x| x != 0.0) {
+                        for i in 0..*len as usize {
+                            self.vbump_l::<L>(*a, adj, i, &g);
+                        }
+                    }
+                }
+                Op::MatVec {
+                    dst,
+                    mat,
+                    x,
+                    rows,
+                    cols,
+                } => {
+                    let cols_ = *cols as usize;
+                    for r in 0..*rows as usize {
+                        let g = lane_row::<L>(adj, *dst as usize + r);
+                        if g.iter().any(|&x| x != 0.0) {
+                            for c in 0..cols_ {
+                                let m = self.tables_f[*mat as usize][r * cols_ + c];
+                                let mut bx = [0.0; L];
+                                for l in 0..L {
+                                    if g[l] != 0.0 {
+                                        bx[l] = m * g[l];
+                                    }
+                                }
+                                self.vbump_l::<L>(*x, adj, c, &bx);
+                            }
+                        }
+                    }
+                }
+                Op::MaxVal { .. } => {}
+                Op::Constrain {
+                    kind,
+                    src,
+                    dst,
+                    len,
+                } => {
+                    for c in 0..*len as usize {
+                        let so = (*src as usize + c) * L;
+                        let dof = (*dst as usize + c) * L;
+                        for l in 0..L {
+                            let u = regs[so + l];
+                            let g = adj[dof + l];
+                            let (dxdu, djdu) = constraint_partials(*kind, u);
+                            adj[so + l] += g * dxdu + djdu;
+                        }
+                    }
+                }
+                Op::ScoreElem { kind, x, args, k } => {
+                    let mut argv = [[0.0; L]; 3];
+                    for j in 0..*k as usize {
+                        argv[j] = self.ra_l::<L>(args[j], regs, iter);
+                    }
+                    let xv = self.ra_l::<L>(*x, regs, iter);
+                    if let Some((dx, dp)) = lpdf_elem_partials_only_lanes::<L>(*kind, &xv, &argv) {
+                        self.bump_l::<L>(*x, adj, iter, &dx);
+                        for j in 0..*k as usize {
+                            self.bump_l::<L>(args[j], adj, iter, &dp[j]);
+                        }
+                    }
+                }
+                Op::ScoreVal {
+                    kind,
+                    dst,
+                    x,
+                    args,
+                    k,
+                } => {
+                    let g = lane_row::<L>(adj, dst.at(iter));
+                    if g.iter().any(|&x| x != 0.0) {
+                        let mut argv = [[0.0; L]; 3];
+                        for j in 0..*k as usize {
+                            argv[j] = self.ra_l::<L>(args[j], regs, iter);
+                        }
+                        let xv = self.ra_l::<L>(*x, regs, iter);
+                        if let Some((dx, dp)) =
+                            lpdf_elem_partials_only_lanes::<L>(*kind, &xv, &argv)
+                        {
+                            let mut gx = [0.0; L];
+                            let mut gp = [[0.0; L]; 3];
+                            for l in 0..L {
+                                if g[l] != 0.0 {
+                                    gx[l] = dx[l] * g[l];
+                                    for (gpj, dpj) in gp.iter_mut().zip(&dp).take(*k as usize) {
+                                        gpj[l] = dpj[l] * g[l];
+                                    }
+                                }
+                            }
+                            self.bump_l::<L>(*x, adj, iter, &gx);
+                            for j in 0..*k as usize {
+                                self.bump_l::<L>(args[j], adj, iter, &gp[j]);
+                            }
+                        }
+                    }
+                }
+                Op::ScoreSweep {
+                    kind,
+                    xs,
+                    args,
+                    k,
+                    len,
+                } => {
+                    self.sweep_reverse_lanes::<L>(*kind, *xs, args, *k, *len, &[1.0; L], regs, adj);
+                }
+                Op::ScoreSweepVal {
+                    kind,
+                    dst,
+                    xs,
+                    args,
+                    k,
+                    len,
+                } => {
+                    let g = lane_row::<L>(adj, *dst as usize);
+                    self.sweep_reverse_lanes::<L>(*kind, *xs, args, *k, *len, &g, regs, adj);
+                }
+                Op::AddScore { a } => {
+                    self.bump_l::<L>(*a, adj, iter, &[1.0; L]);
+                }
+                Op::AddScoreSpan { a, len } => {
+                    for i in 0..*len as usize {
+                        self.vbump_l::<L>(*a, adj, i, &[1.0; L]);
+                    }
+                }
+                Op::Loop { trip, body } => {
+                    for it in (0..*trip).rev() {
+                        self.reverse_lanes::<L>(body, regs, adj, it);
                     }
                 }
             }
@@ -3834,4 +5077,27 @@ pub fn compile(
         tables_f: c.tables_f,
         tables_i: c.tables_i,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::AlignedBuf;
+
+    #[test]
+    fn aligned_pools_are_64_byte_aligned_zeroed_and_cloneable() {
+        for len in [1usize, 7, 8, 64, 1000] {
+            let mut buf = AlignedBuf::zeroed(len);
+            assert_eq!(buf.as_ptr() as usize % 64, 0, "len {len} misaligned");
+            assert_eq!(buf.len(), len);
+            assert!(buf.iter().all(|&x| x == 0.0), "len {len} not zeroed");
+            buf[len - 1] = 3.5;
+            let clone = buf.clone();
+            assert_eq!(clone.as_ptr() as usize % 64, 0);
+            assert_eq!(clone[len - 1], 3.5);
+            // The clone owns its storage.
+            assert_ne!(clone.as_ptr(), buf.as_ptr());
+        }
+        let empty = AlignedBuf::zeroed(0);
+        assert_eq!(empty.len(), 0);
+    }
 }

@@ -492,6 +492,53 @@ impl GModel {
         self.log_density_and_grad_tape_with(ws, theta_u, grad_out)
     }
 
+    /// Batched form of [`GModel::log_density_and_grad_with`]: scores
+    /// `values.len()` independent unconstrained points packed row-major in
+    /// `thetas` (point `i` at `thetas[i·dim .. (i+1)·dim]`), writing
+    /// gradients row-major into `grads`.
+    ///
+    /// Models with a compiled density program evaluate the whole batch in
+    /// lane groups through [`crate::dprog::DProg::value_and_grad_lanes`] —
+    /// one forward and one reverse sweep per group of up to 8 points.
+    /// Declined models loop the single-point tape path, so the batched entry
+    /// is safe to call unconditionally; each point's result is bitwise what
+    /// a single-point call would produce either way.
+    ///
+    /// # Errors
+    /// Propagates runtime evaluation errors (on the declined path the first
+    /// failing point aborts the batch, matching the sequential loop).
+    ///
+    /// # Panics
+    /// Panics if `grads` is shorter than `thetas`.
+    pub fn log_density_and_grad_batch_with(
+        &self,
+        ws: &mut GradWorkspace,
+        thetas: &[f64],
+        values: &mut [f64],
+        grads: &mut [f64],
+    ) -> Result<(), RuntimeError> {
+        if let (Some(dp), Some(dpws)) = (&self.dprog, &mut ws.inner.dprog) {
+            return dp.value_and_grad_lanes(thetas, values, grads, dpws);
+        }
+        let d = self.dim;
+        let n = values.len();
+        if thetas.len() != n * d {
+            return Err(RuntimeError::new(format!(
+                "expected {} unconstrained values for {n} points, got {}",
+                n * d,
+                thetas.len()
+            )));
+        }
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = self.log_density_and_grad_tape_with(
+                ws,
+                &thetas[i * d..(i + 1) * d],
+                &mut grads[i * d..(i + 1) * d],
+            )?;
+        }
+        Ok(())
+    }
+
     /// The `Var`/tape gradient path: re-records the Wengert list on every
     /// call. This is the differential oracle the tape-free programs are
     /// pinned against (`tests/dprog_equivalence.rs`) and the evaluation

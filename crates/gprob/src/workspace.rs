@@ -82,3 +82,14 @@ pub struct GradWorkspace {
     /// Buffer of tape leaves for the unconstrained inputs.
     pub(crate) vars: Vec<Var>,
 }
+
+impl GradWorkspace {
+    /// Pooled-buffer capacities of the compiled density program's register
+    /// files ([`DProgWorkspace::capacities`]), or `None` when the model's
+    /// density declined to compile. Exposed so regression tests can pin that
+    /// same-shape evaluations never reallocate the aligned pools (the
+    /// `tape_capacities` pattern extended to DProg).
+    pub fn dprog_capacities(&self) -> Option<(usize, usize, usize)> {
+        self.inner.dprog.as_ref().map(DProgWorkspace::capacities)
+    }
+}

@@ -40,6 +40,15 @@
 //! recorded-tape interpreter when it declined. Nothing in this crate needs
 //! to know which backend ran.
 //!
+//! Multi-point work additionally flows through [`target::GradTargetBatch`]:
+//! [`nuts::nuts_sample_lockstep`] and [`hmc::hmc_sample_lockstep`] advance
+//! all chains together and batch their pending leapfrog evaluations into one
+//! call per round, and [`advi::advi_fit_batch`] scores each step's
+//! Monte-Carlo guide draws in one pass — which is how lane-widened
+//! struct-of-arrays density programs evaluate several chains per sweep. All
+//! three are bitwise identical per chain/fit to their sequential
+//! counterparts.
+//!
 //! # Example
 //!
 //! ```
@@ -62,12 +71,13 @@ pub mod predictive;
 pub mod svi;
 pub mod target;
 
-pub use advi::{advi_fit, advi_fit_mut, AdviConfig, AdviResult};
+pub use advi::{advi_fit, advi_fit_batch, advi_fit_mut, AdviConfig, AdviResult};
 pub use diagnostics::{
     accuracy_pass, ess, multi_ess, multi_split_rhat, split_rhat, summarize, Summary,
 };
+pub use hmc::{hmc_sample, hmc_sample_lockstep, hmc_sample_mut, HmcConfig, HmcResult};
 pub use loo::{loo_compare, psis_loo, waic, CompareRow, ElpdEstimate};
-pub use nuts::{nuts_sample, nuts_sample_mut, NutsConfig, NutsResult};
+pub use nuts::{nuts_sample, nuts_sample_lockstep, nuts_sample_mut, NutsConfig, NutsResult};
 pub use predictive::{draw_seed, stream_chains, GqTable, StreamError};
-pub use svi::{Adam, AdamConfig};
-pub use target::{GradTarget, GradTargetMut};
+pub use svi::{svi_optimize, svi_optimize_draws, Adam, AdamConfig, SviResult};
+pub use target::{GradTarget, GradTargetBatch, GradTargetMut};

@@ -111,6 +111,41 @@ pub fn svi_optimize<F: FnMut(&[f64], &mut StdRng) -> (f64, Vec<f64>)>(
     SviResult { params, elbo_trace }
 }
 
+/// [`svi_optimize`] with a multi-draw objective: `objective_grad` receives
+/// the number of Monte-Carlo draws to average per step, letting a batched
+/// backend (e.g. a lane-widened density program behind
+/// [`crate::GradTargetBatch`]) score all `draws` guide samples in one sweep.
+/// Gradients returned by the objective are already averaged over its draws.
+///
+/// With `draws == 1` and an objective that ignores the count, this is
+/// exactly [`svi_optimize`]: the step loop, Adam state, and reporting
+/// cadence are identical.
+pub fn svi_optimize_draws<F: FnMut(&[f64], usize, &mut StdRng) -> (f64, Vec<f64>)>(
+    objective_grad: &mut F,
+    init: Vec<f64>,
+    steps: usize,
+    draws: usize,
+    config: AdamConfig,
+    seed: u64,
+) -> SviResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut params = init;
+    let mut adam = Adam::new(params.len(), config);
+    let mut elbo_trace = Vec::new();
+    let mut running = 0.0;
+    let report_every = (steps / 50).max(1);
+    for step in 0..steps {
+        let (elbo, grad) = objective_grad(&params, draws, &mut rng);
+        adam.step(&mut params, &grad);
+        running += elbo;
+        if (step + 1) % report_every == 0 {
+            elbo_trace.push(running / report_every as f64);
+            running = 0.0;
+        }
+    }
+    SviResult { params, elbo_trace }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +176,27 @@ mod tests {
         let mut adam = Adam::new(1, AdamConfig::default());
         adam.step(&mut params, &[f64::NAN]);
         assert!(params[0].is_finite());
+    }
+
+    #[test]
+    fn single_draw_multi_draw_loop_matches_the_plain_loop_bitwise() {
+        let make_objective = || {
+            |params: &[f64], rng: &mut StdRng| -> (f64, Vec<f64>) {
+                let noise: f64 = rng.gen::<f64>() - 0.5;
+                let g = -2.0 * (params[0] - 3.0) + noise;
+                (-(params[0] - 3.0).powi(2), vec![g])
+            }
+        };
+        let mut plain = make_objective();
+        let want = svi_optimize(&mut plain, vec![0.0], 300, AdamConfig::default(), 17);
+        let inner = make_objective();
+        let mut multi = |params: &[f64], draws: usize, rng: &mut StdRng| -> (f64, Vec<f64>) {
+            assert_eq!(draws, 1);
+            inner(params, rng)
+        };
+        let got = svi_optimize_draws(&mut multi, vec![0.0], 300, 1, AdamConfig::default(), 17);
+        assert_eq!(want.params, got.params);
+        assert_eq!(want.elbo_trace, got.elbo_trace);
     }
 
     #[test]

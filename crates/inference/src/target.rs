@@ -15,6 +15,16 @@
 //! Every [`GradTarget`] is automatically a [`GradTargetMut`] (with one
 //! `Vec` allocation per call), so existing closures keep working with the
 //! rewritten samplers.
+//!
+//! A third tier, [`GradTargetBatch`], scores a *batch* of independent points
+//! in one call. Lockstep multi-chain samplers and multi-draw ELBO estimators
+//! hand the target all pending points at once, so lane-widened backends
+//! (`gprob::dprog`'s struct-of-arrays register files) evaluate them with one
+//! forward/reverse sweep per lane group instead of one interpreter walk per
+//! point. The provided default simply loops [`GradTargetMut::logp_grad_into`]
+//! — point `i`'s result is bitwise identical either way, which is what lets
+//! the lockstep drivers promise per-chain bit-equality with the sequential
+//! samplers.
 
 /// A log-density with gradient, evaluated on the unconstrained scale.
 pub trait GradTarget {
@@ -46,6 +56,36 @@ impl<T: GradTarget + ?Sized> GradTargetMut for &T {
         lp
     }
 }
+
+/// A target that can score a batch of independent points in one call — the
+/// surface lane-widened density programs plug into. Implementors override
+/// [`GradTargetBatch::logp_grad_batch`] when they have a genuinely batched
+/// backend; the provided default loops the single-point entry, so *any*
+/// [`GradTargetMut`] can opt in with an empty `impl` block and batch-driven
+/// samplers run unchanged (and bit-identically) over scalar targets.
+pub trait GradTargetBatch: GradTargetMut {
+    /// Scores `logps.len()` points packed row-major in `qs` (point `i` at
+    /// `qs[i·dim .. (i+1)·dim]`), writing log-densities into `logps` and
+    /// gradients row-major into `grads`. Point `i`'s results must be exactly
+    /// what [`GradTargetMut::logp_grad_into`] would produce for that point.
+    fn logp_grad_batch(&mut self, qs: &[f64], logps: &mut [f64], grads: &mut [f64]) {
+        let n = logps.len();
+        if n == 0 {
+            return;
+        }
+        debug_assert_eq!(qs.len(), grads.len());
+        let dim = qs.len() / n;
+        for (i, lp) in logps.iter_mut().enumerate() {
+            *lp = self.logp_grad_into(
+                &qs[i * dim..(i + 1) * dim],
+                &mut grads[i * dim..(i + 1) * dim],
+            );
+        }
+    }
+}
+
+/// Stateless targets batch by looping, like their `GradTargetMut` adapter.
+impl<T: GradTarget + ?Sized> GradTargetBatch for &T {}
 
 #[cfg(test)]
 mod tests {

@@ -159,6 +159,108 @@ pub fn sweep_arity(kind: DistKind) -> usize {
     }
 }
 
+/// The additive constant of the normal log density for one scale value:
+/// `-½·ln(2π) - ln(sigma)`. Callers that score many elements against the
+/// *same* sigma hoist this out of their loops; [`normal_lpdf_from_const`]
+/// then finishes each element with exactly the association the scalar
+/// kernel uses, so the hoisted evaluation is bitwise identical to calling
+/// [`lpdf_elem_value`] per element.
+#[inline(always)]
+pub fn normal_lpdf_const(sigma: f64) -> f64 {
+    let half_log_2pi = 0.5 * (2.0 * std::f64::consts::PI).ln();
+    -half_log_2pi - sigma.ln()
+}
+
+/// One normal log density given the pre-hoisted constant of
+/// [`normal_lpdf_const`] — the only transcendental-free piece left per
+/// element (`z = (x-mu)/sigma; c - 0.5·z·z`).
+#[inline(always)]
+pub fn normal_lpdf_from_const(c: f64, x: f64, mu: f64, sigma: f64) -> f64 {
+    let z = (x - mu) / sigma;
+    c - 0.5 * z * z
+}
+
+/// The normal kernel's analytic partials alone, `(∂/∂x, ∂/∂mu, ∂/∂sigma)`,
+/// skipping the log-density value (and with it the per-element `ln`).
+/// Formulas match [`lpdf_elem_partials`] exactly.
+#[inline(always)]
+pub fn normal_partials_only(x: f64, mu: f64, sigma: f64) -> (f64, f64, f64) {
+    let z = (x - mu) / sigma;
+    let dmu = z / sigma;
+    (-dmu, dmu, (z * z - 1.0) / sigma)
+}
+
+/// The normal family's elem kernel, shared verbatim between the scalar
+/// dispatch ([`elem`]) and the lane-specialized entry points so every path
+/// computes identical bits.
+#[inline(always)]
+fn normal_elem(x: f64, mu: f64, sigma: f64, want: bool) -> (f64, f64, [f64; 3]) {
+    let lp = normal_lpdf_from_const(normal_lpdf_const(sigma), x, mu, sigma);
+    if !want {
+        return (lp, 0.0, [0.0; 3]);
+    }
+    let (dx, dmu, ds) = normal_partials_only(x, mu, sigma);
+    (lp, dx, [dmu, ds, 0.0])
+}
+
+/// The Cauchy kernel's analytic partials alone, `(∂/∂x, ∂/∂loc, ∂/∂scale)`
+/// — no logarithms at all (they only appear in the density value).
+#[inline(always)]
+fn cauchy_partials_only(x: f64, loc: f64, scale: f64) -> (f64, f64, f64) {
+    let z = (x - loc) / scale;
+    let u = 1.0 + z * z;
+    let dx = -2.0 * z / (u * scale);
+    (dx, -dx, (z * z - 1.0) / (u * scale))
+}
+
+/// The Cauchy elem kernel (see [`normal_elem`] for the sharing rationale).
+#[inline(always)]
+fn cauchy_elem(x: f64, loc: f64, scale: f64, want: bool) -> (f64, f64, [f64; 3]) {
+    let z = (x - loc) / scale;
+    let lp = -(std::f64::consts::PI).ln() - scale.ln() - (1.0 + z * z).ln();
+    if !want {
+        return (lp, 0.0, [0.0; 3]);
+    }
+    let (dx, dloc, dscale) = cauchy_partials_only(x, loc, scale);
+    (lp, dx, [dloc, dscale, 0.0])
+}
+
+/// The Bernoulli-logit kernel's `∂lpdf/∂logit` alone — one sigmoid, no
+/// softplus (that only feeds the density value). Out-of-support rounds to
+/// zero, matching [`bernoulli_logit_elem`].
+#[inline(always)]
+fn bernoulli_logit_dlogit(x: f64, l: f64) -> f64 {
+    let k = x.round();
+    if k == 1.0 {
+        special::sigmoid(-l)
+    } else if k == 0.0 {
+        -special::sigmoid(l)
+    } else {
+        0.0
+    }
+}
+
+/// The Bernoulli-logit elem kernel (see [`normal_elem`]).
+#[inline(always)]
+fn bernoulli_logit_elem(x: f64, l: f64, want: bool) -> (f64, f64, [f64; 3]) {
+    let k = x.round();
+    if k == 1.0 {
+        (
+            -special::softplus(-l),
+            0.0,
+            [if want { special::sigmoid(-l) } else { 0.0 }, 0.0, 0.0],
+        )
+    } else if k == 0.0 {
+        (
+            -special::softplus(l),
+            0.0,
+            [if want { -special::sigmoid(l) } else { 0.0 }, 0.0, 0.0],
+        )
+    } else {
+        (f64::NEG_INFINITY, 0.0, [0.0; 3])
+    }
+}
+
 /// One element's log density plus its analytic partials, all in `f64`.
 ///
 /// Returns `(lpdf, d lpdf/dx, [d lpdf/d argj; 3])`. Partials are computed
@@ -171,16 +273,7 @@ fn elem(kind: DistKind, x: f64, a: &[f64; 3], want: bool) -> (f64, f64, [f64; 3]
     let zero = (0.0, 0.0, [0.0; 3]);
     let half_log_2pi = 0.5 * (2.0 * std::f64::consts::PI).ln();
     match kind {
-        DistKind::Normal => {
-            let (mu, sigma) = (a[0], a[1]);
-            let z = (x - mu) / sigma;
-            let lp = -half_log_2pi - sigma.ln() - 0.5 * z * z;
-            if !want {
-                return (lp, 0.0, [0.0; 3]);
-            }
-            let dmu = z / sigma;
-            (lp, -dmu, [dmu, (z * z - 1.0) / sigma, 0.0])
-        }
+        DistKind::Normal => normal_elem(x, a[0], a[1], want),
         DistKind::LogNormal => {
             let (mu, sigma) = (a[0], a[1]);
             if x <= 0.0 {
@@ -214,25 +307,7 @@ fn elem(kind: DistKind, x: f64, a: &[f64; 3], want: bool) -> (f64, f64, [f64; 3]
                 (neg_inf, zero.1, zero.2)
             }
         }
-        DistKind::BernoulliLogit => {
-            let l = a[0];
-            let k = x.round();
-            if k == 1.0 {
-                (
-                    -special::softplus(-l),
-                    0.0,
-                    [if want { special::sigmoid(-l) } else { 0.0 }, 0.0, 0.0],
-                )
-            } else if k == 0.0 {
-                (
-                    -special::softplus(l),
-                    0.0,
-                    [if want { -special::sigmoid(l) } else { 0.0 }, 0.0, 0.0],
-                )
-            } else {
-                (neg_inf, zero.1, zero.2)
-            }
-        }
+        DistKind::BernoulliLogit => bernoulli_logit_elem(x, a[0], want),
         DistKind::Poisson => {
             let rate = a[0];
             let k = x.round();
@@ -262,17 +337,7 @@ fn elem(kind: DistKind, x: f64, a: &[f64; 3], want: bool) -> (f64, f64, [f64; 3]
             }
             (lp, -rate, [1.0 / rate - x, 0.0, 0.0])
         }
-        DistKind::Cauchy => {
-            let (loc, scale) = (a[0], a[1]);
-            let z = (x - loc) / scale;
-            let lp = -(std::f64::consts::PI).ln() - scale.ln() - (1.0 + z * z).ln();
-            if !want {
-                return (lp, 0.0, [0.0; 3]);
-            }
-            let u = 1.0 + z * z;
-            let dx = -2.0 * z / (u * scale);
-            (lp, dx, [-dx, (z * z - 1.0) / (u * scale), 0.0])
-        }
+        DistKind::Cauchy => cauchy_elem(x, a[0], a[1], want),
         DistKind::StudentT => {
             let (nu, loc, scale) = (a[0], a[1], a[2]);
             let z = (x - loc) / scale;
@@ -483,6 +548,200 @@ pub fn lpdf_elem_value(kind: DistKind, x: f64, args: &[f64; 3]) -> Option<f64> {
     Some(elem(kind, x, args, false).0)
 }
 
+/// Lane-widened form of [`lpdf_elem_value`]: scores `L` independent points
+/// of the *same* element position in one call. `xs[l]` is lane `l`'s
+/// observation and `args[j][l]` lane `l`'s `j`-th distribution argument, so
+/// a struct-of-arrays register file (`gprob::dprog`'s lane evaluation) feeds
+/// its rows straight in. Each lane runs exactly the scalar kernel — same
+/// formulas, same order — so lane `l`'s result is bitwise the value a
+/// single-point evaluation of that lane would produce.
+#[inline]
+pub fn lpdf_elem_value_lanes<const L: usize>(
+    kind: DistKind,
+    xs: &[f64; L],
+    args: &[[f64; L]; 3],
+) -> Option<[f64; L]> {
+    if !supports_elem(kind) {
+        return None;
+    }
+    let mut out = [0.0; L];
+    // Dispatch once for the hot families; each lane still runs exactly the
+    // scalar kernel (the shared `*_elem` functions), so the specialization
+    // only hoists the family match out of the lane loop.
+    match kind {
+        DistKind::Normal => {
+            for l in 0..L {
+                out[l] = normal_elem(xs[l], args[0][l], args[1][l], false).0;
+            }
+        }
+        DistKind::Cauchy => {
+            for l in 0..L {
+                out[l] = cauchy_elem(xs[l], args[0][l], args[1][l], false).0;
+            }
+        }
+        DistKind::BernoulliLogit => {
+            for l in 0..L {
+                out[l] = bernoulli_logit_elem(xs[l], args[0][l], false).0;
+            }
+        }
+        _ => {
+            for l in 0..L {
+                let a = [args[0][l], args[1][l], args[2][l]];
+                out[l] = elem(kind, xs[l], &a, false).0;
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Lane-widened form of [`lpdf_elem_partials`]: `L` points' log densities
+/// and analytic partials in one call, returned lane-major as
+/// `(lpdf[l], ∂lpdf/∂x[l], [∂lpdf/∂argⱼ[l]; 3])`. Lane `l` computes exactly
+/// what a scalar [`lpdf_elem_partials`] call on lane `l`'s inputs would.
+#[inline]
+#[allow(clippy::type_complexity)]
+pub fn lpdf_elem_partials_lanes<const L: usize>(
+    kind: DistKind,
+    xs: &[f64; L],
+    args: &[[f64; L]; 3],
+) -> Option<([f64; L], [f64; L], [[f64; L]; 3])> {
+    if !supports_elem(kind) {
+        return None;
+    }
+    let mut lp = [0.0; L];
+    let mut dx = [0.0; L];
+    let mut dp = [[0.0; L]; 3];
+    let mut store = |l: usize, v: f64, d: f64, p: [f64; 3]| {
+        lp[l] = v;
+        dx[l] = d;
+        dp[0][l] = p[0];
+        dp[1][l] = p[1];
+        dp[2][l] = p[2];
+    };
+    match kind {
+        DistKind::Normal => {
+            for l in 0..L {
+                let (v, d, p) = normal_elem(xs[l], args[0][l], args[1][l], true);
+                store(l, v, d, p);
+            }
+        }
+        DistKind::Cauchy => {
+            for l in 0..L {
+                let (v, d, p) = cauchy_elem(xs[l], args[0][l], args[1][l], true);
+                store(l, v, d, p);
+            }
+        }
+        DistKind::BernoulliLogit => {
+            for l in 0..L {
+                let (v, d, p) = bernoulli_logit_elem(xs[l], args[0][l], true);
+                store(l, v, d, p);
+            }
+        }
+        _ => {
+            for l in 0..L {
+                let a = [args[0][l], args[1][l], args[2][l]];
+                let (v, d, p) = elem(kind, xs[l], &a, true);
+                store(l, v, d, p);
+            }
+        }
+    }
+    Some((lp, dx, dp))
+}
+
+/// Lane-widened analytic partials **without** the log-density value — the
+/// reverse sweeps of `gprob::dprog` never consume it, and for the hot
+/// families the value is where the transcendentals live (`ln` for normal
+/// and Cauchy, `softplus` for Bernoulli-logit). Partial formulas are
+/// exactly [`lpdf_elem_partials`]'s, so every adjoint produced here is
+/// bitwise the one the full kernel computes; other families fall back to
+/// the full kernel and simply discard the value.
+#[inline]
+#[allow(clippy::type_complexity)]
+pub fn lpdf_elem_partials_only_lanes<const L: usize>(
+    kind: DistKind,
+    xs: &[f64; L],
+    args: &[[f64; L]; 3],
+) -> Option<([f64; L], [[f64; L]; 3])> {
+    if !supports_elem(kind) {
+        return None;
+    }
+    let mut dx = [0.0; L];
+    let mut dp = [[0.0; L]; 3];
+    match kind {
+        DistKind::Normal => {
+            for l in 0..L {
+                let (d, dmu, ds) = normal_partials_only(xs[l], args[0][l], args[1][l]);
+                dx[l] = d;
+                dp[0][l] = dmu;
+                dp[1][l] = ds;
+            }
+        }
+        DistKind::Cauchy => {
+            for l in 0..L {
+                let (d, dloc, dscale) = cauchy_partials_only(xs[l], args[0][l], args[1][l]);
+                dx[l] = d;
+                dp[0][l] = dloc;
+                dp[1][l] = dscale;
+            }
+        }
+        DistKind::BernoulliLogit => {
+            for l in 0..L {
+                dp[0][l] = bernoulli_logit_dlogit(xs[l], args[0][l]);
+            }
+        }
+        _ => {
+            for l in 0..L {
+                let a = [args[0][l], args[1][l], args[2][l]];
+                let (_, d, p) = elem(kind, xs[l], &a, true);
+                dx[l] = d;
+                dp[0][l] = p[0];
+                dp[1][l] = p[1];
+                dp[2][l] = p[2];
+            }
+        }
+    }
+    Some((dx, dp))
+}
+
+/// Argument operands pre-resolved for the `f64` hot loops: scalars collapse
+/// to their value once, per-element slices are cut to exactly the sweep
+/// length up front. The per-element loops then index windows whose length
+/// the optimizer has already compared against the loop bound, so the bounds
+/// checks vanish from the kernels.
+#[derive(Clone, Copy)]
+enum ArgWindow<'a, T: Real> {
+    Scalar(f64),
+    Reals(&'a [T]),
+    Ints(&'a [i64]),
+}
+
+impl<T: Real> ArgWindow<'_, T> {
+    #[inline]
+    fn value(&self, i: usize) -> f64 {
+        match self {
+            ArgWindow::Scalar(v) => *v,
+            ArgWindow::Reals(v) => v[i].value(),
+            ArgWindow::Ints(v) => v[i] as f64,
+        }
+    }
+}
+
+/// Cuts every per-element argument to `[..n]` (validated beforehand) and
+/// resolves scalar broadcasts. Slots beyond `args.len()` read as 0.0, like
+/// the untouched tail of the old reused `abuf`.
+#[inline]
+fn arg_windows<'a, T: Real>(args: &[SweepArg<'a, T>], n: usize) -> [ArgWindow<'a, T>; 3] {
+    let mut out = [ArgWindow::Scalar(0.0); 3];
+    for (j, a) in args.iter().enumerate() {
+        out[j] = match a {
+            SweepArg::Scalar(v) => ArgWindow::Scalar(v.value()),
+            SweepArg::Reals(v) => ArgWindow::Reals(&v[..n]),
+            SweepArg::Ints(v) => ArgWindow::Ints(&v[..n]),
+        };
+    }
+    out
+}
+
 /// An adjoint accumulation target for one operand of a batched sweep.
 pub enum AdjSink<'a> {
     /// The operand needs no adjoint (untracked data).
@@ -551,15 +810,25 @@ pub fn lpdf_sweep_adjoint(
             }
         }
     }
-    let mut abuf = [0f64; 3];
-    for i in 0..n {
-        for (j, a) in args.iter().enumerate() {
-            abuf[j] = a.value(i);
-        }
-        let (_, dx, dp) = elem(kind, xs.value(i), &abuf, true);
+    let aw = arg_windows(args, n);
+    let mut body = |i: usize, xv: f64| {
+        let abuf = [aw[0].value(i), aw[1].value(i), aw[2].value(i)];
+        let (_, dx, dp) = elem(kind, xv, &abuf, true);
         x_sink.add(i, dx * seed);
         for (j, sink) in arg_sinks.iter_mut().enumerate().take(k) {
             sink.add(i, dp[j] * seed);
+        }
+    };
+    match xs {
+        SweepVals::Reals(v) => {
+            for (i, x) in v[..n].iter().enumerate() {
+                body(i, x.value());
+            }
+        }
+        SweepVals::Ints(v) => {
+            for (i, &x) in v[..n].iter().enumerate() {
+                body(i, x as f64);
+            }
         }
     }
     Ok(())
@@ -613,12 +882,22 @@ pub fn lpdf_sweep<T: Real>(
     let mut sum = 0.0f64;
 
     if !T::TRACKED {
-        for i in 0..n {
-            for (j, a) in args.iter().enumerate() {
-                abuf[j] = a.value(i);
+        // f64 fast path: zipped slice windows instead of per-element indexed
+        // access — same formulas and accumulation order, no bounds checks.
+        let aw = arg_windows(args, n);
+        match xs {
+            SweepVals::Reals(v) => {
+                for (i, x) in v[..n].iter().enumerate() {
+                    let ab = [aw[0].value(i), aw[1].value(i), aw[2].value(i)];
+                    sum += elem(kind, x.value(), &ab, false).0;
+                }
             }
-            let (lp, _, _) = elem(kind, xs.value(i), &abuf, false);
-            sum += lp;
+            SweepVals::Ints(v) => {
+                for (i, &x) in v[..n].iter().enumerate() {
+                    let ab = [aw[0].value(i), aw[1].value(i), aw[2].value(i)];
+                    sum += elem(kind, x as f64, &ab, false).0;
+                }
+            }
         }
         return Ok(T::from_f64(sum));
     }
@@ -719,13 +998,20 @@ pub fn lpdf_elems(
             }
         }
     }
-    let mut abuf = [0f64; 3];
-    for (i, slot) in out.iter_mut().enumerate() {
-        for (j, a) in args.iter().enumerate() {
-            abuf[j] = a.value(i);
+    let aw = arg_windows(args, n);
+    match xs {
+        SweepVals::Reals(v) => {
+            for (i, (slot, x)) in out.iter_mut().zip(&v[..n]).enumerate() {
+                let ab = [aw[0].value(i), aw[1].value(i), aw[2].value(i)];
+                *slot = elem(kind, x.value(), &ab, false).0;
+            }
         }
-        let (lp, _, _) = elem(kind, xs.value(i), &abuf, false);
-        *slot = lp;
+        SweepVals::Ints(v) => {
+            for (i, (slot, &x)) in out.iter_mut().zip(&v[..n]).enumerate() {
+                let ab = [aw[0].value(i), aw[1].value(i), aw[2].value(i)];
+                *slot = elem(kind, x as f64, &ab, false).0;
+            }
+        }
     }
     Ok(())
 }

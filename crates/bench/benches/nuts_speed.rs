@@ -97,12 +97,41 @@ fn bench_nuts(c: &mut Criterion) {
                 inference::nuts::nuts_sample_mut(&mut target, init, &config)
             })
         });
+        // Multi-chain rows. `_parallel` is the Session default: the
+        // dim/cost heuristic picks lane-lockstep for real models and falls
+        // back to thread-per-chain for tiny densities (the dim-1 coin,
+        // where lane bookkeeping dwarfs the density itself). The two forced
+        // rows pin each side of that decision — `_parallel` must track the
+        // better of the two on every model, which is the acceptance bound
+        // for the heuristic.
         group.bench_function(format!("{name}/gprob_mixed_4chain_parallel"), |b| {
             b.iter(|| {
                 program
                     .session(&data_refs)
                     .unwrap()
                     .chains(4)
+                    .run(Method::Nuts(settings.clone()))
+                    .unwrap()
+            })
+        });
+        group.bench_function(format!("{name}/gprob_mixed_4chain_lockstep_forced"), |b| {
+            b.iter(|| {
+                program
+                    .session(&data_refs)
+                    .unwrap()
+                    .chains(4)
+                    .lockstep(true)
+                    .run(Method::Nuts(settings.clone()))
+                    .unwrap()
+            })
+        });
+        group.bench_function(format!("{name}/gprob_mixed_4chain_threads_forced"), |b| {
+            b.iter(|| {
+                program
+                    .session(&data_refs)
+                    .unwrap()
+                    .chains(4)
+                    .lockstep(false)
                     .run(Method::Nuts(settings.clone()))
                     .unwrap()
             })

@@ -2,6 +2,7 @@
 //! through the chain-first [`Session`](crate::session::Session) pipeline.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use gprob::model::ParamSlot;
 use gprob::value::{Env, RuntimeError, Value};
@@ -12,6 +13,17 @@ use stan2gprob::{compile, CompileError, Scheme};
 use stan_frontend::ast::Program;
 use stan_frontend::FrontendError;
 use stan_ref::StanModel;
+
+/// Process-wide count of front-end compiles ([`DeepStan::compile`] /
+/// [`DeepStan::compile_named`]), the parse-and-translate half of the work a
+/// compiled-model cache amortizes (the bind half is counted by
+/// [`gprob::model::bind_count`]). Monotone; compare deltas.
+static COMPILE_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Number of front-end compiles performed by this process so far.
+pub fn compile_count() -> u64 {
+    COMPILE_COUNT.load(Ordering::Relaxed)
+}
 
 /// Any error the end-to-end pipeline can produce.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +87,7 @@ impl DeepStan {
     /// # Errors
     /// Same as [`DeepStan::compile`].
     pub fn compile_named(name: &str, source: &str) -> Result<CompiledProgram, InferenceError> {
+        COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
         let ast = stan_frontend::compile_frontend(source)?;
         let comprehensive = compile(&ast, Scheme::Comprehensive)?;
         let mixed = compile(&ast, Scheme::Mixed)?;

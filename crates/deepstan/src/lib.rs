@@ -63,6 +63,6 @@ pub use networks::NetworkRegistry;
 pub use nn::{Activation, LayerSpec, MlpSpec};
 pub use session::{
     compare_by_loo, ChainResult, Fit, FitMethod, ImportanceSettings, Init, Method, Session,
-    WorkspaceTarget,
+    WorkspacePool, WorkspaceTarget,
 };
 pub use svi::{SviSettings, VariationalFit};

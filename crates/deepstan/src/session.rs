@@ -42,6 +42,8 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
 use gprob::model::ParamSlot;
@@ -51,7 +53,7 @@ use inference::advi::{advi_fit_batch, AdviConfig};
 use inference::diagnostics::{
     multi_ess, multi_split_rhat, rank_normalized_split_rhat, summarize, tail_ess, Summary,
 };
-use inference::importance::{resample_indices, weight_draws};
+use inference::importance::{likelihood_log_weights, resample_indices, weight_draws};
 use inference::loo::{loo_compare, psis_loo, waic, CompareRow, ElpdEstimate};
 use inference::nuts::{nuts_sample_lockstep, nuts_sample_mut, NutsConfig, NutsResult};
 use inference::predictive::{draw_seed, stream_chains, GqTable};
@@ -121,8 +123,20 @@ pub struct Session<'p> {
     networks: Vec<MlpSpec>,
     reference: bool,
     guide_draws: usize,
-    model: Option<(Scheme, GModel)>,
+    /// The bound model for the current scheme. Held behind an `Arc` so a
+    /// serving layer can inject an already-bound model from a compiled-model
+    /// cache ([`Session::with_bound_model`]) and share it across concurrent
+    /// sessions with zero rebinding.
+    model: Option<(Scheme, Arc<GModel>)>,
     reference_model: Option<stan_ref::StanModel>,
+    /// Overrides the lockstep-vs-sequential multi-chain NUTS decision
+    /// (`None` = the cost heuristic decides). Both paths produce bitwise
+    /// identical draws; benches force each side to measure the other.
+    lockstep: Option<bool>,
+    /// Cross-request gradient-workspace pool ([`Session::workspace_pool`]):
+    /// when set (and built over this session's model), chain targets check
+    /// out pooled workspaces instead of allocating fresh ones per run.
+    workspace_pool: Option<Arc<WorkspacePool>>,
 }
 
 impl CompiledProgram {
@@ -147,6 +161,8 @@ impl CompiledProgram {
             guide_draws: 1000,
             model: None,
             reference_model: None,
+            lockstep: None,
+            workspace_pool: None,
         })
     }
 }
@@ -199,6 +215,42 @@ impl Session<'_> {
         self
     }
 
+    /// Forces lockstep (`true`) or one-thread-per-chain (`false`) multi-chain
+    /// NUTS execution instead of letting the cost heuristic decide. Both
+    /// paths produce bitwise identical per-chain draws; this exists for
+    /// benchmarking the heuristic's two sides against each other.
+    pub fn lockstep(mut self, lockstep: bool) -> Self {
+        self.lockstep = Some(lockstep);
+        self
+    }
+
+    /// Injects an already-bound model (from a compiled-model cache) for the
+    /// given scheme, so [`Session::run`] performs **zero** compile, resolve,
+    /// or DProg-lowering work. The session's scheme is switched to match.
+    ///
+    /// The caller is responsible for handing in a model bound against the
+    /// *same* program and data this session was opened with — the cache key
+    /// of `serve`'s model cache (source hash + data fingerprint) guarantees
+    /// exactly that.
+    pub fn with_bound_model(mut self, scheme: Scheme, model: Arc<GModel>) -> Self {
+        self.scheme = scheme;
+        self.model = Some((scheme, model));
+        self
+    }
+
+    /// Attaches a cross-request [`WorkspacePool`]: chain gradient targets
+    /// check per-chain workspaces out of the pool and return them when the
+    /// run finishes, so repeat traffic against one cached model reuses the
+    /// same scratch buffers instead of allocating `chains` fresh workspaces
+    /// per request. Ignored (fresh workspaces, exactly as without a pool)
+    /// unless the pool was built over this session's bound model. Pooling
+    /// never changes results — a workspace carries no cross-evaluation
+    /// state, only scratch capacity.
+    pub fn workspace_pool(mut self, pool: Arc<WorkspacePool>) -> Self {
+        self.workspace_pool = Some(pool);
+        self
+    }
+
     /// Runs the chosen method and collects a [`Fit`].
     ///
     /// # Errors
@@ -206,12 +258,53 @@ impl Session<'_> {
     /// guide, importance sampling on the reference backend) reports
     /// [`InferenceError::Usage`].
     pub fn run(&mut self, method: Method) -> Result<Fit, InferenceError> {
+        self.run_with_observer(method, &mut |_, _| {})
+    }
+
+    /// [`Session::run`] with a per-chain completion observer: `on_chain` is
+    /// invoked with `(chain_index, &ChainResult)` as each chain's constrained
+    /// draws become available, *before* the full [`Fit`] is assembled —
+    /// serving layers flush per-chain response frames from here.
+    ///
+    /// Thread-per-chain NUTS runs invoke the observer incrementally in chain
+    /// *completion* order while other chains are still sampling. Lockstep
+    /// NUTS (all chains advance through one lane-batched gradient) and the
+    /// other methods finish their chains together, so the observer fires for
+    /// each chain in index order at completion. Either way every chain is
+    /// observed exactly once and the returned fit is identical to
+    /// [`Session::run`].
+    ///
+    /// # Errors
+    /// Same as [`Session::run`].
+    pub fn run_with_observer(
+        &mut self,
+        method: Method,
+        on_chain: &mut dyn FnMut(usize, &ChainResult),
+    ) -> Result<Fit, InferenceError> {
         let start = Instant::now();
         let mut fit = match method {
-            Method::Nuts(settings) => self.run_nuts(&settings)?,
-            Method::Advi(config) => self.run_advi(&config)?,
-            Method::Svi(settings) => self.run_svi(&settings)?,
-            Method::Importance(settings) => self.run_importance(&settings)?,
+            Method::Nuts(settings) => self.run_nuts(&settings, on_chain)?,
+            Method::Advi(config) => {
+                let fit = self.run_advi(&config)?;
+                for (c, chain) in fit.chains.iter().enumerate() {
+                    on_chain(c, chain);
+                }
+                fit
+            }
+            Method::Svi(settings) => {
+                let fit = self.run_svi(&settings)?;
+                for (c, chain) in fit.chains.iter().enumerate() {
+                    on_chain(c, chain);
+                }
+                fit
+            }
+            Method::Importance(settings) => {
+                let fit = self.run_importance(&settings)?;
+                for (c, chain) in fit.chains.iter().enumerate() {
+                    on_chain(c, chain);
+                }
+                fit
+            }
         };
         fit.wall_time = start.elapsed().as_secs_f64();
         Ok(fit)
@@ -230,7 +323,7 @@ impl Session<'_> {
         let stale = self.model.as_ref().map(|(s, _)| *s) != Some(self.scheme);
         if stale {
             let model = self.program.bind_with(self.scheme, &self.data_refs())?;
-            self.model = Some((self.scheme, model));
+            self.model = Some((self.scheme, Arc::new(model)));
         }
         Ok(&self.model.as_ref().expect("model bound above").1)
     }
@@ -243,7 +336,11 @@ impl Session<'_> {
         Ok(self.reference_model.as_ref().expect("model bound above"))
     }
 
-    fn run_nuts(&mut self, settings: &NutsSettings) -> Result<Fit, InferenceError> {
+    fn run_nuts(
+        &mut self,
+        settings: &NutsSettings,
+        on_chain: &mut dyn FnMut(usize, &ChainResult),
+    ) -> Result<Fit, InferenceError> {
         let seed = self.seed.unwrap_or(settings.seed);
         let config = NutsConfig {
             warmup: settings.warmup,
@@ -253,6 +350,8 @@ impl Session<'_> {
             ..Default::default()
         };
         let (chains, init, reference) = (self.chains, self.init.clone(), self.reference);
+        let lockstep_override = self.lockstep;
+        let pool_arc = self.workspace_pool.clone();
         if reference {
             let model = self.ref_model()?;
             let runs = run_nuts_chains(
@@ -267,38 +366,85 @@ impl Session<'_> {
                 model.component_names(),
                 model.slots(),
                 runs,
+                on_chain,
             ));
         }
         let model = self.model()?;
+        // A workspace pool only applies when it was built over this exact
+        // bound model (the serve cache guarantees that); any other pool is
+        // ignored rather than risking a wrong-sized workspace.
+        let pool = pool_arc
+            .as_deref()
+            .filter(|p| std::ptr::eq(p.model().as_ref() as *const GModel, model));
+        let make_target = || match pool {
+            Some(p) => WorkspaceTarget::pooled(p),
+            None => WorkspaceTarget::new(model),
+        };
         // Multi-chain runs over a compiled density program advance all
         // chains in lockstep so the lane-widened DProg scores every chain's
-        // leapfrog state in one batched sweep; declined models keep the
-        // one-thread-per-chain sharding. Both produce bitwise-identical
-        // per-chain draws.
-        let runs = if chains > 1 && model.dprog().is_some() {
-            run_nuts_chains_lockstep(
+        // leapfrog state in one batched sweep; declined models — and
+        // programs too small to amortize the lane dispatch
+        // ([`lockstep_worthwhile`]) — keep the one-thread-per-chain
+        // sharding. Both produce bitwise-identical per-chain draws.
+        let lockstep = chains > 1
+            && match model.dprog() {
+                Some(dprog) => {
+                    lockstep_override.unwrap_or_else(|| lockstep_worthwhile(model.dim(), dprog))
+                }
+                None => false,
+            };
+        if lockstep {
+            let runs = run_nuts_chains_lockstep(
                 chains,
                 seed,
                 &config,
-                &|| WorkspaceTarget::new(model),
+                &make_target,
                 &|rng| init_point(&init, rng, model.dim()),
                 &|theta| model.log_density_f64(theta).map(|_| ()),
-            )?
-        } else {
-            run_nuts_chains(
-                chains,
-                seed,
-                &config,
-                &|| WorkspaceTarget::new(model),
-                &|rng| init_point(&init, rng, model.dim()),
-                &|theta| model.log_density_f64(theta).map(|_| ()),
-            )?
-        };
-        Ok(collect_nuts_fit(
-            model.component_names(),
-            model.slots(),
-            runs,
-        ))
+            )?;
+            return Ok(collect_nuts_fit(
+                model.component_names(),
+                model.slots(),
+                runs,
+                on_chain,
+            ));
+        }
+        // Thread-per-chain sharding streams: each chain's constrained draws
+        // are handed to the observer as that chain finishes, while the
+        // remaining chains keep sampling.
+        let names = model.component_names();
+        let slots = model.slots();
+        let mut results: Vec<Option<ChainResult>> = (0..chains).map(|_| None).collect();
+        run_nuts_chains_streaming(
+            chains,
+            seed,
+            &config,
+            &make_target,
+            &|rng| init_point(&init, rng, model.dim()),
+            &|theta| model.log_density_f64(theta).map(|_| ()),
+            &mut |c, result, wall_time| {
+                let chain = ChainResult {
+                    draws: constrain_chain(slots, result.draws),
+                    divergences: result.divergences,
+                    wall_time,
+                    n_grad_evals: result.n_grad_evals,
+                };
+                on_chain(c, &chain);
+                results[c] = Some(chain);
+            },
+        )?;
+        Ok(Fit {
+            method: FitMethod::Nuts,
+            names,
+            chains: results
+                .into_iter()
+                .map(|r| r.expect("every chain reported a result"))
+                .collect(),
+            wall_time: 0.0,
+            variational: None,
+            weights: None,
+            gq: None,
+        })
     }
 
     fn run_advi(&mut self, config: &AdviConfig) -> Result<Fit, InferenceError> {
@@ -316,10 +462,15 @@ impl Session<'_> {
                 runs,
             ));
         }
+        let pool_arc = self.workspace_pool.clone();
         let model = self.model()?;
         model.log_density_f64(&vec![0.0; model.dim()])?;
-        let runs = run_advi_chains(chains, seed, config, model.dim(), &|| {
-            WorkspaceTarget::new(model)
+        let pool = pool_arc
+            .as_deref()
+            .filter(|p| std::ptr::eq(p.model().as_ref() as *const GModel, model));
+        let runs = run_advi_chains(chains, seed, config, model.dim(), &|| match pool {
+            Some(p) => WorkspaceTarget::pooled(p),
+            None => WorkspaceTarget::new(model),
         });
         Ok(collect_advi_fit(
             model.component_names(),
@@ -371,16 +522,56 @@ impl Session<'_> {
         }
         let seed = self.seed.unwrap_or(0);
         let n = settings.particles.max(1);
+        let pool_arc = self.workspace_pool.clone();
         let model = self.model()?;
         let start = Instant::now();
         let rng = Rc::new(RefCell::new(StdRng::seed_from_u64(seed)));
         let mut draws = Vec::with_capacity(n);
-        let mut log_weights = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (trace, lw) = model.run_prior_weighted(rng.clone())?;
-            draws.push(flatten_trace(model, &trace)?);
-            log_weights.push(lw);
-        }
+        let dim = model.dim();
+        let log_weights = if model.dprog().is_some() && dim > 0 {
+            // Batched route: proposals come from draw-only prior runs
+            // (scoring skipped — RNG consumption is identical to the
+            // weighted run), then ONE lane-batched sweep scores every
+            // proposal's full unconstrained density, and the likelihood
+            // weight is full − prior − log-Jacobian. Matches the per-draw
+            // route up to constrain/unconstrain float round-trip (~1e-15).
+            let mut us = Vec::with_capacity(n * dim);
+            let mut priors = Vec::with_capacity(n);
+            let mut jacs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let (trace, prior_lp) = model.run_prior_draw(rng.clone())?;
+                let flat = flatten_trace(model, &trace)?;
+                let base = us.len();
+                us.resize(base + dim, 0.0);
+                let mut jac = 0.0;
+                for slot in model.slots() {
+                    for i in 0..slot.size {
+                        let u = slot.constraint.to_unconstrained(flat[slot.offset + i]);
+                        us[base + slot.offset + i] = u;
+                        jac += slot.constraint.log_jacobian(u);
+                    }
+                }
+                draws.push(flat);
+                priors.push(prior_lp);
+                jacs.push(jac);
+            }
+            let pool = pool_arc
+                .as_deref()
+                .filter(|p| std::ptr::eq(p.model().as_ref() as *const GModel, model));
+            let mut target = match pool {
+                Some(p) => WorkspaceTarget::pooled(p),
+                None => WorkspaceTarget::new(model),
+            };
+            likelihood_log_weights(&mut target, &us, &priors, &jacs)
+        } else {
+            let mut log_weights = Vec::with_capacity(n);
+            for _ in 0..n {
+                let (trace, lw) = model.run_prior_weighted(rng.clone())?;
+                draws.push(flatten_trace(model, &trace)?);
+                log_weights.push(lw);
+            }
+            log_weights
+        };
         let weighted = weight_draws(draws, log_weights);
         if !weighted.log_evidence.is_finite() || weighted.weights.iter().any(|w| !w.is_finite()) {
             return Err(InferenceError::Usage(format!(
@@ -603,6 +794,69 @@ fn init_point(init: &Init, rng: &mut StdRng, dim: usize) -> Vec<f64> {
     }
 }
 
+/// A cross-request pool of gradient workspaces for one bound model, shared
+/// by every [`Session`] serving that model (see
+/// [`Session::workspace_pool`]). A chain target checks a workspace out on
+/// construction ([`WorkspaceTarget::pooled`]) and returns it on drop, so a
+/// long-lived server answering repeat traffic against a cached model
+/// allocates each chain workspace once and then recycles it, instead of
+/// paying `chains` fresh allocations per request.
+///
+/// Workspaces carry scratch capacity only — no state survives between
+/// evaluations — so pooling cannot change any result. The pool retains at
+/// most [`WorkspacePool::MAX_IDLE`] idle workspaces; beyond that, returned
+/// workspaces are simply dropped.
+pub struct WorkspacePool {
+    model: Arc<GModel>,
+    free: Mutex<Vec<gprob::GradWorkspace>>,
+    created: AtomicU64,
+}
+
+impl WorkspacePool {
+    /// Idle workspaces retained; returns beyond this are dropped.
+    pub const MAX_IDLE: usize = 64;
+
+    /// An empty pool over one bound model.
+    pub fn new(model: Arc<GModel>) -> Self {
+        WorkspacePool {
+            model,
+            free: Mutex::new(Vec::new()),
+            created: AtomicU64::new(0),
+        }
+    }
+
+    /// The model this pool allocates workspaces for.
+    pub fn model(&self) -> &Arc<GModel> {
+        &self.model
+    }
+
+    /// Workspaces allocated over the pool's lifetime (i.e. acquire misses).
+    /// A server test asserts this stops growing once traffic repeats.
+    pub fn created(&self) -> u64 {
+        self.created.load(Ordering::Relaxed)
+    }
+
+    /// Workspaces currently checked in and idle.
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("workspace pool lock").len()
+    }
+
+    fn acquire(&self) -> gprob::GradWorkspace {
+        if let Some(ws) = self.free.lock().expect("workspace pool lock").pop() {
+            return ws;
+        }
+        self.created.fetch_add(1, Ordering::Relaxed);
+        self.model.grad_workspace()
+    }
+
+    fn release(&self, ws: gprob::GradWorkspace) {
+        let mut free = self.free.lock().expect("workspace pool lock");
+        if free.len() < Self::MAX_IDLE {
+            free.push(ws);
+        }
+    }
+}
+
 /// A [`GradTargetMut`] over a compiled model with a pooled per-chain
 /// workspace: each gradient evaluation reuses the chain's scratch state.
 /// When the model compiled a tape-free density program (`GModel::dprog`),
@@ -613,22 +867,49 @@ fn init_point(init: &Init, rng: &mut StdRng, dim: usize) -> Vec<f64> {
 /// closure-based wiring did.
 pub struct WorkspaceTarget<'m> {
     model: &'m GModel,
-    ws: gprob::GradWorkspace,
+    /// `Some` until drop; taken back by the pool (when pooled) on drop.
+    ws: Option<gprob::GradWorkspace>,
+    pool: Option<&'m WorkspacePool>,
 }
 
 impl<'m> WorkspaceTarget<'m> {
-    /// Builds a target (and its workspace) for one chain.
+    /// Builds a target (and a fresh workspace) for one chain.
     pub fn new(model: &'m GModel) -> Self {
         WorkspaceTarget {
-            ws: model.grad_workspace(),
+            ws: Some(model.grad_workspace()),
             model,
+            pool: None,
+        }
+    }
+
+    /// Builds a target over the pool's model, checking its workspace out of
+    /// the pool (allocating only when the pool is empty) and returning it
+    /// when the target drops.
+    pub fn pooled(pool: &'m WorkspacePool) -> Self {
+        WorkspaceTarget {
+            model: pool.model.as_ref(),
+            ws: Some(pool.acquire()),
+            pool: Some(pool),
+        }
+    }
+
+    fn ws(&mut self) -> &mut gprob::GradWorkspace {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl Drop for WorkspaceTarget<'_> {
+    fn drop(&mut self) {
+        if let (Some(pool), Some(ws)) = (self.pool, self.ws.take()) {
+            pool.release(ws);
         }
     }
 }
 
 impl GradTargetMut for WorkspaceTarget<'_> {
     fn logp_grad_into(&mut self, q: &[f64], grad: &mut [f64]) -> f64 {
-        match self.model.log_density_and_grad_with(&mut self.ws, q, grad) {
+        let model = self.model;
+        match model.log_density_and_grad_with(self.ws(), q, grad) {
             Ok(lp) => lp,
             Err(_) => {
                 grad.fill(0.0);
@@ -649,10 +930,10 @@ impl GradTargetBatch for WorkspaceTarget<'_> {
         if n == 0 {
             return;
         }
-        if self.model.dprog().is_some()
-            && self
-                .model
-                .log_density_and_grad_batch_with(&mut self.ws, qs, logps, grads)
+        let model = self.model;
+        if model.dprog().is_some()
+            && model
+                .log_density_and_grad_batch_with(self.ws(), qs, logps, grads)
                 .is_ok()
         {
             return;
@@ -711,6 +992,84 @@ where
             .map(|h| h.join().expect("NUTS chain thread panicked"))
             .collect()
     })
+}
+
+/// [`run_nuts_chains`], streaming: chain results are funneled through an
+/// mpsc channel to the calling thread, which invokes `on_chain` in chain
+/// *completion* order while the remaining chains keep sampling — the
+/// incremental flush point of `serve`'s streaming responses. Per-chain
+/// seeding is identical to [`run_nuts_chains`], so draws are bitwise equal.
+/// If any chain fails its init check the first error (in completion order)
+/// is returned after all chains finish.
+fn run_nuts_chains_streaming<T, F, G, C>(
+    chains: usize,
+    base_seed: u64,
+    config: &NutsConfig,
+    make_target: &F,
+    make_init: &G,
+    check: &C,
+    on_chain: &mut dyn FnMut(usize, NutsResult, f64),
+) -> Result<(), InferenceError>
+where
+    T: GradTargetMut,
+    F: Fn() -> T + Sync,
+    G: Fn(&mut StdRng) -> Vec<f64> + Sync,
+    C: Fn(&[f64]) -> Result<(), gprob::RuntimeError> + Sync,
+{
+    let run_one = |c: usize| -> Result<(NutsResult, f64), InferenceError> {
+        let mut chain_cfg = config.clone();
+        chain_cfg.seed = base_seed.wrapping_add(c as u64);
+        let mut rng = StdRng::seed_from_u64(chain_cfg.seed);
+        let init = make_init(&mut rng);
+        check(&init)?;
+        let start = Instant::now();
+        let mut target = make_target();
+        let result = nuts_sample_mut(&mut target, init, &chain_cfg);
+        Ok((result, start.elapsed().as_secs_f64()))
+    };
+    if chains <= 1 {
+        let (result, wall) = run_one(0)?;
+        on_chain(0, result, wall);
+        return Ok(());
+    }
+    std::thread::scope(|s| {
+        let run_one = &run_one;
+        let (tx, rx) = mpsc::channel();
+        for c in 0..chains {
+            let tx = tx.clone();
+            s.spawn(move || {
+                // The receiver outlives every sender inside the scope, so a
+                // send only fails if the main thread panicked.
+                let _ = tx.send((c, run_one(c)));
+            });
+        }
+        drop(tx);
+        let mut first_err = None;
+        for (c, outcome) in rx {
+            match outcome {
+                Ok((result, wall)) if first_err.is_none() => on_chain(c, result, wall),
+                Ok(_) => {}
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    })
+}
+
+/// Lockstep multi-chain NUTS pays a fixed per-round dispatch cost (lane-file
+/// preparation, operand re-resolution, chain bookkeeping) that a density
+/// program must amortize: on dim-1 toy programs with near-empty bodies the
+/// PR 6 benches measured lockstep at 0.88x of thread-per-chain (`coin`),
+/// while every real model gained 1.37-1.48x. Fall back to sequential chain
+/// execution below a dimension/cost floor; both paths produce bitwise
+/// identical draws, so the heuristic is purely a scheduling decision.
+fn lockstep_worthwhile(dim: usize, dprog: &gprob::dprog::DProg) -> bool {
+    const MIN_DIM: usize = 2;
+    const MIN_COST: usize = 48;
+    dim >= MIN_DIM && dprog.cost_estimate() >= MIN_COST
 }
 
 /// [`run_nuts_chains`] in lockstep over a single shared batched target:
@@ -797,8 +1156,13 @@ fn constrain_chain(slots: &[ParamSlot], draws_u: Vec<Vec<f64>>) -> Vec<Vec<f64>>
     crate::api::constrain_draws(slots, draws_u)
 }
 
-fn collect_nuts_fit(names: Vec<String>, slots: &[ParamSlot], runs: Vec<(NutsResult, f64)>) -> Fit {
-    let chains = runs
+fn collect_nuts_fit(
+    names: Vec<String>,
+    slots: &[ParamSlot],
+    runs: Vec<(NutsResult, f64)>,
+    on_chain: &mut dyn FnMut(usize, &ChainResult),
+) -> Fit {
+    let chains: Vec<ChainResult> = runs
         .into_iter()
         .map(|(result, wall_time)| ChainResult {
             draws: constrain_chain(slots, result.draws),
@@ -807,6 +1171,9 @@ fn collect_nuts_fit(names: Vec<String>, slots: &[ParamSlot], runs: Vec<(NutsResu
             n_grad_evals: result.n_grad_evals,
         })
         .collect();
+    for (c, chain) in chains.iter().enumerate() {
+        on_chain(c, chain);
+    }
     Fit {
         method: FitMethod::Nuts,
         names,

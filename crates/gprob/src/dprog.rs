@@ -758,6 +758,32 @@ impl DProg {
         count(&self.ops)
     }
 
+    /// A rough *dynamic* cost estimate of one evaluation: scalar ops count
+    /// 1, span/sweep ops count their element length (score kernels weighted
+    /// heavier for their transcendentals), loop bodies multiply by the trip
+    /// count. Schedulers use this to decide whether lane-batched evaluation
+    /// amortizes its per-round dispatch overhead — tiny programs (the
+    /// `coin`-class toys) run faster sequentially.
+    pub fn cost_estimate(&self) -> usize {
+        fn op_cost(op: &Op) -> usize {
+            match op {
+                Op::Bin { .. } | Op::Un { .. } | Op::Mov { .. } | Op::AddScore { .. } => 1,
+                Op::ScoreElem { .. } | Op::ScoreVal { .. } => 4,
+                Op::VBin { len, .. }
+                | Op::VUn { len, .. }
+                | Op::Dot { len, .. }
+                | Op::Sum { len, .. }
+                | Op::MaxVal { len, .. }
+                | Op::AddScoreSpan { len, .. }
+                | Op::Constrain { len, .. } => *len as usize,
+                Op::MatVec { rows, cols, .. } => (*rows as usize) * (*cols as usize),
+                Op::ScoreSweep { len, .. } | Op::ScoreSweepVal { len, .. } => 4 * *len as usize,
+                Op::Loop { trip, body } => *trip as usize * body.iter().map(op_cost).sum::<usize>(),
+            }
+        }
+        self.ops.iter().map(op_cost).sum()
+    }
+
     /// Builds a pooled workspace: the register file with the constant
     /// region pre-written.
     pub fn workspace(&self) -> DProgWorkspace {

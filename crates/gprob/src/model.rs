@@ -7,6 +7,7 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use minidiff::{grad_into, tape, Real, Var};
 use probdist::Constraint;
@@ -96,6 +97,29 @@ pub struct GModel {
     dprog_decline: Option<crate::dprog::Decline>,
 }
 
+/// Process-wide count of [`GModel`] bind operations (each one pays the
+/// full resolve + sweep-lowering + DProg-lowering cost). Serving layers use
+/// the delta across a request to assert that cache hits perform **zero**
+/// compile/resolve/lower work; see [`bind_count`].
+static BIND_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Number of [`GModel`] binds performed by this process so far. Monotone;
+/// compare deltas, not absolute values (other threads may bind concurrently).
+pub fn bind_count() -> u64 {
+    BIND_COUNT.load(Ordering::Relaxed)
+}
+
+// Bound models are shared across request-serving threads behind an `Arc`
+// (the compiled-model cache of `serve`): every artifact reachable from a
+// `GModel` must stay `Send + Sync`. This assertion fails to compile if a
+// future field reintroduces `Rc`/`RefCell` state.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GModel>();
+    assert_send_sync::<crate::dprog::DProg>();
+    assert_send_sync::<crate::resolved::ResolvedProgram>();
+};
+
 impl GModel {
     /// Instantiates a compiled program with data: runs the `transformed data`
     /// block once and lays out the unconstrained parameter vector.
@@ -129,6 +153,7 @@ impl GModel {
         mut data: Env<f64>,
         fused: bool,
     ) -> Result<Self, RuntimeError> {
+        BIND_COUNT.fetch_add(1, Ordering::Relaxed);
         let ctx: EvalCtx<f64> = EvalCtx::with_functions(&program.functions);
         // Pre-processing: transformed data runs once (Section 3.3).
         if let Some(td) = &program.transformed_data {
@@ -614,6 +639,37 @@ impl GModel {
         let mut interp = RInterp::new(&ctx, RMode::Prior(rng));
         let run = interp.run(&self.resolved.body, &mut frame)?;
         Ok((run.trace, run.score - run.site_score))
+    }
+
+    /// Runs the program generatively like [`GModel::run_prior_weighted`] but
+    /// **without scoring observation sites at all**: the interpreter draws
+    /// every `sample` site (consuming the RNG in exactly the same order as
+    /// the weighted run, since scoring never touches the RNG) and skips the
+    /// per-element likelihood arithmetic. Returns the sampled trace frame
+    /// together with the prior log-density of the drawn values (the
+    /// sample-site score).
+    ///
+    /// This is the proposal-generation half of *batched* importance
+    /// sampling: the likelihood is recovered afterwards as
+    /// `full_density(u) - prior - log_jacobian(u)` with the full density
+    /// evaluated through the lane-batched density program
+    /// (`inference::target::GradTargetBatch`) instead of one interpreter
+    /// walk per particle. Likelihood evaluation errors consequently surface
+    /// as `-inf` weights from the batch evaluation rather than as runtime
+    /// errors from this call.
+    ///
+    /// # Errors
+    /// Propagates runtime evaluation errors from the prior run itself
+    /// (drawing and deterministic statements), not from observation scoring.
+    pub fn run_prior_draw(
+        &self,
+        rng: Rc<RefCell<StdRng>>,
+    ) -> Result<(Frame<f64>, f64), RuntimeError> {
+        let ctx = RCtx::new(&self.resolved, &self.program.functions, &NoExternals);
+        let mut frame = self.data_frame.clone();
+        let mut interp = RInterp::new(&ctx, RMode::Prior(rng)).without_observe_scores();
+        let run = interp.run(&self.resolved.body, &mut frame)?;
+        Ok((run.trace, run.site_score))
     }
 
     /// Evaluates the `generated quantities` block for one posterior draw

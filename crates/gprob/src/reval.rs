@@ -351,6 +351,13 @@ pub struct RInterp<'a, T: Real> {
     /// [`crate::workspace::DensityWorkspace`]; interpreters without one fall
     /// back to per-sweep local buffers.
     scratch: Option<&'a mut [Vec<T>; 3]>,
+    /// When `false`, observation sites (`Observe`, `ObserveSweep`, `Factor`)
+    /// contribute nothing to the score and their likelihood arithmetic is
+    /// skipped entirely — the draw-only proposal mode of batched importance
+    /// sampling, where the likelihood is recovered from a separate batched
+    /// density evaluation. Sample sites are unaffected, so RNG consumption
+    /// is identical to a scoring run.
+    score_observes: bool,
 }
 
 impl<'a, T: Real> RInterp<'a, T> {
@@ -368,7 +375,18 @@ impl<'a, T: Real> RInterp<'a, T> {
             trace,
             ctx,
             scratch: None,
+            score_observes: true,
         }
+    }
+
+    /// Disables observation scoring (builder style): `Observe` /
+    /// `ObserveSweep` / `Factor` sites are skipped without evaluating their
+    /// log-densities. Used by [`crate::GModel::run_prior_draw`] to generate
+    /// importance-sampling proposals whose likelihood is scored afterwards
+    /// through the batched density program.
+    pub fn without_observe_scores(mut self) -> Self {
+        self.score_observes = false;
+        self
     }
 
     /// Attaches a pooled scratch-buffer set for `Elementwise` sweep
@@ -442,14 +460,16 @@ impl<'a, T: Real> RInterp<'a, T> {
                 self.eval(body, frame)
             }
             RGExpr::Observe { dist, value, body } => {
-                // Borrow both the observed value and the distribution
-                // arguments from the frame — no container is cloned.
-                let score = {
-                    let observed = reval_ref(value, frame, self.ctx)?;
-                    let args = self.eval_dist_args(dist, frame)?;
-                    score_tilde(dist, observed.as_value(), &args, self.fused())?
-                };
-                self.score = self.score + score;
+                if self.score_observes {
+                    // Borrow both the observed value and the distribution
+                    // arguments from the frame — no container is cloned.
+                    let score = {
+                        let observed = reval_ref(value, frame, self.ctx)?;
+                        let args = self.eval_dist_args(dist, frame)?;
+                        score_tilde(dist, observed.as_value(), &args, self.fused())?
+                    };
+                    self.score = self.score + score;
+                }
                 self.eval(body, frame)
             }
             RGExpr::ObserveSweep {
@@ -457,6 +477,14 @@ impl<'a, T: Real> RInterp<'a, T> {
                 fallback,
                 body,
             } => {
+                if !self.score_observes {
+                    // Draw-only mode: the whole sweep (and its scalar
+                    // fallback, whose body is a single observe) is a no-op.
+                    // The scalar loop would clear its loop variable on exit;
+                    // clearing an unset slot is harmless, so preserve that.
+                    frame.clear(sweep.loop_slot);
+                    return self.eval(body, frame);
+                }
                 match self.try_sweep(sweep, frame) {
                     Some(score) => {
                         self.score = self.score + score;
@@ -474,8 +502,10 @@ impl<'a, T: Real> RInterp<'a, T> {
                 self.eval(body, frame)
             }
             RGExpr::Factor { value, body } => {
-                let v = reval_ref(value, frame, self.ctx)?;
-                self.score = self.score + v.as_value().sum_as_real()?;
+                if self.score_observes {
+                    let v = reval_ref(value, frame, self.ctx)?;
+                    self.score = self.score + v.as_value().sum_as_real()?;
+                }
                 self.eval(body, frame)
             }
             RGExpr::If {

@@ -1,0 +1,166 @@
+//! Replays mixed-model corpus traffic against a serve instance and reports
+//! requests/sec and p50/p99 latency per concurrency level.
+//!
+//! With no `--addr`, starts an in-process [`serve::Server`] (release-mode
+//! numbers then include nothing but this process). Exits nonzero when any
+//! level completes zero requests — the CI smoke run's assertion.
+//!
+//! ```text
+//! loadgen [--duration-secs N] [--conns 1,4] [--addr HOST:PORT] [--out FILE]
+//! ```
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use serve::loadgen::{corpus_mix, run_load, LoadSpec};
+use serve::server::{ServeConfig, Server};
+
+struct Args {
+    duration_secs: u64,
+    conns: Vec<usize>,
+    addr: Option<SocketAddr>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        duration_secs: 5,
+        conns: vec![1, 4],
+        addr: None,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| it.next().ok_or(format!("{flag} needs a {what}"));
+        match flag.as_str() {
+            "--duration-secs" => {
+                args.duration_secs = value("count")?.parse().map_err(|_| "bad duration")?;
+            }
+            "--conns" => {
+                args.conns = value("list")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|_| format!("bad conns `{s}`")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--addr" => {
+                args.addr = Some(value("address")?.parse().map_err(|_| "bad address")?);
+            }
+            "--out" => args.out = Some(value("path")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.conns.is_empty() {
+        return Err("--conns must name at least one level".to_string());
+    }
+    Ok(args)
+}
+
+/// Days-since-epoch to `YYYY-MM-DD` (proleptic Gregorian; Howard Hinnant's
+/// civil-from-days), so the bench capture is dated without a time crate.
+fn today() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // No --addr: serve from this process on an ephemeral port.
+    let (addr, server) = match args.addr {
+        Some(addr) => (addr, None),
+        None => {
+            let server = match Server::start(ServeConfig::default()) {
+                Ok(server) => server,
+                Err(e) => {
+                    eprintln!("loadgen: failed to start server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            (server.addr(), Some(server))
+        }
+    };
+    let requests = corpus_mix();
+    let mut reports = Vec::new();
+    for &concurrency in &args.conns {
+        let report = run_load(
+            addr,
+            &LoadSpec {
+                concurrency,
+                duration: Duration::from_secs(args.duration_secs),
+                requests: requests.clone(),
+            },
+        );
+        eprintln!(
+            "conns {:>2}: {:>6} completed ({} rejected, {} failed), {:.1} req/s, \
+             p50 {:.2}ms, p99 {:.2}ms",
+            report.concurrency,
+            report.completed,
+            report.rejected,
+            report.failed,
+            report.rps,
+            report.p50_ms,
+            report.p99_ms
+        );
+        reports.push(report);
+    }
+    let cache_note = server
+        .as_ref()
+        .map(|s| {
+            let stats = s.cache().stats();
+            format!(
+                ", \"cache\": {{\"model_misses\": {}, \"model_hits\": {}}}",
+                stats.model_misses, stats.model_hits
+            )
+        })
+        .unwrap_or_default();
+    let levels: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+    let json = format!(
+        "{{\n \"date\": \"{}\",\n \"command\": \"cargo run --release -p serve --bin loadgen -- \
+         --duration-secs {} --conns {}\",\n \"mix\": \"coin nuts 2-chain, eight_schools_centered \
+         nuts 2-chain, coin importance 400 (round-robin per connection)\",\n \"levels\": [\n  {}\n \
+         ]{}\n}}\n",
+        today(),
+        args.duration_secs,
+        args.conns
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+        levels.join(",\n  "),
+        cache_note
+    );
+    print!("{json}");
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("loadgen: failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    if reports.iter().any(|r| r.completed == 0) {
+        eprintln!("loadgen: a level completed zero requests");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

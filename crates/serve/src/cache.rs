@@ -1,0 +1,330 @@
+//! The compiled-model cache: one compile/resolve/DProg-lower per tenant
+//! model, shared across every request and connection.
+//!
+//! # Cache key semantics
+//!
+//! Two levels, keyed by content rather than by the client-supplied name (two
+//! tenants naming different programs `model` never collide; the same program
+//! uploaded under two names shares one entry):
+//!
+//! * **Programs** — keyed by the FNV-1a hash of the Stan source text. An
+//!   entry holds the front-end + translation output
+//!   ([`deepstan::CompiledProgram`]: AST plus all three scheme
+//!   translations).
+//! * **Bound models** — keyed by `(source hash, scheme, data fingerprint)`.
+//!   An entry holds the bound [`gprob::GModel`] (resolved slot IR, lowered
+//!   sweeps, the tape-free density program) behind an `Arc`, plus a
+//!   [`deepstan::WorkspacePool`] recycling per-chain gradient workspaces
+//!   across requests.
+//!
+//! The data fingerprint hashes names, shapes, **and value bits** — not just
+//! the schema — because binding specializes on data values: `transformed
+//! data` executes at bind time and the density program constant-folds data
+//! into its op stream, so a model bound against one data set is only valid
+//! for bit-identical data. Two requests for the same model with different
+//! data are different cache entries by construction.
+//!
+//! # Concurrency
+//!
+//! Each key maps to an `Arc<OnceLock<...>>` slot; the map mutex is held only
+//! for the slot lookup, never during compilation. Concurrent requests for
+//! the same uncached key all land on one slot and `OnceLock::get_or_init`
+//! runs the compile exactly once while the others block on the result — the
+//! cache-concurrency test asserts the process-wide compile/bind counters
+//! ([`deepstan::api::compile_count`], [`gprob::model::bind_count`]) advance
+//! by exactly one under a thundering herd. Compile *failures* are cached
+//! too: a model that fails to compile fails every request without
+//! recompiling.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use deepstan::{CompiledProgram, DeepStan, WorkspacePool};
+use gprob::value::Value;
+use gprob::GModel;
+use stan2gprob::Scheme;
+
+/// FNV-1a over a byte stream; tiny, dependency-free, stable across runs.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.write(&x.to_le_bytes());
+    }
+}
+
+/// The FNV-1a hash of a model's source text — the program-level cache key.
+pub fn source_hash(source: &str) -> u64 {
+    let mut h = Fnv::new();
+    h.write(source.as_bytes());
+    h.0
+}
+
+fn hash_value(h: &mut Fnv, value: &Value<f64>) {
+    match value {
+        Value::Int(k) => {
+            h.write(b"i");
+            h.write_u64(*k as u64);
+        }
+        Value::Real(x) => {
+            h.write(b"r");
+            h.write_u64(x.to_bits());
+        }
+        Value::IntArray(ks) => {
+            h.write(b"I");
+            h.write_u64(ks.len() as u64);
+            for k in ks {
+                h.write_u64(*k as u64);
+            }
+        }
+        Value::Vector(xs) => {
+            h.write(b"R");
+            h.write_u64(xs.len() as u64);
+            for x in xs {
+                h.write_u64(x.to_bits());
+            }
+        }
+        Value::Array(items) => {
+            h.write(b"A");
+            h.write_u64(items.len() as u64);
+            for item in items {
+                hash_value(h, item);
+            }
+        }
+        Value::Unit => h.write(b"u"),
+    }
+}
+
+/// Fingerprint of a data set: names, shapes, and value bits. Order matters
+/// (a request's data lines are part of its identity).
+pub fn data_fingerprint(data: &[(String, Value<f64>)]) -> u64 {
+    let mut h = Fnv::new();
+    for (name, value) in data {
+        h.write_u64(name.len() as u64);
+        h.write(name.as_bytes());
+        hash_value(&mut h, value);
+    }
+    h.0
+}
+
+fn scheme_tag(scheme: Scheme) -> u8 {
+    match scheme {
+        Scheme::Comprehensive => 0,
+        Scheme::Mixed => 1,
+        Scheme::Generative => 2,
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct ModelKey {
+    source: u64,
+    scheme: u8,
+    data: u64,
+}
+
+/// One cached bound model: the shared artifacts a request session binds
+/// against with zero compile/resolve/lower work.
+pub struct CachedModel {
+    /// Scheme this model was bound under.
+    pub scheme: Scheme,
+    /// The bound model (resolved IR + density program), shared immutably.
+    pub model: Arc<GModel>,
+    /// Cross-request per-chain gradient workspace pool over `model`.
+    pub pool: Arc<WorkspacePool>,
+}
+
+/// A slot resolves to the cached artifact or the (cached) failure message.
+type Slot<T> = Arc<OnceLock<Result<Arc<T>, String>>>;
+
+fn slot_for<K: std::hash::Hash + Eq + Copy, T>(
+    map: &Mutex<HashMap<K, Slot<T>>>,
+    key: K,
+) -> Slot<T> {
+    map.lock()
+        .expect("cache map lock")
+        .entry(key)
+        .or_default()
+        .clone()
+}
+
+/// Cache hit/miss counters (monotone; compare deltas).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Program-level lookups that found (or waited on) an existing entry.
+    pub program_hits: u64,
+    /// Program-level lookups that ran the compile.
+    pub program_misses: u64,
+    /// Model-level lookups that found (or waited on) an existing entry.
+    pub model_hits: u64,
+    /// Model-level lookups that ran the bind.
+    pub model_misses: u64,
+}
+
+/// The two-level compiled-model cache. See the module docs for key
+/// semantics and the concurrency contract.
+#[derive(Default)]
+pub struct ModelCache {
+    programs: Mutex<HashMap<u64, Slot<CompiledProgram>>>,
+    models: Mutex<HashMap<ModelKey, Slot<CachedModel>>>,
+    program_hits: AtomicU64,
+    program_misses: AtomicU64,
+    model_hits: AtomicU64,
+    model_misses: AtomicU64,
+}
+
+impl ModelCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The compiled program for this source, compiling on first use.
+    /// Concurrent callers for one uncached source run the compile once.
+    ///
+    /// # Errors
+    /// The (cached) compile error message.
+    pub fn get_or_compile(&self, source: &str) -> Result<Arc<CompiledProgram>, String> {
+        let slot = slot_for(&self.programs, source_hash(source));
+        let mut ran = false;
+        let result = slot.get_or_init(|| {
+            ran = true;
+            DeepStan::compile(source)
+                .map(Arc::new)
+                .map_err(|e| e.to_string())
+        });
+        if ran {
+            self.program_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.program_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// The bound model for `(source, scheme, data)`, binding on first use.
+    /// Compiles the program too if this source was never seen.
+    ///
+    /// # Errors
+    /// The (cached) compile or bind error message.
+    pub fn get_or_bind(
+        &self,
+        source: &str,
+        scheme: Scheme,
+        data: &[(String, Value<f64>)],
+    ) -> Result<Arc<CachedModel>, String> {
+        let key = ModelKey {
+            source: source_hash(source),
+            scheme: scheme_tag(scheme),
+            data: data_fingerprint(data),
+        };
+        let slot = slot_for(&self.models, key);
+        let mut ran = false;
+        let result = slot.get_or_init(|| {
+            ran = true;
+            let program = self.get_or_compile(source)?;
+            let refs: Vec<(&str, Value<f64>)> =
+                data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+            let model = program
+                .bind_with(scheme, &refs)
+                .map(Arc::new)
+                .map_err(|e| e.to_string())?;
+            let pool = Arc::new(WorkspacePool::new(model.clone()));
+            Ok(Arc::new(CachedModel {
+                scheme,
+                model,
+                pool,
+            }))
+        });
+        if ran {
+            self.model_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.model_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            program_hits: self.program_hits.load(Ordering::Relaxed),
+            program_misses: self.program_misses.load(Ordering::Relaxed),
+            model_hits: self.model_hits.load(Ordering::Relaxed),
+            model_misses: self.model_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct bound-model entries currently cached.
+    pub fn n_models(&self) -> usize {
+        self.models.lock().expect("cache map lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COIN: &str = r#"
+        data { int N; int<lower=0,upper=1> x[N]; }
+        parameters { real<lower=0,upper=1> z; }
+        model { z ~ beta(1, 1); for (i in 1:N) x[i] ~ bernoulli(z); }
+    "#;
+
+    fn coin_data() -> Vec<(String, Value<f64>)> {
+        vec![
+            ("N".to_string(), Value::Int(4)),
+            ("x".to_string(), Value::IntArray(vec![1, 0, 1, 1])),
+        ]
+    }
+
+    #[test]
+    fn repeat_binds_hit_and_distinct_data_misses() {
+        let cache = ModelCache::new();
+        let a = cache
+            .get_or_bind(COIN, Scheme::Mixed, &coin_data())
+            .unwrap();
+        let b = cache
+            .get_or_bind(COIN, Scheme::Mixed, &coin_data())
+            .unwrap();
+        assert!(Arc::ptr_eq(&a.model, &b.model));
+        assert_eq!(cache.stats().model_misses, 1);
+        assert_eq!(cache.stats().model_hits, 1);
+        // Different data values — different specialization, different entry.
+        let mut other = coin_data();
+        other[1].1 = Value::IntArray(vec![0, 0, 1, 1]);
+        let c = cache.get_or_bind(COIN, Scheme::Mixed, &other).unwrap();
+        assert!(!Arc::ptr_eq(&a.model, &c.model));
+        // Different scheme — different entry, same compiled program.
+        cache
+            .get_or_bind(COIN, Scheme::Comprehensive, &coin_data())
+            .unwrap();
+        assert_eq!(cache.n_models(), 3);
+        assert_eq!(cache.stats().program_misses, 1);
+    }
+
+    #[test]
+    fn compile_failures_are_cached() {
+        // Global compile counters are asserted in the dedicated
+        // single-test integration suite (they'd race with the parallel
+        // tests here); the cache's own miss counter proves one compile.
+        let cache = ModelCache::new();
+        let e1 = cache.get_or_bind("parameters {", Scheme::Mixed, &[]);
+        let e2 = cache.get_or_bind("parameters {", Scheme::Mixed, &[]);
+        assert!(e1.is_err());
+        assert_eq!(e1.err(), e2.err());
+        assert_eq!(cache.stats().program_misses, 1);
+        assert_eq!(cache.stats().model_misses, 1);
+        assert_eq!(cache.stats().model_hits, 1);
+    }
+}

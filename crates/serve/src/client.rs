@@ -1,0 +1,172 @@
+//! A blocking client for the serve protocol, used by the load generator,
+//! the differential tests, and the quickstart example.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+
+/// Client-side failure modes.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// A frame that does not parse, or frames in an impossible order.
+    Protocol(String),
+    /// The server reported a request failure.
+    Server(String),
+    /// The server rejected the request under backpressure.
+    Busy {
+        /// Suggested retry delay in milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server(m) => write!(f, "server: {m}"),
+            ClientError::Busy { retry_after_ms } => {
+                write!(f, "busy, retry after {retry_after_ms}ms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One served chain, as streamed by the server.
+#[derive(Debug, Clone)]
+pub struct ServedChain {
+    /// Chain index.
+    pub index: usize,
+    /// Divergent transitions after warmup.
+    pub divergences: usize,
+    /// Wall-clock seconds the chain ran for on the server.
+    pub wall_time: f64,
+    /// Gradient evaluations the chain performed.
+    pub n_grad_evals: usize,
+    /// Constrained draws, one row per draw.
+    pub draws: Vec<Vec<f64>>,
+}
+
+/// A complete served fit, assembled from the response stream. Chains are
+/// sorted by index regardless of the completion order they streamed in.
+#[derive(Debug, Clone, Default)]
+pub struct ServedFit {
+    /// Flat component names.
+    pub names: Vec<String>,
+    /// Per-chain results, sorted by chain index.
+    pub chains: Vec<ServedChain>,
+    /// Generated-quantities column names (requests with `gq: true`).
+    pub gq_names: Option<Vec<String>>,
+    /// Per-chain generated-quantities rows, sorted by chain index.
+    pub gq_chains: Vec<(usize, Vec<Vec<f64>>)>,
+    /// Total server-side request wall-clock seconds.
+    pub wall_time: f64,
+}
+
+/// A blocking connection to a serve instance. One request runs at a time
+/// per connection; open several connections for concurrency.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    /// Connection failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Connects with a timeout.
+    ///
+    /// # Errors
+    /// Connection failures.
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and collects the full streamed response.
+    ///
+    /// # Errors
+    /// Transport, protocol, `busy`, and server-reported failures.
+    pub fn request(&mut self, request: &Request) -> Result<ServedFit, ClientError> {
+        self.request_streaming(request, &mut |_| {})
+    }
+
+    /// [`Client::request`], invoking `on_frame` with every frame as it
+    /// arrives (chains stream in completion order; the returned fit is
+    /// still sorted by index).
+    ///
+    /// # Errors
+    /// Same as [`Client::request`].
+    pub fn request_streaming(
+        &mut self,
+        request: &Request,
+        on_frame: &mut dyn FnMut(&Response),
+    ) -> Result<ServedFit, ClientError> {
+        let payload = request.encode().map_err(ClientError::Protocol)?;
+        write_frame(&mut self.stream, &payload)?;
+        let mut fit = ServedFit::default();
+        loop {
+            let Some(frame) = read_frame(&mut self.stream)? else {
+                return Err(ClientError::Protocol(
+                    "connection closed mid-response".to_string(),
+                ));
+            };
+            let response = Response::parse(&frame).map_err(ClientError::Protocol)?;
+            on_frame(&response);
+            match response {
+                Response::Names { names } => fit.names = names,
+                Response::Chain {
+                    index,
+                    divergences,
+                    wall_time,
+                    n_grad_evals,
+                    draws,
+                } => fit.chains.push(ServedChain {
+                    index,
+                    divergences,
+                    wall_time,
+                    n_grad_evals,
+                    draws,
+                }),
+                Response::GqNames { names } => fit.gq_names = Some(names),
+                Response::GqChain { index, rows } => fit.gq_chains.push((index, rows)),
+                Response::Done { wall_time } => {
+                    fit.wall_time = wall_time;
+                    fit.chains.sort_by_key(|c| c.index);
+                    fit.gq_chains.sort_by_key(|&(index, _)| index);
+                    return Ok(fit);
+                }
+                Response::Busy { retry_after_ms } => {
+                    return Err(ClientError::Busy { retry_after_ms })
+                }
+                Response::Error { message } => return Err(ClientError::Server(message)),
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! `serve` — the multi-tenant inference service over the compiled pipeline.
+//!
+//! The reproduction's ROADMAP north star is a production-scale system
+//! serving millions of users. Everything below the `Session` API is already
+//! built for that shape — compilation is a pure function of (source,
+//! scheme), bound models are immutable and `Send + Sync`, chains shard
+//! across threads — but every process still paid compile/resolve/DProg-lower
+//! per run. This crate adds the long-lived server that amortizes those
+//! one-time costs across requests:
+//!
+//! * [`protocol`] — length-prefixed UTF-8 frames over TCP (the frame
+//!   format, request grammar, and streamed response frames are specified
+//!   there). Floats travel as shortest-round-trip decimal strings, so
+//!   served draws are **bitwise** equal to an in-process `Session::run`.
+//! * [`cache`] — the two-level compiled-model cache. Programs are keyed by
+//!   source hash; bound models by `(source hash, scheme, data
+//!   fingerprint)`, where the fingerprint covers data *values* because
+//!   binding specializes on them (`transformed data` runs at bind time and
+//!   the density program constant-folds data). Concurrent first requests
+//!   compile exactly once (`OnceLock` per key); cache hits bind a session
+//!   with zero compile/resolve/lower work, which the test-suite asserts via
+//!   process-wide compile/bind counters.
+//! * [`pool`] — the bounded worker pool. Submits beyond capacity are
+//!   rejected immediately with a backlog-scaled `retry_after_ms` hint (the
+//!   backpressure contract lives there), and per-chain gradient workspaces
+//!   recycle across requests through [`deepstan::WorkspacePool`].
+//! * [`server`] / [`client`] — the accept loop and a blocking client.
+//!   Responses stream: each chain's draws flush as that chain finishes.
+//! * [`loadgen`] — mixed-model corpus traffic replay measuring
+//!   requests/sec and p50/p99 latency (the `BENCH_serve.json` numbers).
+//!
+//! # Quickstart
+//!
+//! Serve and query in-process (the differential tests do exactly this):
+//!
+//! ```
+//! use serve::client::Client;
+//! use serve::protocol::{MethodSpec, Request};
+//! use serve::server::{ServeConfig, Server};
+//!
+//! let server = Server::start(ServeConfig::default()).unwrap();
+//! let coin = model_zoo::find("coin").unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let fit = client
+//!     .request(&Request {
+//!         name: coin.name.to_string(),
+//!         scheme: stan2gprob::Scheme::Mixed,
+//!         method: MethodSpec::Nuts { warmup: 20, samples: 20 },
+//!         chains: 2,
+//!         seed: 7,
+//!         gq: false,
+//!         data: coin.dataset(1),
+//!         source: coin.source.to_string(),
+//!     })
+//!     .unwrap();
+//! assert_eq!(fit.chains.len(), 2);
+//! assert_eq!(fit.chains[0].draws.len(), 20);
+//! server.shutdown();
+//! ```
+//!
+//! Replay corpus traffic against a fresh server from the command line (the
+//! CI smoke run; exits nonzero when no request completes):
+//!
+//! ```text
+//! cargo run --release -p serve --bin loadgen -- \
+//!     --duration-secs 10 --conns 1,4 --out BENCH_serve.json
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod loadgen;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheStats, CachedModel, ModelCache};
+pub use client::{Client, ClientError, ServedChain, ServedFit};
+pub use loadgen::{corpus_mix, run_load, LoadReport, LoadSpec};
+pub use pool::{Busy, WorkerPool};
+pub use protocol::{MethodSpec, Request, Response};
+pub use server::{ServeConfig, Server};

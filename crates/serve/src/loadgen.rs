@@ -1,0 +1,198 @@
+//! The load generator: replays mixed-model corpus traffic against a serve
+//! instance and measures requests/sec and latency percentiles.
+//!
+//! Traffic is a round-robin mix over a request list (different models,
+//! schemes, and methods), each connection cycling the list from its own
+//! offset so every concurrency level exercises every model. `busy`
+//! rejections honor the server's `retry_after_ms` hint and are counted
+//! separately from completed requests; they are backpressure working as
+//! designed, not failures.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use crate::client::{Client, ClientError};
+use crate::protocol::{MethodSpec, Request};
+
+/// One load run's parameters.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Concurrent connections (each runs requests back to back).
+    pub concurrency: usize,
+    /// How long to keep issuing requests.
+    pub duration: Duration,
+    /// The traffic mix, cycled round-robin per connection.
+    pub requests: Vec<Request>,
+}
+
+/// One load run's measurements.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Concurrent connections.
+    pub concurrency: usize,
+    /// Measured wall-clock seconds (>= the requested duration).
+    pub duration_secs: f64,
+    /// Requests that completed with a full response stream.
+    pub completed: usize,
+    /// Requests bounced by backpressure (`busy` frames).
+    pub rejected: usize,
+    /// Requests that failed (transport or server error).
+    pub failed: usize,
+    /// Completed requests per second.
+    pub rps: f64,
+    /// Median completed-request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile completed-request latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+impl LoadReport {
+    /// Renders the report as a JSON object (no external serializer).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"concurrency\": {}, \"duration_secs\": {:.3}, \"completed\": {}, \
+             \"rejected\": {}, \"failed\": {}, \"rps\": {:.2}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}}}",
+            self.concurrency,
+            self.duration_secs,
+            self.completed,
+            self.rejected,
+            self.failed,
+            self.rps,
+            self.p50_ms,
+            self.p99_ms
+        )
+    }
+}
+
+fn percentile_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Runs one load level against a server, returning the aggregate report.
+/// Requests still in flight at the deadline run to completion (and count),
+/// so the measured duration can slightly exceed the requested one.
+pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> LoadReport {
+    assert!(!spec.requests.is_empty(), "empty traffic mix");
+    let start = Instant::now();
+    let results: Vec<(usize, usize, usize, Vec<f64>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..spec.concurrency.max(1))
+            .map(|conn_id| {
+                let requests = &spec.requests;
+                let duration = spec.duration;
+                s.spawn(move || {
+                    let mut completed = 0usize;
+                    let mut rejected = 0usize;
+                    let mut failed = 0usize;
+                    let mut latencies_ms = Vec::new();
+                    let Ok(mut client) = Client::connect(addr) else {
+                        return (0, 0, 1, latencies_ms);
+                    };
+                    let mut next = conn_id;
+                    let conn_start = Instant::now();
+                    while conn_start.elapsed() < duration {
+                        let request = &requests[next % requests.len()];
+                        next += 1;
+                        let req_start = Instant::now();
+                        match client.request(request) {
+                            Ok(_) => {
+                                completed += 1;
+                                latencies_ms.push(req_start.elapsed().as_secs_f64() * 1e3);
+                            }
+                            Err(ClientError::Busy { retry_after_ms }) => {
+                                rejected += 1;
+                                std::thread::sleep(Duration::from_millis(retry_after_ms.min(250)));
+                            }
+                            Err(_) => {
+                                failed += 1;
+                                // The connection may be wedged; reconnect.
+                                match Client::connect(addr) {
+                                    Ok(fresh) => client = fresh,
+                                    Err(_) => break,
+                                }
+                            }
+                        }
+                    }
+                    (completed, rejected, failed, latencies_ms)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen connection thread panicked"))
+            .collect()
+    });
+    let duration_secs = start.elapsed().as_secs_f64();
+    let mut completed = 0;
+    let mut rejected = 0;
+    let mut failed = 0;
+    let mut latencies: Vec<f64> = Vec::new();
+    for (c, r, f, ls) in results {
+        completed += c;
+        rejected += r;
+        failed += f;
+        latencies.extend(ls);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    LoadReport {
+        concurrency: spec.concurrency.max(1),
+        duration_secs,
+        completed,
+        rejected,
+        failed,
+        rps: completed as f64 / duration_secs,
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+    }
+}
+
+/// The standard mixed-model traffic mix over the bundled corpus: two
+/// distinct models and two methods (multi-chain NUTS and importance
+/// sampling), sized so single-digit milliseconds of sampling dominate
+/// protocol overhead without making a 1-second smoke run trivial.
+pub fn corpus_mix() -> Vec<Request> {
+    let coin = model_zoo::find("coin").expect("corpus has coin");
+    let schools = model_zoo::find("eight_schools_centered").expect("corpus has eight_schools");
+    vec![
+        Request {
+            name: coin.name.to_string(),
+            scheme: stan2gprob::Scheme::Mixed,
+            method: MethodSpec::Nuts {
+                warmup: 40,
+                samples: 40,
+            },
+            chains: 2,
+            seed: 7,
+            gq: false,
+            data: coin.dataset(11),
+            source: coin.source.to_string(),
+        },
+        Request {
+            name: schools.name.to_string(),
+            scheme: stan2gprob::Scheme::Mixed,
+            method: MethodSpec::Nuts {
+                warmup: 40,
+                samples: 40,
+            },
+            chains: 2,
+            seed: 3,
+            gq: false,
+            data: schools.dataset(5),
+            source: schools.source.to_string(),
+        },
+        Request {
+            name: coin.name.to_string(),
+            scheme: stan2gprob::Scheme::Generative,
+            method: MethodSpec::Importance { particles: 400 },
+            chains: 1,
+            seed: 13,
+            gq: false,
+            data: coin.dataset(11),
+            source: coin.source.to_string(),
+        },
+    ]
+}

@@ -1,0 +1,283 @@
+//! The TCP inference server: accept loop, per-connection framing, and the
+//! request execution path over the compiled-model cache and worker pool.
+//!
+//! One connection carries one request at a time (pipelining concurrency =
+//! open connections). The connection thread parses a request frame and
+//! submits the run as one job to the [`WorkerPool`]; the job binds a
+//! [`deepstan::Session`] against the cached model — **zero** compile,
+//! resolve, or DProg-lower work on a cache hit — and streams response
+//! frames back through a channel the connection thread drains to the
+//! socket. Per-chain draws flush as chains finish (thread-per-chain NUTS
+//! reports in completion order while other chains still sample), so a
+//! client sees its first chain before the request completes. When the
+//! worker queue is full the connection answers `busy <retry_after_ms>`
+//! immediately — see the backpressure contract in [`crate::pool`].
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use deepstan::{ImportanceSettings, Method, NutsSettings};
+use gprob::value::Value;
+use inference::advi::AdviConfig;
+
+use crate::cache::ModelCache;
+use crate::pool::WorkerPool;
+use crate::protocol::{read_frame, write_frame, MethodSpec, Request, Response};
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded queue depth; submits beyond this bounce with `busy`.
+    pub queue_capacity: usize,
+    /// Upper bound on a request's `chains` (protects the thread budget).
+    pub max_chains: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
+        ServeConfig {
+            workers,
+            queue_capacity: workers * 4,
+            max_chains: 16,
+        }
+    }
+}
+
+/// A running server: owns the accept thread, the worker pool, and the
+/// compiled-model cache. Dropping (or [`Server::shutdown`]) stops accepting
+/// connections and joins the workers.
+pub struct Server {
+    addr: SocketAddr,
+    cache: Arc<ModelCache>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    // Dropped after the accept thread joins; its own Drop joins the workers.
+    _pool: Arc<WorkerPool>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:0` (an ephemeral port; read it back from
+    /// [`Server::addr`]) and starts accepting connections.
+    ///
+    /// # Errors
+    /// Socket bind failures.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let cache = Arc::new(ModelCache::new());
+        let pool = Arc::new(WorkerPool::new(config.workers, config.queue_capacity));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let (cache, pool, stop) = (cache.clone(), pool.clone(), stop.clone());
+            let max_chains = config.max_chains.max(1);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // Response frames are small and latency-sensitive;
+                    // without this, Nagle + delayed ACK floors every
+                    // request at ~40ms regardless of compute.
+                    let _ = stream.set_nodelay(true);
+                    let (cache, pool) = (cache.clone(), pool.clone());
+                    std::thread::spawn(move || {
+                        // A dropped client mid-stream is normal churn, not a
+                        // server error.
+                        let _ = serve_connection(stream, &cache, &pool, max_chains);
+                    });
+                }
+            })
+        };
+        Ok(Server {
+            addr,
+            cache,
+            stop,
+            accept_thread: Some(accept_thread),
+            _pool: pool,
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's compiled-model cache (tests read its counters).
+    pub fn cache(&self) -> &Arc<ModelCache> {
+        &self.cache
+    }
+
+    /// Stops the accept loop and joins it. In-flight connections finish
+    /// their current request; queued jobs drain when the pool drops.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    cache: &Arc<ModelCache>,
+    pool: &WorkerPool,
+    max_chains: usize,
+) -> io::Result<()> {
+    while let Some(payload) = read_frame(&mut stream)? {
+        let request = match Request::parse(&payload) {
+            Ok(request) => request,
+            Err(message) => {
+                write_frame(&mut stream, &Response::Error { message }.encode())?;
+                continue;
+            }
+        };
+        let (tx, rx) = mpsc::channel::<String>();
+        let job = {
+            let cache = cache.clone();
+            move || run_request(&cache, request, max_chains, &tx)
+        };
+        match pool.submit(job) {
+            Ok(()) => {
+                // Drain until the job drops its sender (request finished);
+                // the per-chain frames land here as chains complete.
+                for frame in rx {
+                    write_frame(&mut stream, &frame)?;
+                }
+            }
+            Err(busy) => {
+                write_frame(
+                    &mut stream,
+                    &Response::Busy {
+                        retry_after_ms: busy.retry_after_ms,
+                    }
+                    .encode(),
+                )?;
+            }
+        }
+    }
+    stream.flush()
+}
+
+/// Executes one request against the cache, streaming frames to `send`.
+/// Send failures (client hung up) abort silently — the fit computation
+/// finishes but nothing is kept.
+fn run_request(
+    cache: &ModelCache,
+    request: Request,
+    max_chains: usize,
+    send: &mpsc::Sender<String>,
+) {
+    let start = Instant::now();
+    let fail = |message: String| {
+        let _ = send.send(Response::Error { message }.encode());
+    };
+    let cached = match cache.get_or_bind(&request.source, request.scheme, &request.data) {
+        Ok(cached) => cached,
+        Err(message) => return fail(message),
+    };
+    let program = match cache.get_or_compile(&request.source) {
+        Ok(program) => program,
+        Err(message) => return fail(message),
+    };
+    let _ = send.send(
+        Response::Names {
+            names: cached.model.component_names(),
+        }
+        .encode(),
+    );
+    let refs: Vec<(&str, Value<f64>)> = request
+        .data
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.clone()))
+        .collect();
+    let session = match program.session(&refs) {
+        Ok(session) => session,
+        Err(e) => return fail(e.to_string()),
+    };
+    let mut session = session
+        .with_bound_model(cached.scheme, cached.model.clone())
+        .workspace_pool(cached.pool.clone())
+        .chains(request.chains.clamp(1, max_chains))
+        .seed(request.seed);
+    let method = match request.method {
+        MethodSpec::Nuts { warmup, samples } => Method::Nuts(NutsSettings {
+            warmup,
+            samples,
+            ..Default::default()
+        }),
+        MethodSpec::Advi { steps } => Method::Advi(AdviConfig {
+            steps,
+            ..Default::default()
+        }),
+        MethodSpec::Importance { particles } => {
+            Method::Importance(ImportanceSettings { particles })
+        }
+    };
+    let mut fit = {
+        let mut on_chain = |index: usize, chain: &deepstan::ChainResult| {
+            let _ = send.send(
+                Response::Chain {
+                    index,
+                    divergences: chain.divergences,
+                    wall_time: chain.wall_time,
+                    n_grad_evals: chain.n_grad_evals,
+                    draws: chain.draws.clone(),
+                }
+                .encode(),
+            );
+        };
+        match session.run_with_observer(method, &mut on_chain) {
+            Ok(fit) => fit,
+            Err(e) => return fail(e.to_string()),
+        }
+    };
+    if request.gq {
+        if let Err(e) = session.generated_quantities(&mut fit) {
+            return fail(e.to_string());
+        }
+        let gq = fit.gq.as_ref().expect("attached above");
+        let _ = send.send(
+            Response::GqNames {
+                names: gq.names.clone(),
+            }
+            .encode(),
+        );
+        for (index, rows) in gq.chains.iter().enumerate() {
+            let _ = send.send(
+                Response::GqChain {
+                    index,
+                    rows: rows.clone(),
+                }
+                .encode(),
+            );
+        }
+    }
+    let _ = send.send(
+        Response::Done {
+            wall_time: start.elapsed().as_secs_f64(),
+        }
+        .encode(),
+    );
+}

@@ -1,0 +1,67 @@
+//! Serve round trip: start the multi-tenant inference server in-process,
+//! send corpus models over the wire, and watch the compiled-model cache
+//! amortize compilation across requests and tenants.
+//!
+//! ```bash
+//! cargo run --release --example serve_roundtrip
+//! ```
+
+use std::time::Instant;
+
+use serve::client::Client;
+use serve::protocol::{MethodSpec, Request};
+use serve::server::{ServeConfig, Server};
+use stan2gprob::Scheme;
+
+fn request_for(entry: &model_zoo::ModelEntry) -> Request {
+    Request {
+        name: entry.name.to_string(),
+        scheme: Scheme::Mixed,
+        method: MethodSpec::Nuts {
+            warmup: 200,
+            samples: 200,
+        },
+        chains: 2,
+        seed: 7,
+        gq: false,
+        data: entry.dataset(1),
+        source: entry.source.to_string(),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = Server::start(ServeConfig::default())?;
+    println!("serving on {}", server.addr());
+
+    // Two tenants on separate connections, both asking for the same two
+    // models. The first request per model pays compile + resolve + lower;
+    // every later request binds a session straight from the cache.
+    let mut tenants = [
+        Client::connect(server.addr())?,
+        Client::connect(server.addr())?,
+    ];
+    for name in ["coin", "eight_schools_centered"] {
+        let entry = model_zoo::find(name).expect("corpus model");
+        let request = request_for(&entry);
+        for (t, client) in tenants.iter_mut().enumerate() {
+            let start = Instant::now();
+            let fit = client.request(&request)?;
+            let draws: usize = fit.chains.iter().map(|c| c.draws.len()).sum();
+            println!(
+                "tenant {t} <- {name:<24} {draws:>4} draws over {} chains in {:>6.1} ms",
+                fit.chains.len(),
+                start.elapsed().as_secs_f64() * 1e3
+            );
+        }
+    }
+
+    let stats = server.cache().stats();
+    println!(
+        "cache: {} model misses (compiled), {} hits (zero compile/resolve/lower work)",
+        stats.model_misses, stats.model_hits
+    );
+    assert_eq!(stats.model_misses, 2, "one compile per distinct model");
+    assert!(stats.model_hits >= 2, "repeat tenants must hit the cache");
+    server.shutdown();
+    Ok(())
+}

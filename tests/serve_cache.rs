@@ -1,0 +1,153 @@
+//! Cache-concurrency suite: concurrent requests for one uncached model
+//! compile and bind it exactly once, cache hits perform zero
+//! compile/resolve/DProg-lower work, and worker pools recycle chain
+//! workspaces across requests.
+//!
+//! Everything runs inside ONE `#[test]` function: the assertions read the
+//! process-wide compile/bind counters (`deepstan::api::compile_count`,
+//! `gprob::model::bind_count`), which would race against other tests in
+//! this binary if the harness ran them in parallel.
+
+use std::sync::Arc;
+
+use serve::cache::ModelCache;
+use serve::client::Client;
+use serve::protocol::{MethodSpec, Request};
+use serve::server::{ServeConfig, Server};
+use stan2gprob::Scheme;
+
+#[test]
+fn concurrent_requests_compile_once_and_cache_hits_do_zero_compile_work() {
+    let coin = model_zoo::find("coin").unwrap();
+    let data = coin.dataset(3);
+
+    // --- Thundering herd on a cold cache: 8 threads, one compile+bind. ---
+    let cache = Arc::new(ModelCache::new());
+    let compiles_before = deepstan::api::compile_count();
+    let binds_before = gprob::model::bind_count();
+    let models: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = cache.clone();
+                let data = data.clone();
+                s.spawn(move || {
+                    cache
+                        .get_or_bind(coin.source, Scheme::Mixed, &data)
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(
+        deepstan::api::compile_count() - compiles_before,
+        1,
+        "8 concurrent requests must run the front-end compile exactly once"
+    );
+    assert_eq!(
+        gprob::model::bind_count() - binds_before,
+        1,
+        "8 concurrent requests must run resolve/sweep-lower/DProg-lower exactly once"
+    );
+    for m in &models {
+        assert!(Arc::ptr_eq(&m.model, &models[0].model));
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.model_misses, 1);
+    assert_eq!(stats.model_hits, 7);
+
+    // --- Cache hits perform zero compile/resolve/lower work. ---
+    let compiles_before = deepstan::api::compile_count();
+    let binds_before = gprob::model::bind_count();
+    cache
+        .get_or_bind(coin.source, Scheme::Mixed, &data)
+        .unwrap();
+    assert_eq!(deepstan::api::compile_count() - compiles_before, 0);
+    assert_eq!(gprob::model::bind_count() - binds_before, 0);
+
+    // --- End to end over the wire: the second identical request is served
+    // entirely from cache (zero new compiles/binds), and concurrent
+    // connections racing a cold model still compile it once. ---
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let request = Request {
+        name: coin.name.to_string(),
+        scheme: Scheme::Mixed,
+        method: MethodSpec::Nuts {
+            warmup: 30,
+            samples: 20,
+        },
+        chains: 2,
+        seed: 5,
+        gq: false,
+        data: data.clone(),
+        source: coin.source.to_string(),
+    };
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.request(&request).unwrap();
+    let compiles_before = deepstan::api::compile_count();
+    let binds_before = gprob::model::bind_count();
+    client.request(&request).unwrap();
+    assert_eq!(
+        deepstan::api::compile_count() - compiles_before,
+        0,
+        "a served cache hit must not touch the front end"
+    );
+    assert_eq!(
+        gprob::model::bind_count() - binds_before,
+        0,
+        "a served cache hit must not rebind the model"
+    );
+
+    // Cold model, raced by 4 connections at once: exactly one compile+bind.
+    let schools = model_zoo::find("eight_schools_centered").unwrap();
+    let cold = Request {
+        name: schools.name.to_string(),
+        scheme: Scheme::Mixed,
+        method: MethodSpec::Nuts {
+            warmup: 30,
+            samples: 20,
+        },
+        chains: 2,
+        seed: 5,
+        gq: false,
+        data: schools.dataset(3),
+        source: schools.source.to_string(),
+    };
+    let compiles_before = deepstan::api::compile_count();
+    let binds_before = gprob::model::bind_count();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let cold = cold.clone();
+            let addr = server.addr();
+            s.spawn(move || {
+                Client::connect(addr).unwrap().request(&cold).unwrap();
+            });
+        }
+    });
+    assert_eq!(deepstan::api::compile_count() - compiles_before, 1);
+    assert_eq!(gprob::model::bind_count() - binds_before, 1);
+
+    // --- Workspace pooling: repeat traffic stops allocating workspaces. ---
+    let cached = server
+        .cache()
+        .get_or_bind(coin.source, Scheme::Mixed, &data)
+        .unwrap();
+    for _ in 0..6 {
+        client.request(&request).unwrap();
+    }
+    // Workspaces go back to the pool as each chain's target drops, so
+    // serial requests can never hold more than `chains` at once: total
+    // allocations stay bounded by `chains` no matter how many requests
+    // run (without pooling this connection would have allocated
+    // chains x requests workspaces by now). The exact count is
+    // scheduling-dependent — a chain that finishes early recycles its
+    // workspace to the next chain.
+    let created = cached.pool.created();
+    assert!(
+        (1..=request.chains as u64).contains(&created),
+        "pooled chain workspaces must be reused across requests, \
+         not allocated per chain (created {created})"
+    );
+    assert!(cached.pool.idle() >= 1);
+    server.shutdown();
+}

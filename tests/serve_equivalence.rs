@@ -1,0 +1,211 @@
+//! Differential tests for the serve subsystem: draws served over the wire
+//! must be **bitwise** equal to a direct in-process `Session::run` with the
+//! same seed, for every method the protocol carries — the server is a
+//! transport plus a cache, never a different sampler.
+
+use deepstan::{DeepStan, ImportanceSettings, Method, NutsSettings};
+use gprob::value::Value;
+use inference::advi::AdviConfig;
+use serve::client::Client;
+use serve::protocol::{MethodSpec, Request, Response};
+use serve::server::{ServeConfig, Server};
+use stan2gprob::Scheme;
+
+fn request_for(entry: &model_zoo::ModelEntry, method: MethodSpec, chains: usize) -> Request {
+    Request {
+        name: entry.name.to_string(),
+        scheme: Scheme::Mixed,
+        method,
+        chains,
+        seed: 42,
+        gq: false,
+        data: entry.dataset(9),
+        source: entry.source.to_string(),
+    }
+}
+
+fn direct_fit(request: &Request, method: Method) -> deepstan::Fit {
+    let program = DeepStan::compile(&request.source).unwrap();
+    let refs: Vec<(&str, Value<f64>)> = request
+        .data
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.clone()))
+        .collect();
+    program
+        .session(&refs)
+        .unwrap()
+        .scheme(request.scheme)
+        .chains(request.chains)
+        .seed(request.seed)
+        .run(method)
+        .unwrap()
+}
+
+fn assert_bitwise_equal(served: &serve::ServedFit, direct: &deepstan::Fit) {
+    assert_eq!(served.names, direct.names);
+    assert_eq!(served.chains.len(), direct.chains.len());
+    for (s, d) in served.chains.iter().zip(&direct.chains) {
+        assert_eq!(s.divergences, d.divergences);
+        assert_eq!(s.n_grad_evals, d.n_grad_evals);
+        assert_eq!(s.draws.len(), d.draws.len());
+        for (srow, drow) in s.draws.iter().zip(&d.draws) {
+            assert_eq!(srow.len(), drow.len());
+            for (a, b) in srow.iter().zip(drow) {
+                assert_eq!(a.to_bits(), b.to_bits(), "served {a} != direct {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn served_nuts_draws_are_bitwise_equal_to_direct_sessions() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    for name in ["coin", "eight_schools_centered", "kidscore_momiq"] {
+        let Some(entry) = model_zoo::find(name) else {
+            continue;
+        };
+        let request = request_for(
+            &entry,
+            MethodSpec::Nuts {
+                warmup: 60,
+                samples: 50,
+            },
+            3,
+        );
+        let served = client.request(&request).unwrap();
+        let direct = direct_fit(
+            &request,
+            Method::Nuts(NutsSettings {
+                warmup: 60,
+                samples: 50,
+                ..Default::default()
+            }),
+        );
+        assert_bitwise_equal(&served, &direct);
+        // Repeat the identical request: the cache-hit path must serve the
+        // same bits too.
+        let again = client.request(&request).unwrap();
+        assert_bitwise_equal(&again, &direct);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn served_advi_and_importance_match_direct_sessions() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let coin = model_zoo::find("coin").unwrap();
+
+    let advi_req = request_for(&coin, MethodSpec::Advi { steps: 150 }, 2);
+    let served = client.request(&advi_req).unwrap();
+    let direct = direct_fit(
+        &advi_req,
+        Method::Advi(AdviConfig {
+            steps: 150,
+            ..Default::default()
+        }),
+    );
+    assert_bitwise_equal(&served, &direct);
+
+    let mut imp_req = request_for(&coin, MethodSpec::Importance { particles: 300 }, 1);
+    imp_req.scheme = Scheme::Generative;
+    let served = client.request(&imp_req).unwrap();
+    let direct = direct_fit(
+        &imp_req,
+        Method::Importance(ImportanceSettings { particles: 300 }),
+    );
+    assert_bitwise_equal(&served, &direct);
+    server.shutdown();
+}
+
+#[test]
+fn served_generated_quantities_match_direct_sessions() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let coin = model_zoo::find("coin").unwrap();
+    let mut request = request_for(
+        &coin,
+        MethodSpec::Nuts {
+            warmup: 40,
+            samples: 30,
+        },
+        2,
+    );
+    request.gq = true;
+    let served = client.request(&request).unwrap();
+
+    let program = DeepStan::compile(&request.source).unwrap();
+    let refs: Vec<(&str, Value<f64>)> = request
+        .data
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.clone()))
+        .collect();
+    let mut session = program
+        .session(&refs)
+        .unwrap()
+        .chains(request.chains)
+        .seed(request.seed);
+    let mut fit = session
+        .run(Method::Nuts(NutsSettings {
+            warmup: 40,
+            samples: 30,
+            ..Default::default()
+        }))
+        .unwrap();
+    session.generated_quantities(&mut fit).unwrap();
+    let gq = fit.gq.as_ref().unwrap();
+
+    assert_eq!(served.gq_names.as_ref(), Some(&gq.names));
+    assert_eq!(served.gq_chains.len(), gq.chains.len());
+    for ((index, srows), drows) in served.gq_chains.iter().zip(&gq.chains) {
+        assert_eq!(served.gq_chains[*index].0, *index);
+        assert_eq!(srows.len(), drows.len());
+        for (srow, drow) in srows.iter().zip(drows) {
+            for (a, b) in srow.iter().zip(drow) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn chain_frames_stream_before_done_and_malformed_requests_report_errors() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let coin = model_zoo::find("coin").unwrap();
+    let request = request_for(
+        &coin,
+        MethodSpec::Nuts {
+            warmup: 30,
+            samples: 20,
+        },
+        3,
+    );
+    // Observe the stream order: names first, then every chain, then done.
+    let mut order = Vec::new();
+    client
+        .request_streaming(&request, &mut |frame| {
+            order.push(match frame {
+                Response::Names { .. } => "names",
+                Response::Chain { .. } => "chain",
+                Response::Done { .. } => "done",
+                _ => "other",
+            });
+        })
+        .unwrap();
+    assert_eq!(order.first(), Some(&"names"));
+    assert_eq!(order.last(), Some(&"done"));
+    assert_eq!(order.iter().filter(|t| **t == "chain").count(), 3);
+
+    // A model that fails to compile reports `error` (and the connection
+    // stays usable for the next request).
+    let mut bad = request.clone();
+    bad.source = "parameters {".to_string();
+    let err = client.request(&bad).unwrap_err();
+    assert!(matches!(err, serve::ClientError::Server(_)), "{err}");
+    let ok = client.request(&request).unwrap();
+    assert_eq!(ok.chains.len(), 3);
+    server.shutdown();
+}

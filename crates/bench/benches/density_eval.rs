@@ -16,10 +16,17 @@
 //! configuration those rows used to measure.
 //!
 //! The `gprob_{grad,value}_dprog` rows evaluate the same workspace
-//! configuration through the tape-free density program (`gprob::dprog`) —
-//! the route `Session` samplers actually take when the model compiles one.
-//! `gprob_grad_dprog` vs `gprob_grad_workspace` is therefore the
-//! tape-free-vs-tape ratio on identical programs.
+//! configuration through the *interpreted* tape-free density program
+//! (`gprob::dprog`, pinned via `log_density_and_grad_dprog_with` since the
+//! native backend landed). `gprob_grad_dprog` vs `gprob_grad_workspace` is
+//! therefore the tape-free-vs-tape ratio on identical programs.
+//!
+//! The `gprob_{grad,value}_dprog_jit` rows run the routed entry — the
+//! density program JIT-compiled to native x86_64 code
+//! (`gprob::dprog::jit`), the route `Session` samplers actually take when
+//! the platform compiles it. `gprob_grad_dprog_jit` vs `gprob_grad_dprog`
+//! is the native-vs-interpreted ratio the PR 8 acceptance gates on
+//! (geomean ≥ 1.3x, scalar-heavy recurrence models ≥ 1.5x).
 //!
 //! The `gprob_grad_dprog_lanes{2,4,8}` rows score a batch of L distinct
 //! unconstrained points through the struct-of-arrays lane evaluator
@@ -52,6 +59,7 @@ fn bench_density(c: &mut Criterion) {
         "arK",
         "nes_logit",
         "garch11",
+        "arma11",
     ] {
         let entry = model_zoo::find(name).unwrap();
         let program = DeepStan::compile_named(name, entry.source).unwrap();
@@ -72,10 +80,29 @@ fn bench_density(c: &mut Criterion) {
             let mut g = vec![0.0; gmodel.dim()];
             b.iter(|| {
                 gmodel
-                    .log_density_and_grad_with(&mut ws, std::hint::black_box(&theta), &mut g)
+                    .log_density_and_grad_dprog_with(&mut ws, std::hint::black_box(&theta), &mut g)
                     .unwrap()
             })
         });
+        if gmodel.jit().is_some() {
+            group.bench_function(format!("{name}/gprob_grad_dprog_jit"), |b| {
+                let mut ws = gmodel.grad_workspace();
+                let mut g = vec![0.0; gmodel.dim()];
+                b.iter(|| {
+                    gmodel
+                        .log_density_and_grad_with(&mut ws, std::hint::black_box(&theta), &mut g)
+                        .unwrap()
+                })
+            });
+            group.bench_function(format!("{name}/gprob_value_dprog_jit"), |b| {
+                let mut ws = gmodel.workspace::<f64>();
+                b.iter(|| {
+                    gmodel
+                        .log_density_f64_with(&mut ws, std::hint::black_box(&theta))
+                        .unwrap()
+                })
+            });
+        }
         for lanes in [2usize, 4, 8] {
             group.bench_function(format!("{name}/gprob_grad_dprog_lanes{lanes}"), |b| {
                 let dim = gmodel.dim();
@@ -106,7 +133,7 @@ fn bench_density(c: &mut Criterion) {
             let mut ws = gmodel.workspace::<f64>();
             b.iter(|| {
                 gmodel
-                    .log_density_f64_with(&mut ws, std::hint::black_box(&theta))
+                    .log_density_f64_dprog_with(&mut ws, std::hint::black_box(&theta))
                     .unwrap()
             })
         });

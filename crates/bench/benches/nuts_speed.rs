@@ -9,6 +9,14 @@
 //! chains sharded over threads (each with its own workspace) — on a
 //! multicore machine its wall time should stay well under 2× the
 //! single-chain row.
+//!
+//! The `gprob_jit_target` / `gprob_dprog_target` pair drives one identical
+//! NUTS harness (`nuts_sample_mut`) through the routed gradient entry
+//! (native code when the platform JITs the density program) vs the entry
+//! pinned to the interpreted DProg — the end-to-end effect of
+//! `gprob::dprog::jit` on sampling wall time, with everything else held
+//! fixed. `gprob_mixed` (the `Session` route) should track
+//! `gprob_jit_target`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepstan::{DeepStan, Method, NutsSettings};
@@ -97,6 +105,53 @@ fn bench_nuts(c: &mut Criterion) {
                 inference::nuts::nuts_sample_mut(&mut target, init, &config)
             })
         });
+        // The same NUTS harness over the two density-program entries:
+        // routed (JIT-first) vs pinned interpreted. One bound model per
+        // iteration keeps the shape identical to `gprob_tape_target`.
+        struct DpTarget<'m> {
+            model: &'m gprob::GModel,
+            ws: &'m mut gprob::GradWorkspace,
+            jit: bool,
+        }
+        impl inference::GradTargetMut for DpTarget<'_> {
+            fn logp_grad_into(&mut self, q: &[f64], grad: &mut [f64]) -> f64 {
+                let r = if self.jit {
+                    self.model.log_density_and_grad_with(self.ws, q, grad)
+                } else {
+                    self.model.log_density_and_grad_dprog_with(self.ws, q, grad)
+                };
+                match r {
+                    Ok(lp) => lp,
+                    Err(_) => {
+                        grad.fill(0.0);
+                        f64::NEG_INFINITY
+                    }
+                }
+            }
+        }
+        for (row, jit) in [("gprob_jit_target", true), ("gprob_dprog_target", false)] {
+            group.bench_function(format!("{name}/{row}"), |b| {
+                b.iter(|| {
+                    let model = program.bind(&data_refs).unwrap();
+                    let mut rng = StdRng::seed_from_u64(settings.seed);
+                    let init = model.initial_unconstrained(&mut rng);
+                    let mut ws = model.grad_workspace();
+                    let config = NutsConfig {
+                        warmup: settings.warmup,
+                        samples: settings.samples,
+                        seed: settings.seed,
+                        max_depth: settings.max_depth,
+                        ..Default::default()
+                    };
+                    let mut target = DpTarget {
+                        model: &model,
+                        ws: &mut ws,
+                        jit,
+                    };
+                    inference::nuts::nuts_sample_mut(&mut target, init, &config)
+                })
+            });
+        }
         // Multi-chain rows. `_parallel` is the Session default: the
         // dim/cost heuristic picks lane-lockstep for real models and falls
         // back to thread-per-chain for tiny densities (the dim-1 coin,

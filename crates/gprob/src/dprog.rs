@@ -129,6 +129,8 @@ use crate::resolved::{
 use crate::reval::{default_rvalue, reval_expr, RCtx, RInterp, RMode};
 use crate::value::{RuntimeError, Value};
 
+pub mod jit;
+
 /// Why a program did not compile to a density program. The model then keeps
 /// the `Var`/tape gradient path, byte-identical to the pre-DProg behavior.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -137,7 +139,7 @@ pub struct Decline {
 }
 
 impl Decline {
-    fn new(reason: impl Into<String>) -> Self {
+    pub(crate) fn new(reason: impl Into<String>) -> Self {
         Decline {
             reason: reason.into(),
         }

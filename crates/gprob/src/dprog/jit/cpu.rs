@@ -1,0 +1,107 @@
+//! Runtime CPU feature detection for the code generator.
+//!
+//! A tiny, vendored-crate-free `cpuid` probe in the spirit of
+//! `is_x86_feature_detected!`: leaf 1 for SSE2/OSXSAVE/AVX/FMA, leaf 7 for
+//! AVX2, plus the `xgetbv` XCR0 check that the OS actually saves/restores
+//! the YMM state (a CPU can report AVX while the kernel has it disabled —
+//! trusting cpuid alone would emit instructions that fault).
+//!
+//! The emitter currently generates scalar SSE2 only — baseline on every
+//! x86_64 — so [`CpuFeatures::sse2`] is the gate that matters today; the
+//! AVX/AVX2/FMA bits gate the planned lane-widened (L=4 `vmovapd`/`vaddpd`)
+//! emission. On non-x86_64 targets every feature reports `false`.
+
+use std::sync::OnceLock;
+
+/// The instruction-set extensions the emitter cares about.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuFeatures {
+    /// Scalar double-precision SSE2 (baseline on x86_64).
+    pub sse2: bool,
+    /// AVX with OS-enabled YMM state.
+    pub avx: bool,
+    /// AVX2 (integer/permute widening over AVX), implies usable YMM state.
+    pub avx2: bool,
+    /// FMA3 with OS-enabled YMM state.
+    pub fma: bool,
+}
+
+/// The detected features of the running CPU, probed once per process.
+pub fn features() -> CpuFeatures {
+    static CACHE: OnceLock<CpuFeatures> = OnceLock::new();
+    *CACHE.get_or_init(detect)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect() -> CpuFeatures {
+    use std::arch::x86_64::{__cpuid, __cpuid_count};
+    // Leaf 0 reports the highest supported leaf; leaf 1 is guaranteed on
+    // anything that can run this binary, leaf 7 is not.
+    let max_leaf = __cpuid(0).eax;
+    let leaf1 = __cpuid(1);
+    let sse2 = leaf1.edx & (1 << 26) != 0;
+    let osxsave = leaf1.ecx & (1 << 27) != 0;
+    // XCR0 bits 1 (XMM) and 2 (YMM) must both be set before any VEX-encoded
+    // 256-bit instruction is legal to execute.
+    let ymm_enabled = osxsave && (xgetbv0() & 0x6) == 0x6;
+    let avx = ymm_enabled && leaf1.ecx & (1 << 28) != 0;
+    let fma = avx && leaf1.ecx & (1 << 12) != 0;
+    let avx2 = avx && max_leaf >= 7 && __cpuid_count(7, 0).ebx & (1 << 5) != 0;
+    CpuFeatures {
+        sse2,
+        avx,
+        avx2,
+        fma,
+    }
+}
+
+/// Reads XCR0 (`xgetbv` with ecx = 0). Only legal once cpuid reports
+/// OSXSAVE, which the caller checks first.
+#[cfg(target_arch = "x86_64")]
+fn xgetbv0() -> u64 {
+    let lo: u32;
+    let hi: u32;
+    unsafe {
+        std::arch::asm!(
+            "xgetbv",
+            in("ecx") 0u32,
+            out("eax") lo,
+            out("edx") hi,
+            options(nomem, nostack, preserves_flags)
+        );
+    }
+    (u64::from(hi) << 32) | u64::from(lo)
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect() -> CpuFeatures {
+    CpuFeatures::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The hand-rolled probe must agree with the standard library's
+    /// detection on every feature it reports.
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn matches_std_arch_detection() {
+        let f = features();
+        assert_eq!(f.sse2, std::arch::is_x86_feature_detected!("sse2"));
+        assert_eq!(f.avx, std::arch::is_x86_feature_detected!("avx"));
+        assert_eq!(f.avx2, std::arch::is_x86_feature_detected!("avx2"));
+        assert_eq!(f.fma, std::arch::is_x86_feature_detected!("fma"));
+    }
+
+    #[test]
+    fn detection_is_stable_across_calls() {
+        assert_eq!(features(), features());
+    }
+
+    #[test]
+    #[cfg(not(target_arch = "x86_64"))]
+    fn non_x86_reports_nothing() {
+        assert_eq!(features(), CpuFeatures::default());
+    }
+}

@@ -1,0 +1,115 @@
+//! Executable code pages with a W^X lifecycle.
+//!
+//! A [`CodeBuf`] owns one anonymous private mapping obtained from `mmap`.
+//! The page is created **read+write** (never executable), the emitted bytes
+//! are copied in, and the protection is then flipped to **read+execute**
+//! with `mprotect` before the buffer is ever entered. There is no point in
+//! the lifecycle where the mapping is simultaneously writable and
+//! executable, and a published buffer is immutable until `munmap` at drop.
+//!
+//! The syscall wrappers are declared directly (`extern "C"` against the
+//! libc the standard library already links) so the crate stays free of
+//! vendored dependencies. Everything here is gated to `x86_64-linux`; other
+//! targets decline JIT compilation before reaching this module.
+
+/// Raw libc bindings for the three calls the code-page lifecycle needs.
+mod sys {
+    pub const PROT_READ: i32 = 1;
+    pub const PROT_WRITE: i32 = 2;
+    pub const PROT_EXEC: i32 = 4;
+    pub const MAP_PRIVATE: i32 = 2;
+    pub const MAP_ANONYMOUS: i32 = 0x20;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut u8,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut u8;
+        pub fn mprotect(addr: *mut u8, len: usize, prot: i32) -> i32;
+        pub fn munmap(addr: *mut u8, len: usize) -> i32;
+    }
+}
+
+/// One published, immutable, executable code page (see the module docs for
+/// the W^X lifecycle).
+pub(super) struct CodeBuf {
+    ptr: std::ptr::NonNull<u8>,
+    len: usize,
+}
+
+// The mapping is exclusively owned, written only before publication, and
+// read-only (RX) afterwards: sharing references across threads is safe.
+unsafe impl Send for CodeBuf {}
+unsafe impl Sync for CodeBuf {}
+
+impl CodeBuf {
+    /// Maps a fresh RW page, copies `code` in, and flips it to RX.
+    ///
+    /// # Errors
+    /// A short message when `mmap` or `mprotect` refuses (the caller turns
+    /// this into a JIT decline; the interpreted program stays in place).
+    pub(super) fn publish(code: &[u8]) -> Result<CodeBuf, String> {
+        if code.is_empty() {
+            return Err("empty code buffer".to_string());
+        }
+        let len = code.len();
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ | sys::PROT_WRITE,
+                sys::MAP_PRIVATE | sys::MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if ptr.is_null() || ptr as usize == usize::MAX {
+            return Err("mmap failed".to_string());
+        }
+        unsafe { std::ptr::copy_nonoverlapping(code.as_ptr(), ptr, len) };
+        if unsafe { sys::mprotect(ptr, len, sys::PROT_READ | sys::PROT_EXEC) } != 0 {
+            unsafe { sys::munmap(ptr, len) };
+            return Err("mprotect(RX) failed".to_string());
+        }
+        Ok(CodeBuf {
+            ptr: std::ptr::NonNull::new(ptr).expect("non-null mapping"),
+            len,
+        })
+    }
+
+    /// Base address of the mapping (stable for the buffer's lifetime).
+    pub(super) fn base(&self) -> *const u8 {
+        self.ptr.as_ptr()
+    }
+
+    /// Mapping length in bytes.
+    pub(super) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The function entry at byte offset `off`, as the JIT ABI type.
+    ///
+    /// # Safety
+    /// `off` must be the start offset of a function emitted into this
+    /// buffer whose machine code implements the
+    /// `extern "C" fn(*mut f64, *mut f64) -> f64` contract.
+    pub(super) unsafe fn entry(
+        &self,
+        off: usize,
+    ) -> unsafe extern "C" fn(*mut f64, *mut f64) -> f64 {
+        debug_assert!(off < self.len);
+        std::mem::transmute::<*const u8, unsafe extern "C" fn(*mut f64, *mut f64) -> f64>(
+            self.ptr.as_ptr().add(off),
+        )
+    }
+}
+
+impl Drop for CodeBuf {
+    fn drop(&mut self) {
+        unsafe { sys::munmap(self.ptr.as_ptr(), self.len) };
+    }
+}

@@ -95,6 +95,15 @@ pub struct GModel {
     dprog: Option<crate::dprog::DProg>,
     /// Why the density program declined, when it did.
     dprog_decline: Option<crate::dprog::Decline>,
+    /// The density program JIT-compiled to native code
+    /// ([`crate::dprog::jit`]), when the target supports it. Single-point
+    /// `f64` density and gradient evaluations route here first; the
+    /// interpreted DProg is retained byte-identically as the oracle and as
+    /// the fallback, and batched lane evaluation stays interpreted (its
+    /// per-point bitwise contract is pinned against the sequential path).
+    jit: Option<crate::dprog::jit::JitProg>,
+    /// Why JIT compilation declined, when it did.
+    jit_decline: Option<crate::dprog::Decline>,
 }
 
 /// Process-wide count of [`GModel`] bind operations (each one pays the
@@ -117,6 +126,7 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<GModel>();
     assert_send_sync::<crate::dprog::DProg>();
+    assert_send_sync::<crate::dprog::jit::JitProg>();
     assert_send_sync::<crate::resolved::ResolvedProgram>();
 };
 
@@ -222,6 +232,21 @@ impl GModel {
                 Err(d) => (None, Some(d)),
             };
 
+        // JIT the density program to native code where the platform allows;
+        // declines keep the interpreted program as-is.
+        let (jit, jit_decline) = match &dprog {
+            Some(p) => match crate::dprog::jit::compile(p) {
+                Ok(j) => (Some(j), None),
+                Err(d) => (None, Some(d)),
+            },
+            None => (
+                None,
+                Some(crate::dprog::Decline::new(
+                    "jit: no density program to compile",
+                )),
+            ),
+        };
+
         Ok(GModel {
             program,
             resolved,
@@ -233,6 +258,8 @@ impl GModel {
             dim: offset,
             dprog,
             dprog_decline,
+            jit,
+            jit_decline,
         })
     }
 
@@ -358,6 +385,19 @@ impl GModel {
         self.dprog_decline.as_ref()
     }
 
+    /// The density program JIT-compiled to native code, when the platform
+    /// and program admitted it.
+    pub fn jit(&self) -> Option<&crate::dprog::jit::JitProg> {
+        self.jit.as_ref()
+    }
+
+    /// Why native compilation declined (`None` when it succeeded). Declined
+    /// models evaluate the interpreted density program byte-identically to a
+    /// build without the JIT.
+    pub fn jit_decline(&self) -> Option<&crate::dprog::Decline> {
+        self.jit_decline.as_ref()
+    }
+
     /// Builds a pooled scratch workspace for this model. One workspace
     /// serves one chain: create one per sampler thread and pass it to
     /// [`GModel::log_density_with`] on every evaluation.
@@ -443,6 +483,28 @@ impl GModel {
         ws: &mut DensityWorkspace<f64>,
         theta_u: &[f64],
     ) -> Result<f64, RuntimeError> {
+        if let (Some(jit), Some(dpws)) = (&self.jit, &mut ws.dprog) {
+            return jit.value(theta_u, dpws);
+        }
+        if let (Some(dp), Some(dpws)) = (&self.dprog, &mut ws.dprog) {
+            return dp.value(theta_u, dpws);
+        }
+        self.log_density_with(ws, theta_u, &NoExternals)
+    }
+
+    /// [`GModel::log_density_f64_with`] pinned to the *interpreted* density
+    /// program, bypassing the JIT. This is the differential oracle for
+    /// `tests/jit_equivalence.rs` and the baseline for the
+    /// interpreted-vs-native benchmark rows; inference should use the
+    /// routed entry.
+    ///
+    /// # Errors
+    /// Propagates runtime evaluation errors.
+    pub fn log_density_f64_dprog_with(
+        &self,
+        ws: &mut DensityWorkspace<f64>,
+        theta_u: &[f64],
+    ) -> Result<f64, RuntimeError> {
         if let (Some(dp), Some(dpws)) = (&self.dprog, &mut ws.dprog) {
             return dp.value(theta_u, dpws);
         }
@@ -506,6 +568,30 @@ impl GModel {
     /// # Panics
     /// Panics if `grad_out` is shorter than `theta_u`.
     pub fn log_density_and_grad_with(
+        &self,
+        ws: &mut GradWorkspace,
+        theta_u: &[f64],
+        grad_out: &mut [f64],
+    ) -> Result<f64, RuntimeError> {
+        if let (Some(jit), Some(dpws)) = (&self.jit, &mut ws.inner.dprog) {
+            return jit.value_and_grad(theta_u, grad_out, dpws);
+        }
+        if let (Some(dp), Some(dpws)) = (&self.dprog, &mut ws.inner.dprog) {
+            return dp.value_and_grad(theta_u, grad_out, dpws);
+        }
+        self.log_density_and_grad_tape_with(ws, theta_u, grad_out)
+    }
+
+    /// [`GModel::log_density_and_grad_with`] pinned to the *interpreted*
+    /// density program, bypassing the JIT — the oracle for
+    /// `tests/jit_equivalence.rs` and the interpreted benchmark baseline.
+    ///
+    /// # Errors
+    /// Propagates runtime evaluation errors.
+    ///
+    /// # Panics
+    /// Panics if `grad_out` is shorter than `theta_u`.
+    pub fn log_density_and_grad_dprog_with(
         &self,
         ws: &mut GradWorkspace,
         theta_u: &[f64],

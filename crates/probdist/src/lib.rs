@@ -25,6 +25,7 @@
 //! ```
 
 pub mod dist;
+pub mod ffi;
 pub mod sampling;
 pub mod sweep;
 pub mod transform;

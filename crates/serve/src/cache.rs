@@ -173,22 +173,105 @@ pub struct CacheStats {
     pub model_misses: u64,
 }
 
+/// A bound-model entry plus its last-touch stamp for LRU eviction.
+struct ModelEntry {
+    slot: Slot<CachedModel>,
+    stamp: u64,
+}
+
+/// The bound-model map with a logical clock: every lookup re-stamps its
+/// entry, so the minimum stamp is always the least recently used key.
+#[derive(Default)]
+struct ModelMap {
+    entries: HashMap<ModelKey, ModelEntry>,
+    clock: u64,
+}
+
 /// The two-level compiled-model cache. See the module docs for key
 /// semantics and the concurrency contract.
+///
+/// # Bounds
+///
+/// Bound models dominate the cache's footprint (resolved IR, density
+/// program, native code page, workspace pool — all per `(source, scheme,
+/// data)` key, and the data fingerprint makes keys cheap to mint). A cache
+/// built with [`ModelCache::with_model_capacity`] therefore evicts the
+/// least-recently-used bound model once the key count exceeds the cap.
+/// Compiled *programs* stay cached unconditionally: they are small, keyed
+/// by source alone, and re-binding an evicted model from a cached program
+/// skips the front-end entirely. Eviction only drops the cache's reference
+/// — sessions holding the `Arc` keep their model alive and valid, and a
+/// later request for the same key re-binds a fresh, equivalent entry.
 #[derive(Default)]
 pub struct ModelCache {
     programs: Mutex<HashMap<u64, Slot<CompiledProgram>>>,
-    models: Mutex<HashMap<ModelKey, Slot<CachedModel>>>,
+    models: Mutex<ModelMap>,
+    model_capacity: Option<usize>,
     program_hits: AtomicU64,
     program_misses: AtomicU64,
     model_hits: AtomicU64,
     model_misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl ModelCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache holding at most `capacity` bound models (at least 1),
+    /// evicting the least recently used beyond that.
+    pub fn with_model_capacity(capacity: usize) -> Self {
+        ModelCache {
+            model_capacity: Some(capacity.max(1)),
+            ..Self::default()
+        }
+    }
+
+    /// The bound-model slot for `key`: re-stamps the entry, inserts an
+    /// empty slot on first sight, and — when over capacity — evicts the
+    /// least recently used *other* entry. The map lock is never held during
+    /// a bind; an evicted slot another thread is still initializing stays
+    /// alive through that thread's `Arc` and is simply no longer findable.
+    fn model_slot(&self, key: ModelKey) -> Slot<CachedModel> {
+        let mut map = self.models.lock().expect("cache map lock");
+        map.clock += 1;
+        let stamp = map.clock;
+        let mut inserted = false;
+        let slot = match map.entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().stamp = stamp;
+                e.get().slot.clone()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                inserted = true;
+                e.insert(ModelEntry {
+                    slot: Slot::default(),
+                    stamp,
+                })
+                .slot
+                .clone()
+            }
+        };
+        if inserted {
+            if let Some(cap) = self.model_capacity {
+                while map.entries.len() > cap {
+                    let Some(&lru) = map
+                        .entries
+                        .iter()
+                        .filter(|(k, _)| **k != key)
+                        .min_by_key(|(_, e)| e.stamp)
+                        .map(|(k, _)| k)
+                    else {
+                        break;
+                    };
+                    map.entries.remove(&lru);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        slot
     }
 
     /// The compiled program for this source, compiling on first use.
@@ -229,7 +312,7 @@ impl ModelCache {
             scheme: scheme_tag(scheme),
             data: data_fingerprint(data),
         };
-        let slot = slot_for(&self.models, key);
+        let slot = self.model_slot(key);
         let mut ran = false;
         let result = slot.get_or_init(|| {
             ran = true;
@@ -267,7 +350,13 @@ impl ModelCache {
 
     /// Number of distinct bound-model entries currently cached.
     pub fn n_models(&self) -> usize {
-        self.models.lock().expect("cache map lock").len()
+        self.models.lock().expect("cache map lock").entries.len()
+    }
+
+    /// Bound models evicted so far by the LRU bound (always 0 for an
+    /// unbounded cache). Monotone; compare deltas.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -310,6 +399,34 @@ mod tests {
             .get_or_bind(COIN, Scheme::Comprehensive, &coin_data())
             .unwrap();
         assert_eq!(cache.n_models(), 3);
+        assert_eq!(cache.stats().program_misses, 1);
+    }
+
+    #[test]
+    fn lru_bound_evicts_least_recently_used_model_only() {
+        let cache = ModelCache::with_model_capacity(2);
+        let data_n = |n: usize| {
+            let patterns = [vec![1, 0, 1, 1], vec![0, 1, 1, 1], vec![1, 1, 0, 1]];
+            vec![
+                ("N".to_string(), Value::Int(4)),
+                ("x".to_string(), Value::IntArray(patterns[n - 1].clone())),
+            ]
+        };
+        let a = cache.get_or_bind(COIN, Scheme::Mixed, &data_n(1)).unwrap();
+        let _b = cache.get_or_bind(COIN, Scheme::Mixed, &data_n(2)).unwrap();
+        // Touch `a`'s key so `b` becomes the LRU, then overflow the cap.
+        let a2 = cache.get_or_bind(COIN, Scheme::Mixed, &data_n(1)).unwrap();
+        assert!(Arc::ptr_eq(&a.model, &a2.model));
+        let _c = cache.get_or_bind(COIN, Scheme::Mixed, &data_n(3)).unwrap();
+        assert_eq!(cache.n_models(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // `a` survived (recently used); `b` was evicted and re-binds fresh.
+        let a3 = cache.get_or_bind(COIN, Scheme::Mixed, &data_n(1)).unwrap();
+        assert!(Arc::ptr_eq(&a.model, &a3.model));
+        let b2 = cache.get_or_bind(COIN, Scheme::Mixed, &data_n(2)).unwrap();
+        assert_eq!(cache.evictions(), 2); // re-inserting b evicted c
+        assert_eq!(b2.scheme, Scheme::Mixed);
+        // The compiled program was never evicted: one compile total.
         assert_eq!(cache.stats().program_misses, 1);
     }
 

@@ -37,6 +37,10 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Upper bound on a request's `chains` (protects the thread budget).
     pub max_chains: usize,
+    /// Maximum bound models kept in the cache (`None` = unbounded). Beyond
+    /// this the least-recently-used model is evicted; compiled programs
+    /// stay cached regardless (see [`ModelCache`]).
+    pub model_cache_capacity: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +52,7 @@ impl Default for ServeConfig {
             workers,
             queue_capacity: workers * 4,
             max_chains: 16,
+            model_cache_capacity: None,
         }
     }
 }
@@ -73,7 +78,10 @@ impl Server {
     pub fn start(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
-        let cache = Arc::new(ModelCache::new());
+        let cache = Arc::new(match config.model_cache_capacity {
+            Some(cap) => ModelCache::with_model_capacity(cap),
+            None => ModelCache::new(),
+        });
         let pool = Arc::new(WorkerPool::new(config.workers, config.queue_capacity));
         let stop = Arc::new(AtomicBool::new(false));
         let accept_thread = {

@@ -149,5 +149,74 @@ fn concurrent_requests_compile_once_and_cache_hits_do_zero_compile_work() {
          not allocated per chain (created {created})"
     );
     assert!(cached.pool.idle() >= 1);
+
+    // --- A cached bound model carries its native density program (when
+    // the platform compiles one) — eviction must not be the only way the
+    // serve tier exercises the JIT. ---
+    if cfg!(all(target_arch = "x86_64", target_os = "linux"))
+        && std::env::var("GPROB_JIT").map_or(true, |v| v != "0" && v != "off")
+    {
+        assert!(
+            cached.model.jit().is_some(),
+            "served coin model should carry native code: {:?}",
+            cached.model.jit_decline().map(|d| d.reason().to_string())
+        );
+    }
     server.shutdown();
+
+    // --- Bounded cache over the wire: a capacity-2 server evicts the LRU
+    // bound model under three-tenant traffic, and a request for the evicted
+    // model re-binds it correctly (one bind, same answers as a fresh
+    // server would give). ---
+    let bounded = Server::start(ServeConfig {
+        model_cache_capacity: Some(2),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(bounded.addr()).unwrap();
+    let request_for = |name: &str| {
+        let entry = model_zoo::find(name).unwrap();
+        Request {
+            name: entry.name.to_string(),
+            scheme: Scheme::Mixed,
+            method: MethodSpec::Nuts {
+                warmup: 30,
+                samples: 20,
+            },
+            chains: 1,
+            seed: 5,
+            gq: false,
+            data: entry.dataset(3),
+            source: entry.source.to_string(),
+        }
+    };
+    let first = client.request(&request_for("coin")).unwrap();
+    client
+        .request(&request_for("eight_schools_centered"))
+        .unwrap();
+    assert_eq!(bounded.cache().evictions(), 0);
+    // Third distinct model overflows the cap; coin is now the LRU.
+    client.request(&request_for("nes_logit")).unwrap();
+    assert_eq!(bounded.cache().n_models(), 2);
+    assert_eq!(bounded.cache().evictions(), 1);
+    // Re-requesting the evicted model re-binds it (exactly one bind) and
+    // reproduces the original run bit for bit — eviction lost no state
+    // that matters.
+    let binds_before = gprob::model::bind_count();
+    let again = client.request(&request_for("coin")).unwrap();
+    assert_eq!(
+        gprob::model::bind_count() - binds_before,
+        1,
+        "the evicted model must be re-bound exactly once"
+    );
+    assert_eq!(bounded.cache().evictions(), 2);
+    assert_eq!(first.names, again.names);
+    assert_eq!(first.chains.len(), again.chains.len());
+    for (a, b) in first.chains.iter().zip(&again.chains) {
+        assert_eq!(
+            a.draws, b.draws,
+            "re-binding after eviction must reproduce the original draws"
+        );
+    }
+    bounded.shutdown();
 }

@@ -1,0 +1,102 @@
+//! Telemetry overhead guard: the gradient evaluation path must cost the
+//! same with telemetry live as with it disabled.
+//!
+//! The `obs` contract says the per-eval path carries **no**
+//! instrumentation — inference loops accumulate locally and flush once
+//! per chain — so flipping [`obs::set_enabled`] must not move the pinned
+//! `gprob_grad_dprog_jit`-style eval rate. This guard measures exactly
+//! that: interleaved rounds of a fixed gradient-eval batch with telemetry
+//! on and off (alternating order within each round to cancel thermal and
+//! scheduler drift), compared by median round time. It exits nonzero when
+//! the medians differ by more than 3%, which catches any future change
+//! that sneaks an `Instant::now` or atomic into the hot loop.
+//!
+//! ```text
+//! cargo run --release -p deepstan_bench --bin obs_overhead
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use deepstan::DeepStan;
+use gprob::value::Value;
+
+const ROUNDS: usize = 31;
+const EVALS_PER_ROUND: usize = 4_000;
+const TOLERANCE: f64 = 0.03;
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+fn main() -> ExitCode {
+    let entry = model_zoo::find("eight_schools_centered").expect("corpus model");
+    let program = DeepStan::compile_named(entry.name, entry.source).expect("compile");
+    let data = entry.dataset(5);
+    let data_refs: Vec<(&str, Value<f64>)> =
+        data.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+    let gmodel = program.bind(&data_refs).expect("bind");
+    let theta = vec![0.1; gmodel.dim()];
+    let mut ws = gmodel.grad_workspace();
+    let mut g = vec![0.0; gmodel.dim()];
+
+    let mut run_batch = |enabled: bool| -> f64 {
+        obs::set_enabled(enabled);
+        // Exercise the surrounding telemetry surface while timing the
+        // evals, so "enabled" is a realistic live-registry state.
+        if enabled {
+            obs::counter("obs_overhead.rounds").inc();
+        }
+        let start = Instant::now();
+        for _ in 0..EVALS_PER_ROUND {
+            gmodel
+                .log_density_and_grad_with(&mut ws, std::hint::black_box(&theta), &mut g)
+                .expect("grad eval");
+            std::hint::black_box(&g);
+        }
+        start.elapsed().as_secs_f64()
+    };
+
+    // Warm up caches and the JIT'd code path before measuring.
+    run_batch(true);
+    run_batch(false);
+
+    let mut on = Vec::with_capacity(ROUNDS);
+    let mut off = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        // Alternate which mode goes first so drift hits both equally.
+        if round % 2 == 0 {
+            on.push(run_batch(true));
+            off.push(run_batch(false));
+        } else {
+            off.push(run_batch(false));
+            on.push(run_batch(true));
+        }
+    }
+    obs::set_enabled(true);
+
+    let on_med = median(&mut on);
+    let off_med = median(&mut off);
+    let per_eval_ns = |secs: f64| secs / EVALS_PER_ROUND as f64 * 1e9;
+    let ratio = on_med / off_med;
+    println!(
+        "obs_overhead: gprob_grad_dprog_jit eval, {EVALS_PER_ROUND} evals x {ROUNDS} rounds\n\
+         telemetry on : {:.1} ns/eval (median round {:.4}s)\n\
+         telemetry off: {:.1} ns/eval (median round {:.4}s)\n\
+         ratio on/off : {ratio:.4}",
+        per_eval_ns(on_med),
+        on_med,
+        per_eval_ns(off_med),
+        off_med,
+    );
+    if (ratio - 1.0).abs() > TOLERANCE {
+        eprintln!(
+            "obs_overhead: FAIL - telemetry moved the gradient path by more than {:.0}%",
+            TOLERANCE * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("obs_overhead: OK (within {:.0}%)", TOLERANCE * 100.0);
+    ExitCode::SUCCESS
+}

@@ -2,7 +2,7 @@
 //! through the chain-first [`Session`](crate::session::Session) pipeline.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use gprob::model::ParamSlot;
 use gprob::value::{Env, RuntimeError, Value};
@@ -17,12 +17,17 @@ use stan_ref::StanModel;
 /// Process-wide count of front-end compiles ([`DeepStan::compile`] /
 /// [`DeepStan::compile_named`]), the parse-and-translate half of the work a
 /// compiled-model cache amortizes (the bind half is counted by
-/// [`gprob::model::bind_count`]). Monotone; compare deltas.
-static COMPILE_COUNT: AtomicU64 = AtomicU64::new(0);
+/// [`gprob::model::bind_count`]). Lives in the [`obs`] registry as the
+/// counter `compile.count`; monotone; compare deltas.
+fn compile_counter() -> &'static obs::Counter {
+    static COUNTER: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| obs::counter("compile.count"))
+}
 
-/// Number of front-end compiles performed by this process so far.
+/// Number of front-end compiles performed by this process so far (the
+/// `compile.count` registry counter).
 pub fn compile_count() -> u64 {
-    COMPILE_COUNT.load(Ordering::Relaxed)
+    compile_counter().get()
 }
 
 /// Any error the end-to-end pipeline can produce.
@@ -87,8 +92,12 @@ impl DeepStan {
     /// # Errors
     /// Same as [`DeepStan::compile`].
     pub fn compile_named(name: &str, source: &str) -> Result<CompiledProgram, InferenceError> {
-        COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
-        let ast = stan_frontend::compile_frontend(source)?;
+        compile_counter().inc();
+        let ast = {
+            let _span = obs::Span::enter("compile.parse");
+            stan_frontend::compile_frontend(source)?
+        };
+        let _span = obs::Span::enter("compile.translate");
         let comprehensive = compile(&ast, Scheme::Comprehensive)?;
         let mixed = compile(&ast, Scheme::Mixed)?;
         let generative = compile(&ast, Scheme::Generative).ok();

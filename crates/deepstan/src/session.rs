@@ -843,9 +843,12 @@ impl WorkspacePool {
 
     fn acquire(&self) -> gprob::GradWorkspace {
         if let Some(ws) = self.free.lock().expect("workspace pool lock").pop() {
+            // Checked out: one fewer idle workspace process-wide.
+            obs::gauge("workspace.idle").add(-1.0);
             return ws;
         }
         self.created.fetch_add(1, Ordering::Relaxed);
+        obs::counter("workspace.created").inc();
         self.model.grad_workspace()
     }
 
@@ -853,6 +856,7 @@ impl WorkspacePool {
         let mut free = self.free.lock().expect("workspace pool lock");
         if free.len() < Self::MAX_IDLE {
             free.push(ws);
+            obs::gauge("workspace.idle").add(1.0);
         }
     }
 }
@@ -1280,6 +1284,91 @@ impl Fit {
     /// All chains' draws pooled, in chain order.
     pub fn pooled_draws(&self) -> Vec<Vec<f64>> {
         self.chains.iter().flat_map(|c| c.draws.clone()).collect()
+    }
+
+    /// A human-readable performance profile: this fit's per-chain table
+    /// (draws, divergences, gradient evaluations, wall time, gradient
+    /// throughput) followed by the inference/compile sections of the
+    /// process-wide [`obs`] registry — compile/bind phase timings, DProg
+    /// and JIT decline counters, NUTS leapfrog/tree-depth/divergence
+    /// telemetry, ADVI/SVI step timings, and workspace-pool gauges.
+    ///
+    /// The registry sections are *process totals* (every fit and cached
+    /// bind since startup), so compare deltas across calls when profiling
+    /// one run among many. Remote users get the same registry text over
+    /// the wire through the serve tier's `stats` frame.
+    pub fn profile(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fit profile — method {:?}, {} chain(s), {:.3}s wall",
+            self.method,
+            self.chains.len(),
+            self.wall_time
+        );
+        for (index, chain) in self.chains.iter().enumerate() {
+            let rate = if chain.wall_time > 0.0 {
+                chain.n_grad_evals as f64 / chain.wall_time
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  chain {index}: {} draws, {} divergences, {} grad evals, {:.3}s ({:.0} grads/s)",
+                chain.draws.len(),
+                chain.divergences,
+                chain.n_grad_evals,
+                chain.wall_time,
+                rate
+            );
+        }
+        let snapshot = obs::global().snapshot().filtered(&[
+            "compile.",
+            "bind.",
+            "dprog.",
+            "jit.",
+            "nuts.",
+            "advi.",
+            "svi.",
+            "workspace.",
+        ]);
+        out.push_str("process telemetry (registry totals since startup):\n");
+        for (name, value) in &snapshot.counters {
+            let _ = writeln!(out, "  {name} = {value}");
+        }
+        for (name, value) in &snapshot.gauges {
+            let _ = writeln!(out, "  {name} = {value}");
+        }
+        for (name, hist) in &snapshot.histograms {
+            if hist.count == 0 {
+                continue;
+            }
+            // Span histograms record nanoseconds; report them as ms.
+            if name.ends_with("_ns") {
+                let ms = 1e6;
+                let _ = writeln!(
+                    out,
+                    "  {name}: n={} p50={:.3}ms p90={:.3}ms p99={:.3}ms max={:.3}ms",
+                    hist.count,
+                    hist.p50() / ms,
+                    hist.p90() / ms,
+                    hist.p99() / ms,
+                    hist.max as f64 / ms
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  {name}: n={} mean={:.2} p50={:.0} p99={:.0} max={}",
+                    hist.count,
+                    hist.mean(),
+                    hist.p50(),
+                    hist.p99(),
+                    hist.max
+                );
+            }
+        }
+        out
     }
 
     /// Index of a component by exact name (`"mu"`, `"theta[2]"`).

@@ -7,7 +7,7 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use minidiff::{grad_into, tape, Real, Var};
 use probdist::Constraint;
@@ -106,16 +106,46 @@ pub struct GModel {
     jit_decline: Option<crate::dprog::Decline>,
 }
 
-/// Process-wide count of [`GModel`] bind operations (each one pays the
-/// full resolve + sweep-lowering + DProg-lowering cost). Serving layers use
-/// the delta across a request to assert that cache hits perform **zero**
+/// The process-wide count of [`GModel`] bind operations (each one pays the
+/// full resolve + sweep-lowering + DProg-lowering cost) lives in the
+/// [`obs`] registry as the counter `bind.count`. Serving layers use the
+/// delta across a request to assert that cache hits perform **zero**
 /// compile/resolve/lower work; see [`bind_count`].
-static BIND_COUNT: AtomicU64 = AtomicU64::new(0);
+fn bind_counter() -> &'static obs::Counter {
+    static COUNTER: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| obs::counter("bind.count"))
+}
 
-/// Number of [`GModel`] binds performed by this process so far. Monotone;
-/// compare deltas, not absolute values (other threads may bind concurrently).
+/// Number of [`GModel`] binds performed by this process so far (the
+/// `bind.count` registry counter). Monotone; compare deltas, not absolute
+/// values (other threads may bind concurrently).
 pub fn bind_count() -> u64 {
-    BIND_COUNT.load(Ordering::Relaxed)
+    bind_counter().get()
+}
+
+/// Folds a decline reason into a counter-name slug: lower-cased
+/// alphanumerics, runs of anything else collapsed to one `_`, truncated —
+/// so decline *rates by reason* are trackable without unbounded metric
+/// cardinality from embedded identifiers.
+fn decline_slug(reason: &str) -> String {
+    let mut slug = String::new();
+    for c in reason.chars() {
+        if c.is_ascii_alphanumeric() {
+            slug.push(c.to_ascii_lowercase());
+        } else if !slug.ends_with('_') && !slug.is_empty() {
+            slug.push('_');
+        }
+        if slug.len() >= 48 {
+            break;
+        }
+    }
+    while slug.ends_with('_') {
+        slug.pop();
+    }
+    if slug.is_empty() {
+        slug.push_str("unspecified");
+    }
+    slug
 }
 
 // Bound models are shared across request-serving threads behind an `Arc`
@@ -163,7 +193,7 @@ impl GModel {
         mut data: Env<f64>,
         fused: bool,
     ) -> Result<Self, RuntimeError> {
-        BIND_COUNT.fetch_add(1, Ordering::Relaxed);
+        bind_counter().inc();
         let ctx: EvalCtx<f64> = EvalCtx::with_functions(&program.functions);
         // Pre-processing: transformed data runs once (Section 3.3).
         if let Some(td) = &program.transformed_data {
@@ -211,41 +241,64 @@ impl GModel {
 
         // Compile-time name resolution: one dense slot per variable, so the
         // density hot path below never hashes a string.
-        let resolved = if fused {
-            resolve_program(&program)
-        } else {
-            gprob_resolve_scalar(&program)
+        let (resolved, resolved_gq, data_frame, param_frame_slots) = {
+            let _span = obs::Span::enter("bind.resolve");
+            let resolved = if fused {
+                resolve_program(&program)
+            } else {
+                gprob_resolve_scalar(&program)
+            };
+            let resolved_gq = if fused {
+                crate::gq::resolve_gq(&program)
+            } else {
+                crate::gq::resolve_gq_scalar(&program)
+            };
+            let data_frame = resolved.frame_from_env(&data);
+            let param_frame_slots: Vec<u32> = resolved.params.iter().map(|p| p.slot).collect();
+            (resolved, resolved_gq, data_frame, param_frame_slots)
         };
-        let resolved_gq = if fused {
-            crate::gq::resolve_gq(&program)
-        } else {
-            crate::gq::resolve_gq_scalar(&program)
-        };
-        let data_frame = resolved.frame_from_env(&data);
-        let param_frame_slots = resolved.params.iter().map(|p| p.slot).collect();
 
         // Lower the density to its tape-free program; declined shapes keep
         // the interpreted path (byte-identical to the pre-DProg behavior).
-        let (dprog, dprog_decline) =
+        let (dprog, dprog_decline) = {
+            let _span = obs::Span::enter("bind.dprog_lower");
             match crate::dprog::compile(&program, &resolved, &data_frame, &slots) {
                 Ok(p) => (Some(p), None),
                 Err(d) => (None, Some(d)),
-            };
+            }
+        };
+        match &dprog_decline {
+            None => obs::counter("dprog.compiled").inc(),
+            Some(d) => {
+                obs::counter("dprog.declined").inc();
+                obs::counter(&format!("dprog.decline.{}", decline_slug(d.reason()))).inc();
+            }
+        }
 
         // JIT the density program to native code where the platform allows;
         // declines keep the interpreted program as-is.
-        let (jit, jit_decline) = match &dprog {
-            Some(p) => match crate::dprog::jit::compile(p) {
-                Ok(j) => (Some(j), None),
-                Err(d) => (None, Some(d)),
-            },
-            None => (
-                None,
-                Some(crate::dprog::Decline::new(
-                    "jit: no density program to compile",
-                )),
-            ),
+        let (jit, jit_decline) = {
+            let _span = obs::Span::enter("bind.jit_emit");
+            match &dprog {
+                Some(p) => match crate::dprog::jit::compile(p) {
+                    Ok(j) => (Some(j), None),
+                    Err(d) => (None, Some(d)),
+                },
+                None => (
+                    None,
+                    Some(crate::dprog::Decline::new(
+                        "jit: no density program to compile",
+                    )),
+                ),
+            }
         };
+        match &jit_decline {
+            None => obs::counter("jit.compiled").inc(),
+            Some(d) => {
+                obs::counter("jit.declined").inc();
+                obs::counter(&format!("jit.decline.{}", decline_slug(d.reason()))).inc();
+            }
+        }
 
         Ok(GModel {
             program,

@@ -85,8 +85,10 @@ pub fn advi_fit_mut<T: GradTargetMut + ?Sized>(
     let mut eps = vec![0.0; dim];
     let mut z = vec![0.0; dim];
     let mut grad = vec![0.0; 2 * dim];
+    let mut step_timer = obs::StepTimer::new("advi.step");
 
     for step in 0..config.steps {
+        step_timer.begin();
         grad.fill(0.0);
         let mut elbo = 0.0;
         for _ in 0..config.grad_samples {
@@ -116,6 +118,7 @@ pub fn advi_fit_mut<T: GradTargetMut + ?Sized>(
         omega.copy_from_slice(&params[dim..]);
 
         running += elbo * scale;
+        step_timer.end();
         if (step + 1) % report_every == 0 {
             elbo_trace.push(running / report_every as f64);
             running = 0.0;
@@ -172,8 +175,10 @@ pub fn advi_fit_batch<T: GradTargetBatch + ?Sized>(
     let mut lps = vec![0.0; k];
     let mut gs = vec![0.0; k * dim];
     let mut grad = vec![0.0; 2 * dim];
+    let mut step_timer = obs::StepTimer::new("advi.step");
 
     for step in 0..config.steps {
+        step_timer.begin();
         grad.fill(0.0);
         let mut elbo = 0.0;
         for s in 0..k {
@@ -207,6 +212,7 @@ pub fn advi_fit_batch<T: GradTargetBatch + ?Sized>(
         omega.copy_from_slice(&params[dim..]);
 
         running += elbo * scale;
+        step_timer.end();
         if (step + 1) % report_every == 0 {
             elbo_trace.push(running / report_every as f64);
             running = 0.0;

@@ -71,6 +71,47 @@ struct State {
     grad: Vec<f64>,
 }
 
+/// Per-chain telemetry accumulated in plain locals and flushed into the
+/// global [`obs`] registry once at chain end — the leapfrog/gradient path
+/// itself carries no instrumentation (the `obs` overhead contract), and
+/// the flush is counters/gauges only (no timing), so it is always live.
+///
+/// Registry surface: `nuts.chains` / `nuts.leapfrogs` /
+/// `nuts.divergences` counters, the `nuts.tree_depth` histogram (tree
+/// doublings entered per iteration), and the `nuts.step_size` gauge (the
+/// most recently finished chain's adapted step size).
+struct ChainTelemetry {
+    leapfrogs: u64,
+    /// Iteration counts by tree depth entered; NUTS depths are single
+    /// digits in practice and `max_depth` is bounded far below 64.
+    depths: [u64; 64],
+}
+
+impl ChainTelemetry {
+    fn new() -> Self {
+        ChainTelemetry {
+            leapfrogs: 0,
+            depths: [0; 64],
+        }
+    }
+
+    fn record_iteration(&mut self, depth_entered: usize, n_leapfrog: usize) {
+        self.leapfrogs += n_leapfrog as u64;
+        self.depths[depth_entered.min(63)] += 1;
+    }
+
+    fn flush(&self, divergences: usize, step_size: f64) {
+        obs::counter("nuts.chains").inc();
+        obs::counter("nuts.leapfrogs").add(self.leapfrogs);
+        obs::counter("nuts.divergences").add(divergences as u64);
+        obs::gauge("nuts.step_size").set(step_size);
+        let hist = obs::histogram("nuts.tree_depth");
+        for (depth, &n) in self.depths.iter().enumerate() {
+            hist.record_n(depth as u64, n);
+        }
+    }
+}
+
 /// Dual-averaging step-size adaptation (Hoffman & Gelman 2014, Algorithm 5).
 struct DualAveraging {
     mu: f64,
@@ -185,6 +226,7 @@ pub fn nuts_sample_mut<T: GradTargetMut + ?Sized>(
 
     let total = config.warmup + config.samples;
     let mut draws = Vec::with_capacity(config.samples);
+    let mut telemetry = ChainTelemetry::new();
     let mut divergences = 0usize;
     let mut accept_sum = 0.0;
     let mut accept_count = 0usize;
@@ -220,8 +262,10 @@ pub fn nuts_sample_mut<T: GradTargetMut + ?Sized>(
         let mut sum_accept = 0.0;
         let mut n_leapfrog = 0usize;
         let mut diverged = false;
+        let mut depth_entered = 0usize;
 
         for depth in 0..config.max_depth {
+            depth_entered = depth + 1;
             let go_right = rng.gen::<bool>();
             let mut log_sum_weight_subtree = f64::NEG_INFINITY;
             let mut q_prop = q_new.clone();
@@ -282,6 +326,7 @@ pub fn nuts_sample_mut<T: GradTargetMut + ?Sized>(
         q = q_new;
         logp = logp_new;
         grad = grad_new;
+        telemetry.record_iteration(depth_entered, n_leapfrog);
 
         let accept_stat = if n_leapfrog > 0 {
             sum_accept / n_leapfrog as f64
@@ -323,6 +368,7 @@ pub fn nuts_sample_mut<T: GradTargetMut + ?Sized>(
         }
     }
 
+    telemetry.flush(divergences, step_size);
     NutsResult {
         draws,
         divergences,
@@ -643,6 +689,7 @@ struct LockstepChain {
     accept_sum: f64,
     accept_count: usize,
     iter: usize,
+    telemetry: ChainTelemetry,
     phase: Phase,
     /// The point whose `(log p, ∇ log p)` the chain is waiting on; gathered
     /// by the driver whenever `done` is false.
@@ -676,6 +723,7 @@ impl LockstepChain {
             accept_sum: 0.0,
             accept_count: 0,
             iter: 0,
+            telemetry: ChainTelemetry::new(),
             phase: Phase::Init,
             pending_q,
             done: false,
@@ -818,7 +866,7 @@ impl LockstepChain {
                 self.phase = Phase::Tree(tw);
                 return;
             }
-            self.apply_iteration_end(tw, false);
+            self.apply_iteration_end(tw, false, 0);
         }
     }
 
@@ -904,7 +952,8 @@ impl LockstepChain {
         if delta < -1000.0 || !joint.is_finite() {
             // Divergence: abandon the iteration (no progressive-sampling RNG
             // draw for this step, as in `build_tree`'s early return).
-            self.apply_iteration_end(tw, true);
+            let depth_entered = tw.depth + 1;
+            self.apply_iteration_end(tw, true, depth_entered);
             self.run_iterations();
             return;
         }
@@ -940,7 +989,8 @@ impl LockstepChain {
         }
         tw.log_sum_weight = log_add_exp(tw.log_sum_weight, tw.log_sum_weight_subtree);
         if uturn(&tw.state_minus, &tw.state_plus, &self.inv_mass) {
-            self.apply_iteration_end(tw, false);
+            let depth_entered = tw.depth + 1;
+            self.apply_iteration_end(tw, false, depth_entered);
             self.run_iterations();
             return;
         }
@@ -951,17 +1001,22 @@ impl LockstepChain {
             self.phase = Phase::Tree(tw);
             return;
         }
-        self.apply_iteration_end(tw, false);
+        let depth_entered = tw.depth;
+        self.apply_iteration_end(tw, false, depth_entered);
         self.run_iterations();
     }
 
     /// Everything after the depth loop in [`nuts_sample_mut`]: accept the new
-    /// point, adapt during warmup, record draws after it.
-    fn apply_iteration_end(&mut self, tw: Box<TreeWalk>, diverged: bool) {
+    /// point, adapt during warmup, record draws after it. `depth_entered`
+    /// mirrors the sequential driver's count of tree doublings entered
+    /// this iteration (telemetry only — no effect on sampling).
+    fn apply_iteration_end(&mut self, tw: Box<TreeWalk>, diverged: bool, depth_entered: usize) {
         let tw = *tw;
         self.q = tw.q_new;
         self.logp = tw.logp_new;
         self.grad = tw.grad_new;
+        self.telemetry
+            .record_iteration(depth_entered, tw.n_leapfrog);
 
         let accept_stat = if tw.n_leapfrog > 0 {
             tw.sum_accept / tw.n_leapfrog as f64
@@ -1002,6 +1057,7 @@ impl LockstepChain {
     }
 
     fn finish(self) -> NutsResult {
+        self.telemetry.flush(self.divergences, self.step_size);
         NutsResult {
             draws: self.draws,
             divergences: self.divergences,

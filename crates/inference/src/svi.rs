@@ -99,10 +99,13 @@ pub fn svi_optimize<F: FnMut(&[f64], &mut StdRng) -> (f64, Vec<f64>)>(
     let mut elbo_trace = Vec::new();
     let mut running = 0.0;
     let report_every = (steps / 50).max(1);
+    let mut step_timer = obs::StepTimer::new("svi.step");
     for step in 0..steps {
+        step_timer.begin();
         let (elbo, grad) = objective_grad(&params, &mut rng);
         adam.step(&mut params, &grad);
         running += elbo;
+        step_timer.end();
         if (step + 1) % report_every == 0 {
             elbo_trace.push(running / report_every as f64);
             running = 0.0;
@@ -134,10 +137,13 @@ pub fn svi_optimize_draws<F: FnMut(&[f64], usize, &mut StdRng) -> (f64, Vec<f64>
     let mut elbo_trace = Vec::new();
     let mut running = 0.0;
     let report_every = (steps / 50).max(1);
+    let mut step_timer = obs::StepTimer::new("svi.step");
     for step in 0..steps {
+        step_timer.begin();
         let (elbo, grad) = objective_grad(&params, draws, &mut rng);
         adam.step(&mut params, &grad);
         running += elbo;
+        step_timer.end();
         if (step + 1) % report_every == 0 {
             elbo_trace.push(running / report_every as f64);
             running = 0.0;

@@ -1,0 +1,341 @@
+//! The process [`Registry`] of named metrics and its serializable
+//! [`Snapshot`] (the `stats`-frame payload and the `Fit::profile()` data
+//! source). See the crate docs for the text format grammar.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
+
+/// A named collection of metrics. The maps are only locked to create or
+/// enumerate metrics; updating through the returned `Arc` handles is
+/// lock-free, and hot call sites cache the handle in a `OnceLock`.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// Whitespace would break the line/space-delimited snapshot format.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+impl Registry {
+    /// A fresh, empty registry (tests; production code shares
+    /// [`global()`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("obs registry lock");
+        map.entry(sanitize(name)).or_default().clone()
+    }
+
+    /// The gauge named `name`, created at `0.0` on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("obs registry lock");
+        map.entry(sanitize(name)).or_default().clone()
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("obs registry lock");
+        map.entry(sanitize(name)).or_default().clone()
+    }
+
+    /// Captures every registered metric into a [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("obs registry lock")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("obs registry lock")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("obs registry lock")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry every instrumented crate reports into.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// A point-in-time copy of a registry: serializable to the stable text
+/// format ([`to_text`](Snapshot::to_text) / [`parse`](Snapshot::parse)),
+/// mergeable, and subtractable for per-interval views.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// True when no metric of any kind is present.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The counter named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The gauge named `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Element-wise addition: counters and histogram buckets add, gauges
+    /// take `other`'s value (last-writer-wins — a gauge is a level, not a
+    /// flow). Associative over the histogram/counter content, with the
+    /// empty snapshot as identity.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, value) in &other.gauges {
+            self.gauges.insert(name.clone(), *value);
+        }
+        for (name, hist) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(hist);
+        }
+    }
+
+    /// The change since `base` (an earlier snapshot of the same
+    /// registry): counters and histograms subtract (saturating), gauges
+    /// keep the later value. Metrics absent from `base` pass through
+    /// whole.
+    pub fn delta(&self, base: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, v)| {
+                let b = base.counters.get(name).copied().unwrap_or(0);
+                (name.clone(), v.saturating_sub(b))
+            })
+            .collect();
+        let gauges = self.gauges.clone();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let d = match base.histograms.get(name) {
+                    Some(b) => h.delta(b),
+                    None => h.clone(),
+                };
+                (name.clone(), d)
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Renders the stable text form (see the crate docs for the
+    /// grammar). Counters first, then gauges, then histograms; names
+    /// sorted within each kind; empty histogram buckets omitted.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("counter {name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("gauge {name} {value}\n"));
+        }
+        for (name, hist) in &self.histograms {
+            out.push_str(&format!(
+                "hist {name} count {} sum {} max {} buckets",
+                hist.count, hist.sum, hist.max
+            ));
+            for (index, &n) in hist.buckets.iter().enumerate() {
+                if n > 0 {
+                    out.push_str(&format!(" {index}:{n}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the [`to_text`](Snapshot::to_text) form back.
+    ///
+    /// # Errors
+    /// A description of the first malformed line.
+    pub fn parse(text: &str) -> Result<Snapshot, String> {
+        let mut snapshot = Snapshot::default();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split(' ');
+            let kind = fields.next().unwrap_or("");
+            let name = fields
+                .next()
+                .ok_or_else(|| format!("metric line missing name: `{line}`"))?;
+            match kind {
+                "counter" => {
+                    let value: u64 = fields
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("bad counter line: `{line}`"))?;
+                    snapshot.counters.insert(name.to_string(), value);
+                }
+                "gauge" => {
+                    let value: f64 = fields
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("bad gauge line: `{line}`"))?;
+                    snapshot.gauges.insert(name.to_string(), value);
+                }
+                "hist" => {
+                    let mut hist = HistogramSnapshot::empty();
+                    let mut expect = |label: &str| -> Result<u64, String> {
+                        if fields.next() != Some(label) {
+                            return Err(format!("hist line missing `{label}`: `{line}`"));
+                        }
+                        fields
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| format!("bad hist `{label}` in `{line}`"))
+                    };
+                    hist.count = expect("count")?;
+                    hist.sum = expect("sum")?;
+                    hist.max = expect("max")?;
+                    if fields.next() != Some("buckets") {
+                        return Err(format!("hist line missing `buckets`: `{line}`"));
+                    }
+                    for pair in fields {
+                        let (index, n) = pair
+                            .split_once(':')
+                            .ok_or_else(|| format!("bad bucket `{pair}` in `{line}`"))?;
+                        let index: usize = index
+                            .parse()
+                            .map_err(|_| format!("bad bucket index `{pair}` in `{line}`"))?;
+                        if index >= BUCKETS {
+                            return Err(format!("bucket index out of range in `{line}`"));
+                        }
+                        hist.buckets[index] = n
+                            .parse()
+                            .map_err(|_| format!("bad bucket count `{pair}` in `{line}`"))?;
+                    }
+                    snapshot.histograms.insert(name.to_string(), hist);
+                }
+                other => return Err(format!("unknown metric kind `{other}` in `{line}`")),
+            }
+        }
+        Ok(snapshot)
+    }
+
+    /// The subset of metrics whose name starts with any of `prefixes` —
+    /// how `Fit::profile()` selects the inference/compile sections.
+    pub fn filtered(&self, prefixes: &[&str]) -> Snapshot {
+        let keep = |name: &String| prefixes.iter().any(|p| name.starts_with(p));
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .map(|(n, v)| (n.clone(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .map(|(n, v)| (n.clone(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .map(|(n, v)| (n.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_returns_same_metric_for_same_name() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn whitespace_in_names_is_sanitized() {
+        let r = Registry::new();
+        r.counter("bad name\twith ws").inc();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("bad_name_with_ws"), Some(1));
+        let reparsed = Snapshot::parse(&snap.to_text()).unwrap();
+        assert_eq!(reparsed, snap);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let r = Registry::new();
+        r.counter("a.count").add(7);
+        r.gauge("b.level").set(2.5);
+        let h = r.histogram("c.lat_ns");
+        h.record(0);
+        h.record(3);
+        h.record(1_000_000);
+        let snap = r.snapshot();
+        let text = snap.to_text();
+        let parsed = Snapshot::parse(&text).unwrap();
+        assert_eq!(parsed, snap);
+        assert_eq!(parsed.to_text(), text);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(Snapshot::parse("counter x notanumber").is_err());
+        assert!(Snapshot::parse("widget x 3").is_err());
+        assert!(Snapshot::parse("hist x count 1 sum 1 max 1 buckets 99:1").is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! RAII timing spans: enter/drop brackets a phase, the elapsed time lands
+//! in a named histogram, and — when `GPROB_TRACE` is set — a Chrome
+//! trace event is appended.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// An RAII phase timer. [`Span::enter("jit_emit")`](Span::enter) starts
+/// the clock; dropping the span records the elapsed nanoseconds into the
+/// global histogram `jit_emit_ns` and emits a trace event when tracing
+/// is installed. When [`crate::enabled`] is false the span is inert (no
+/// `Instant::now`, no registry lookup).
+#[must_use = "a span times the scope it is bound to; dropping it immediately records nothing useful"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    name: &'static str,
+    histogram: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts timing the phase `name` (recorded into histogram
+    /// `<name>_ns` on drop).
+    pub fn enter(name: &'static str) -> Span {
+        if !crate::enabled() {
+            return Span { inner: None };
+        }
+        let histogram = crate::global().histogram(&format!("{name}_ns"));
+        Span {
+            inner: Some(SpanInner {
+                name,
+                histogram,
+                start: Instant::now(),
+            }),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let elapsed = inner.start.elapsed();
+            let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+            inner.histogram.record(ns);
+            crate::trace::event(inner.name, inner.start, ns);
+        }
+    }
+}
+
+/// Repeated-phase timer for step loops (ADVI/SVI optimization steps):
+/// resolves its histogram once at construction, then each
+/// [`begin`](StepTimer::begin)/[`end`](StepTimer::end) pair costs two
+/// `Instant::now` calls and one atomic record — or nothing at all when
+/// [`crate::enabled`] was false at construction. Unlike [`Span`] it emits
+/// no trace events (thousands of steps would swamp a trace file).
+pub struct StepTimer {
+    histogram: Option<Arc<Histogram>>,
+    start: Option<Instant>,
+}
+
+impl StepTimer {
+    /// A timer feeding the global histogram `<name>_ns`; inert when
+    /// telemetry is disabled.
+    pub fn new(name: &str) -> StepTimer {
+        let histogram = crate::enabled().then(|| crate::global().histogram(&format!("{name}_ns")));
+        StepTimer {
+            histogram,
+            start: None,
+        }
+    }
+
+    /// Marks the start of one step.
+    #[inline]
+    pub fn begin(&mut self) {
+        if self.histogram.is_some() {
+            self.start = Some(Instant::now());
+        }
+    }
+
+    /// Records the step begun by the matching [`begin`](StepTimer::begin)
+    /// (no-op without one).
+    #[inline]
+    pub fn end(&mut self) {
+        if let (Some(histogram), Some(start)) = (&self.histogram, self.start.take()) {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            histogram.record(ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_timer_counts_steps() {
+        let mut timer = StepTimer::new("obs.test.step");
+        for _ in 0..3 {
+            timer.begin();
+            timer.end();
+        }
+        let snap = crate::global().snapshot();
+        assert_eq!(snap.histogram("obs.test.step_ns").map(|h| h.count), Some(3));
+    }
+
+    #[test]
+    fn span_records_into_named_histogram() {
+        {
+            let _span = Span::enter("obs.test.span");
+            std::hint::black_box(0u64);
+        }
+        let snap = crate::global().snapshot();
+        let hist = snap.histogram("obs.test.span_ns").expect("span histogram");
+        assert!(hist.count >= 1);
+    }
+}

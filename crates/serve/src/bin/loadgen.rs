@@ -2,8 +2,13 @@
 //! requests/sec and p50/p99 latency per concurrency level.
 //!
 //! With no `--addr`, starts an in-process [`serve::Server`] (release-mode
-//! numbers then include nothing but this process). Exits nonzero when any
-//! level completes zero requests — the CI smoke run's assertion.
+//! numbers then include nothing but this process). Server-side breakdowns
+//! come over the wire: the generator polls the `stats` frame before and
+//! after each level and embeds the delta (cache counters, per-method
+//! queue/run percentiles) in each level's JSON, so the numbers are honest
+//! for remote `--addr` targets too. Exits nonzero when any level completes
+//! zero requests or when the server's `stats` response is empty — the CI
+//! smoke run's assertions.
 //!
 //! ```text
 //! loadgen [--duration-secs N] [--conns 1,4] [--addr HOST:PORT] [--out FILE]
@@ -13,7 +18,8 @@ use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
-use serve::loadgen::{corpus_mix, run_load, LoadSpec};
+use serve::client::Client;
+use serve::loadgen::{corpus_mix, run_load, server_breakdown_json, LoadSpec};
 use serve::server::{ServeConfig, Server};
 
 struct Args {
@@ -98,9 +104,29 @@ fn main() -> ExitCode {
             (server.addr(), Some(server))
         }
     };
+    // Server-side breakdowns travel over the wire (the `stats` frame),
+    // never through in-process cache handles — a remote --addr target
+    // reports identically.
+    let mut poller = match Client::connect(addr) {
+        Ok(poller) => poller,
+        Err(e) => {
+            eprintln!("loadgen: failed to connect stats poller: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut poll_stats = |what: &str| match poller.stats() {
+        Ok(snapshot) => Some(snapshot),
+        Err(e) => {
+            eprintln!("loadgen: stats poll {what} failed: {e}");
+            None
+        }
+    };
     let requests = corpus_mix();
     let mut reports = Vec::new();
+    let mut levels: Vec<String> = Vec::new();
+    let mut last_stats = None;
     for &concurrency in &args.conns {
+        let before = poll_stats("before level");
         let report = run_load(
             addr,
             &LoadSpec {
@@ -120,19 +146,27 @@ fn main() -> ExitCode {
             report.p50_ms,
             report.p99_ms
         );
+        let mut level_json = report.to_json();
+        if let (Some(before), Some(after)) = (before, poll_stats("after level")) {
+            let breakdown = server_breakdown_json(&after.delta(&before));
+            level_json.truncate(level_json.len() - 1);
+            level_json.push_str(&format!(", \"server\": {breakdown}}}"));
+            last_stats = Some(after);
+        }
+        levels.push(level_json);
         reports.push(report);
     }
-    let cache_note = server
+    let cache_note = last_stats
         .as_ref()
-        .map(|s| {
-            let stats = s.cache().stats();
+        .map(|snapshot| {
+            let c = |name: &str| snapshot.counter(name).unwrap_or(0);
             format!(
                 ", \"cache\": {{\"model_misses\": {}, \"model_hits\": {}}}",
-                stats.model_misses, stats.model_hits
+                c("serve.cache.model_misses"),
+                c("serve.cache.model_hits")
             )
         })
         .unwrap_or_default();
-    let levels: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
     let json = format!(
         "{{\n \"date\": \"{}\",\n \"command\": \"cargo run --release -p serve --bin loadgen -- \
          --duration-secs {} --conns {}\",\n \"mix\": \"coin nuts 2-chain, eight_schools_centered \
@@ -161,6 +195,13 @@ fn main() -> ExitCode {
     if reports.iter().any(|r| r.completed == 0) {
         eprintln!("loadgen: a level completed zero requests");
         return ExitCode::FAILURE;
+    }
+    match &last_stats {
+        Some(snapshot) if !snapshot.is_empty() => {}
+        _ => {
+            eprintln!("loadgen: server returned no usable stats snapshot");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -160,6 +160,30 @@ fn slot_for<K: std::hash::Hash + Eq + Copy, T>(
         .clone()
 }
 
+/// Global registry mirrors of the per-instance counters: the `stats`
+/// frame and `Fit::profile()` read these. A server process owns exactly
+/// one cache, so process totals and instance totals coincide there; the
+/// per-instance counters stay authoritative for unit tests that build
+/// several caches side by side.
+struct GlobalCacheCounters {
+    program_hits: Arc<obs::Counter>,
+    program_misses: Arc<obs::Counter>,
+    model_hits: Arc<obs::Counter>,
+    model_misses: Arc<obs::Counter>,
+    evictions: Arc<obs::Counter>,
+}
+
+fn global_counters() -> &'static GlobalCacheCounters {
+    static COUNTERS: OnceLock<GlobalCacheCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| GlobalCacheCounters {
+        program_hits: obs::counter("serve.cache.program_hits"),
+        program_misses: obs::counter("serve.cache.program_misses"),
+        model_hits: obs::counter("serve.cache.model_hits"),
+        model_misses: obs::counter("serve.cache.model_misses"),
+        evictions: obs::counter("serve.cache.evictions"),
+    })
+}
+
 /// Cache hit/miss counters (monotone; compare deltas).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -268,6 +292,7 @@ impl ModelCache {
                     };
                     map.entries.remove(&lru);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    global_counters().evictions.inc();
                 }
             }
         }
@@ -290,8 +315,10 @@ impl ModelCache {
         });
         if ran {
             self.program_misses.fetch_add(1, Ordering::Relaxed);
+            global_counters().program_misses.inc();
         } else {
             self.program_hits.fetch_add(1, Ordering::Relaxed);
+            global_counters().program_hits.inc();
         }
         result.clone()
     }
@@ -332,8 +359,10 @@ impl ModelCache {
         });
         if ran {
             self.model_misses.fetch_add(1, Ordering::Relaxed);
+            global_counters().model_misses.inc();
         } else {
             self.model_hits.fetch_add(1, Ordering::Relaxed);
+            global_counters().model_hits.inc();
         }
         result.clone()
     }

@@ -5,7 +5,7 @@ use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::protocol::{read_frame, write_frame, Request, RequestFrame, Response};
 
 /// Client-side failure modes.
 #[derive(Debug)]
@@ -166,7 +166,39 @@ impl Client {
                     return Err(ClientError::Busy { retry_after_ms })
                 }
                 Response::Error { message } => return Err(ClientError::Server(message)),
+                Response::Stats { .. } => {
+                    return Err(ClientError::Protocol(
+                        "unexpected stats frame during a run".to_string(),
+                    ))
+                }
             }
+        }
+    }
+
+    /// Requests the server's telemetry snapshot (the `stats` frame) and
+    /// parses it back into an [`obs::Snapshot`]. Answered on the server's
+    /// connection thread, so it works even while the worker pool is full.
+    ///
+    /// # Errors
+    /// Transport failures, malformed snapshot text, or a non-`stats`
+    /// response.
+    pub fn stats(&mut self) -> Result<obs::Snapshot, ClientError> {
+        let payload = RequestFrame::Stats
+            .encode()
+            .map_err(ClientError::Protocol)?;
+        write_frame(&mut self.stream, &payload)?;
+        let Some(frame) = read_frame(&mut self.stream)? else {
+            return Err(ClientError::Protocol(
+                "connection closed before stats response".to_string(),
+            ));
+        };
+        match Response::parse(&frame).map_err(ClientError::Protocol)? {
+            Response::Stats { text } => obs::Snapshot::parse(&text).map_err(ClientError::Protocol),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected stats frame, got `{}`",
+                other.encode().lines().next().unwrap_or("")
+            ))),
         }
     }
 }

@@ -27,7 +27,37 @@
 //! * [`server`] / [`client`] — the accept loop and a blocking client.
 //!   Responses stream: each chain's draws flush as that chain finishes.
 //! * [`loadgen`] — mixed-model corpus traffic replay measuring
-//!   requests/sec and p50/p99 latency (the `BENCH_serve.json` numbers).
+//!   requests/sec and p50/p99 latency (the `BENCH_serve.json` numbers),
+//!   plus server-side breakdowns polled over the `stats` frame.
+//!
+//! # Live telemetry: the `stats` frame
+//!
+//! Every server process reports into the process-wide [`obs`] registry —
+//! request counters and latency histograms per method
+//! (`serve.requests.nuts`, `serve.request_ns.nuts`, `serve.queue_ns.*`,
+//! `serve.run_ns.*`), pool depth/rejections, and the cache counters
+//! (`serve.cache.*`) — alongside the compile/bind/inference metrics the
+//! lower layers record. A client sends the single-line frame `stats` and
+//! gets the whole registry back as one [`obs::Snapshot`] in stable text
+//! form; the reply comes from the connection thread, so it works even
+//! while the worker pool is saturated:
+//!
+//! ```
+//! use serve::client::Client;
+//! use serve::server::{ServeConfig, Server};
+//!
+//! let server = Server::start(ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let snap = client.stats().unwrap();
+//! // Counters like "serve.requests.nuts" appear once traffic has run:
+//! let _nuts_requests = snap.counter("serve.requests.nuts").unwrap_or(0);
+//! server.shutdown();
+//! ```
+//!
+//! Poll `stats` before and after a window and [`obs::Snapshot::delta`]
+//! gives the per-window activity — exactly how `loadgen` embeds
+//! server-side breakdowns into `BENCH_serve.json`. In-process users get
+//! the same registry through `deepstan::Fit::profile()`.
 //!
 //! # Quickstart
 //!
@@ -77,5 +107,5 @@ pub use cache::{CacheStats, CachedModel, ModelCache};
 pub use client::{Client, ClientError, ServedChain, ServedFit};
 pub use loadgen::{corpus_mix, run_load, LoadReport, LoadSpec};
 pub use pool::{Busy, WorkerPool};
-pub use protocol::{MethodSpec, Request, Response};
+pub use protocol::{MethodSpec, Request, RequestFrame, Response};
 pub use server::{ServeConfig, Server};

@@ -7,6 +7,14 @@
 //! rejections honor the server's `retry_after_ms` hint and are counted
 //! separately from completed requests; they are backpressure working as
 //! designed, not failures.
+//!
+//! Besides client-side latency, the generator polls the server's `stats`
+//! frame before and after each level; the [`obs::Snapshot::delta`]
+//! between the two polls is the server-side activity attributable to that
+//! level (cache hits/misses, per-method queue/run latency percentiles),
+//! rendered by [`server_breakdown_json`] into `BENCH_serve.json`. Going
+//! over the wire — rather than reading in-process cache handles — means
+//! the numbers are honest for remote `--addr` targets too.
 
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -63,6 +71,53 @@ impl LoadReport {
             self.p99_ms
         )
     }
+}
+
+/// Renders the server-side activity between two `stats` polls (an
+/// [`obs::Snapshot::delta`]) as a JSON object: cache counters, pool
+/// rejections, and per-method request/queue/run latency percentiles from
+/// the serve histograms (nanosecond histograms rendered as milliseconds).
+/// Methods with zero requests in the window are omitted; the percentile
+/// keys are absent when the server ran with timing disabled
+/// (`GPROB_OBS=0`).
+pub fn server_breakdown_json(delta: &obs::Snapshot) -> String {
+    let c = |name: &str| delta.counter(name).unwrap_or(0);
+    let mut out = format!(
+        "{{\"cache\": {{\"program_hits\": {}, \"program_misses\": {}, \"model_hits\": {}, \
+         \"model_misses\": {}, \"evictions\": {}}}, \"pool_rejected\": {}, \"methods\": {{",
+        c("serve.cache.program_hits"),
+        c("serve.cache.program_misses"),
+        c("serve.cache.model_hits"),
+        c("serve.cache.model_misses"),
+        c("serve.cache.evictions"),
+        c("serve.pool.rejected"),
+    );
+    let mut first = true;
+    for method in ["nuts", "advi", "importance"] {
+        let requests = c(&format!("serve.requests.{method}"));
+        if requests == 0 {
+            continue;
+        }
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str(&format!("\"{method}\": {{\"requests\": {requests}"));
+        for key in ["request", "queue", "run"] {
+            if let Some(h) = delta.histogram(&format!("serve.{key}_ns.{method}")) {
+                if h.count > 0 {
+                    out.push_str(&format!(
+                        ", \"{key}_p50_ms\": {:.3}, \"{key}_p99_ms\": {:.3}",
+                        h.p50() / 1e6,
+                        h.p99() / 1e6
+                    ));
+                }
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("}}");
+    out
 }
 
 fn percentile_ms(sorted: &[f64], q: f64) -> f64 {

@@ -36,6 +36,13 @@
 //! `rows m <nrows> <ncols> <values...>` / `introws m <nrows> <ncols>
 //! <values...>`.
 //!
+//! Besides `run`, a client may send the single-line frame `stats`, which
+//! the server answers immediately (on the connection thread, never
+//! queued) with one `stats` response frame carrying the full telemetry
+//! registry snapshot in [`obs::Snapshot::to_text`] form. Frames whose
+//! first line is neither `run ...` nor `stats` get an `error` frame; the
+//! connection stays usable.
+//!
 //! # Response frames
 //!
 //! The server streams one `names` frame, then one `chain` frame *per chain
@@ -137,6 +144,46 @@ pub struct Request {
     pub data: Vec<(String, Value<f64>)>,
     /// Stan source text.
     pub source: String,
+}
+
+/// One request frame, dispatched on its first line: `run ...` frames
+/// carry a full [`Request`]; the bare line `stats` asks for a telemetry
+/// snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestFrame {
+    /// An inference request (`run <name>` header).
+    Run(Request),
+    /// A telemetry snapshot request (the single line `stats`).
+    Stats,
+}
+
+impl RequestFrame {
+    /// Encodes the frame as one payload.
+    ///
+    /// # Errors
+    /// Unrepresentable data values in a `Run` request.
+    pub fn encode(&self) -> Result<String, String> {
+        match self {
+            RequestFrame::Run(req) => req.encode(),
+            RequestFrame::Stats => Ok("stats".to_string()),
+        }
+    }
+
+    /// Parses a request frame payload, dispatching on the first line.
+    ///
+    /// # Errors
+    /// Malformed `run` frames; frames whose first line is neither
+    /// `run ...` nor `stats`.
+    pub fn parse(payload: &str) -> Result<RequestFrame, String> {
+        let first = payload.lines().next().unwrap_or("");
+        if first == "stats" {
+            return Ok(RequestFrame::Stats);
+        }
+        if first == "run" || first.starts_with("run ") {
+            return Request::parse(payload).map(RequestFrame::Run);
+        }
+        Err(format!("unknown request frame `{first}`"))
+    }
 }
 
 fn scheme_name(scheme: stan2gprob::Scheme) -> &'static str {
@@ -416,6 +463,12 @@ pub enum Response {
         /// Total request wall-clock seconds on the server.
         wall_time: f64,
     },
+    /// The server's telemetry registry snapshot, answering a `stats`
+    /// request frame.
+    Stats {
+        /// Snapshot in [`obs::Snapshot::to_text`] form (possibly empty).
+        text: String,
+    },
     /// Backpressure rejection: the worker queue is full; retry after the
     /// given delay.
     Busy {
@@ -473,6 +526,14 @@ impl Response {
             Response::GqNames { names } => format!("gqnames {}", names.join(" ")),
             Response::GqChain { index, rows } => encode_rows(format!("gqchain {index}"), rows),
             Response::Done { wall_time } => format!("done {wall_time}"),
+            Response::Stats { text } => {
+                let mut out = "stats".to_string();
+                if !text.is_empty() {
+                    out.push('\n');
+                    out.push_str(text);
+                }
+                out
+            }
             Response::Busy { retry_after_ms } => format!("busy {retry_after_ms}"),
             Response::Error { message } => format!("error {message}"),
         }
@@ -512,6 +573,12 @@ impl Response {
             }
             "done" => Ok(Response::Done {
                 wall_time: parse_f64(rest)?,
+            }),
+            "stats" => Ok(Response::Stats {
+                text: payload
+                    .split_once('\n')
+                    .map(|(_, body)| body.to_string())
+                    .unwrap_or_default(),
             }),
             "busy" => Ok(Response::Busy {
                 retry_after_ms: rest.parse().map_err(|_| "bad retry_after_ms")?,
@@ -604,8 +671,43 @@ mod tests {
             Response::Error {
                 message: "no such model".to_string(),
             },
+            Response::Stats {
+                text: String::new(),
+            },
+            Response::Stats {
+                text: "counter serve.requests.nuts 3\ngauge serve.pool.depth 1\n\
+                       hist serve.run_ns.nuts count 3 sum 96 max 64 buckets 6:3"
+                    .to_string(),
+            },
         ] {
             assert_eq!(Response::parse(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn request_frames_dispatch_on_first_line() {
+        assert_eq!(RequestFrame::parse("stats").unwrap(), RequestFrame::Stats);
+        assert_eq!(RequestFrame::Stats.encode().unwrap(), "stats".to_string());
+        let req = Request {
+            name: "coin".to_string(),
+            scheme: stan2gprob::Scheme::Mixed,
+            method: MethodSpec::Advi { steps: 50 },
+            chains: 1,
+            seed: 1,
+            gq: false,
+            data: Vec::new(),
+            source: "parameters { real z; }\nmodel { z ~ normal(0, 1); }".to_string(),
+        };
+        let frame = RequestFrame::Run(req.clone());
+        assert_eq!(
+            RequestFrame::parse(&frame.encode().unwrap()).unwrap(),
+            frame
+        );
+        // `statsx` and other unknown first lines are rejected, with the
+        // offending line echoed for the error frame.
+        let err = RequestFrame::parse("statsx\nmore").unwrap_err();
+        assert!(err.contains("unknown request frame `statsx`"), "{err}");
+        let err = RequestFrame::parse("").unwrap_err();
+        assert!(err.contains("unknown request frame"), "{err}");
     }
 }

@@ -26,7 +26,17 @@ use inference::advi::AdviConfig;
 
 use crate::cache::ModelCache;
 use crate::pool::WorkerPool;
-use crate::protocol::{read_frame, write_frame, MethodSpec, Request, Response};
+use crate::protocol::{read_frame, write_frame, MethodSpec, Request, RequestFrame, Response};
+
+/// Stable label for per-method metric names
+/// (`serve.requests.<label>`, `serve.request_ns.<label>`, ...).
+fn method_label(method: &MethodSpec) -> &'static str {
+    match method {
+        MethodSpec::Nuts { .. } => "nuts",
+        MethodSpec::Advi { .. } => "advi",
+        MethodSpec::Importance { .. } => "importance",
+    }
+}
 
 /// Server construction knobs.
 #[derive(Debug, Clone)]
@@ -154,17 +164,38 @@ fn serve_connection(
     max_chains: usize,
 ) -> io::Result<()> {
     while let Some(payload) = read_frame(&mut stream)? {
-        let request = match Request::parse(&payload) {
-            Ok(request) => request,
+        let request = match RequestFrame::parse(&payload) {
+            Ok(RequestFrame::Run(request)) => request,
+            Ok(RequestFrame::Stats) => {
+                // Answered on the connection thread, never queued: stats
+                // must stay readable while the pool is saturated. Live
+                // gauges are sampled here so a snapshot is current.
+                obs::gauge("serve.pool.depth").set(pool.pending() as f64);
+                obs::gauge("serve.cache.models").set(cache.n_models() as f64);
+                let text = obs::global().snapshot().to_text();
+                write_frame(&mut stream, &Response::Stats { text }.encode())?;
+                continue;
+            }
             Err(message) => {
                 write_frame(&mut stream, &Response::Error { message }.encode())?;
                 continue;
             }
         };
+        let label = method_label(&request.method);
+        obs::counter(&format!("serve.requests.{label}")).inc();
+        // Gated timing: e2e on the connection thread, queue wait measured
+        // at job start. `submitted` doubles as the gate for both.
+        let submitted = obs::enabled().then(Instant::now);
         let (tx, rx) = mpsc::channel::<String>();
         let job = {
             let cache = cache.clone();
-            move || run_request(&cache, request, max_chains, &tx)
+            move || {
+                if let Some(at) = submitted {
+                    let ns = u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    obs::histogram(&format!("serve.queue_ns.{label}")).record(ns);
+                }
+                run_request(&cache, request, max_chains, &tx);
+            }
         };
         match pool.submit(job) {
             Ok(()) => {
@@ -173,8 +204,13 @@ fn serve_connection(
                 for frame in rx {
                     write_frame(&mut stream, &frame)?;
                 }
+                if let Some(at) = submitted {
+                    let ns = u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    obs::histogram(&format!("serve.request_ns.{label}")).record(ns);
+                }
             }
             Err(busy) => {
+                obs::counter("serve.pool.rejected").inc();
                 write_frame(
                     &mut stream,
                     &Response::Busy {
@@ -188,6 +224,22 @@ fn serve_connection(
     stream.flush()
 }
 
+/// Records elapsed time into a histogram when dropped; covers every exit
+/// path of [`run_request`] (early `fail` returns included).
+struct RecordOnDrop {
+    histogram: Option<std::sync::Arc<obs::Histogram>>,
+    start: Instant,
+}
+
+impl Drop for RecordOnDrop {
+    fn drop(&mut self) {
+        if let Some(histogram) = &self.histogram {
+            let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            histogram.record(ns);
+        }
+    }
+}
+
 /// Executes one request against the cache, streaming frames to `send`.
 /// Send failures (client hung up) abort silently — the fit computation
 /// finishes but nothing is kept.
@@ -198,6 +250,14 @@ fn run_request(
     send: &mpsc::Sender<String>,
 ) {
     let start = Instant::now();
+    // Worker-side time (bind + fit + gq), excluding queue wait and socket
+    // drain; recorded on every exit path, success or error.
+    let run_hist = obs::enabled()
+        .then(|| obs::histogram(&format!("serve.run_ns.{}", method_label(&request.method))));
+    let _run_guard = RecordOnDrop {
+        histogram: run_hist,
+        start,
+    };
     let fail = |message: String| {
         let _ = send.send(Response::Error { message }.encode());
     };

@@ -1,0 +1,254 @@
+//! Telemetry-layer suite: histogram quantile estimates against a
+//! sorted-vector oracle (the log₂-bucket error bound), snapshot merge
+//! algebra, concurrent-update exactness, and the serve tier's `stats`
+//! frame reporting exact request deltas over the wire.
+//!
+//! The quantile/merge/stress tests use *local* `Registry`/`Histogram`
+//! instances, so they can run in parallel. The serve test is the only one
+//! in this binary touching the process-global registry (`serve.*` names
+//! nothing else here increments), and all its assertions are deltas
+//! between its own before/after polls.
+
+use obs::{Histogram, Registry, Snapshot};
+use serve::client::Client;
+use serve::protocol::{read_frame, write_frame, MethodSpec, Request, Response};
+use serve::server::{ServeConfig, Server};
+
+/// Deterministic xorshift64* stream (no RNG crate needed for test data).
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// The exact order statistic the histogram's `quantile` estimates: the
+/// rank-`ceil(q·n)` element (1-based) of the sorted samples.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[test]
+fn quantiles_stay_within_the_bucket_bound_of_the_exact_order_statistic() {
+    // Sample sets crossing many magnitudes, plus degenerate shapes that
+    // stress the interpolation edges (all-equal, zeros, bucket borders).
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut sets: Vec<Vec<u64>> = vec![
+        vec![0; 50],
+        vec![7; 128],
+        (0..=10).map(|i| 1u64 << i).collect(),
+        vec![0, 1, 1, 2, 3, 4, 5, 1023, 1024, 1025],
+    ];
+    // Log-uniform-ish random set: random bit width, then random bits.
+    sets.push(
+        (0..500)
+            .map(|_| {
+                let width = xorshift(&mut state) % 40;
+                xorshift(&mut state) >> (63 - width)
+            })
+            .collect(),
+    );
+    for samples in &sets {
+        let h = Histogram::new();
+        for &v in samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        assert_eq!(snap.count, samples.len() as u64);
+        assert_eq!(snap.max, *sorted.last().unwrap());
+        for q in [0.0, 0.25, 0.50, 0.90, 0.99, 1.0] {
+            let exact = oracle_quantile(&sorted, q);
+            let estimate = snap.quantile(q);
+            // The estimate interpolates inside the bucket containing the
+            // exact order statistic, so it is off by at most the bucket
+            // width: a factor of 2 (and never above the recorded max).
+            assert!(estimate.is_finite());
+            assert!(
+                estimate <= snap.max as f64,
+                "q={q}: estimate {estimate} above max {}",
+                snap.max
+            );
+            if exact == 0 {
+                assert!(estimate <= 1.0, "q={q}: estimate {estimate} for exact 0");
+            } else {
+                assert!(
+                    estimate >= exact as f64 / 2.0 && estimate <= exact as f64 * 2.0,
+                    "q={q}: estimate {estimate} more than 2x from exact {exact}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_merge_is_associative_with_empty_identity() {
+    let mut state = 0xDEAD_BEEF_CAFE_1234u64;
+    let mut part = |scale: u32| {
+        let r = Registry::new();
+        r.counter("events").add(xorshift(&mut state) % 1000);
+        r.gauge("level").set((xorshift(&mut state) % 100) as f64);
+        let h = r.histogram("lat_ns");
+        for _ in 0..200 {
+            h.record(xorshift(&mut state) >> (64 - scale));
+        }
+        r.snapshot()
+    };
+    let (a, b, c) = (part(20), part(33), part(8));
+    // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+    let mut left = a.clone();
+    left.merge(&b);
+    left.merge(&c);
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut right = a.clone();
+    right.merge(&bc);
+    assert_eq!(left, right);
+    // Empty is the identity on both sides.
+    let mut with_empty = a.clone();
+    with_empty.merge(&Snapshot::default());
+    assert_eq!(with_empty, a);
+    let mut empty_first = Snapshot::default();
+    empty_first.merge(&a);
+    assert_eq!(empty_first, a);
+    // A merged histogram's count/sum are the parts' totals, and delta
+    // against one part recovers the other's bucket content.
+    let (ha, hb) = (&a.histograms["lat_ns"], &b.histograms["lat_ns"]);
+    let mut merged = ha.clone();
+    merged.merge(hb);
+    assert_eq!(merged.count, ha.count + hb.count);
+    assert_eq!(merged.sum, ha.sum + hb.sum);
+    let back = merged.delta(ha);
+    assert_eq!(back.count, hb.count);
+    assert_eq!(back.buckets, hb.buckets);
+    // The text form round-trips the merged state exactly.
+    assert_eq!(Snapshot::parse(&left.to_text()).unwrap(), left);
+}
+
+#[test]
+fn concurrent_updates_lose_nothing() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let r = Registry::new();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let counter = r.counter("hits");
+            let gauge = r.gauge("level");
+            let histogram = r.histogram("vals");
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    histogram.record(t * PER_THREAD + i);
+                    if i % 100 == 0 {
+                        gauge.add(1.0);
+                    }
+                }
+            });
+        }
+    });
+    let snap = r.snapshot();
+    assert_eq!(snap.counter("hits"), Some(THREADS * PER_THREAD));
+    // Gauge adds go through a CAS loop, so concurrent adds are exact too.
+    assert_eq!(
+        snap.gauge("level"),
+        Some((THREADS * PER_THREAD / 100) as f64)
+    );
+    let h = snap.histogram("vals").unwrap();
+    assert_eq!(h.count, THREADS * PER_THREAD);
+    assert_eq!(h.buckets.iter().sum::<u64>(), THREADS * PER_THREAD);
+    assert_eq!(h.max, THREADS * PER_THREAD - 1);
+    // Exact sum of 0..80000.
+    let n = THREADS * PER_THREAD;
+    assert_eq!(h.sum, n * (n - 1) / 2);
+}
+
+#[test]
+fn stats_frame_deltas_match_request_counts_and_unknown_frames_error_cleanly() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let coin = model_zoo::find("coin").unwrap();
+    let nuts = Request {
+        name: coin.name.to_string(),
+        scheme: stan2gprob::Scheme::Mixed,
+        method: MethodSpec::Nuts {
+            warmup: 20,
+            samples: 20,
+        },
+        chains: 1,
+        seed: 5,
+        gq: false,
+        data: coin.dataset(3),
+        source: coin.source.to_string(),
+    };
+    let importance = Request {
+        method: MethodSpec::Importance { particles: 100 },
+        scheme: stan2gprob::Scheme::Generative,
+        ..nuts.clone()
+    };
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    let before = client.stats().unwrap();
+    for _ in 0..3 {
+        client.request(&nuts).unwrap();
+    }
+    for _ in 0..2 {
+        client.request(&importance).unwrap();
+    }
+    let after = client.stats().unwrap();
+    let delta = after.delta(&before);
+    // Counters are always live, so the deltas are exact regardless of the
+    // GPROB_OBS timing gate.
+    assert_eq!(delta.counter("serve.requests.nuts"), Some(3));
+    assert_eq!(delta.counter("serve.requests.importance"), Some(2));
+    assert_eq!(delta.counter("serve.requests.advi").unwrap_or(0), 0);
+    assert_eq!(delta.counter("serve.pool.rejected").unwrap_or(0), 0);
+    if obs::enabled() {
+        // With timing live, every request lands in its method's e2e,
+        // queue-wait, and worker-run histograms exactly once.
+        for (name, expect) in [
+            ("serve.request_ns.nuts", 3),
+            ("serve.queue_ns.nuts", 3),
+            ("serve.run_ns.nuts", 3),
+            ("serve.request_ns.importance", 2),
+            ("serve.run_ns.importance", 2),
+        ] {
+            assert_eq!(
+                delta.histogram(name).map(|h| h.count),
+                Some(expect),
+                "histogram {name}"
+            );
+        }
+    }
+    // The stats reply also samples live gauges: nothing queued, and one
+    // bound model per (source, scheme) pair the traffic touched.
+    assert_eq!(after.gauge("serve.pool.depth"), Some(0.0));
+    assert_eq!(after.gauge("serve.cache.models"), Some(2.0));
+
+    // An unknown frame type gets a clean error naming the offending line,
+    // and the connection stays usable afterwards.
+    let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut raw, "gimme stats\nplease").unwrap();
+    let reply = read_frame(&mut raw).unwrap().expect("error frame");
+    match Response::parse(&reply).unwrap() {
+        Response::Error { message } => {
+            assert!(
+                message.contains("unknown request frame `gimme stats`"),
+                "unexpected error: {message}"
+            );
+        }
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    write_frame(&mut raw, "stats").unwrap();
+    let reply = read_frame(&mut raw).unwrap().expect("stats frame");
+    match Response::parse(&reply).unwrap() {
+        Response::Stats { text } => {
+            let snap = Snapshot::parse(&text).unwrap();
+            assert!(snap.counter("serve.requests.nuts").unwrap_or(0) >= 3);
+        }
+        other => panic!("expected stats frame, got {other:?}"),
+    }
+    server.shutdown();
+}

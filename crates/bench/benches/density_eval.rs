@@ -219,6 +219,7 @@ fn bench_density(c: &mut Criterion) {
             lr: 0.05,
             output_samples: 4,
             seed: 11,
+            ..Default::default()
         };
         group.bench_function(format!("{name}/advi_step_batched"), |b| {
             let mut target = DProgTarget {

@@ -65,6 +65,7 @@ fn main() {
             steps: scaled(3000),
             lr: 0.05,
             seed: 2,
+            ..Default::default()
         }))
         .expect("svi");
     print_histogram(

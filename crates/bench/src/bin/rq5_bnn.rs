@@ -109,6 +109,7 @@ fn train(
                 steps,
                 lr: 0.02,
                 seed,
+                ..Default::default()
             },
         )
         .expect("svi")

@@ -44,6 +44,7 @@ fn main() {
             steps: steps_per_image,
             lr: 0.01,
             seed: 10 + i as u64,
+            ..Default::default()
         };
         let mut this_fit = program.svi(&data, &networks, &settings).expect("svi step");
         if let Some(prev) = fit {

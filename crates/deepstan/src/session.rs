@@ -50,6 +50,7 @@ use gprob::model::ParamSlot;
 use gprob::value::Value;
 use gprob::GModel;
 use inference::advi::{advi_fit_batch, AdviConfig};
+use inference::cancel::CancelToken;
 use inference::diagnostics::{
     multi_ess, multi_split_rhat, rank_normalized_split_rhat, summarize, tail_ess, Summary,
 };
@@ -137,6 +138,10 @@ pub struct Session<'p> {
     /// when set (and built over this session's model), chain targets check
     /// out pooled workspaces instead of allocating fresh ones per run.
     workspace_pool: Option<Arc<WorkspacePool>>,
+    /// Cooperative cancellation for the run ([`Session::cancel`]): threaded
+    /// into every method's outer loop, polled per draw / per step / per
+    /// particle. The default token never cancels.
+    cancel: CancelToken,
 }
 
 impl CompiledProgram {
@@ -163,6 +168,7 @@ impl CompiledProgram {
             reference_model: None,
             lockstep: None,
             workspace_pool: None,
+            cancel: CancelToken::new(),
         })
     }
 }
@@ -221,6 +227,17 @@ impl Session<'_> {
     /// benchmarking the heuristic's two sides against each other.
     pub fn lockstep(mut self, lockstep: bool) -> Self {
         self.lockstep = Some(lockstep);
+        self
+    }
+
+    /// Attaches a cooperative [`CancelToken`] to the run. Every method's
+    /// outer loop polls it — per NUTS iteration, per ADVI/SVI step, per
+    /// importance particle — and never inside a gradient evaluation, so
+    /// the draws completed before the token fires are the bitwise prefix
+    /// of an uncancelled same-seed run. A cancelled run returns a partial
+    /// [`Fit`] with [`Fit::cancelled`] set instead of an error.
+    pub fn cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -347,6 +364,7 @@ impl Session<'_> {
             samples: settings.samples,
             max_depth: settings.max_depth,
             seed,
+            cancel: self.cancel.clone(),
             ..Default::default()
         };
         let (chains, init, reference) = (self.chains, self.init.clone(), self.reference);
@@ -415,6 +433,7 @@ impl Session<'_> {
         let names = model.component_names();
         let slots = model.slots();
         let mut results: Vec<Option<ChainResult>> = (0..chains).map(|_| None).collect();
+        let mut cancelled = false;
         run_nuts_chains_streaming(
             chains,
             seed,
@@ -423,6 +442,7 @@ impl Session<'_> {
             &|rng| init_point(&init, rng, model.dim()),
             &|theta| model.log_density_f64(theta).map(|_| ()),
             &mut |c, result, wall_time| {
+                cancelled |= result.cancelled;
                 let chain = ChainResult {
                     draws: constrain_chain(slots, result.draws),
                     divergences: result.divergences,
@@ -444,11 +464,15 @@ impl Session<'_> {
             variational: None,
             weights: None,
             gq: None,
+            cancelled,
         })
     }
 
     fn run_advi(&mut self, config: &AdviConfig) -> Result<Fit, InferenceError> {
         let seed = self.seed.unwrap_or(config.seed);
+        let mut config = config.clone();
+        config.cancel = self.cancel.clone();
+        let config = &config;
         let (chains, reference) = (self.chains, self.reference);
         if reference {
             let model = self.ref_model()?;
@@ -488,9 +512,11 @@ impl Session<'_> {
         let seed = self.seed.unwrap_or(settings.seed);
         let mut settings = settings.clone();
         settings.seed = seed;
+        settings.cancel = self.cancel.clone();
         let data = self.data_refs();
         let start = Instant::now();
         let variational = self.program.svi(&data, &self.networks, &settings)?;
+        let cancelled = variational.cancelled;
         let posterior = self.program.sample_guide(
             &data,
             &variational,
@@ -511,6 +537,7 @@ impl Session<'_> {
             variational: Some(variational),
             weights: None,
             gq: None,
+            cancelled,
         })
     }
 
@@ -523,11 +550,13 @@ impl Session<'_> {
         let seed = self.seed.unwrap_or(0);
         let n = settings.particles.max(1);
         let pool_arc = self.workspace_pool.clone();
+        let cancel = self.cancel.clone();
         let model = self.model()?;
         let start = Instant::now();
         let rng = Rc::new(RefCell::new(StdRng::seed_from_u64(seed)));
         let mut draws = Vec::with_capacity(n);
         let dim = model.dim();
+        let mut cancelled = false;
         let log_weights = if model.dprog().is_some() && dim > 0 {
             // Batched route: proposals come from draw-only prior runs
             // (scoring skipped — RNG consumption is identical to the
@@ -539,6 +568,10 @@ impl Session<'_> {
             let mut priors = Vec::with_capacity(n);
             let mut jacs = Vec::with_capacity(n);
             for _ in 0..n {
+                if cancel.is_cancelled() {
+                    cancelled = true;
+                    break;
+                }
                 let (trace, prior_lp) = model.run_prior_draw(rng.clone())?;
                 let flat = flatten_trace(model, &trace)?;
                 let base = us.len();
@@ -566,12 +599,38 @@ impl Session<'_> {
         } else {
             let mut log_weights = Vec::with_capacity(n);
             for _ in 0..n {
+                if cancel.is_cancelled() {
+                    cancelled = true;
+                    break;
+                }
                 let (trace, lw) = model.run_prior_weighted(rng.clone())?;
                 draws.push(flatten_trace(model, &trace)?);
                 log_weights.push(lw);
             }
             log_weights
         };
+        // A run cancelled before its first particle has nothing to weight;
+        // return an empty partial fit rather than a degeneracy error.
+        if draws.is_empty() && cancelled {
+            return Ok(Fit {
+                method: FitMethod::Importance,
+                names: model.component_names(),
+                chains: vec![ChainResult {
+                    draws: Vec::new(),
+                    divergences: 0,
+                    wall_time: start.elapsed().as_secs_f64(),
+                    n_grad_evals: 0,
+                }],
+                wall_time: 0.0,
+                variational: None,
+                weights: None,
+                gq: None,
+                cancelled: true,
+            });
+        }
+        // Particles completed before a cancellation point (all `n` when the
+        // token never fired).
+        let n_done = draws.len();
         let weighted = weight_draws(draws, log_weights);
         if !weighted.log_evidence.is_finite() || weighted.weights.iter().any(|w| !w.is_finite()) {
             return Err(InferenceError::Usage(format!(
@@ -580,7 +639,7 @@ impl Session<'_> {
         }
         // Resample into an unweighted draw set so Fit summaries are the
         // self-normalized importance estimates.
-        let indices = resample_indices(&weighted.weights, n, seed.wrapping_add(1));
+        let indices = resample_indices(&weighted.weights, n_done, seed.wrapping_add(1));
         let resampled: Vec<Vec<f64>> = indices.iter().map(|&i| weighted.draws[i].clone()).collect();
         Ok(Fit {
             method: FitMethod::Importance,
@@ -595,6 +654,7 @@ impl Session<'_> {
             variational: None,
             weights: Some(weighted.weights),
             gq: None,
+            cancelled,
         })
     }
 
@@ -838,11 +898,14 @@ impl WorkspacePool {
 
     /// Workspaces currently checked in and idle.
     pub fn idle(&self) -> usize {
-        self.free.lock().expect("workspace pool lock").len()
+        // Poison recovery: a panic elsewhere while holding the lock leaves
+        // the workspace list intact (push/pop never leave it mid-edit), so
+        // later callers keep working instead of cascading the panic.
+        self.free.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     fn acquire(&self) -> gprob::GradWorkspace {
-        if let Some(ws) = self.free.lock().expect("workspace pool lock").pop() {
+        if let Some(ws) = self.free.lock().unwrap_or_else(|e| e.into_inner()).pop() {
             // Checked out: one fewer idle workspace process-wide.
             obs::gauge("workspace.idle").add(-1.0);
             return ws;
@@ -853,7 +916,7 @@ impl WorkspacePool {
     }
 
     fn release(&self, ws: gprob::GradWorkspace) {
-        let mut free = self.free.lock().expect("workspace pool lock");
+        let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
         if free.len() < Self::MAX_IDLE {
             free.push(ws);
             obs::gauge("workspace.idle").add(1.0);
@@ -1166,6 +1229,7 @@ fn collect_nuts_fit(
     runs: Vec<(NutsResult, f64)>,
     on_chain: &mut dyn FnMut(usize, &ChainResult),
 ) -> Fit {
+    let cancelled = runs.iter().any(|(result, _)| result.cancelled);
     let chains: Vec<ChainResult> = runs
         .into_iter()
         .map(|(result, wall_time)| ChainResult {
@@ -1186,6 +1250,7 @@ fn collect_nuts_fit(
         variational: None,
         weights: None,
         gq: None,
+        cancelled,
     }
 }
 
@@ -1194,6 +1259,7 @@ fn collect_advi_fit(
     slots: &[ParamSlot],
     runs: Vec<(inference::advi::AdviResult, f64)>,
 ) -> Fit {
+    let cancelled = runs.iter().any(|(result, _)| result.cancelled);
     let chains = runs
         .into_iter()
         .map(|(result, wall_time)| ChainResult {
@@ -1211,6 +1277,7 @@ fn collect_advi_fit(
         variational: None,
         weights: None,
         gq: None,
+        cancelled,
     }
 }
 
@@ -1263,6 +1330,11 @@ pub struct Fit {
     /// [`Session::generated_quantities`] (posterior-predictive draws,
     /// pointwise log-likelihoods, ...).
     pub gq: Option<GqTable>,
+    /// True when the run stopped early because the session's
+    /// [`CancelToken`] fired ([`Session::cancel`]). The chains then hold
+    /// the partial prefix completed before the cancellation point — for
+    /// NUTS, bitwise identical to the same-seed prefix of a full run.
+    pub cancelled: bool,
 }
 
 impl Fit {

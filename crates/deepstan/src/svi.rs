@@ -16,7 +16,8 @@ use std::rc::Rc;
 use gprob::eval::EvalCtx;
 use gprob::interp::{Interp, Mode};
 use gprob::value::{lift_env, Env, Value};
-use inference::svi::{svi_optimize, AdamConfig};
+use inference::cancel::CancelToken;
+use inference::svi::{svi_optimize_draws_cancellable, AdamConfig};
 use minidiff::{grad, tape, Var};
 use probdist::Constraint;
 use rand::rngs::StdRng;
@@ -35,6 +36,10 @@ pub struct SviSettings {
     pub lr: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Cooperative cancellation, polled once per Adam step. The default
+    /// token never cancels; a fired token stops the optimization with the
+    /// parameters from the last completed step.
+    pub cancel: CancelToken,
 }
 
 impl Default for SviSettings {
@@ -43,6 +48,7 @@ impl Default for SviSettings {
             steps: 2000,
             lr: 0.05,
             seed: 0,
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -71,6 +77,10 @@ pub struct VariationalFit {
     pub network_params: HashMap<String, Vec<f64>>,
     /// Smoothed ELBO trace.
     pub elbo_trace: Vec<f64>,
+    /// True when the optimization stopped early because
+    /// [`SviSettings::cancel`] fired; the fitted values then reflect the
+    /// last completed step.
+    pub cancelled: bool,
 }
 
 impl CompiledProgram {
@@ -176,7 +186,7 @@ impl CompiledProgram {
         let specs: Vec<MlpSpec> = networks.to_vec();
         let guide_params_meta = program.guide_params.clone();
 
-        let mut objective = |phi: &[f64], rng: &mut StdRng| -> (f64, Vec<f64>) {
+        let objective = |phi: &[f64], rng: &mut StdRng| -> (f64, Vec<f64>) {
             tape::reset();
             let vars: Vec<Var> = phi.iter().map(|&x| Var::new(x)).collect();
 
@@ -231,15 +241,20 @@ impl CompiledProgram {
             (elbo.value(), g)
         };
 
-        let result = svi_optimize(
-            &mut objective,
+        let mut multi_draw = |phi: &[f64], _draws: usize, rng: &mut StdRng| -> (f64, Vec<f64>) {
+            objective(phi, rng)
+        };
+        let result = svi_optimize_draws_cancellable(
+            &mut multi_draw,
             init,
             settings.steps,
+            1,
             AdamConfig {
                 lr: settings.lr,
                 ..Default::default()
             },
             settings.seed,
+            &settings.cancel,
         );
 
         // Unpack the optimized φ into named, constrained values.
@@ -264,6 +279,7 @@ impl CompiledProgram {
             guide_params,
             network_params,
             elbo_trace: result.elbo_trace,
+            cancelled: result.cancelled,
         })
     }
 
@@ -367,6 +383,7 @@ mod tests {
                     steps: 3000,
                     lr: 0.05,
                     seed: 2,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -416,6 +433,7 @@ mod tests {
                     steps: 4000,
                     lr: 0.02,
                     seed: 5,
+                    ..Default::default()
                 },
             )
             .unwrap();

@@ -10,6 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::cancel::CancelToken;
 use crate::svi::{Adam, AdamConfig};
 use crate::target::{GradTarget, GradTargetBatch, GradTargetMut};
 
@@ -26,6 +27,11 @@ pub struct AdviConfig {
     pub output_samples: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Cooperative cancellation, polled once per optimization step (never
+    /// inside a gradient evaluation). The default token never cancels. A
+    /// cancelled fit stops optimizing and samples its output draws from
+    /// the best-so-far approximation.
+    pub cancel: CancelToken,
 }
 
 impl Default for AdviConfig {
@@ -36,6 +42,7 @@ impl Default for AdviConfig {
             lr: 0.05,
             output_samples: 1000,
             seed: 0,
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -51,6 +58,10 @@ pub struct AdviResult {
     pub draws: Vec<Vec<f64>>,
     /// ELBO trace.
     pub elbo_trace: Vec<f64>,
+    /// True when the optimization stopped early because its
+    /// [`AdviConfig::cancel`] token fired; `mu`/`omega`/`draws` then
+    /// reflect the approximation as of the last completed step.
+    pub cancelled: bool,
 }
 
 /// Fits mean-field ADVI to a `(log p, ∇ log p)` target. Stateful targets
@@ -86,8 +97,13 @@ pub fn advi_fit_mut<T: GradTargetMut + ?Sized>(
     let mut z = vec![0.0; dim];
     let mut grad = vec![0.0; 2 * dim];
     let mut step_timer = obs::StepTimer::new("advi.step");
+    let mut cancelled = false;
 
     for step in 0..config.steps {
+        if config.cancel.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         step_timer.begin();
         grad.fill(0.0);
         let mut elbo = 0.0;
@@ -138,6 +154,7 @@ pub fn advi_fit_mut<T: GradTargetMut + ?Sized>(
         omega,
         draws,
         elbo_trace,
+        cancelled,
     }
 }
 
@@ -176,8 +193,13 @@ pub fn advi_fit_batch<T: GradTargetBatch + ?Sized>(
     let mut gs = vec![0.0; k * dim];
     let mut grad = vec![0.0; 2 * dim];
     let mut step_timer = obs::StepTimer::new("advi.step");
+    let mut cancelled = false;
 
     for step in 0..config.steps {
+        if config.cancel.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         step_timer.begin();
         grad.fill(0.0);
         let mut elbo = 0.0;
@@ -232,6 +254,7 @@ pub fn advi_fit_batch<T: GradTargetBatch + ?Sized>(
         omega,
         draws,
         elbo_trace,
+        cancelled,
     }
 }
 

@@ -1,0 +1,188 @@
+//! Cooperative cancellation for long-running inference loops.
+//!
+//! A [`CancelToken`] is a cheaply cloneable handle carrying an atomic
+//! cancel flag and an optional wall-clock deadline. Samplers and
+//! optimizers poll it **once per outer iteration** (per draw, per
+//! adaptation step, per importance particle) and never inside a gradient
+//! evaluation, so cancellation cannot perturb the bitwise contract of the
+//! numeric kernels: the draws produced before the cancellation point are
+//! identical to the same-seed prefix of an uncancelled run.
+//!
+//! Tokens form an optional parent chain: a child observes its parent's
+//! cancellation in addition to its own flag/deadline. The serve tier uses
+//! this to layer a server-wide drain token over per-request deadline
+//! tokens — cancelling the parent sweeps every in-flight request without
+//! touching their individual deadlines.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    parent: Option<CancelToken>,
+}
+
+/// A cooperative cancellation handle: an atomic flag, an optional
+/// deadline, and an optional parent token. Cloning shares the underlying
+/// state. The [`Default`] token never cancels, so threading a token
+/// through a config struct costs nothing for callers that don't use it.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A token that never cancels until [`cancel`](CancelToken::cancel)
+    /// is called.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                parent: None,
+            }),
+        }
+    }
+
+    /// A token that reports cancelled once `timeout` has elapsed from
+    /// now (or earlier, if [`cancel`](CancelToken::cancel) is called).
+    pub fn with_timeout(timeout: Duration) -> CancelToken {
+        CancelToken::with_deadline(Instant::now() + timeout)
+    }
+
+    /// A token that reports cancelled once the wall clock reaches
+    /// `deadline`.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+                parent: None,
+            }),
+        }
+    }
+
+    /// A child of `self` with its own deadline: cancelled when the
+    /// parent is cancelled, when `timeout` elapses, or when the child
+    /// itself is cancelled — whichever happens first.
+    pub fn child_with_timeout(&self, timeout: Duration) -> CancelToken {
+        self.child_inner(Some(Instant::now() + timeout))
+    }
+
+    /// A child of `self` without a deadline of its own: cancelled when
+    /// the parent is cancelled or the child itself is.
+    pub fn child(&self) -> CancelToken {
+        self.child_inner(None)
+    }
+
+    fn child_inner(&self, deadline: Option<Instant>) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline,
+                parent: Some(self.clone()),
+            }),
+        }
+    }
+
+    /// Flags this token (and every clone of it) as cancelled. Children
+    /// created from it observe the cancellation too; its parent (if any)
+    /// is unaffected.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once the token is cancelled: its flag was set, its deadline
+    /// passed, or an ancestor cancelled. Cheap enough to poll per draw.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        match &self.inner.parent {
+            Some(parent) => parent.is_cancelled(),
+            None => false,
+        }
+    }
+
+    /// Time remaining until this token's own deadline (ignoring parent
+    /// deadlines), or `None` when it has no deadline. Zero once passed.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_token_never_cancels() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.remaining().is_none());
+    }
+
+    #[test]
+    fn cancel_is_visible_through_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_in_the_past_cancels() {
+        let t = CancelToken::with_timeout(Duration::from_millis(0));
+        assert!(t.is_cancelled());
+        assert_eq!(t.remaining(), Some(Duration::from_millis(0)));
+    }
+
+    #[test]
+    fn future_deadline_does_not_cancel_yet() {
+        let t = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn child_observes_parent_cancellation() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_timeout(Duration::from_secs(3600));
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert!(child.is_cancelled());
+    }
+
+    #[test]
+    fn child_cancellation_leaves_parent_alone() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled());
+    }
+
+    #[test]
+    fn child_deadline_cancels_without_parent() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_timeout(Duration::from_millis(0));
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled());
+    }
+}

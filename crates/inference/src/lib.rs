@@ -22,6 +22,9 @@
 //!   with deterministic per-(chain, draw) RNG streams.
 //! * [`loo`] — model criticism over pointwise log-likelihood matrices:
 //!   PSIS-LOO with Pareto-`k̂` diagnostics, WAIC, and `loo_compare`.
+//! * [`cancel`] — the cooperative [`CancelToken`] every outer loop polls
+//!   per draw / per step, so callers can bound wall-clock time (serve-tier
+//!   deadlines) without perturbing the bitwise draw prefix.
 //!
 //! All samplers are generic over the target. The hot loops drive the
 //! buffer-reusing [`target::GradTargetMut`] interface (`logp_grad_into`
@@ -62,6 +65,7 @@
 //! ```
 
 pub mod advi;
+pub mod cancel;
 pub mod diagnostics;
 pub mod hmc;
 pub mod importance;
@@ -72,6 +76,7 @@ pub mod svi;
 pub mod target;
 
 pub use advi::{advi_fit, advi_fit_batch, advi_fit_mut, AdviConfig, AdviResult};
+pub use cancel::CancelToken;
 pub use diagnostics::{
     accuracy_pass, ess, multi_ess, multi_split_rhat, split_rhat, summarize, Summary,
 };
@@ -79,5 +84,7 @@ pub use hmc::{hmc_sample, hmc_sample_lockstep, hmc_sample_mut, HmcConfig, HmcRes
 pub use loo::{loo_compare, psis_loo, waic, CompareRow, ElpdEstimate};
 pub use nuts::{nuts_sample, nuts_sample_lockstep, nuts_sample_mut, NutsConfig, NutsResult};
 pub use predictive::{draw_seed, stream_chains, GqTable, StreamError};
-pub use svi::{svi_optimize, svi_optimize_draws, Adam, AdamConfig, SviResult};
+pub use svi::{
+    svi_optimize, svi_optimize_draws, svi_optimize_draws_cancellable, Adam, AdamConfig, SviResult,
+};
 pub use target::{GradTarget, GradTargetBatch, GradTargetMut};

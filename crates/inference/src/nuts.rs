@@ -17,6 +17,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::cancel::CancelToken;
 use crate::target::{GradTarget, GradTargetBatch, GradTargetMut};
 
 /// NUTS configuration.
@@ -34,6 +35,12 @@ pub struct NutsConfig {
     pub init_step_size: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Cooperative cancellation, polled once per iteration (never inside a
+    /// gradient evaluation). The default token never cancels. A chain that
+    /// observes cancellation stops before its next iteration, so the draws
+    /// it has already produced are the bitwise prefix of an uncancelled
+    /// same-seed run.
+    pub cancel: CancelToken,
 }
 
 impl Default for NutsConfig {
@@ -45,6 +52,7 @@ impl Default for NutsConfig {
             target_accept: 0.8,
             init_step_size: 0.1,
             seed: 0,
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -62,6 +70,10 @@ pub struct NutsResult {
     pub mean_accept: f64,
     /// Total number of log-density gradient evaluations.
     pub n_grad_evals: usize,
+    /// True when the chain stopped early because its
+    /// [`NutsConfig::cancel`] token fired; `draws` then holds the partial
+    /// prefix completed before the cancellation point.
+    pub cancelled: bool,
 }
 
 struct State {
@@ -231,8 +243,13 @@ pub fn nuts_sample_mut<T: GradTargetMut + ?Sized>(
     let mut accept_sum = 0.0;
     let mut accept_count = 0usize;
     let mut step_size = da.current();
+    let mut cancelled = false;
 
     for iter in 0..total {
+        if config.cancel.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         let warming_up = iter < config.warmup;
 
         // Sample momentum p ~ N(0, M) where M = diag(1 / inv_mass).
@@ -379,6 +396,7 @@ pub fn nuts_sample_mut<T: GradTargetMut + ?Sized>(
             0.0
         },
         n_grad_evals,
+        cancelled,
     }
 }
 
@@ -596,7 +614,15 @@ pub fn nuts_sample_lockstep<T: GradTargetBatch + ?Sized>(
     loop {
         qs.clear();
         active.clear();
-        for (c, chain) in chains.iter().enumerate() {
+        for (c, chain) in chains.iter_mut().enumerate() {
+            // Cooperative cancellation, observed once per round at an
+            // iteration-safe point: a cancelled chain keeps only fully
+            // completed iterations, so its draws stay a bitwise prefix of
+            // the uncancelled run.
+            if !chain.done && chain.cfg.cancel.is_cancelled() {
+                chain.cancelled = true;
+                chain.done = true;
+            }
             if !chain.done {
                 active.push(c);
                 qs.extend_from_slice(&chain.pending_q);
@@ -695,6 +721,7 @@ struct LockstepChain {
     /// by the driver whenever `done` is false.
     pending_q: Vec<f64>,
     done: bool,
+    cancelled: bool,
 }
 
 impl LockstepChain {
@@ -727,6 +754,7 @@ impl LockstepChain {
             phase: Phase::Init,
             pending_q,
             done: false,
+            cancelled: false,
         }
     }
 
@@ -1068,6 +1096,7 @@ impl LockstepChain {
                 0.0
             },
             n_grad_evals: self.n_grad_evals,
+            cancelled: self.cancelled,
         }
     }
 }

@@ -10,6 +10,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::cancel::CancelToken;
+
 /// Adam hyper-parameters.
 #[derive(Debug, Clone)]
 pub struct AdamConfig {
@@ -79,6 +81,10 @@ pub struct SviResult {
     pub params: Vec<f64>,
     /// ELBO trace (one smoothed value per reporting interval).
     pub elbo_trace: Vec<f64>,
+    /// True when the optimization stopped early because the caller's
+    /// cancel token fired (see [`svi_optimize_draws_cancellable`]);
+    /// `params` then holds the values as of the last completed step.
+    pub cancelled: bool,
 }
 
 /// Maximizes a stochastic objective (the ELBO) with Adam.
@@ -93,25 +99,16 @@ pub fn svi_optimize<F: FnMut(&[f64], &mut StdRng) -> (f64, Vec<f64>)>(
     config: AdamConfig,
     seed: u64,
 ) -> SviResult {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut params = init;
-    let mut adam = Adam::new(params.len(), config);
-    let mut elbo_trace = Vec::new();
-    let mut running = 0.0;
-    let report_every = (steps / 50).max(1);
-    let mut step_timer = obs::StepTimer::new("svi.step");
-    for step in 0..steps {
-        step_timer.begin();
-        let (elbo, grad) = objective_grad(&params, &mut rng);
-        adam.step(&mut params, &grad);
-        running += elbo;
-        step_timer.end();
-        if (step + 1) % report_every == 0 {
-            elbo_trace.push(running / report_every as f64);
-            running = 0.0;
-        }
-    }
-    SviResult { params, elbo_trace }
+    let mut multi = |params: &[f64], _draws: usize, rng: &mut StdRng| objective_grad(params, rng);
+    svi_optimize_draws_cancellable(
+        &mut multi,
+        init,
+        steps,
+        1,
+        config,
+        seed,
+        &CancelToken::new(),
+    )
 }
 
 /// [`svi_optimize`] with a multi-draw objective: `objective_grad` receives
@@ -131,6 +128,32 @@ pub fn svi_optimize_draws<F: FnMut(&[f64], usize, &mut StdRng) -> (f64, Vec<f64>
     config: AdamConfig,
     seed: u64,
 ) -> SviResult {
+    svi_optimize_draws_cancellable(
+        objective_grad,
+        init,
+        steps,
+        draws,
+        config,
+        seed,
+        &CancelToken::new(),
+    )
+}
+
+/// [`svi_optimize_draws`] with cooperative cancellation: `cancel` is
+/// polled once per optimization step (never inside the objective), and a
+/// fired token stops the loop with the parameters from the last completed
+/// step and `cancelled: true`. With a never-firing token the run is
+/// bitwise identical to [`svi_optimize_draws`].
+#[allow(clippy::too_many_arguments)]
+pub fn svi_optimize_draws_cancellable<F: FnMut(&[f64], usize, &mut StdRng) -> (f64, Vec<f64>)>(
+    objective_grad: &mut F,
+    init: Vec<f64>,
+    steps: usize,
+    draws: usize,
+    config: AdamConfig,
+    seed: u64,
+    cancel: &CancelToken,
+) -> SviResult {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut params = init;
     let mut adam = Adam::new(params.len(), config);
@@ -138,7 +161,12 @@ pub fn svi_optimize_draws<F: FnMut(&[f64], usize, &mut StdRng) -> (f64, Vec<f64>
     let mut running = 0.0;
     let report_every = (steps / 50).max(1);
     let mut step_timer = obs::StepTimer::new("svi.step");
+    let mut cancelled = false;
     for step in 0..steps {
+        if cancel.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         step_timer.begin();
         let (elbo, grad) = objective_grad(&params, draws, &mut rng);
         adam.step(&mut params, &grad);
@@ -149,7 +177,11 @@ pub fn svi_optimize_draws<F: FnMut(&[f64], usize, &mut StdRng) -> (f64, Vec<f64>
             running = 0.0;
         }
     }
-    SviResult { params, elbo_trace }
+    SviResult {
+        params,
+        elbo_trace,
+        cancelled,
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,13 @@ use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
 /// A named collection of metrics. The maps are only locked to create or
 /// enumerate metrics; updating through the returned `Arc` handles is
 /// lock-free, and hot call sites cache the handle in a `OnceLock`.
+///
+/// Every lock acquisition recovers from poisoning
+/// (`unwrap_or_else(|e| e.into_inner())`): the maps are never left
+/// mid-edit by the operations here (`BTreeMap::entry` either inserts or
+/// it doesn't), so a panic elsewhere while a guard is held cannot corrupt
+/// them, and telemetry must keep flowing after a worker panic — the serve
+/// tier counts those panics *through this registry*.
 #[derive(Debug, Default)]
 pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
@@ -33,19 +40,19 @@ impl Registry {
 
     /// The counter named `name`, created at zero on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().expect("obs registry lock");
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
         map.entry(sanitize(name)).or_default().clone()
     }
 
     /// The gauge named `name`, created at `0.0` on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock().expect("obs registry lock");
+        let mut map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
         map.entry(sanitize(name)).or_default().clone()
     }
 
     /// The histogram named `name`, created empty on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().expect("obs registry lock");
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
         map.entry(sanitize(name)).or_default().clone()
     }
 
@@ -54,21 +61,21 @@ impl Registry {
         let counters = self
             .counters
             .lock()
-            .expect("obs registry lock")
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|(name, c)| (name.clone(), c.get()))
             .collect();
         let gauges = self
             .gauges
             .lock()
-            .expect("obs registry lock")
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|(name, g)| (name.clone(), g.get()))
             .collect();
         let histograms = self
             .histograms
             .lock()
-            .expect("obs registry lock")
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|(name, h)| (name.clone(), h.snapshot()))
             .collect();
@@ -330,6 +337,23 @@ mod tests {
         let parsed = Snapshot::parse(&text).unwrap();
         assert_eq!(parsed, snap);
         assert_eq!(parsed.to_text(), text);
+    }
+
+    #[test]
+    fn poisoned_lock_does_not_wedge_later_callers() {
+        let r = Registry::new();
+        r.counter("survivor").inc();
+        // Poison the counters mutex: panic while its guard is held, as a
+        // panicking worker thread would.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = r.counters.lock().unwrap();
+            panic!("poison the registry lock");
+        }));
+        assert!(r.counters.lock().is_err(), "lock should be poisoned");
+        // Every entry point recovers instead of propagating the panic.
+        r.counter("survivor").inc();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("survivor"), Some(2));
     }
 
     #[test]

@@ -46,7 +46,7 @@ fn slot() -> &'static Mutex<Option<TraceWriter>> {
 /// File creation failure, or `AlreadyExists` when a sink — env-derived
 /// or installed — is already active.
 pub fn install(path: &Path) -> std::io::Result<()> {
-    let mut guard = slot().lock().expect("obs trace lock");
+    let mut guard = slot().lock().unwrap_or_else(|e| e.into_inner());
     if guard.is_some() {
         return Err(std::io::Error::new(
             std::io::ErrorKind::AlreadyExists,
@@ -88,7 +88,7 @@ pub(crate) fn event(name: &str, start: Instant, dur_ns: u64) {
         return;
     }
     let tid = TID.with(|t| *t);
-    let mut guard = slot.lock().expect("obs trace lock");
+    let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
     let Some(writer) = guard.as_mut() else { return };
     let ts_us = start
         .checked_duration_since(writer.anchor)

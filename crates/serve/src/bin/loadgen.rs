@@ -136,12 +136,14 @@ fn main() -> ExitCode {
             },
         );
         eprintln!(
-            "conns {:>2}: {:>6} completed ({} rejected, {} failed), {:.1} req/s, \
-             p50 {:.2}ms, p99 {:.2}ms",
+            "conns {:>2}: {:>6} completed ({} rejected, {} failed, {} retries, \
+             {} deadline_exceeded), {:.1} req/s, p50 {:.2}ms, p99 {:.2}ms",
             report.concurrency,
             report.completed,
             report.rejected,
             report.failed,
+            report.retries,
+            report.deadline_exceeded,
             report.rps,
             report.p50_ms,
             report.p99_ms
@@ -202,6 +204,20 @@ fn main() -> ExitCode {
             eprintln!("loadgen: server returned no usable stats snapshot");
             return ExitCode::FAILURE;
         }
+    }
+    // Chaos smoke: when GPROB_FAULTS schedules worker panics, the run only
+    // passes if the server actually absorbed some — a chaos run where no
+    // fault fired (or where panics killed the stats path) is a failure.
+    if serve::faults::FaultPlan::from_env().panic_every.is_some() {
+        let panics = last_stats
+            .as_ref()
+            .and_then(|snapshot| snapshot.counter("serve.worker_panics"))
+            .unwrap_or(0);
+        if panics == 0 {
+            eprintln!("loadgen: GPROB_FAULTS schedules panics but serve.worker_panics is 0");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("loadgen: chaos smoke absorbed {panics} injected worker panics");
     }
     ExitCode::SUCCESS
 }

@@ -153,8 +153,11 @@ fn slot_for<K: std::hash::Hash + Eq + Copy, T>(
     map: &Mutex<HashMap<K, Slot<T>>>,
     key: K,
 ) -> Slot<T> {
+    // Poison recovery: the maps only hold `Arc`s and a clock counter, both
+    // valid at every mutation point, so a panicking holder never leaves a
+    // torn entry — later requests must keep hitting the cache.
     map.lock()
-        .expect("cache map lock")
+        .unwrap_or_else(|e| e.into_inner())
         .entry(key)
         .or_default()
         .clone()
@@ -259,7 +262,7 @@ impl ModelCache {
     /// a bind; an evicted slot another thread is still initializing stays
     /// alive through that thread's `Arc` and is simply no longer findable.
     fn model_slot(&self, key: ModelKey) -> Slot<CachedModel> {
-        let mut map = self.models.lock().expect("cache map lock");
+        let mut map = self.models.lock().unwrap_or_else(|e| e.into_inner());
         map.clock += 1;
         let stamp = map.clock;
         let mut inserted = false;
@@ -379,7 +382,11 @@ impl ModelCache {
 
     /// Number of distinct bound-model entries currently cached.
     pub fn n_models(&self) -> usize {
-        self.models.lock().expect("cache map lock").entries.len()
+        self.models
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .len()
     }
 
     /// Bound models evicted so far by the LRU bound (always 0 for an
@@ -404,6 +411,27 @@ mod tests {
             ("N".to_string(), Value::Int(4)),
             ("x".to_string(), Value::IntArray(vec![1, 0, 1, 1])),
         ]
+    }
+
+    #[test]
+    fn poisoned_lock_does_not_wedge_later_binds() {
+        let cache = ModelCache::new();
+        cache
+            .get_or_bind(COIN, Scheme::Mixed, &coin_data())
+            .unwrap();
+        // Poison the model-map mutex by panicking while holding it.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cache.models.lock().unwrap();
+            panic!("poison the cache lock");
+        }));
+        assert!(cache.models.lock().is_err(), "lock must be poisoned");
+        // Lookups recover and still hit the cached model.
+        let hit = cache
+            .get_or_bind(COIN, Scheme::Mixed, &coin_data())
+            .unwrap();
+        assert!(hit.model.component_names().iter().any(|n| n == "z"));
+        assert_eq!(cache.n_models(), 1);
+        assert!(cache.stats().model_hits >= 1);
     }
 
     #[test]

@@ -80,6 +80,57 @@ pub struct ServedFit {
     pub gq_chains: Vec<(usize, Vec<Vec<f64>>)>,
     /// Total server-side request wall-clock seconds.
     pub wall_time: f64,
+    /// `true` when the server ended the stream with `deadline_exceeded`:
+    /// the request hit its deadline (or server drain) and `chains` holds
+    /// the partial result — every chain present is complete and a bitwise
+    /// prefix of the uncancelled same-seed run.
+    pub deadline_exceeded: bool,
+}
+
+/// Retry knobs for [`Client::run_with_retry`]: capped exponential backoff
+/// with decorrelated jitter (each sleep drawn uniformly from
+/// `[base, 3 × previous]`, clamped to `cap`), floored at the server's
+/// `retry_after_ms` hint when a `busy` rejection carries one.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` never retries).
+    pub max_attempts: usize,
+    /// Minimum sleep between attempts, and the first sleep's lower bound.
+    pub base: Duration,
+    /// Upper bound on any single sleep.
+    pub cap: Duration,
+    /// Seed for the deterministic jitter stream (replayable load runs).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(2),
+            seed: 1,
+        }
+    }
+}
+
+/// What [`Client::run_with_retry`] did to get its fit.
+#[derive(Debug, Clone)]
+pub struct RetriedFit {
+    /// The served fit (check [`ServedFit::deadline_exceeded`] — a partial
+    /// result is returned, not retried).
+    pub fit: ServedFit,
+    /// `busy` rejections absorbed before the request was accepted.
+    pub retries: usize,
+}
+
+/// splitmix64: the jitter's deterministic pseudo-random stream.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// A blocking connection to a serve instance. One request runs at a time
@@ -162,6 +213,13 @@ impl Client {
                     fit.gq_chains.sort_by_key(|&(index, _)| index);
                     return Ok(fit);
                 }
+                Response::DeadlineExceeded { wall_time } => {
+                    fit.wall_time = wall_time;
+                    fit.deadline_exceeded = true;
+                    fit.chains.sort_by_key(|c| c.index);
+                    fit.gq_chains.sort_by_key(|&(index, _)| index);
+                    return Ok(fit);
+                }
                 Response::Busy { retry_after_ms } => {
                     return Err(ClientError::Busy { retry_after_ms })
                 }
@@ -171,6 +229,48 @@ impl Client {
                         "unexpected stats frame during a run".to_string(),
                     ))
                 }
+            }
+        }
+    }
+
+    /// [`Client::request`] with retries: `busy` rejections back off with
+    /// capped decorrelated jitter (see [`RetryPolicy`]) — never sleeping
+    /// less than the server's `retry_after_ms` hint — and resubmit, up to
+    /// `policy.max_attempts` total attempts. Everything else resolves
+    /// immediately: errors propagate, and a `deadline_exceeded` response
+    /// returns the partial fit (retrying a request that just burned its
+    /// deadline would burn another; the caller decides).
+    ///
+    /// # Errors
+    /// Transport, protocol, and server-reported failures; [`ClientError::Busy`]
+    /// when every attempt was rejected.
+    pub fn run_with_retry(
+        &mut self,
+        request: &Request,
+        policy: &RetryPolicy,
+    ) -> Result<RetriedFit, ClientError> {
+        let mut jitter = policy.seed;
+        let mut prev_sleep = policy.base.max(Duration::from_millis(1));
+        let mut retries = 0;
+        loop {
+            match self.request(request) {
+                Ok(fit) => return Ok(RetriedFit { fit, retries }),
+                Err(ClientError::Busy { retry_after_ms }) => {
+                    if retries + 1 >= policy.max_attempts.max(1) {
+                        return Err(ClientError::Busy { retry_after_ms });
+                    }
+                    retries += 1;
+                    // Decorrelated jitter: uniform in [base, 3 × previous],
+                    // clamped to cap, floored at the server's hint.
+                    let base_ms = policy.base.as_millis() as u64;
+                    let span = (prev_sleep.as_millis() as u64 * 3).max(base_ms + 1) - base_ms;
+                    let sleep_ms = (base_ms + splitmix64(&mut jitter) % span)
+                        .min(policy.cap.as_millis() as u64)
+                        .max(retry_after_ms);
+                    prev_sleep = Duration::from_millis(sleep_ms);
+                    std::thread::sleep(prev_sleep);
+                }
+                Err(e) => return Err(e),
             }
         }
     }

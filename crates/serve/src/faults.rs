@@ -1,0 +1,296 @@
+//! Deterministic fault injection for the serving tier.
+//!
+//! Chaos testing only works when the chaos is reproducible: this module
+//! injects failures on *fixed schedules* (every N-th opportunity), never
+//! randomly, so a failing chaos run replays exactly and assertions can
+//! count injected faults precisely.
+//!
+//! # Schedule grammar
+//!
+//! A fault plan is a comma-separated list of fault clauses; each clause is
+//! a fault kind followed by colon-separated `key=value` options:
+//!
+//! ```text
+//! panic:every=7,delay:ms=50:every=3,io_err:every=11
+//! ```
+//!
+//! * `panic:every=N` — every N-th job pulled by a pool worker panics
+//!   before the request runs (exercising the pool's panic isolation).
+//! * `delay:ms=M:every=N` — every N-th job sleeps `M` milliseconds before
+//!   starting (queue-delay pressure; `ms` defaults to 50).
+//! * `io_err:every=N` — every N-th response frame write fails with a
+//!   synthetic `BrokenPipe`, dropping that connection (exercising
+//!   connection-thread isolation).
+//!
+//! `every=N` requires `N ≥ 1`; `every=1` fires on every opportunity.
+//! Unknown kinds or malformed options are a parse error — a typo in a
+//! chaos schedule must not silently disable the chaos.
+//!
+//! # Wiring
+//!
+//! [`FaultPlan::from_env`] reads the `GPROB_FAULTS` environment variable
+//! (empty/unset → no faults). [`Server::start`](crate::server::Server)
+//! instantiates one [`Faults`] per server from
+//! [`ServeConfig::faults`](crate::server::ServeConfig), which defaults to
+//! the environment plan — so `GPROB_FAULTS=panic:every=20 loadgen ...`
+//! turns any load run into a chaos run, while tests construct plans
+//! directly for isolation. Each firing increments the matching
+//! `serve.faults.*` counter (`serve.faults.panic`, `serve.faults.delay`,
+//! `serve.faults.io_err`) so harnesses can assert the injected count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A parsed fault schedule: which fault kinds fire and how often.
+///
+/// The default plan is empty (no faults). See the [module docs](self) for
+/// the schedule grammar.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Every N-th worker job panics before running (`panic:every=N`).
+    pub panic_every: Option<u64>,
+    /// Every N-th worker job sleeps first (`delay:ms=M:every=N`).
+    pub delay_every: Option<u64>,
+    /// Sleep applied when the delay fault fires.
+    pub delay: Duration,
+    /// Every N-th response frame write fails (`io_err:every=N`).
+    pub io_err_every: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Parses a schedule string (see the [module docs](self) for the
+    /// grammar). The empty string parses to the empty plan.
+    ///
+    /// # Errors
+    /// A human-readable message naming the offending clause: unknown
+    /// fault kind, unknown option, malformed number, `every=0`, or a
+    /// clause missing its `every`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            let mut parts = clause.split(':');
+            let kind = parts.next().unwrap_or("").trim();
+            let mut every: Option<u64> = None;
+            let mut ms: Option<u64> = None;
+            for opt in parts {
+                let (key, value) = opt.split_once('=').ok_or_else(|| {
+                    format!("fault clause `{clause}`: option `{opt}` is not key=value")
+                })?;
+                let value: u64 = value.trim().parse().map_err(|_| {
+                    format!("fault clause `{clause}`: `{key}` value is not a number")
+                })?;
+                match key.trim() {
+                    "every" => {
+                        if value == 0 {
+                            return Err(format!("fault clause `{clause}`: every=0 never fires"));
+                        }
+                        every = Some(value);
+                    }
+                    "ms" if kind == "delay" => ms = Some(value),
+                    other => {
+                        return Err(format!("fault clause `{clause}`: unknown option `{other}`"))
+                    }
+                }
+            }
+            let every = every.ok_or_else(|| format!("fault clause `{clause}`: missing every=N"))?;
+            match kind {
+                "panic" => plan.panic_every = Some(every),
+                "delay" => {
+                    plan.delay_every = Some(every);
+                    plan.delay = Duration::from_millis(ms.unwrap_or(50));
+                }
+                "io_err" => plan.io_err_every = Some(every),
+                other => return Err(format!("unknown fault kind `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Reads the plan from `GPROB_FAULTS`. Unset or empty means no
+    /// faults; a malformed value panics (a chaos schedule with a typo
+    /// must not silently run fault-free).
+    pub fn from_env() -> FaultPlan {
+        match std::env::var("GPROB_FAULTS") {
+            Ok(spec) if !spec.trim().is_empty() => FaultPlan::parse(&spec)
+                .unwrap_or_else(|e| panic!("invalid GPROB_FAULTS schedule: {e}")),
+            _ => FaultPlan::default(),
+        }
+    }
+
+    /// Whether this plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.panic_every.is_none() && self.delay_every.is_none() && self.io_err_every.is_none()
+    }
+}
+
+/// A live injector: a [`FaultPlan`] plus per-kind opportunity counters.
+///
+/// One instance per server. Counters advance on every *opportunity*
+/// (every job for `panic`/`delay`, every frame write for `io_err`) and
+/// the fault fires when the count is a multiple of the clause's `every`
+/// — deterministic given the opportunity order. Injected totals are
+/// readable via [`Faults::injected_panics`] (and siblings) and mirrored
+/// into `serve.faults.*` counters.
+#[derive(Debug, Default)]
+pub struct Faults {
+    plan: FaultPlan,
+    jobs: AtomicU64,
+    delay_jobs: AtomicU64,
+    writes: AtomicU64,
+    injected_panics: AtomicU64,
+    injected_delays: AtomicU64,
+    injected_io_errs: AtomicU64,
+}
+
+impl Faults {
+    /// An injector following `plan`.
+    pub fn new(plan: FaultPlan) -> Faults {
+        Faults {
+            plan,
+            ..Faults::default()
+        }
+    }
+
+    /// An injector that never fires.
+    pub fn none() -> Faults {
+        Faults::default()
+    }
+
+    /// The plan this injector follows.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counts a worker-job opportunity; `true` when this job must panic.
+    pub fn should_panic_job(&self) -> bool {
+        let Some(every) = self.plan.panic_every else {
+            return false;
+        };
+        let n = self.jobs.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(every) {
+            self.injected_panics.fetch_add(1, Ordering::Relaxed);
+            obs::counter("serve.faults.panic").inc();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Counts a worker-job opportunity; `Some(delay)` when this job must
+    /// sleep before starting.
+    pub fn job_delay(&self) -> Option<Duration> {
+        let every = self.plan.delay_every?;
+        let n = self.delay_jobs.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(every) {
+            self.injected_delays.fetch_add(1, Ordering::Relaxed);
+            obs::counter("serve.faults.delay").inc();
+            Some(self.plan.delay)
+        } else {
+            None
+        }
+    }
+
+    /// Counts a frame-write opportunity; `Some(err)` when this write must
+    /// fail with a synthetic I/O error.
+    pub fn write_error(&self) -> Option<std::io::Error> {
+        let every = self.plan.io_err_every?;
+        let n = self.writes.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(every) {
+            self.injected_io_errs.fetch_add(1, Ordering::Relaxed);
+            obs::counter("serve.faults.io_err").inc();
+            Some(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "injected fault: io_err",
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Total panics injected so far.
+    pub fn injected_panics(&self) -> u64 {
+        self.injected_panics.load(Ordering::Relaxed)
+    }
+
+    /// Total delays injected so far.
+    pub fn injected_delays(&self) -> u64 {
+        self.injected_delays.load(Ordering::Relaxed)
+    }
+
+    /// Total synthetic write errors injected so far.
+    pub fn injected_io_errs(&self) -> u64 {
+        self.injected_io_errs.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_parses_to_empty_plan() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan, FaultPlan::default());
+    }
+
+    #[test]
+    fn full_grammar_round_trips() {
+        let plan = FaultPlan::parse("panic:every=7,delay:ms=50:every=3,io_err:every=11").unwrap();
+        assert_eq!(plan.panic_every, Some(7));
+        assert_eq!(plan.delay_every, Some(3));
+        assert_eq!(plan.delay, Duration::from_millis(50));
+        assert_eq!(plan.io_err_every, Some(11));
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn delay_ms_defaults_to_50() {
+        let plan = FaultPlan::parse("delay:every=2").unwrap();
+        assert_eq!(plan.delay, Duration::from_millis(50));
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        assert!(FaultPlan::parse("panic").is_err()); // missing every
+        assert!(FaultPlan::parse("panic:every=0").is_err()); // never fires
+        assert!(FaultPlan::parse("panic:every=x").is_err()); // not a number
+        assert!(FaultPlan::parse("explode:every=2").is_err()); // unknown kind
+        assert!(FaultPlan::parse("panic:often=2").is_err()); // unknown option
+        assert!(FaultPlan::parse("panic:ms=5:every=2").is_err()); // ms only on delay
+    }
+
+    #[test]
+    fn schedules_are_deterministic_counts() {
+        let faults = Faults::new(FaultPlan::parse("panic:every=3").unwrap());
+        let fired: Vec<bool> = (0..9).map(|_| faults.should_panic_job()).collect();
+        assert_eq!(
+            fired,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(faults.injected_panics(), 3);
+    }
+
+    #[test]
+    fn none_never_fires() {
+        let faults = Faults::none();
+        for _ in 0..100 {
+            assert!(!faults.should_panic_job());
+            assert!(faults.job_delay().is_none());
+            assert!(faults.write_error().is_none());
+        }
+        assert_eq!(faults.injected_panics(), 0);
+        assert_eq!(faults.injected_delays(), 0);
+        assert_eq!(faults.injected_io_errs(), 0);
+    }
+
+    #[test]
+    fn every_one_fires_every_time() {
+        let faults = Faults::new(FaultPlan::parse("io_err:every=1").unwrap());
+        for _ in 0..5 {
+            let err = faults.write_error().expect("every=1 fires on each write");
+            assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+        }
+        assert_eq!(faults.injected_io_errs(), 5);
+    }
+}

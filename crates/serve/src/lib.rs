@@ -59,6 +59,69 @@
 //! server-side breakdowns into `BENCH_serve.json`. In-process users get
 //! the same registry through `deepstan::Fit::profile()`.
 //!
+//! # Failure modes & recovery
+//!
+//! The serving tier is built to lose *requests*, never *capacity*. The
+//! contracts, in the order a request meets them:
+//!
+//! **Deadlines and cooperative cancellation.** When
+//! [`ServeConfig::request_timeout`](server::ServeConfig::request_timeout)
+//! is set, each request runs under a per-request
+//! [`CancelToken`](inference::CancelToken) whose deadline is armed at
+//! *job start* (queue wait is not billed against it). Inference outer
+//! loops poll the token once per NUTS iteration / ADVI or SVI step /
+//! importance particle — never inside a gradient evaluation — so
+//! cancellation never perturbs arithmetic: the chains a cancelled run
+//! completed are **bitwise identical** to the same-seed uncancelled
+//! run's prefix, and a request that finishes just under its deadline is
+//! byte-identical to one with no deadline at all. The response stream
+//! ends with `deadline_exceeded <wall_time>` instead of `done`; every
+//! `chain` frame streamed before it is a complete, valid chain the
+//! client keeps ([`ServedFit::deadline_exceeded`] flags the fit).
+//! Counters: `serve.deadline_exceeded` (deadline fired) and
+//! `serve.cancelled` (any cancellation, drain included).
+//!
+//! **Panic isolation.** Every pool job and every connection thread runs
+//! under `catch_unwind`. A panicking request increments
+//! `serve.worker_panics`, the client's stream ends (connection churn,
+//! from its side), and the worker returns to the queue — the pool keeps
+//! its full configured capacity after any number of panics. All locks in
+//! the pool, the model cache, and the telemetry registry recover from
+//! poisoning (`unwrap_or_else(|e| e.into_inner())`); their guarded state
+//! is structurally valid at every mutation point, so a panicked holder
+//! never wedges later callers.
+//!
+//! **Graceful drain.** [`Server::shutdown`](server::Server::shutdown)
+//! (and `Drop`) proceeds in order: stop accepting connections → wait up
+//! to [`drain_timeout`](server::ServeConfig::drain_timeout) for
+//! in-flight requests to finish on their own → cancel stragglers through
+//! the server-wide drain token (each per-request token is its child) and
+//! wait one more drain window for them to unwind cooperatively. The
+//! drain duration lands in the `serve.drain_ns` histogram.
+//!
+//! **Socket hygiene.** Connection reads between frames block forever
+//! (idle keep-alive connections are free), but once a frame's first byte
+//! arrives, every read must progress within
+//! [`io_timeout`](server::ServeConfig::io_timeout) — a client stalling
+//! on a half-written length prefix frees its connection thread instead
+//! of leaking it. Writes carry the same timeout.
+//!
+//! **Fault injection.** The [`faults`] layer injects deterministic,
+//! schedule-driven failures — worker panics, queue delays, synthetic
+//! socket write errors — from the `GPROB_FAULTS` environment variable or
+//! [`ServeConfig::faults`](server::ServeConfig::faults):
+//!
+//! ```text
+//! GPROB_FAULTS=panic:every=7,delay:ms=50:every=3,io_err:every=11
+//! ```
+//!
+//! fires the named fault on every N-th opportunity (see [`faults`] for
+//! the grammar). The chaos test suite drives every fault class and
+//! asserts the pool serves at full capacity afterwards. Clients absorb
+//! the resulting churn with [`Client::run_with_retry`] — capped
+//! exponential backoff with decorrelated jitter, floored at the server's
+//! `retry_after_ms` hint.
+//!
 //! # Quickstart
 //!
 //! Serve and query in-process (the differential tests do exactly this):
@@ -98,13 +161,15 @@
 
 pub mod cache;
 pub mod client;
+pub mod faults;
 pub mod loadgen;
 pub mod pool;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheStats, CachedModel, ModelCache};
-pub use client::{Client, ClientError, ServedChain, ServedFit};
+pub use client::{Client, ClientError, RetriedFit, RetryPolicy, ServedChain, ServedFit};
+pub use faults::{FaultPlan, Faults};
 pub use loadgen::{corpus_mix, run_load, LoadReport, LoadSpec};
 pub use pool::{Busy, WorkerPool};
 pub use protocol::{MethodSpec, Request, RequestFrame, Response};

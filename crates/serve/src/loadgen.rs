@@ -4,9 +4,11 @@
 //! Traffic is a round-robin mix over a request list (different models,
 //! schemes, and methods), each connection cycling the list from its own
 //! offset so every concurrency level exercises every model. `busy`
-//! rejections honor the server's `retry_after_ms` hint and are counted
-//! separately from completed requests; they are backpressure working as
-//! designed, not failures.
+//! rejections are absorbed by [`Client::run_with_retry`] — capped
+//! decorrelated-jitter backoff floored at the server's `retry_after_ms`
+//! hint, deterministic per connection — and surface in the report as a
+//! retry count; a request that exhausts its attempts counts as rejected.
+//! Backpressure is the system working as designed, not a failure.
 //!
 //! Besides client-side latency, the generator polls the server's `stats`
 //! frame before and after each level; the [`obs::Snapshot::delta`]
@@ -19,7 +21,7 @@
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
-use crate::client::{Client, ClientError};
+use crate::client::{Client, ClientError, RetryPolicy};
 use crate::protocol::{MethodSpec, Request};
 
 /// One load run's parameters.
@@ -42,10 +44,14 @@ pub struct LoadReport {
     pub duration_secs: f64,
     /// Requests that completed with a full response stream.
     pub completed: usize,
-    /// Requests bounced by backpressure (`busy` frames).
+    /// Requests bounced by backpressure after exhausting their retries.
     pub rejected: usize,
     /// Requests that failed (transport or server error).
     pub failed: usize,
+    /// `busy` rejections absorbed by retry backoff across all requests.
+    pub retries: usize,
+    /// Requests answered with a partial result (`deadline_exceeded`).
+    pub deadline_exceeded: usize,
     /// Completed requests per second.
     pub rps: f64,
     /// Median completed-request latency, milliseconds.
@@ -59,13 +65,15 @@ impl LoadReport {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"concurrency\": {}, \"duration_secs\": {:.3}, \"completed\": {}, \
-             \"rejected\": {}, \"failed\": {}, \"rps\": {:.2}, \"p50_ms\": {:.3}, \
-             \"p99_ms\": {:.3}}}",
+             \"rejected\": {}, \"failed\": {}, \"retries\": {}, \"deadline_exceeded\": {}, \
+             \"rps\": {:.2}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
             self.concurrency,
             self.duration_secs,
             self.completed,
             self.rejected,
             self.failed,
+            self.retries,
+            self.deadline_exceeded,
             self.rps,
             self.p50_ms,
             self.p99_ms
@@ -134,18 +142,22 @@ fn percentile_ms(sorted: &[f64], q: f64) -> f64 {
 pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> LoadReport {
     assert!(!spec.requests.is_empty(), "empty traffic mix");
     let start = Instant::now();
-    let results: Vec<(usize, usize, usize, Vec<f64>)> = std::thread::scope(|s| {
+    let results: Vec<ConnTally> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..spec.concurrency.max(1))
             .map(|conn_id| {
                 let requests = &spec.requests;
                 let duration = spec.duration;
                 s.spawn(move || {
-                    let mut completed = 0usize;
-                    let mut rejected = 0usize;
-                    let mut failed = 0usize;
-                    let mut latencies_ms = Vec::new();
+                    let mut tally = ConnTally::default();
+                    // Deterministic per-connection jitter stream, so a
+                    // load run under faults replays exactly.
+                    let policy = RetryPolicy {
+                        seed: conn_id as u64 + 1,
+                        ..RetryPolicy::default()
+                    };
                     let Ok(mut client) = Client::connect(addr) else {
-                        return (0, 0, 1, latencies_ms);
+                        tally.failed = 1;
+                        return tally;
                     };
                     let mut next = conn_id;
                     let conn_start = Instant::now();
@@ -153,17 +165,25 @@ pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> LoadReport {
                         let request = &requests[next % requests.len()];
                         next += 1;
                         let req_start = Instant::now();
-                        match client.request(request) {
-                            Ok(_) => {
-                                completed += 1;
-                                latencies_ms.push(req_start.elapsed().as_secs_f64() * 1e3);
+                        match client.run_with_retry(request, &policy) {
+                            Ok(outcome) => {
+                                tally.completed += 1;
+                                tally.retries += outcome.retries;
+                                if outcome.fit.deadline_exceeded {
+                                    tally.deadline_exceeded += 1;
+                                }
+                                tally
+                                    .latencies_ms
+                                    .push(req_start.elapsed().as_secs_f64() * 1e3);
                             }
-                            Err(ClientError::Busy { retry_after_ms }) => {
-                                rejected += 1;
-                                std::thread::sleep(Duration::from_millis(retry_after_ms.min(250)));
+                            Err(ClientError::Busy { .. }) => {
+                                // Every attempt bounced; the sleeps already
+                                // happened inside run_with_retry.
+                                tally.rejected += 1;
+                                tally.retries += policy.max_attempts.saturating_sub(1);
                             }
                             Err(_) => {
-                                failed += 1;
+                                tally.failed += 1;
                                 // The connection may be wedged; reconnect.
                                 match Client::connect(addr) {
                                     Ok(fresh) => client = fresh,
@@ -172,7 +192,7 @@ pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> LoadReport {
                             }
                         }
                     }
-                    (completed, rejected, failed, latencies_ms)
+                    tally
                 })
             })
             .collect();
@@ -182,27 +202,41 @@ pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> LoadReport {
             .collect()
     });
     let duration_secs = start.elapsed().as_secs_f64();
-    let mut completed = 0;
-    let mut rejected = 0;
-    let mut failed = 0;
-    let mut latencies: Vec<f64> = Vec::new();
-    for (c, r, f, ls) in results {
-        completed += c;
-        rejected += r;
-        failed += f;
-        latencies.extend(ls);
+    let mut total = ConnTally::default();
+    for tally in results {
+        total.completed += tally.completed;
+        total.rejected += tally.rejected;
+        total.failed += tally.failed;
+        total.retries += tally.retries;
+        total.deadline_exceeded += tally.deadline_exceeded;
+        total.latencies_ms.extend(tally.latencies_ms);
     }
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    total
+        .latencies_ms
+        .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     LoadReport {
         concurrency: spec.concurrency.max(1),
         duration_secs,
-        completed,
-        rejected,
-        failed,
-        rps: completed as f64 / duration_secs,
-        p50_ms: percentile_ms(&latencies, 0.50),
-        p99_ms: percentile_ms(&latencies, 0.99),
+        completed: total.completed,
+        rejected: total.rejected,
+        failed: total.failed,
+        retries: total.retries,
+        deadline_exceeded: total.deadline_exceeded,
+        rps: total.completed as f64 / duration_secs,
+        p50_ms: percentile_ms(&total.latencies_ms, 0.50),
+        p99_ms: percentile_ms(&total.latencies_ms, 0.99),
     }
+}
+
+/// One connection thread's counts, merged into the [`LoadReport`].
+#[derive(Default)]
+struct ConnTally {
+    completed: usize,
+    rejected: usize,
+    failed: usize,
+    retries: usize,
+    deadline_exceeded: usize,
+    latencies_ms: Vec<f64>,
 }
 
 /// The standard mixed-model traffic mix over the bundled corpus: two

@@ -15,8 +15,21 @@
 //! finishes). Chains *within* a request shard across threads inside the
 //! job (the `Session` layer owns that), so a single expensive request still
 //! uses multiple cores while cheap requests flow through other workers.
+//!
+//! # Panic isolation
+//!
+//! A panicking job must not cost the pool a worker: each job runs under
+//! [`std::panic::catch_unwind`], the unwind is swallowed, the
+//! `serve.worker_panics` counter increments, and the worker loops back to
+//! the queue. The pool therefore keeps its full configured capacity after
+//! any number of job panics. Pool-internal locks recover from poisoning
+//! (`unwrap_or_else(|e| e.into_inner())`): the guarded state is a plain
+//! queue plus a shutdown flag, both of which remain structurally valid at
+//! every await-free mutation point, so a panic elsewhere never wedges
+//! submitters or workers.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -75,7 +88,7 @@ impl WorkerPool {
     /// # Errors
     /// [`Busy`] with a backlog-scaled retry hint.
     pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), Busy> {
-        let mut state = self.inner.state.lock().expect("worker pool lock");
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
         if state.queue.len() >= self.inner.capacity {
             let pending = state.queue.len() as u64;
             return Err(Busy {
@@ -93,7 +106,7 @@ impl WorkerPool {
         self.inner
             .state
             .lock()
-            .expect("worker pool lock")
+            .unwrap_or_else(|e| e.into_inner())
             .queue
             .len()
     }
@@ -108,7 +121,11 @@ impl WorkerPool {
     }
 
     fn begin_shutdown(&self) {
-        self.inner.state.lock().expect("worker pool lock").shutdown = true;
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .shutdown = true;
         self.inner.jobs_ready.notify_all();
     }
 }
@@ -125,7 +142,7 @@ impl Drop for WorkerPool {
 fn worker_loop(inner: &Inner) {
     loop {
         let job = {
-            let mut state = inner.state.lock().expect("worker pool lock");
+            let mut state = inner.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(job) = state.queue.pop_front() {
                     break job;
@@ -133,10 +150,17 @@ fn worker_loop(inner: &Inner) {
                 if state.shutdown {
                     return;
                 }
-                state = inner.jobs_ready.wait(state).expect("worker pool lock");
+                state = match inner.jobs_ready.wait(state) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
             }
         };
-        job();
+        // Panic isolation: a job that unwinds costs the pool nothing but a
+        // counter tick — the worker survives and returns to the queue.
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            obs::counter("serve.worker_panics").inc();
+        }
     }
 }
 
@@ -180,5 +204,52 @@ mod tests {
         assert_eq!(busy.retry_after_ms, WorkerPool::RETRY_PER_PENDING_MS * 3);
         release_tx.send(()).unwrap();
         pool.shutdown();
+    }
+
+    #[test]
+    fn poisoned_lock_does_not_wedge_submitters() {
+        let pool = WorkerPool::new(1, 4);
+        // Poison the pool's state mutex by panicking while holding it.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = pool.inner.state.lock().unwrap();
+            panic!("poison the pool lock");
+        }));
+        assert!(pool.inner.state.lock().is_err(), "lock must be poisoned");
+        // Submit, pending, and shutdown all recover instead of panicking.
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        pool.submit(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        let _ = pool.pending();
+        pool.shutdown();
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn panicked_job_does_not_cost_a_worker() {
+        let before = obs::global().snapshot().counter("serve.worker_panics");
+        // Single worker: if the panic killed it, nothing after could run.
+        let pool = WorkerPool::new(1, 16);
+        let count = Arc::new(AtomicUsize::new(0));
+        for i in 0..6 {
+            let count = count.clone();
+            pool.submit(move || {
+                if i % 2 == 0 {
+                    panic!("injected job panic");
+                }
+                count.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+        let after = obs::global().snapshot().counter("serve.worker_panics");
+        assert_eq!(
+            after.unwrap_or(0) - before.unwrap_or(0),
+            3,
+            "each panicked job ticks serve.worker_panics exactly once"
+        );
     }
 }

@@ -51,6 +51,12 @@
 //! `gqnames`/`gqchain` frames when the request set `gq 1`, and finally a
 //! `done` frame. A request rejected by backpressure gets a single `busy
 //! <retry_after_ms>` frame; failures get a single `error <message>` frame.
+//!
+//! A request cancelled by the server's deadline (or by drain) ends with a
+//! `deadline_exceeded <wall_time>` frame instead of `done`: every `chain`
+//! frame streamed before it is complete and valid — the draws each chain
+//! finished before cancellation, a bitwise prefix of the same-seed
+//! uncancelled run — so the client keeps the partial result.
 
 use std::io::{self, Read, Write};
 
@@ -463,6 +469,13 @@ pub enum Response {
         /// Total request wall-clock seconds on the server.
         wall_time: f64,
     },
+    /// Terminal frame of a request cancelled by the server's deadline or
+    /// drain. Chain frames streamed before this one carry the partial
+    /// result (each a bitwise prefix of the uncancelled run).
+    DeadlineExceeded {
+        /// Total request wall-clock seconds on the server.
+        wall_time: f64,
+    },
     /// The server's telemetry registry snapshot, answering a `stats`
     /// request frame.
     Stats {
@@ -526,6 +539,7 @@ impl Response {
             Response::GqNames { names } => format!("gqnames {}", names.join(" ")),
             Response::GqChain { index, rows } => encode_rows(format!("gqchain {index}"), rows),
             Response::Done { wall_time } => format!("done {wall_time}"),
+            Response::DeadlineExceeded { wall_time } => format!("deadline_exceeded {wall_time}"),
             Response::Stats { text } => {
                 let mut out = "stats".to_string();
                 if !text.is_empty() {
@@ -572,6 +586,9 @@ impl Response {
                 })
             }
             "done" => Ok(Response::Done {
+                wall_time: parse_f64(rest)?,
+            }),
+            "deadline_exceeded" => Ok(Response::DeadlineExceeded {
                 wall_time: parse_f64(rest)?,
             }),
             "stats" => Ok(Response::Stats {
@@ -667,6 +684,7 @@ mod tests {
                 names: vec!["mu".to_string(), "theta[1]".to_string()],
             },
             Response::Done { wall_time: 1.5 },
+            Response::DeadlineExceeded { wall_time: 0.25 },
             Response::Busy { retry_after_ms: 40 },
             Response::Error {
                 message: "no such model".to_string(),

@@ -12,21 +12,36 @@
 //! client sees its first chain before the request completes. When the
 //! worker queue is full the connection answers `busy <retry_after_ms>`
 //! immediately — see the backpressure contract in [`crate::pool`].
+//!
+//! # Deadlines and drain
+//!
+//! Each request runs under a [`CancelToken`] that is a child of the
+//! server-wide drain token: [`ServeConfig::request_timeout`] arms the
+//! child's deadline, and [`Server::shutdown`] cancels the parent. The
+//! token is polled cooperatively in the inference outer loops (once per
+//! draw / step, never inside a gradient evaluation), so cancellation
+//! keeps the bitwise draw-prefix contract; a cancelled request streams
+//! whatever chains completed and ends with a `deadline_exceeded` frame
+//! instead of `done`, freeing the worker. See the failure-modes section
+//! in the [crate docs](crate) for the full contract, including panic
+//! isolation and the fault-injection schedule grammar.
 
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use deepstan::{ImportanceSettings, Method, NutsSettings};
 use gprob::value::Value;
 use inference::advi::AdviConfig;
+use inference::CancelToken;
 
 use crate::cache::ModelCache;
+use crate::faults::{FaultPlan, Faults};
 use crate::pool::WorkerPool;
-use crate::protocol::{read_frame, write_frame, MethodSpec, Request, RequestFrame, Response};
+use crate::protocol::{write_frame, MethodSpec, Request, RequestFrame, Response, MAX_FRAME};
 
 /// Stable label for per-method metric names
 /// (`serve.requests.<label>`, `serve.request_ns.<label>`, ...).
@@ -51,6 +66,26 @@ pub struct ServeConfig {
     /// this the least-recently-used model is evicted; compiled programs
     /// stay cached regardless (see [`ModelCache`]).
     pub model_cache_capacity: Option<usize>,
+    /// Wall-clock budget per request, measured from job start (queue wait
+    /// excluded). A request over budget is cancelled cooperatively at the
+    /// next draw/step boundary and answered with `deadline_exceeded`
+    /// after streaming the chains that completed. `None` (the default)
+    /// never times out.
+    pub request_timeout: Option<Duration>,
+    /// How long [`Server::shutdown`] waits for in-flight requests to
+    /// finish on their own before cancelling them (the drain phase).
+    pub drain_timeout: Duration,
+    /// Per-read socket timeout applied *inside* a frame: once a frame's
+    /// first byte arrives, every subsequent read must make progress
+    /// within this window or the connection is dropped (a stalled client
+    /// holding a half-written length prefix frees its thread). Waiting
+    /// *between* frames blocks indefinitely, so idle keep-alive
+    /// connections are unaffected.
+    pub io_timeout: Duration,
+    /// Deterministic fault-injection plan (chaos testing). Defaults to
+    /// the `GPROB_FAULTS` environment schedule — empty unless set. See
+    /// [`crate::faults`] for the grammar.
+    pub faults: FaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -63,20 +98,39 @@ impl Default for ServeConfig {
             queue_capacity: workers * 4,
             max_chains: 16,
             model_cache_capacity: None,
+            request_timeout: None,
+            drain_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(30),
+            faults: FaultPlan::from_env(),
         }
     }
 }
 
+/// State shared by the accept loop, connection threads, and worker jobs.
+struct Shared {
+    cache: Arc<ModelCache>,
+    pool: Arc<WorkerPool>,
+    max_chains: usize,
+    request_timeout: Option<Duration>,
+    io_timeout: Duration,
+    /// Parent of every per-request token; cancelled by drain.
+    drain: CancelToken,
+    /// Requests submitted to the pool and not yet finished.
+    in_flight: AtomicUsize,
+    faults: Faults,
+}
+
 /// A running server: owns the accept thread, the worker pool, and the
-/// compiled-model cache. Dropping (or [`Server::shutdown`]) stops accepting
-/// connections and joins the workers.
+/// compiled-model cache. Dropping (or [`Server::shutdown`]) stops
+/// accepting connections, drains in-flight requests (cancelling
+/// stragglers past the drain timeout), and joins the workers.
 pub struct Server {
     addr: SocketAddr,
-    cache: Arc<ModelCache>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    // Dropped after the accept thread joins; its own Drop joins the workers.
-    _pool: Arc<WorkerPool>,
+    shared: Arc<Shared>,
+    drain_timeout: Duration,
+    drained: bool,
 }
 
 impl Server {
@@ -94,9 +148,18 @@ impl Server {
         });
         let pool = Arc::new(WorkerPool::new(config.workers, config.queue_capacity));
         let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            cache,
+            pool,
+            max_chains: config.max_chains.max(1),
+            request_timeout: config.request_timeout,
+            io_timeout: config.io_timeout,
+            drain: CancelToken::new(),
+            in_flight: AtomicUsize::new(0),
+            faults: Faults::new(config.faults),
+        });
         let accept_thread = {
-            let (cache, pool, stop) = (cache.clone(), pool.clone(), stop.clone());
-            let max_chains = config.max_chains.max(1);
+            let (shared, stop) = (shared.clone(), stop.clone());
             std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if stop.load(Ordering::SeqCst) {
@@ -107,21 +170,29 @@ impl Server {
                     // without this, Nagle + delayed ACK floors every
                     // request at ~40ms regardless of compute.
                     let _ = stream.set_nodelay(true);
-                    let (cache, pool) = (cache.clone(), pool.clone());
+                    let shared = shared.clone();
                     std::thread::spawn(move || {
                         // A dropped client mid-stream is normal churn, not a
-                        // server error.
-                        let _ = serve_connection(stream, &cache, &pool, max_chains);
+                        // server error; a panicking connection thread must
+                        // not take the process down either.
+                        let result =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                                let _ = serve_connection(stream, &shared);
+                            }));
+                        if result.is_err() {
+                            obs::counter("serve.worker_panics").inc();
+                        }
                     });
                 }
             })
         };
         Ok(Server {
             addr,
-            cache,
             stop,
             accept_thread: Some(accept_thread),
-            _pool: pool,
+            shared,
+            drain_timeout: config.drain_timeout,
+            drained: false,
         })
     }
 
@@ -132,13 +203,53 @@ impl Server {
 
     /// The server's compiled-model cache (tests read its counters).
     pub fn cache(&self) -> &Arc<ModelCache> {
-        &self.cache
+        &self.shared.cache
     }
 
-    /// Stops the accept loop and joins it. In-flight connections finish
-    /// their current request; queued jobs drain when the pool drops.
+    /// Requests submitted to the pool and not yet finished (tests poll
+    /// this to observe the drain phase).
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// The server's fault injector (chaos tests read its counts).
+    pub fn faults(&self) -> &Faults {
+        &self.shared.faults
+    }
+
+    /// Gracefully stops the server: stop accepting connections, let
+    /// in-flight requests finish under [`ServeConfig::drain_timeout`],
+    /// then cancel stragglers through the drain token and wait for them
+    /// to unwind cooperatively. The drain duration lands in the
+    /// `serve.drain_ns` histogram.
     pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        if self.drained {
+            return;
+        }
+        self.drained = true;
+        let start = Instant::now();
         self.stop_accepting();
+        // Phase 1: wait for in-flight requests to finish on their own.
+        let polite = start + self.drain_timeout;
+        while self.shared.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < polite {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Phase 2: cancel stragglers; they unwind at the next draw/step
+        // boundary. Bounded by one more drain window as a backstop — the
+        // pool join below still runs regardless.
+        if self.shared.in_flight.load(Ordering::SeqCst) > 0 {
+            self.shared.drain.cancel();
+            let forced = Instant::now() + self.drain_timeout;
+            while self.shared.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < forced {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        obs::histogram("serve.drain_ns").record(ns);
     }
 
     fn stop_accepting(&mut self) {
@@ -153,25 +264,65 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.stop_accepting();
+        self.drain();
     }
 }
 
-fn serve_connection(
-    mut stream: TcpStream,
-    cache: &Arc<ModelCache>,
-    pool: &WorkerPool,
-    max_chains: usize,
-) -> io::Result<()> {
-    while let Some(payload) = read_frame(&mut stream)? {
+/// Decrements the in-flight gauge when the job finishes — on success, on
+/// panic (the closure's captures drop during unwind), and when a rejected
+/// submit drops the closure unrun.
+struct InFlightGuard(Arc<Shared>);
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Reads one request frame with the two-phase socket timeout: block
+/// indefinitely for the frame's first byte (idle keep-alive connections
+/// are fine), then require every subsequent read to make progress within
+/// `io_timeout` — a client stalling mid-frame (e.g. a half-written length
+/// prefix) errors out instead of pinning the connection thread.
+///
+/// `Ok(None)` on clean EOF at a frame boundary.
+fn read_request_frame(stream: &mut TcpStream, io_timeout: Duration) -> io::Result<Option<String>> {
+    stream.set_read_timeout(None)?;
+    let mut first = [0u8; 1];
+    match stream.read_exact(&mut first) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    stream.set_read_timeout(Some(io_timeout))?;
+    let mut rest = [0u8; 3];
+    stream.read_exact(&mut rest)?;
+    let len = u32::from_be_bytes([first[0], rest[0], rest[1], rest[2]]);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    stream.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    // A peer that stops reading cannot pin this thread on a write either.
+    stream.set_write_timeout(Some(shared.io_timeout))?;
+    while let Some(payload) = read_request_frame(&mut stream, shared.io_timeout)? {
         let request = match RequestFrame::parse(&payload) {
             Ok(RequestFrame::Run(request)) => request,
             Ok(RequestFrame::Stats) => {
                 // Answered on the connection thread, never queued: stats
                 // must stay readable while the pool is saturated. Live
                 // gauges are sampled here so a snapshot is current.
-                obs::gauge("serve.pool.depth").set(pool.pending() as f64);
-                obs::gauge("serve.cache.models").set(cache.n_models() as f64);
+                obs::gauge("serve.pool.depth").set(shared.pool.pending() as f64);
+                obs::gauge("serve.cache.models").set(shared.cache.n_models() as f64);
                 let text = obs::global().snapshot().to_text();
                 write_frame(&mut stream, &Response::Stats { text }.encode())?;
                 continue;
@@ -187,22 +338,49 @@ fn serve_connection(
         // at job start. `submitted` doubles as the gate for both.
         let submitted = obs::enabled().then(Instant::now);
         let (tx, rx) = mpsc::channel::<String>();
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let guard = InFlightGuard(shared.clone());
         let job = {
-            let cache = cache.clone();
+            let shared = shared.clone();
             move || {
+                let _guard = guard;
                 if let Some(at) = submitted {
                     let ns = u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     obs::histogram(&format!("serve.queue_ns.{label}")).record(ns);
                 }
-                run_request(&cache, request, max_chains, &tx);
+                if let Some(delay) = shared.faults.job_delay() {
+                    std::thread::sleep(delay);
+                }
+                if shared.faults.should_panic_job() {
+                    panic!("injected fault: panic");
+                }
+                run_request(&shared, request, &tx);
             }
         };
-        match pool.submit(job) {
+        match shared.pool.submit(job) {
             Ok(()) => {
                 // Drain until the job drops its sender (request finished);
                 // the per-chain frames land here as chains complete.
+                let mut terminated = false;
                 for frame in rx {
+                    if let Some(e) = shared.faults.write_error() {
+                        return Err(e);
+                    }
+                    terminated = frame.starts_with("done ")
+                        || frame.starts_with("deadline_exceeded ")
+                        || frame.starts_with("error");
                     write_frame(&mut stream, &frame)?;
+                }
+                // A job that panicked dropped its sender mid-stream; the
+                // client still gets a terminal frame instead of a hang.
+                if !terminated {
+                    write_frame(
+                        &mut stream,
+                        &Response::Error {
+                            message: "request aborted: worker panicked".to_string(),
+                        }
+                        .encode(),
+                    )?;
                 }
                 if let Some(at) = submitted {
                     let ns = u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -243,13 +421,14 @@ impl Drop for RecordOnDrop {
 /// Executes one request against the cache, streaming frames to `send`.
 /// Send failures (client hung up) abort silently — the fit computation
 /// finishes but nothing is kept.
-fn run_request(
-    cache: &ModelCache,
-    request: Request,
-    max_chains: usize,
-    send: &mpsc::Sender<String>,
-) {
+fn run_request(shared: &Shared, request: Request, send: &mpsc::Sender<String>) {
     let start = Instant::now();
+    // Deadline armed at job start, so queue wait doesn't eat the budget;
+    // the child observes the drain token through its parent chain.
+    let cancel = match shared.request_timeout {
+        Some(timeout) => shared.drain.child_with_timeout(timeout),
+        None => shared.drain.child(),
+    };
     // Worker-side time (bind + fit + gq), excluding queue wait and socket
     // drain; recorded on every exit path, success or error.
     let run_hist = obs::enabled()
@@ -261,11 +440,14 @@ fn run_request(
     let fail = |message: String| {
         let _ = send.send(Response::Error { message }.encode());
     };
-    let cached = match cache.get_or_bind(&request.source, request.scheme, &request.data) {
+    let cached = match shared
+        .cache
+        .get_or_bind(&request.source, request.scheme, &request.data)
+    {
         Ok(cached) => cached,
         Err(message) => return fail(message),
     };
-    let program = match cache.get_or_compile(&request.source) {
+    let program = match shared.cache.get_or_compile(&request.source) {
         Ok(program) => program,
         Err(message) => return fail(message),
     };
@@ -287,8 +469,9 @@ fn run_request(
     let mut session = session
         .with_bound_model(cached.scheme, cached.model.clone())
         .workspace_pool(cached.pool.clone())
-        .chains(request.chains.clamp(1, max_chains))
-        .seed(request.seed);
+        .chains(request.chains.clamp(1, shared.max_chains))
+        .seed(request.seed)
+        .cancel(cancel.clone());
     let method = match request.method {
         MethodSpec::Nuts { warmup, samples } => Method::Nuts(NutsSettings {
             warmup,
@@ -321,6 +504,22 @@ fn run_request(
             Err(e) => return fail(e.to_string()),
         }
     };
+    if fit.cancelled {
+        // Partial result: the chains streamed above are each a bitwise
+        // prefix of the uncancelled run. GQ is skipped — it would only
+        // cover the partial draws the client already knows are partial.
+        obs::counter("serve.cancelled").inc();
+        if cancel.remaining().is_some_and(|left| left.is_zero()) {
+            obs::counter("serve.deadline_exceeded").inc();
+        }
+        let _ = send.send(
+            Response::DeadlineExceeded {
+                wall_time: start.elapsed().as_secs_f64(),
+            }
+            .encode(),
+        );
+        return;
+    }
     if request.gq {
         if let Err(e) = session.generated_quantities(&mut fit) {
             return fail(e.to_string());

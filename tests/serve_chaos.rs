@@ -1,0 +1,352 @@
+//! Chaos suite: deterministic fault injection against a live server,
+//! proving the serving tier loses requests but never capacity.
+//!
+//! Every test drives one fault class from `serve::faults` (worker panics,
+//! queue delays, synthetic socket write errors) or one robustness contract
+//! (deadlines, drain, slow-loris reads) and then asserts the server still
+//! serves at full strength: the pool keeps all its workers, in-flight
+//! returns to zero, injected-fault counts match observations exactly, and
+//! draws served between faults stay **bitwise** equal to an in-process
+//! `Session::run` with the same seed.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use deepstan::{DeepStan, Method, NutsSettings};
+use gprob::value::Value;
+use serve::client::{Client, ClientError};
+use serve::faults::FaultPlan;
+use serve::protocol::{MethodSpec, Request};
+use serve::server::{ServeConfig, Server};
+use stan2gprob::Scheme;
+
+fn coin_request(warmup: usize, samples: usize, seed: u64) -> Request {
+    let coin = model_zoo::find("coin").expect("corpus has coin");
+    Request {
+        name: coin.name.to_string(),
+        scheme: Scheme::Mixed,
+        method: MethodSpec::Nuts { warmup, samples },
+        chains: 1,
+        seed,
+        gq: false,
+        data: coin.dataset(9),
+        source: coin.source.to_string(),
+    }
+}
+
+/// In-process fit for `request` with the sample count overridden — NUTS
+/// iteration `i` does not depend on the total iteration count, so a
+/// shorter same-seed run is the longer run's bitwise prefix.
+fn direct_nuts_fit(request: &Request, samples: usize) -> deepstan::Fit {
+    let MethodSpec::Nuts { warmup, .. } = request.method else {
+        panic!("nuts request expected");
+    };
+    let program = DeepStan::compile(&request.source).unwrap();
+    let refs: Vec<(&str, Value<f64>)> = request
+        .data
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.clone()))
+        .collect();
+    program
+        .session(&refs)
+        .unwrap()
+        .scheme(request.scheme)
+        .chains(request.chains)
+        .seed(request.seed)
+        .run(Method::Nuts(NutsSettings {
+            warmup,
+            samples,
+            ..Default::default()
+        }))
+        .unwrap()
+}
+
+fn assert_draws_bitwise(served: &serve::ServedFit, direct: &deepstan::Fit) {
+    assert_eq!(served.chains.len(), direct.chains.len());
+    for (s, d) in served.chains.iter().zip(&direct.chains) {
+        assert_eq!(s.draws.len(), d.draws.len());
+        for (srow, drow) in s.draws.iter().zip(&d.draws) {
+            for (a, b) in srow.iter().zip(drow) {
+                assert_eq!(a.to_bits(), b.to_bits(), "served {a} != direct {b}");
+            }
+        }
+    }
+}
+
+fn config_with(faults: &str) -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        queue_capacity: 8,
+        faults: FaultPlan::parse(faults).unwrap(),
+        ..ServeConfig::default()
+    }
+}
+
+fn wait_idle(server: &Server) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.in_flight() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(server.in_flight(), 0, "in-flight must return to zero");
+}
+
+#[test]
+fn panic_faults_do_not_lose_workers() {
+    // Every 3rd job panics; with 2 workers and 4 injected panics, a pool
+    // that lost a worker per panic would deadlock long before request 12.
+    let server = Server::start(config_with("panic:every=3")).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let request = coin_request(20, 20, 7);
+    let direct = direct_nuts_fit(&request, 20);
+    let mut completed = 0;
+    let mut panicked = 0;
+    for _ in 0..12 {
+        match client.request(&request) {
+            Ok(fit) => {
+                completed += 1;
+                assert!(!fit.deadline_exceeded);
+                assert_draws_bitwise(&fit, &direct);
+            }
+            Err(ClientError::Server(message)) => {
+                panicked += 1;
+                assert!(
+                    message.contains("worker panicked"),
+                    "unexpected server error: {message}"
+                );
+            }
+            Err(other) => panic!("unexpected failure: {other}"),
+        }
+    }
+    assert_eq!(panicked, 4, "every=3 over 12 jobs injects exactly 4 panics");
+    assert_eq!(completed, 8);
+    assert_eq!(server.faults().injected_panics(), 4);
+    wait_idle(&server);
+    server.shutdown();
+}
+
+#[test]
+fn delay_faults_slow_requests_without_dropping_them() {
+    let server = Server::start(config_with("delay:ms=30:every=2")).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let request = coin_request(20, 20, 11);
+    let direct = direct_nuts_fit(&request, 20);
+    for _ in 0..6 {
+        let fit = client.request(&request).unwrap();
+        assert_draws_bitwise(&fit, &direct);
+    }
+    assert_eq!(server.faults().injected_delays(), 3);
+    wait_idle(&server);
+    server.shutdown();
+}
+
+#[test]
+fn io_err_faults_drop_connections_not_capacity() {
+    // Every 4th response-frame write fails; the connection dies, the
+    // server does not. Reconnect and keep going.
+    let server = Server::start(config_with("io_err:every=4")).unwrap();
+    let request = coin_request(20, 20, 13);
+    let direct = direct_nuts_fit(&request, 20);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let mut completed = 0;
+    let mut dropped = 0;
+    for _ in 0..10 {
+        match client.request(&request) {
+            Ok(fit) => {
+                completed += 1;
+                assert_draws_bitwise(&fit, &direct);
+            }
+            Err(ClientError::Io(_) | ClientError::Protocol(_)) => {
+                dropped += 1;
+                client = Client::connect(server.addr()).unwrap();
+            }
+            Err(other) => panic!("unexpected failure: {other}"),
+        }
+    }
+    assert!(dropped >= 1, "io_err:every=4 must drop at least one stream");
+    assert!(
+        completed >= 1,
+        "the server must keep serving between faults"
+    );
+    assert!(server.faults().injected_io_errs() >= 1);
+    // Full capacity afterwards: a fresh connection completes cleanly
+    // (skipping past any write scheduled to fault).
+    let mut fresh = Client::connect(server.addr()).unwrap();
+    let ok = (0..4).any(|_| fresh.request(&request).is_ok());
+    assert!(ok, "a fresh connection must complete after io_err faults");
+    wait_idle(&server);
+    server.shutdown();
+}
+
+#[test]
+fn deadline_frees_the_worker_and_serves_a_bitwise_prefix() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        request_timeout: Some(Duration::from_millis(60)),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Far more iterations than 60ms allows: the deadline must cut it.
+    let request = coin_request(20, 50_000_000, 17);
+    let before = obs::global().snapshot();
+    let start = Instant::now();
+    let fit = client.request(&request).unwrap();
+    assert!(fit.deadline_exceeded, "the deadline must have fired");
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "a deadline-exceeded request must come back promptly"
+    );
+    let partial = &fit.chains[0];
+    assert!(
+        partial.draws.len() < 50_000_000,
+        "the run cannot have finished"
+    );
+    // The partial chain is the bitwise prefix of the same-seed run: a
+    // direct run asked for exactly that many draws reproduces it.
+    if !partial.draws.is_empty() {
+        let direct = direct_nuts_fit(&request, partial.draws.len());
+        assert_draws_bitwise(&fit, &direct);
+    }
+    let delta = obs::global().snapshot().delta(&before);
+    assert!(delta.counter("serve.deadline_exceeded").unwrap_or(0) >= 1);
+    assert!(delta.counter("serve.cancelled").unwrap_or(0) >= 1);
+    // The single worker is free again: a small request completes.
+    let quick = client.request(&coin_request(10, 10, 19)).unwrap();
+    assert!(!quick.deadline_exceeded);
+    assert_eq!(quick.chains[0].draws.len(), 10);
+    wait_idle(&server);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_then_cancels_stragglers() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        drain_timeout: Duration::from_millis(150),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let runner = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.request(&coin_request(20, 50_000_000, 23))
+    });
+    // Wait until the long request is actually in flight.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.in_flight() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(server.in_flight(), 1, "the long request must be running");
+    let before = obs::global().snapshot();
+    let start = Instant::now();
+    server.shutdown();
+    // Polite window (150ms) + cancellation unwind; nowhere near the
+    // request's natural runtime.
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "drain must cancel the straggler, not wait it out"
+    );
+    let fit = runner.join().unwrap().unwrap();
+    assert!(
+        fit.deadline_exceeded,
+        "a drained request ends with deadline_exceeded"
+    );
+    let delta = obs::global().snapshot().delta(&before);
+    let drained = delta.histogram("serve.drain_ns").expect("drain recorded");
+    assert!(drained.count >= 1);
+}
+
+#[test]
+fn slow_loris_half_prefix_frees_the_connection() {
+    let server = Server::start(ServeConfig {
+        io_timeout: Duration::from_millis(150),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    // Write half a length prefix and stall: the server must drop us once
+    // the in-frame timeout lapses, not pin the connection thread.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.write_all(&[0u8, 0u8]).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let start = Instant::now();
+    let mut buf = [0u8; 1];
+    // EOF (Ok(0)) or a reset error both mean the server hung up.
+    let hung_up = match stream.read(&mut buf) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) => !matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ),
+    };
+    assert!(hung_up, "server must drop a stalled half-frame connection");
+    assert!(
+        start.elapsed() < Duration::from_secs(3),
+        "the drop must happen within the io timeout, not eventually"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn idle_keepalive_connections_outlive_the_io_timeout() {
+    let server = Server::start(ServeConfig {
+        io_timeout: Duration::from_millis(100),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let request = coin_request(10, 10, 29);
+    client.request(&request).unwrap();
+    // Idle well past the io timeout: waiting *between* frames must not
+    // count against it.
+    std::thread::sleep(Duration::from_millis(400));
+    let fit = client.request(&request).unwrap();
+    assert_eq!(fit.chains[0].draws.len(), 10);
+    server.shutdown();
+}
+
+#[test]
+fn retry_absorbs_backpressure_under_load() {
+    // One worker, minimal queue: concurrent clients are guaranteed to see
+    // busy rejections; run_with_retry must absorb them.
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let tallies: Vec<(usize, usize)> = std::thread::scope(|s| {
+        (0..4u64)
+            .map(|conn| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let policy = serve::client::RetryPolicy {
+                        max_attempts: 50,
+                        seed: conn + 1,
+                        ..Default::default()
+                    };
+                    let mut completed = 0;
+                    let mut retries = 0;
+                    for i in 0..3 {
+                        let request = coin_request(20, 20, 31 + conn * 10 + i);
+                        let outcome = client.run_with_retry(&request, &policy).unwrap();
+                        completed += 1;
+                        retries += outcome.retries;
+                    }
+                    (completed, retries)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    let completed: usize = tallies.iter().map(|t| t.0).sum();
+    assert_eq!(completed, 12, "every request must eventually complete");
+    wait_idle(&server);
+    server.shutdown();
+}
